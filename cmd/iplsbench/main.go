@@ -1,0 +1,81 @@
+// Command iplsbench regenerates every figure of the paper's evaluation
+// (§V) plus the extension experiments documented in DESIGN.md.
+//
+// Usage:
+//
+//	iplsbench fig1       Fig. 1: aggregation/upload delay vs providers
+//	iplsbench fig2       Fig. 2: delays and traffic vs aggregators/partition
+//	iplsbench fig3       Fig. 3: SHA-256 vs Pedersen commitment time
+//	iplsbench model      §III-E analytic τ model vs simulation
+//	iplsbench multiexp   multi-exponentiation strategies (future work [27,28])
+//	iplsbench baseline   blockchain-FL vs this work, storage & traffic
+//	iplsbench converge   decentralized vs centralized FedAvg convergence
+//	iplsbench verify     malicious-aggregator detection matrix
+//	iplsbench faults     dropout / storage-failure recovery
+//	iplsbench dirload    directory load reduction: batching + sharding (§VI)
+//	iplsbench hash       proof-friendly MiMC hash vs SHA-256 (§VI)
+//	iplsbench all        everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iplsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iplsbench", flag.ContinueOnError)
+	maxParams := fs.Int("max-params", 100_000, "largest model size for fig3")
+	rounds := fs.Int("rounds", 10, "FL rounds for converge/baseline experiments")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|dirload|hash|all>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one experiment expected")
+	}
+	experiments := map[string]func() error{
+		"fig1":      fig1,
+		"fig2":      fig2,
+		"fig3":      func() error { return fig3(*maxParams) },
+		"model":     analyticModel,
+		"multiexp":  multiExp,
+		"baseline":  func() error { return baselines(*rounds) },
+		"converge":  func() error { return converge(*rounds) },
+		"verify":    verifyMatrix,
+		"faults":    faults,
+		"dirload":   dirLoad,
+		"hash":      hashCost,
+		"placement": placement,
+		"straggler": straggler,
+		"gossip":    func() error { return gossipVsFL(*rounds) },
+		"quant":     quantAblation,
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "dirload", "hash", "placement", "straggler", "gossip", "quant"} {
+			if err := experiments[key](); err != nil {
+				return fmt.Errorf("%s: %w", key, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	exp, ok := experiments[name]
+	if !ok {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return exp()
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+func parseTaskFlags(t *testing.T, args []string) *taskFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tf := registerTaskFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return tf
+}
+
+func TestBuildConfigDeterministic(t *testing.T) {
+	args := []string{"-trainers", "6", "-partitions", "3", "-aggregators", "2", "-verifiable"}
+	a := parseTaskFlags(t, args)
+	b := parseTaskFlags(t, args)
+	ca, _, err := a.buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _, err := b.buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independently derived configs must agree on the whole wiring —
+	// that is what lets parties coordinate with flags alone.
+	if ca.TaskID != cb.TaskID || ca.Spec != cb.Spec || len(ca.Trainers) != len(cb.Trainers) {
+		t.Fatal("configs differ")
+	}
+	for p := 0; p < ca.Spec.Partitions; p++ {
+		for _, tr := range ca.Trainers {
+			if ca.Assignment[p][tr] != cb.Assignment[p][tr] {
+				t.Fatalf("assignment differs for %s partition %d", tr, p)
+			}
+		}
+	}
+}
+
+func TestLocalDataDeterministicAndDisjoint(t *testing.T) {
+	tf := parseTaskFlags(t, []string{"-trainers", "4"})
+	d0a, err := tf.localData(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0b, err := tf.localData(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0a.Len() != d0b.Len() {
+		t.Fatal("local data not deterministic")
+	}
+	for i := range d0a.X {
+		for j := range d0a.X[i] {
+			if d0a.X[i][j] != d0b.X[i][j] {
+				t.Fatal("local data not deterministic")
+			}
+		}
+	}
+	total := 0
+	for i := 0; i < 4; i++ {
+		d, err := tf.localData(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d.Len()
+	}
+	if total != 60*4 {
+		t.Fatalf("shards do not cover the dataset: %d", total)
+	}
+}
+
+func TestSharedArgsRoundTrip(t *testing.T) {
+	orig := parseTaskFlags(t, []string{
+		"-task", "roundtrip", "-trainers", "5", "-partitions", "3",
+		"-aggregators", "2", "-storage-nodes", "4", "-providers", "1",
+		"-verifiable", "-rounds", "7", "-seed", "13", "-lr", "0.5",
+		"-epochs", "3", "-batch", "8",
+	})
+	re := parseTaskFlags(t, sharedArgs(orig))
+	if *orig != *re {
+		t.Fatalf("sharedArgs round trip mismatch:\n%+v\n%+v", orig, re)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if err := run([]string{"fly"}); err == nil {
+		t.Fatal("expected unknown-subcommand error")
+	}
+}
+
+func TestTrainerAggregatorValidation(t *testing.T) {
+	if err := trainer([]string{"-index", "99", "-addr", "127.0.0.1:1"}); err == nil {
+		t.Fatal("expected index range error")
+	}
+	if err := aggregator([]string{"-partition", "99", "-addr", "127.0.0.1:1"}); err == nil {
+		t.Fatal("expected partition range error")
+	}
+	if err := aggregator([]string{"-partition", "0", "-slot", "99", "-addr", "127.0.0.1:1"}); err == nil {
+		t.Fatal("expected slot range error")
+	}
+}
+
+func TestDemoEndToEnd(t *testing.T) {
+	err := demo([]string{
+		"-trainers", "2", "-partitions", "2", "-aggregators", "1",
+		"-storage-nodes", "2", "-rounds", "1", "-verifiable",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemoSignedEndToEnd(t *testing.T) {
+	err := demo([]string{
+		"-task", "signed-demo", "-trainers", "2", "-partitions", "1",
+		"-aggregators", "1", "-storage-nodes", "2", "-rounds", "1",
+		"-verifiable", "-signed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

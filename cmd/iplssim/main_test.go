@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"ipls/internal/core"
+)
+
+func TestParseBehavior(t *testing.T) {
+	cases := map[string]core.Behavior{
+		"drop-gradient":  core.BehaviorDropGradient,
+		"alter-gradient": core.BehaviorAlterGradient,
+		"forge-update":   core.BehaviorForgeUpdate,
+		"dropout":        core.BehaviorDropout,
+	}
+	for s, want := range cases {
+		got, err := parseBehavior(s)
+		if err != nil || got != want {
+			t.Errorf("parseBehavior(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseBehavior("nonsense"); err == nil {
+		t.Fatal("expected error for unknown behavior")
+	}
+}
+
+func TestRunSmallHonestJob(t *testing.T) {
+	err := run([]string{
+		"-trainers", "4", "-partitions", "2", "-aggregators", "1",
+		"-storage-nodes", "2", "-providers", "1", "-rounds", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerifiableMaliciousJob(t *testing.T) {
+	err := run([]string{
+		"-trainers", "4", "-partitions", "2", "-aggregators", "2",
+		"-storage-nodes", "2", "-providers", "0", "-rounds", "1",
+		"-verifiable", "-malicious", "alter-gradient", "-model", "mlp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-model", "transformer"}); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+	if err := run([]string{"-malicious", "nonsense", "-rounds", "1"}); err == nil {
+		t.Fatal("expected unknown-behavior error")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunNonIIDSplit(t *testing.T) {
+	err := run([]string{
+		"-trainers", "4", "-partitions", "2", "-aggregators", "1",
+		"-storage-nodes", "2", "-rounds", "1", "-split", "non-iid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

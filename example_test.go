@@ -1,0 +1,44 @@
+package ipls_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ipls"
+)
+
+// Example runs one verifiable iteration through the public API.
+func Example() {
+	cfg, err := ipls.NewConfig(ipls.TaskSpec{
+		TaskID:                  "readme",
+		ModelDim:                4,
+		Partitions:              2,
+		Trainers:                []string{"alice", "bob"},
+		AggregatorsPerPartition: 1,
+		StorageNodes:            []string{"ipfs-0"},
+		Verifiable:              true,
+		TTrain:                  time.Second,
+		TSync:                   time.Second,
+		PollInterval:            time.Millisecond,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sess, _, _, err := ipls.NewLocalStack(cfg, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sess.RunIteration(context.Background(), 0, map[string][]float64{
+		"alice": {2, 2, 2, 2},
+		"bob":   {4, 4, 4, 4},
+	}, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("average = %.0f, cheating detected = %v\n", res.AvgDelta[0], res.Detected())
+	// Output: average = 3, cheating detected = false
+}

@@ -1,0 +1,126 @@
+// Merge-and-download provider sweep: reproduces the trade-off of §III-E by
+// simulating one iteration for a range of provider counts, and compares
+// the measured delays with the paper's analytic model
+// τ = S·(|T|/(d·P) + P/b), whose optimum is P* = sqrt(b·|T|/d).
+//
+// It then runs the same sweep through the *real* protocol engine (not the
+// network simulator) to show merge-and-download reduces the number of
+// blocks an aggregator downloads without changing the aggregate.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ipls"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const trainers = 16
+	fmt.Println("virtual-time sweep (16 trainers, 1.3 MB partition, 10 Mbps):")
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "providers", "upload", "aggregation", "total", "analytic")
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		res, err := ipls.Simulate(ipls.SimConfig{
+			Trainers:                trainers,
+			Partitions:              1,
+			AggregatorsPerPartition: 1,
+			PartitionBytes:          1_300_000,
+			StorageNodes:            16,
+			ProvidersPerAggregator:  p,
+			BandwidthMbps:           10,
+		})
+		if err != nil {
+			return err
+		}
+		analytic := ipls.AnalyticAggregationDelay(1_300_000, trainers, p, 10, 10)
+		fmt.Printf("%-10d %12s %12s %12s %11.2fs\n", p,
+			res.UploadDelayMean.Round(10*time.Millisecond),
+			res.GradAggDelay.Round(10*time.Millisecond),
+			res.TotalDelay.Round(10*time.Millisecond),
+			analytic)
+	}
+	fmt.Printf("analytic optimum: P* = %.1f providers\n\n", ipls.OptimalProviders(trainers, 10, 10))
+
+	fmt.Println("real protocol engine (merge-downloads per aggregator):")
+	fmt.Printf("%-10s %16s %16s\n", "providers", "merge-downloads", "aggregate match")
+	var reference []float64
+	for _, p := range []int{0, 1, 2, 4} {
+		cfg, err := ipls.NewConfig(ipls.TaskSpec{
+			TaskID:                  fmt.Sprintf("providers-%d", p),
+			ModelDim:                64,
+			Partitions:              1,
+			Trainers:                trainerNames(trainers),
+			AggregatorsPerPartition: 1,
+			StorageNodes:            nodeNames(8),
+			ProvidersPerAggregator:  p,
+			TTrain:                  5 * time.Second,
+			TSync:                   5 * time.Second,
+			PollInterval:            time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		sess, _, _, err := ipls.NewLocalStack(cfg, 1)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(5))
+		deltas := make(map[string][]float64)
+		for _, tr := range cfg.Trainers {
+			d := make([]float64, 64)
+			for i := range d {
+				d[i] = rng.NormFloat64()
+			}
+			deltas[tr] = d
+		}
+		res, err := sess.RunIteration(context.Background(), 0, deltas, nil)
+		if err != nil {
+			return err
+		}
+		if reference == nil {
+			reference = res.AvgDelta
+		}
+		match := "identical"
+		for i := range reference {
+			if reference[i] != res.AvgDelta[i] {
+				match = "DIFFERS"
+				break
+			}
+		}
+		merges := 0
+		for _, rep := range res.Reports {
+			merges += rep.MergeDownloads
+		}
+		label := fmt.Sprint(p)
+		if p == 0 {
+			label = "0 (off)"
+		}
+		fmt.Printf("%-10s %16d %16s\n", label, merges, match)
+	}
+	return nil
+}
+
+func trainerNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("t%02d", i)
+	}
+	return out
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("ipfs-%02d", i)
+	}
+	return out
+}

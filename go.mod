@@ -1,0 +1,3 @@
+module ipls
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package baseline implements the systems the paper positions itself
+// against, so the evaluation can compare them quantitatively:
+//
+//   - Blockchain-based FL (flexibly coupled BCFL, [19]): trainers broadcast
+//     their updates to every blockchain node, which stores them forever.
+//   - Direct-communication IPLS ([17]): trainers send gradients straight to
+//     aggregators — the "direct" series of Fig. 1 (simulated via
+//     core.SimConfig.Direct).
+//
+// The BCFL model here is deliberately generous (proof-of-authority, no
+// consensus traffic), so the reported overheads are lower bounds.
+package baseline
+
+import (
+	"fmt"
+
+	"ipls/internal/chain"
+)
+
+// CostReport captures one round's communication and cumulative storage.
+type CostReport struct {
+	Round int
+	// TransferBytes is the network volume moved during the round.
+	TransferBytes int64
+	// StoredBytes is the total storage consumed across the whole system
+	// after the round (cumulative for BCFL; ephemeral for IPLS).
+	StoredBytes int64
+}
+
+// BCFLConfig parameterizes the blockchain-based FL baseline.
+type BCFLConfig struct {
+	Rounds      int
+	Trainers    int
+	ChainNodes  int   // full nodes replicating the ledger
+	UpdateBytes int64 // size of one model update / gradient vector
+}
+
+// BCFLCosts simulates the blockchain baseline round by round on a real
+// hash-chained ledger: every trainer update is appended (and hence
+// broadcast to and stored by every chain node), plus one aggregated global
+// model per round.
+func BCFLCosts(cfg BCFLConfig) ([]CostReport, *chain.Chain, error) {
+	if cfg.Rounds <= 0 || cfg.Trainers <= 0 || cfg.ChainNodes <= 0 || cfg.UpdateBytes <= 0 {
+		return nil, nil, fmt.Errorf("baseline: invalid BCFL config %+v", cfg)
+	}
+	ledger := chain.New()
+	reports := make([]CostReport, 0, cfg.Rounds)
+	payload := make([]byte, cfg.UpdateBytes)
+	for r := 0; r < cfg.Rounds; r++ {
+		// One block per round: all trainer updates plus the new global.
+		payloads := make([][]byte, 0, cfg.Trainers+1)
+		for t := 0; t < cfg.Trainers+1; t++ {
+			payloads = append(payloads, payload)
+		}
+		ledger.Append(payloads)
+		// Every update travels to every chain node (gossip floor:
+		// each node receives each payload once).
+		transfer := int64(cfg.Trainers+1) * cfg.UpdateBytes * int64(cfg.ChainNodes)
+		stored := ledger.TotalPayloadBytes() * int64(cfg.ChainNodes)
+		reports = append(reports, CostReport{Round: r, TransferBytes: transfer, StoredBytes: stored})
+	}
+	return reports, ledger, nil
+}
+
+// IPLSConfig parameterizes the cost model of this paper's protocol.
+type IPLSConfig struct {
+	Rounds                  int
+	Trainers                int
+	Partitions              int
+	AggregatorsPerPartition int
+	Replicas                int   // storage replication factor
+	UpdateBytes             int64 // full model update size (all partitions)
+	MergeAndDownload        bool
+}
+
+// IPLSCosts computes the per-round costs of the decentralized storage
+// protocol. Gradients and updates are ephemeral — needed "only for a short
+// period of time" (§VI) — so storage does not accumulate across rounds.
+func IPLSCosts(cfg IPLSConfig) ([]CostReport, error) {
+	if cfg.Rounds <= 0 || cfg.Trainers <= 0 || cfg.Partitions <= 0 ||
+		cfg.AggregatorsPerPartition <= 0 || cfg.UpdateBytes <= 0 {
+		return nil, fmt.Errorf("baseline: invalid IPLS config %+v", cfg)
+	}
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	partBytes := cfg.UpdateBytes / int64(cfg.Partitions)
+	aggsTotal := cfg.Partitions * cfg.AggregatorsPerPartition
+	trainersPerAgg := (cfg.Trainers + cfg.AggregatorsPerPartition - 1) / cfg.AggregatorsPerPartition
+
+	reports := make([]CostReport, 0, cfg.Rounds)
+	for r := 0; r < cfg.Rounds; r++ {
+		var transfer int64
+		// Trainers upload every partition once (plus replication).
+		transfer += int64(cfg.Trainers) * cfg.UpdateBytes * int64(replicas)
+		// Aggregators download their gradients: merged (one
+		// partition-sized block per provider group, bounded by one per
+		// aggregator here) or one per trainer.
+		if cfg.MergeAndDownload {
+			transfer += int64(aggsTotal) * partBytes
+		} else {
+			transfer += int64(aggsTotal) * int64(trainersPerAgg) * partBytes
+		}
+		// Sync: each aggregator uploads one partial and downloads
+		// |A_i|-1 partials.
+		if cfg.AggregatorsPerPartition > 1 {
+			transfer += int64(aggsTotal) * partBytes * int64(replicas)                      // partial uploads
+			transfer += int64(aggsTotal) * int64(cfg.AggregatorsPerPartition-1) * partBytes // partial downloads
+		}
+		// Global updates are uploaded once per partition and downloaded
+		// by every trainer.
+		transfer += int64(cfg.Partitions) * partBytes * int64(replicas)
+		transfer += int64(cfg.Trainers) * cfg.UpdateBytes
+
+		// Live storage during the round: gradients + partials + updates,
+		// all discarded afterwards.
+		var stored int64
+		stored += int64(cfg.Trainers) * cfg.UpdateBytes * int64(replicas)
+		if cfg.AggregatorsPerPartition > 1 {
+			stored += int64(aggsTotal) * partBytes * int64(replicas)
+		}
+		stored += int64(cfg.Partitions) * partBytes * int64(replicas)
+
+		reports = append(reports, CostReport{Round: r, TransferBytes: transfer, StoredBytes: stored})
+	}
+	return reports, nil
+}
+
+// Summary aggregates a cost series.
+type Summary struct {
+	TotalTransferBytes int64
+	FinalStoredBytes   int64
+}
+
+// Summarize folds a report series into totals.
+func Summarize(reports []CostReport) Summary {
+	var s Summary
+	for _, r := range reports {
+		s.TotalTransferBytes += r.TransferBytes
+	}
+	if len(reports) > 0 {
+		s.FinalStoredBytes = reports[len(reports)-1].StoredBytes
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func TestBCFLStorageGrowsLinearly(t *testing.T) {
+	reports, ledger, err := BCFLCosts(BCFLConfig{
+		Rounds: 10, Trainers: 16, ChainNodes: 8, UpdateBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 10 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	// Storage must accumulate every round — the core BCFL pathology.
+	for i := 1; i < len(reports); i++ {
+		if reports[i].StoredBytes <= reports[i-1].StoredBytes {
+			t.Fatalf("round %d: BCFL storage did not grow", i)
+		}
+	}
+	wantPerRound := int64(17) * (1 << 20) * 8 // (16+1 updates)·1MiB·8 nodes
+	if reports[0].StoredBytes != wantPerRound {
+		t.Fatalf("round 0 stored = %d, want %d", reports[0].StoredBytes, wantPerRound)
+	}
+	if reports[9].StoredBytes != 10*wantPerRound {
+		t.Fatalf("round 9 stored = %d, want %d", reports[9].StoredBytes, 10*wantPerRound)
+	}
+	if err := ledger.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if ledger.Len() != 11 { // genesis + 10
+		t.Fatalf("ledger length %d", ledger.Len())
+	}
+}
+
+func TestIPLSStorageIsEphemeral(t *testing.T) {
+	reports, err := IPLSCosts(IPLSConfig{
+		Rounds: 10, Trainers: 16, Partitions: 4, AggregatorsPerPartition: 2,
+		Replicas: 2, UpdateBytes: 1 << 20, MergeAndDownload: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].StoredBytes != reports[0].StoredBytes {
+			t.Fatalf("IPLS storage should be flat across rounds: %d vs %d",
+				reports[i].StoredBytes, reports[0].StoredBytes)
+		}
+	}
+}
+
+func TestIPLSBeatsBCFLOnBothAxes(t *testing.T) {
+	const rounds, trainers, update = 20, 16, int64(1 << 20)
+	bcfl, _, err := BCFLCosts(BCFLConfig{Rounds: rounds, Trainers: trainers, ChainNodes: 8, UpdateBytes: update})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipls, err := IPLSCosts(IPLSConfig{
+		Rounds: rounds, Trainers: trainers, Partitions: 4,
+		AggregatorsPerPartition: 2, Replicas: 2, UpdateBytes: update, MergeAndDownload: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, si := Summarize(bcfl), Summarize(ipls)
+	if si.TotalTransferBytes >= sb.TotalTransferBytes {
+		t.Fatalf("IPLS transfer %d should be below BCFL %d",
+			si.TotalTransferBytes, sb.TotalTransferBytes)
+	}
+	if si.FinalStoredBytes >= sb.FinalStoredBytes {
+		t.Fatalf("IPLS storage %d should be below BCFL %d",
+			si.FinalStoredBytes, sb.FinalStoredBytes)
+	}
+	// The gap must widen with rounds: BCFL stored grows ~linearly.
+	if sb.FinalStoredBytes < 10*si.FinalStoredBytes {
+		t.Fatalf("expected an order-of-magnitude storage gap after %d rounds", rounds)
+	}
+}
+
+func TestMergeReducesTransfer(t *testing.T) {
+	base := IPLSConfig{
+		Rounds: 1, Trainers: 16, Partitions: 4,
+		AggregatorsPerPartition: 1, Replicas: 1, UpdateBytes: 1 << 20,
+	}
+	noMerge, err := IPLSCosts(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := base
+	merged.MergeAndDownload = true
+	withMerge, err := IPLSCosts(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withMerge[0].TransferBytes >= noMerge[0].TransferBytes {
+		t.Fatalf("merge-and-download should reduce transfer: %d vs %d",
+			withMerge[0].TransferBytes, noMerge[0].TransferBytes)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	if _, _, err := BCFLCosts(BCFLConfig{}); err == nil {
+		t.Fatal("expected BCFL validation error")
+	}
+	if _, err := IPLSCosts(IPLSConfig{}); err == nil {
+		t.Fatal("expected IPLS validation error")
+	}
+	if s := Summarize(nil); s.TotalTransferBytes != 0 || s.FinalStoredBytes != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"ipls/internal/netsim"
+)
+
+// BCFLDelayConfig parameterizes a virtual-time simulation of one
+// blockchain-FL round: every trainer broadcasts its update to every chain
+// node (the flexibly-coupled BCFL pattern of [19]), then the aggregating
+// miner — which already holds a replica — computes and broadcasts the new
+// global model to all nodes.
+type BCFLDelayConfig struct {
+	Trainers      int
+	ChainNodes    int
+	UpdateBytes   int64
+	BandwidthMbps float64
+}
+
+// BCFLDelayResult reports the simulated round delay.
+type BCFLDelayResult struct {
+	// BroadcastDelay is when the last trainer update reached the last
+	// chain node.
+	BroadcastDelay time.Duration
+	// TotalDelay additionally includes the global-model broadcast.
+	TotalDelay time.Duration
+	// BytesPerChainNode is the volume each chain node received.
+	BytesPerChainNode int64
+}
+
+// BCFLDelay simulates one BCFL round in virtual time, for comparison with
+// the decentralized-storage protocol's core.Simulate.
+func BCFLDelay(cfg BCFLDelayConfig) (*BCFLDelayResult, error) {
+	if cfg.Trainers <= 0 || cfg.ChainNodes <= 0 || cfg.UpdateBytes <= 0 || cfg.BandwidthMbps <= 0 {
+		return nil, fmt.Errorf("baseline: invalid BCFL delay config %+v", cfg)
+	}
+	env := netsim.NewEnv()
+	bw := netsim.Mbps(cfg.BandwidthMbps)
+	trainers := make([]*netsim.Node, cfg.Trainers)
+	for i := range trainers {
+		trainers[i] = env.AddNode(fmt.Sprintf("trainer-%02d", i), bw, bw)
+	}
+	chain := make([]*netsim.Node, cfg.ChainNodes)
+	for i := range chain {
+		chain[i] = env.AddNode(fmt.Sprintf("chain-%02d", i), bw, bw)
+	}
+
+	var broadcastDone time.Duration
+	allIn := env.NewCounter(cfg.Trainers * cfg.ChainNodes)
+	for t := range trainers {
+		t := t
+		env.Go(fmt.Sprintf("bcast-%d", t), func() {
+			// Gossip floor: the trainer ships its update once to each
+			// chain node (real gossip relays node-to-node, which costs
+			// the same aggregate volume).
+			for n := range chain {
+				env.Transfer(trainers[t], chain[n], cfg.UpdateBytes)
+				allIn.Add()
+			}
+			if env.Now() > broadcastDone {
+				broadcastDone = env.Now()
+			}
+		})
+	}
+	var totalDone time.Duration
+	env.Go("miner", func() {
+		allIn.Wait()
+		// The miner aggregates locally (it holds every update) and
+		// broadcasts the new global model block to its peers.
+		for n := 1; n < len(chain); n++ {
+			env.Transfer(chain[0], chain[n], cfg.UpdateBytes)
+		}
+		totalDone = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	var per int64
+	for _, n := range chain {
+		per += n.BytesReceived
+	}
+	return &BCFLDelayResult{
+		BroadcastDelay:    broadcastDone,
+		TotalDelay:        totalDone,
+		BytesPerChainNode: per / int64(cfg.ChainNodes),
+	}, nil
+}

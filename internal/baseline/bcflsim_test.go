@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"ipls/internal/core"
+)
+
+func TestBCFLDelayScalesWithChainNodes(t *testing.T) {
+	base := BCFLDelayConfig{Trainers: 16, ChainNodes: 4, UpdateBytes: 1_300_000, BandwidthMbps: 10}
+	small, err := BCFLDelay(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := base
+	big.ChainNodes = 8
+	large, err := BCFLDelay(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Broadcasting to twice the nodes roughly doubles every trainer's
+	// upload volume.
+	if large.TotalDelay < time.Duration(float64(small.TotalDelay)*3/2) {
+		t.Fatalf("BCFL delay should grow with chain size: %v -> %v", small.TotalDelay, large.TotalDelay)
+	}
+	if large.BytesPerChainNode < small.BytesPerChainNode {
+		t.Fatal("per-node volume should not shrink with more nodes")
+	}
+}
+
+func TestBCFLSlowerThanMergeAndDownload(t *testing.T) {
+	// The §I comparison in delay terms: same trainers, same update size,
+	// same bandwidth.
+	bcfl, err := BCFLDelay(BCFLDelayConfig{
+		Trainers: 16, ChainNodes: 8, UpdateBytes: 1_300_000, BandwidthMbps: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipls, err := core.Simulate(core.SimConfig{
+		Trainers:                16,
+		Partitions:              1,
+		AggregatorsPerPartition: 1,
+		PartitionBytes:          1_300_000,
+		StorageNodes:            16,
+		ProvidersPerAggregator:  4,
+		BandwidthMbps:           10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcfl.TotalDelay <= ipls.TotalDelay {
+		t.Fatalf("BCFL (%v) should be slower than merge-and-download (%v)",
+			bcfl.TotalDelay, ipls.TotalDelay)
+	}
+	// And the gap should be substantial (every update moves 8x).
+	if bcfl.TotalDelay < 3*ipls.TotalDelay {
+		t.Fatalf("expected a multi-x gap: BCFL %v vs IPLS %v", bcfl.TotalDelay, ipls.TotalDelay)
+	}
+}
+
+func TestBCFLDelayValidation(t *testing.T) {
+	if _, err := BCFLDelay(BCFLDelayConfig{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestBCFLDelayDeterministic(t *testing.T) {
+	cfg := BCFLDelayConfig{Trainers: 8, ChainNodes: 4, UpdateBytes: 100_000, BandwidthMbps: 20}
+	a, err := BCFLDelay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BCFLDelay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

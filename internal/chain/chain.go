@@ -1,0 +1,134 @@
+// Package chain is a minimal hash-chained ledger used as the substrate for
+// the blockchain-based federated learning (BCFL) baseline the paper's
+// introduction argues against: "miners have to store all updates into the
+// blockchain, and those who serve as aggregators have to download and
+// aggregate every single update".
+//
+// It is a proof-of-authority append-only chain: no mining, just integrity.
+// That is deliberately generous to the baseline — real consensus would only
+// add cost — so the storage/communication comparison in the evaluation is a
+// lower bound on BCFL overhead.
+package chain
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Hash is a SHA-256 block hash.
+type Hash [sha256.Size]byte
+
+// Block is one ledger entry holding opaque payloads (model updates).
+type Block struct {
+	Index    int
+	Prev     Hash
+	Payloads [][]byte
+	Hash     Hash
+}
+
+// Chain is an append-only hash-chained ledger.
+type Chain struct {
+	blocks []Block
+}
+
+// ErrInvalid indicates chain validation failed.
+var ErrInvalid = errors.New("chain: validation failed")
+
+// New creates a chain holding only the genesis block.
+func New() *Chain {
+	genesis := Block{Index: 0}
+	genesis.Hash = blockHash(genesis)
+	return &Chain{blocks: []Block{genesis}}
+}
+
+func blockHash(b Block) Hash {
+	h := sha256.New()
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(b.Index))
+	h.Write(idx[:])
+	h.Write(b.Prev[:])
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(b.Payloads)))
+	h.Write(n[:])
+	for _, p := range b.Payloads {
+		ph := sha256.Sum256(p)
+		h.Write(ph[:])
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Append adds a block holding the given payloads and returns it.
+func (c *Chain) Append(payloads [][]byte) Block {
+	copied := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		copied[i] = append([]byte(nil), p...)
+	}
+	b := Block{
+		Index:    len(c.blocks),
+		Prev:     c.blocks[len(c.blocks)-1].Hash,
+		Payloads: copied,
+	}
+	b.Hash = blockHash(b)
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+// Len returns the number of blocks, including genesis.
+func (c *Chain) Len() int { return len(c.blocks) }
+
+// Head returns the most recent block.
+func (c *Chain) Head() Block { return c.blocks[len(c.blocks)-1] }
+
+// BlockAt returns block i.
+func (c *Chain) BlockAt(i int) (Block, error) {
+	if i < 0 || i >= len(c.blocks) {
+		return Block{}, fmt.Errorf("chain: no block %d", i)
+	}
+	return c.blocks[i], nil
+}
+
+// Verify re-validates every hash link; any tampering breaks it.
+func (c *Chain) Verify() error {
+	for i, b := range c.blocks {
+		if b.Index != i {
+			return fmt.Errorf("%w: block %d has index %d", ErrInvalid, i, b.Index)
+		}
+		if i > 0 && !bytes.Equal(b.Prev[:], c.blocks[i-1].Hash[:]) {
+			return fmt.Errorf("%w: block %d prev-link broken", ErrInvalid, i)
+		}
+		if blockHash(b) != b.Hash {
+			return fmt.Errorf("%w: block %d hash mismatch", ErrInvalid, i)
+		}
+	}
+	return nil
+}
+
+// TotalPayloadBytes is the cumulative payload volume a full node stores.
+func (c *Chain) TotalPayloadBytes() int64 {
+	var total int64
+	for _, b := range c.blocks {
+		for _, p := range b.Payloads {
+			total += int64(len(p))
+		}
+	}
+	return total
+}
+
+// TamperPayload mutates a stored payload in place — a test hook showing
+// Verify catches it.
+func (c *Chain) TamperPayload(block, payload int) error {
+	if block < 0 || block >= len(c.blocks) {
+		return fmt.Errorf("chain: no block %d", block)
+	}
+	b := &c.blocks[block]
+	if payload < 0 || payload >= len(b.Payloads) {
+		return fmt.Errorf("chain: block %d has no payload %d", block, payload)
+	}
+	b.Payloads[payload][0] ^= 0xff
+	return nil
+}

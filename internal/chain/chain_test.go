@@ -1,0 +1,96 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAppendAndVerify(t *testing.T) {
+	c := New()
+	if c.Len() != 1 {
+		t.Fatalf("fresh chain length %d", c.Len())
+	}
+	for i := 0; i < 5; i++ {
+		c.Append([][]byte{[]byte("update-a"), []byte("update-b")})
+	}
+	if c.Len() != 6 {
+		t.Fatalf("chain length %d after 5 appends", c.Len())
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Head().Index != 5 {
+		t.Fatalf("head index %d", c.Head().Index)
+	}
+}
+
+func TestHashChaining(t *testing.T) {
+	c := New()
+	b1 := c.Append([][]byte{[]byte("x")})
+	b2 := c.Append([][]byte{[]byte("y")})
+	if b2.Prev != b1.Hash {
+		t.Fatal("prev link not set to previous hash")
+	}
+	got, err := c.BlockAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash != b1.Hash {
+		t.Fatal("BlockAt returned wrong block")
+	}
+	if _, err := c.BlockAt(99); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestTamperingDetected(t *testing.T) {
+	c := New()
+	c.Append([][]byte{[]byte("honest update")})
+	c.Append([][]byte{[]byte("another update")})
+	if err := c.TamperPayload(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("tampering not detected: %v", err)
+	}
+}
+
+func TestTamperValidation(t *testing.T) {
+	c := New()
+	c.Append([][]byte{[]byte("p")})
+	if err := c.TamperPayload(9, 0); err == nil {
+		t.Fatal("expected block range error")
+	}
+	if err := c.TamperPayload(1, 9); err == nil {
+		t.Fatal("expected payload range error")
+	}
+}
+
+func TestAppendCopiesPayloads(t *testing.T) {
+	c := New()
+	p := []byte("mutable")
+	c.Append([][]byte{p})
+	p[0] = 'X'
+	if err := c.Verify(); err != nil {
+		t.Fatal("external mutation must not affect the chain")
+	}
+}
+
+func TestTotalPayloadBytes(t *testing.T) {
+	c := New()
+	c.Append([][]byte{make([]byte, 100), make([]byte, 50)})
+	c.Append([][]byte{make([]byte, 25)})
+	if got := c.TotalPayloadBytes(); got != 175 {
+		t.Fatalf("TotalPayloadBytes = %d, want 175", got)
+	}
+}
+
+func TestDistinctPayloadsDistinctHashes(t *testing.T) {
+	a := New()
+	a.Append([][]byte{[]byte("one")})
+	b := New()
+	b.Append([][]byte{[]byte("two")})
+	if a.Head().Hash == b.Head().Hash {
+		t.Fatal("different payloads hashed identically")
+	}
+}

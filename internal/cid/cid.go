@@ -1,0 +1,49 @@
+// Package cid provides content identifiers for the decentralized storage
+// network. As in IPFS, a CID is the SHA-256 hash of the content: parties who
+// know a CID can both locate the data and verify its integrity (§III-C).
+package cid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// CID is a hex-encoded SHA-256 content identifier.
+type CID string
+
+// Size is the length of the binary digest in bytes.
+const Size = sha256.Size
+
+// Sum computes the CID of data.
+func Sum(data []byte) CID {
+	h := sha256.Sum256(data)
+	return CID(hex.EncodeToString(h[:]))
+}
+
+// Verify reports whether data hashes to c.
+func Verify(data []byte, c CID) bool {
+	return Sum(data) == c
+}
+
+// Parse validates that s is a well-formed CID.
+func Parse(s string) (CID, error) {
+	if len(s) != Size*2 {
+		return "", fmt.Errorf("cid: expected %d hex characters, got %d", Size*2, len(s))
+	}
+	if _, err := hex.DecodeString(s); err != nil {
+		return "", fmt.Errorf("cid: %w", err)
+	}
+	return CID(s), nil
+}
+
+// String returns the hex form of the CID.
+func (c CID) String() string { return string(c) }
+
+// Short returns a truncated prefix for logging.
+func (c CID) Short() string {
+	if len(c) <= 12 {
+		return string(c)
+	}
+	return string(c[:12])
+}

@@ -1,0 +1,80 @@
+package cid
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	check := func(data []byte) bool {
+		return Sum(data) == Sum(append([]byte(nil), data...))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumKnownVector(t *testing.T) {
+	// SHA-256("abc")
+	want := CID("ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+	if got := Sum([]byte("abc")); got != want {
+		t.Fatalf("Sum(abc) = %s, want %s", got, want)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	data := []byte("gradient partition bytes")
+	c := Sum(data)
+	if !Verify(data, c) {
+		t.Fatal("Verify rejected matching data")
+	}
+	if Verify([]byte("tampered"), c) {
+		t.Fatal("Verify accepted tampered data")
+	}
+}
+
+func TestDistinctDataDistinctCID(t *testing.T) {
+	check := func(a, b []byte) bool {
+		if string(a) == string(b) {
+			return true
+		}
+		return Sum(a) != Sum(b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	c := Sum([]byte("x"))
+	got, err := Parse(string(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("Parse round trip mismatch")
+	}
+	if _, err := Parse("abc"); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Parse(strings.Repeat("zz", Size)); err == nil {
+		t.Fatal("expected hex error")
+	}
+}
+
+func TestShort(t *testing.T) {
+	c := Sum([]byte("x"))
+	if len(c.Short()) != 12 {
+		t.Fatalf("Short() length = %d", len(c.Short()))
+	}
+	if !strings.HasPrefix(string(c), c.Short()) {
+		t.Fatal("Short() is not a prefix")
+	}
+	if CID("abc").Short() != "abc" {
+		t.Fatal("Short() of a short CID should be itself")
+	}
+	if c.String() != string(c) {
+		t.Fatal("String() mismatch")
+	}
+}

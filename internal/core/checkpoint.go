@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"ipls/internal/dag"
+	"ipls/internal/model"
+	"ipls/internal/storage"
+)
+
+// SaveCheckpoint stores a global parameter vector in the storage network as
+// a chunked Merkle DAG, so a joining trainer can bootstrap the current
+// model from any replica and verify every chunk against the root CID.
+func SaveCheckpoint(net *storage.Network, nodeID string, params []float64) (dag.Ref, error) {
+	return net.PutDAG(nodeID, model.EncodeFloats(params), 0)
+}
+
+// LoadCheckpoint reassembles and decodes a checkpoint.
+func LoadCheckpoint(net *storage.Network, nodeID string, ref dag.Ref) ([]float64, error) {
+	data, err := net.GetDAG(nodeID, ref)
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	return model.DecodeFloats(data)
+}
+
+// Checkpoint stores the task's current global model in the storage network.
+func (t *Task) Checkpoint(net *storage.Network, nodeID string) (dag.Ref, error) {
+	return SaveCheckpoint(net, nodeID, t.global)
+}
+
+// Restore replaces the task's global model with a stored checkpoint.
+func (t *Task) Restore(net *storage.Network, nodeID string, ref dag.Ref) error {
+	params, err := LoadCheckpoint(net, nodeID, ref)
+	if err != nil {
+		return err
+	}
+	if len(params) != t.model.Dim() {
+		return fmt.Errorf("core: checkpoint has %d params, model wants %d", len(params), t.model.Dim())
+	}
+	copy(t.global, params)
+	return nil
+}

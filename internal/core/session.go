@@ -1,0 +1,907 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ipls/internal/cid"
+	"ipls/internal/directory"
+	"ipls/internal/identity"
+	"ipls/internal/model"
+	"ipls/internal/pedersen"
+	"ipls/internal/scalar"
+	"ipls/internal/storage"
+)
+
+// Directory is the client view of the directory service used by trainers
+// and aggregators. *directory.Service implements it in-process; the
+// transport package provides a TCP-backed implementation.
+type Directory interface {
+	Publish(rec directory.Record) error
+	Lookup(addr directory.Addr) (directory.Record, error)
+	GradientsFor(iter, partition int, aggregator string) []directory.Record
+	PartialUpdates(iter, partition int) []directory.Record
+	Update(iter, partition int) (directory.Record, error)
+	PartitionAccumulator(iter, partition int) (pedersen.Commitment, error)
+	AggregatorAccumulator(iter, partition int, aggregator string) (pedersen.Commitment, int, error)
+	VerifyPartialUpdate(iter, partition int, aggregator string, data []byte) (bool, error)
+}
+
+var _ Directory = (*directory.Service)(nil)
+
+// Announcer is the optional storage capability of IPFS-style pub/sub
+// (§IV-B: "aggregators use the IPFS pub/sub functionality to publish their
+// IPFS hashes for their partial updates"). Discovery through pub/sub is a
+// hint — partial updates are still verified against the directory's
+// accumulated commitments, so a forged announcement can at worst waste a
+// download.
+type Announcer interface {
+	Announce(topic, from string, data []byte)
+	Listen(topic string, since int) ([]storage.Announcement, int)
+	ForgetTopic(topic string)
+}
+
+// Scheduler is the optional directory capability of enforcing per-iteration
+// t_train deadlines (§III-D). When the session's directory supports it,
+// RunIteration announces the schedule at the start of every iteration and
+// the directory rejects gradients that arrive late.
+type Scheduler interface {
+	SetSchedule(iter int, tTrain time.Time)
+}
+
+// ErrTimeout indicates a protocol phase exceeded its schedule deadline
+// (t_train or t_sync, §III-D).
+var ErrTimeout = errors.New("core: schedule deadline exceeded")
+
+// Session executes the protocol for one task against pluggable storage and
+// directory backends. A single Session can drive any number of roles; it is
+// safe for concurrent use.
+type Session struct {
+	cfg     *Config
+	store   storage.Client
+	dir     Directory
+	params  *pedersen.Params
+	quant   *scalar.Quantizer
+	field   *scalar.Field
+	tracer  Tracer
+	keyring *identity.Keyring
+}
+
+// SetKeyring attaches the private keys this process controls; records
+// published for those IDs are signed, which authenticated directories
+// (Service.SetRegistry) require.
+func (s *Session) SetKeyring(k *identity.Keyring) { s.keyring = k }
+
+// signRecord attaches the uploader's signature when the session holds its
+// key.
+func (s *Session) signRecord(rec *directory.Record) {
+	if s.keyring == nil {
+		return
+	}
+	if kp := s.keyring.Signer(rec.Addr.Uploader); kp != nil {
+		rec.Signature = kp.Sign(rec.SigningBytes())
+	}
+}
+
+// PedersenParams deterministically derives the task's commitment
+// parameters; all parties (and the directory) compute the same ones. It
+// returns nil when the task is not verifiable.
+func (c *Config) PedersenParams() (*pedersen.Params, error) {
+	if !c.Verifiable {
+		return nil, nil
+	}
+	maxLen := 0
+	for i := 0; i < c.Spec.Partitions; i++ {
+		if l := c.Spec.PartitionLen(i); l > maxLen {
+			maxLen = l
+		}
+	}
+	return pedersen.Setup(c.Curve, maxLen+1, "ipls/"+c.TaskID)
+}
+
+// ApplyAssignments registers the task's T_ij sets with a directory service
+// (done by the bootstrapper before the task starts).
+func (c *Config) ApplyAssignments(s *directory.Service) {
+	for p := 0; p < c.Spec.Partitions; p++ {
+		for _, agg := range c.Aggregators[p] {
+			for _, tr := range c.TrainersOf(p, agg) {
+				s.SetAssignment(p, tr, agg)
+			}
+		}
+	}
+}
+
+// NewSession creates a protocol session.
+func NewSession(cfg *Config, store storage.Client, dir Directory) (*Session, error) {
+	field := scalar.NewField(cfg.Curve.N)
+	quant, err := scalar.NewQuantizer(field, cfg.QuantShift)
+	if err != nil {
+		return nil, err
+	}
+	params, err := cfg.PedersenParams()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		cfg:    cfg,
+		store:  store,
+		dir:    dir,
+		params: params,
+		quant:  quant,
+		field:  field,
+	}, nil
+}
+
+// NewLocalStack wires a complete in-memory deployment: a storage network
+// with the configured nodes, a directory service (with assignments and
+// commitment parameters applied) and a session over them. replicas is the
+// storage replication factor.
+func NewLocalStack(cfg *Config, replicas int) (*Session, *storage.Network, *directory.Service, error) {
+	field := scalar.NewField(cfg.Curve.N)
+	net := storage.NewNetwork(field, replicas)
+	for _, id := range cfg.StorageNodes {
+		net.AddNode(id)
+	}
+	params, err := cfg.PedersenParams()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dir := directory.New(params, net)
+	cfg.ApplyAssignments(dir)
+	sess, err := NewSession(cfg, net, dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sess, net, dir, nil
+}
+
+// Config returns the session's task configuration.
+func (s *Session) Config() *Config { return s.cfg }
+
+// Quantizer returns the session's fixed-point quantizer.
+func (s *Session) Quantizer() *scalar.Quantizer { return s.quant }
+
+// poll retries fn every PollInterval until it reports done, the deadline
+// passes, or the context is cancelled.
+func (s *Session) poll(ctx context.Context, deadline time.Time, fn func() (bool, error)) error {
+	for {
+		done, err := fn()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(s.cfg.PollInterval):
+		}
+	}
+}
+
+// TrainerUpload implements the trainer's upload half of Algorithm 1: the
+// model delta is split into partitions, each partition is quantized (with
+// the averaging counter appended), stored on the trainer's upload node, and
+// its record — including the Pedersen commitment in verifiable mode — is
+// published to the directory.
+func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error {
+	parts, err := model.Split(s.cfg.Spec, delta)
+	if err != nil {
+		return fmt.Errorf("core: trainer %s: %w", trainer, err)
+	}
+	recs := make([]directory.Record, 0, len(parts))
+	for i, part := range parts {
+		block, err := model.Quantize(s.quant, part)
+		if err != nil {
+			return fmt.Errorf("core: trainer %s partition %d: %w", trainer, i, err)
+		}
+		data, err := block.Encode()
+		if err != nil {
+			return fmt.Errorf("core: trainer %s partition %d: %w", trainer, i, err)
+		}
+		c, node, err := s.putWithFallback(s.cfg.UploadNode(i, trainer), data)
+		if err != nil {
+			return fmt.Errorf("core: trainer %s upload partition %d: %w", trainer, i, err)
+		}
+		rec := directory.Record{
+			Addr: directory.Addr{Uploader: trainer, Partition: i, Iter: iter, Type: directory.TypeGradient},
+			CID:  c,
+			Node: node,
+		}
+		if s.params != nil {
+			com, err := s.params.Commit(block.Values)
+			if err != nil {
+				return fmt.Errorf("core: trainer %s commit partition %d: %w", trainer, i, err)
+			}
+			rec.Commitment = com
+		}
+		s.signRecord(&rec)
+		recs = append(recs, rec)
+	}
+	// Announce all partitions in one directory round trip when the
+	// backend supports batching (§VI's load-reduction optimization).
+	if batcher, ok := s.dir.(interface {
+		PublishBatch(recs []directory.Record) error
+	}); ok {
+		if err := batcher.PublishBatch(recs); err != nil {
+			return fmt.Errorf("core: trainer %s publish: %w", trainer, err)
+		}
+	} else {
+		for _, rec := range recs {
+			if err := s.dir.Publish(rec); err != nil {
+				return fmt.Errorf("core: trainer %s publish partition %d: %w", trainer, rec.Addr.Partition, err)
+			}
+		}
+	}
+	for _, rec := range recs {
+		s.emit(EventGradientUploaded, trainer, iter, rec.Addr.Partition, "cid %s on %s", rec.CID.Short(), rec.Node)
+	}
+	return nil
+}
+
+// TrainerCollect implements the trainer's download half of Algorithm 1: it
+// waits for the global update of every partition, downloads and
+// CID-verifies the blocks, divides by the averaging counter and reassembles
+// the full averaged model delta.
+func (s *Session) TrainerCollect(ctx context.Context, iter int) ([]float64, error) {
+	deadline := time.Now().Add(s.cfg.TSync)
+	parts := make([][]float64, s.cfg.Spec.Partitions)
+	for i := 0; i < s.cfg.Spec.Partitions; i++ {
+		var rec directory.Record
+		err := s.poll(ctx, deadline, func() (bool, error) {
+			r, err := s.dir.Update(iter, i)
+			if errors.Is(err, directory.ErrNotFound) {
+				return false, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			rec = r
+			return true, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: await update iter %d partition %d: %w", iter, i, err)
+		}
+		data, err := s.store.Get(rec.Node, rec.CID)
+		if err != nil {
+			// The primary holder may have failed; fall back to any
+			// replica via content routing if the backend supports it.
+			if fetcher, ok := s.store.(interface {
+				Fetch(c cid.CID) ([]byte, error)
+			}); ok {
+				data, err = fetcher.Fetch(rec.CID)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: download update partition %d: %w", i, err)
+			}
+		}
+		if !cid.Verify(data, rec.CID) {
+			return nil, fmt.Errorf("core: update partition %d failed CID verification", i)
+		}
+		block, err := model.DecodeBlock(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode update partition %d: %w", i, err)
+		}
+		avg, err := model.Dequantize(s.quant, block)
+		if err != nil {
+			return nil, fmt.Errorf("core: dequantize update partition %d: %w", i, err)
+		}
+		parts[i] = avg
+		s.emit(EventUpdateCollected, "trainer", iter, i, "update %s", rec.CID.Short())
+	}
+	return model.Join(s.cfg.Spec, parts)
+}
+
+// AggregatorReport summarizes what one aggregator did in an iteration.
+type AggregatorReport struct {
+	ID        string
+	Partition int
+	Iter      int
+	Behavior  Behavior
+
+	// GradientsAggregated counts trainer gradients folded into the
+	// partial update; MergeDownloads counts merge-and-download requests.
+	GradientsAggregated int
+	MergeDownloads      int
+	// InvalidPartials lists peer aggregators whose partial updates failed
+	// commitment verification; MissingPeers lists peers that never
+	// published; TookOverFor lists peers whose work this aggregator redid.
+	InvalidPartials []string
+	MissingPeers    []string
+	TookOverFor     []string
+	// ScreenedOut lists trainers whose gradients exceeded the configured
+	// norm bound and were excluded from the aggregate.
+	ScreenedOut []string
+	// PubSubDiscoveries counts peer partial updates discovered through
+	// pub/sub announcements rather than directory polling.
+	PubSubDiscoveries int
+	// PublishedGlobal is true if this aggregator's global update was
+	// accepted; GlobalRejected is true if the directory refused it
+	// (verifiable mode catching a malicious aggregate).
+	PublishedGlobal bool
+	GlobalRejected  bool
+}
+
+// AggregatorRun executes one aggregator role for one iteration: collect the
+// assigned trainers' gradients (via merge-and-download when enabled),
+// aggregate, publish the partial update, synchronize with peer aggregators
+// of the same partition (verifying their partials in verifiable mode and
+// taking over for missing or cheating peers), and publish the global
+// update. The behavior parameter injects the malicious deviations of §III-A.
+func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter int, behavior Behavior) (*AggregatorReport, error) {
+	if behavior == 0 {
+		behavior = BehaviorHonest
+	}
+	report := &AggregatorReport{ID: agg, Partition: partition, Iter: iter, Behavior: behavior}
+	if behavior == BehaviorDropout {
+		return report, nil // crashed before doing anything
+	}
+	expected := s.cfg.TrainersOf(partition, agg)
+	if len(expected) == 0 {
+		return report, fmt.Errorf("core: aggregator %s has no trainers for partition %d", agg, partition)
+	}
+
+	// Phase 1: collect gradients from my trainers (Algorithm 1, 28-34).
+	recs, err := s.awaitGradients(ctx, iter, partition, agg, len(expected), time.Now().Add(s.cfg.TTrain))
+	if err != nil {
+		return report, err
+	}
+	blocks, merges, err := s.collectBlocks(recs, report)
+	if err != nil {
+		return report, err
+	}
+	report.GradientsAggregated = len(recs) - len(report.ScreenedOut)
+	report.MergeDownloads = merges
+	s.emit(EventGradientsCollected, agg, iter, partition, "%d gradients, %d merged downloads", report.GradientsAggregated, merges)
+	for _, tr := range report.ScreenedOut {
+		s.emit(EventScreenedOut, agg, iter, partition, "dropped %s (norm bound %v)", tr, s.cfg.ScreenNorm)
+	}
+
+	// Phase 2: aggregate (possibly maliciously) and publish the partial.
+	partial, err := applyBehavior(s.field, blocks, behavior)
+	if err != nil {
+		return report, err
+	}
+	home := s.cfg.AggregatorHome(agg)
+	peers := s.cfg.Aggregators[partition]
+	if len(peers) == 1 {
+		// Sole aggregator: the partial is the global update.
+		return report, s.publishGlobal(report, agg, partition, iter, home, partial)
+	}
+
+	partialData, err := partial.Encode()
+	if err != nil {
+		return report, err
+	}
+	partialCID, partialNode, err := s.putWithFallback(home, partialData)
+	if err != nil {
+		return report, fmt.Errorf("core: %s upload partial: %w", agg, err)
+	}
+	partialRec := directory.Record{
+		Addr: directory.Addr{Uploader: agg, Partition: partition, Iter: iter, Type: directory.TypePartialUpdate},
+		CID:  partialCID,
+		Node: partialNode,
+	}
+	s.signRecord(&partialRec)
+	if err := s.dir.Publish(partialRec); err != nil {
+		return report, fmt.Errorf("core: %s publish partial: %w", agg, err)
+	}
+	s.emit(EventPartialPublished, agg, iter, partition, "cid %s", partialCID.Short())
+	// Announce the partial's hash over pub/sub so peers discover it
+	// without polling the directory (§IV-B).
+	announcer, hasPubSub := s.store.(Announcer)
+	topic := storage.Topic(s.cfg.TaskID, iter, partition)
+	if hasPubSub {
+		if data, err := json.Marshal(partialRec); err == nil {
+			announcer.Announce(topic, agg, data)
+		}
+	}
+
+	// Phase 3: synchronize with the other aggregators of this partition
+	// (Algorithm 1, 37-42), verifying partials in verifiable mode (§IV-B).
+	// Peer partials are discovered via pub/sub when available, with the
+	// directory as fallback; verification is always against the
+	// directory's accumulated commitments.
+	partials := map[string]model.Block{agg: partial}
+	cursor := 0
+	discoverPartials := func() []directory.Record {
+		if !hasPubSub {
+			return s.dir.PartialUpdates(iter, partition)
+		}
+		msgs, next := announcer.Listen(topic, cursor)
+		cursor = next
+		var recs []directory.Record
+		for _, msg := range msgs {
+			var rec directory.Record
+			if err := json.Unmarshal(msg.Data, &rec); err != nil {
+				continue // garbage announcement: ignore
+			}
+			if rec.Addr.Type != directory.TypePartialUpdate ||
+				rec.Addr.Iter != iter || rec.Addr.Partition != partition {
+				continue
+			}
+			report.PubSubDiscoveries++
+			recs = append(recs, rec)
+		}
+		return recs
+	}
+	markInvalid := func(peer, reason string) {
+		if !contains(report.InvalidPartials, peer) {
+			report.InvalidPartials = append(report.InvalidPartials, peer)
+			s.emit(EventPartialInvalid, agg, iter, partition, "partial from %s rejected: %s", peer, reason)
+		}
+	}
+	processRecs := func(recs []directory.Record) error {
+		for _, rec := range recs {
+			peer := rec.Addr.Uploader
+			if _, have := partials[peer]; have || contains(report.InvalidPartials, peer) {
+				continue
+			}
+			data, err := s.store.Get(rec.Node, rec.CID)
+			if err != nil || !cid.Verify(data, rec.CID) {
+				markInvalid(peer, "unretrievable or CID mismatch")
+				continue
+			}
+			if s.params != nil {
+				ok, err := s.dir.VerifyPartialUpdate(iter, partition, peer, data)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					markInvalid(peer, "commitment verification failed")
+					continue
+				}
+			}
+			block, err := model.DecodeBlock(data)
+			if err != nil {
+				markInvalid(peer, "malformed block")
+				continue
+			}
+			partials[peer] = block
+			s.emit(EventPartialVerified, agg, iter, partition, "accepted partial from %s", peer)
+		}
+		return nil
+	}
+	deadline := time.Now().Add(s.cfg.TSync)
+	_ = s.poll(ctx, deadline, func() (bool, error) { // deadline expiry is handled below, not an error
+		if err := processRecs(discoverPartials()); err != nil {
+			return false, err
+		}
+		return len(partials)+len(report.InvalidPartials) >= len(peers), nil
+	})
+	// A peer may have published to the directory without a (delivered)
+	// announcement; consult the directory once before declaring anyone
+	// missing.
+	if hasPubSub && len(partials)+len(report.InvalidPartials) < len(peers) {
+		if err := processRecs(s.dir.PartialUpdates(iter, partition)); err != nil {
+			return report, err
+		}
+	}
+
+	// Phase 4: take over for peers that never produced a valid partial —
+	// download their trainers' gradients and redo their aggregation
+	// ("whenever an aggregator does not respond, another aggregator
+	// downloads his gradients on his behalf", §III-D).
+	for _, peer := range peers {
+		if _, ok := partials[peer]; ok {
+			continue
+		}
+		if !contains(report.InvalidPartials, peer) {
+			report.MissingPeers = appendUnique(report.MissingPeers, peer)
+		}
+		// Wait for the peer's full trainer set (bounded by t_train) —
+		// taking over from a partial set would drop late-but-in-time
+		// gradients from the aggregate.
+		peerExpected := s.cfg.TrainersOf(partition, peer)
+		peerRecs, err := s.awaitGradients(ctx, iter, partition, peer, len(peerExpected), time.Now().Add(s.cfg.TTrain))
+		if err != nil || len(peerRecs) == 0 {
+			continue
+		}
+		peerBlocks, _, err := s.collectBlocks(peerRecs, report)
+		if err != nil {
+			return report, fmt.Errorf("core: %s take over %s: %w", agg, peer, err)
+		}
+		redo, err := model.Sum(s.field, peerBlocks...)
+		if err != nil {
+			return report, err
+		}
+		partials[peer] = redo
+		report.TookOverFor = append(report.TookOverFor, peer)
+		report.GradientsAggregated += len(peerRecs)
+		s.emit(EventTakeover, agg, iter, partition, "redid %s's aggregation over %d gradients", peer, len(peerRecs))
+	}
+
+	// Phase 5: fold all partials into the global update (Algorithm 1, 43-44).
+	ordered := make([]model.Block, 0, len(partials))
+	for _, peer := range peers {
+		if b, ok := partials[peer]; ok {
+			ordered = append(ordered, b)
+		}
+	}
+	global, err := model.Sum(s.field, ordered...)
+	if err != nil {
+		return report, err
+	}
+	return report, s.publishGlobal(report, agg, partition, iter, home, global)
+}
+
+// awaitGradients polls the directory until all expected gradient records
+// for (iter, partition, aggregator) are visible.
+func (s *Session) awaitGradients(ctx context.Context, iter, partition int, agg string, want int, deadline time.Time) ([]directory.Record, error) {
+	var recs []directory.Record
+	err := s.poll(ctx, deadline, func() (bool, error) {
+		recs = s.dir.GradientsFor(iter, partition, agg)
+		return len(recs) >= want, nil
+	})
+	if errors.Is(err, ErrTimeout) && len(recs) > 0 {
+		// Late trainers miss the round (Algorithm 1, 10-12); aggregate
+		// what arrived.
+		return recs, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %s await gradients: %w", agg, err)
+	}
+	return recs, nil
+}
+
+// collectBlocks retrieves the gradient blocks for records, applying norm
+// screening when configured (which forces individual downloads, since the
+// check needs each gradient separately) and merge-and-download otherwise.
+func (s *Session) collectBlocks(recs []directory.Record, report *AggregatorReport) ([]model.Block, int, error) {
+	if s.cfg.ScreenNorm <= 0 {
+		return s.downloadGradients(recs)
+	}
+	var blocks []model.Block
+	for _, rec := range recs {
+		b, err := s.fetchGradient(rec)
+		if err != nil {
+			return nil, 0, err
+		}
+		if norm := s.blockNorm(b); norm > s.cfg.ScreenNorm {
+			report.ScreenedOut = appendUnique(report.ScreenedOut, rec.Addr.Uploader)
+			continue
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) == 0 {
+		return nil, 0, fmt.Errorf("core: every gradient exceeded the screening norm %v", s.cfg.ScreenNorm)
+	}
+	return blocks, 0, nil
+}
+
+// blockNorm returns the L2 norm of a single trainer's dequantized gradient
+// partition (excluding the averaging counter).
+func (s *Session) blockNorm(b model.Block) float64 {
+	var sum float64
+	for i := 0; i < len(b.Values)-1; i++ {
+		v := s.quant.Decode(b.Values[i])
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// downloadGradients retrieves gradient blocks, using merge-and-download for
+// groups of records stored on the same provider when enabled. Merged blocks
+// are verified against the product of the published per-gradient
+// commitments; on failure the gradients are fetched individually.
+func (s *Session) downloadGradients(recs []directory.Record) ([]model.Block, int, error) {
+	merges := 0
+	var blocks []model.Block
+	if s.cfg.MergeAndDownload {
+		byNode := make(map[string][]directory.Record)
+		var nodeOrder []string
+		for _, rec := range recs {
+			if _, ok := byNode[rec.Node]; !ok {
+				nodeOrder = append(nodeOrder, rec.Node)
+			}
+			byNode[rec.Node] = append(byNode[rec.Node], rec)
+		}
+		sort.Strings(nodeOrder)
+		for _, node := range nodeOrder {
+			grp := byNode[node]
+			if len(grp) == 1 {
+				b, err := s.fetchGradient(grp[0])
+				if err != nil {
+					return nil, merges, err
+				}
+				blocks = append(blocks, b)
+				continue
+			}
+			cids := make([]cid.CID, len(grp))
+			for i, rec := range grp {
+				cids[i] = rec.CID
+			}
+			data, err := s.store.MergeGet(node, cids)
+			if err != nil {
+				return nil, merges, fmt.Errorf("core: merge-and-download on %s: %w", node, err)
+			}
+			block, err := model.DecodeBlock(data)
+			if err != nil {
+				return nil, merges, fmt.Errorf("core: decode merged block: %w", err)
+			}
+			if s.params != nil {
+				// §IV-B: check the merged block against the product of
+				// the commitments that supposedly form it.
+				coms := make([]pedersen.Commitment, len(grp))
+				for i, rec := range grp {
+					coms[i] = rec.Commitment
+				}
+				want, err := s.params.Combine(coms...)
+				if err != nil {
+					return nil, merges, err
+				}
+				ok, err := s.params.Verify(block.Values, want)
+				if err != nil {
+					return nil, merges, err
+				}
+				if !ok {
+					// Provider cheated: fall back to individual
+					// CID-verified downloads.
+					for _, rec := range grp {
+						b, err := s.fetchGradient(rec)
+						if err != nil {
+							return nil, merges, err
+						}
+						blocks = append(blocks, b)
+					}
+					continue
+				}
+			}
+			merges++
+			blocks = append(blocks, block)
+			s.emit(EventMergeDownload, "aggregator", grp[0].Addr.Iter, grp[0].Addr.Partition,
+				"%s pre-aggregated %d gradients", node, len(grp))
+		}
+		return blocks, merges, nil
+	}
+	for _, rec := range recs {
+		b, err := s.fetchGradient(rec)
+		if err != nil {
+			return nil, merges, err
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, merges, nil
+}
+
+// putWithFallback stores data on the preferred node, falling back to the
+// other storage nodes if it is unavailable — the availability behaviour the
+// replicated storage network is there to provide (§VI). It returns the CID
+// and the node that actually accepted the block.
+func (s *Session) putWithFallback(preferred string, data []byte) (cid.CID, string, error) {
+	c, err := s.store.Put(preferred, data)
+	if err == nil {
+		return c, preferred, nil
+	}
+	for _, node := range s.cfg.StorageNodes {
+		if node == preferred {
+			continue
+		}
+		if c, err2 := s.store.Put(node, data); err2 == nil {
+			return c, node, nil
+		}
+	}
+	return "", "", err
+}
+
+// fetchGradient downloads one gradient block and verifies its CID, falling
+// back to content routing if the recorded node cannot serve it.
+func (s *Session) fetchGradient(rec directory.Record) (model.Block, error) {
+	data, err := s.store.Get(rec.Node, rec.CID)
+	if err != nil {
+		if fetcher, ok := s.store.(interface {
+			Fetch(c cid.CID) ([]byte, error)
+		}); ok {
+			data, err = fetcher.Fetch(rec.CID)
+		}
+		if err != nil {
+			return model.Block{}, fmt.Errorf("core: fetch gradient %s: %w", rec.CID.Short(), err)
+		}
+	}
+	if !cid.Verify(data, rec.CID) {
+		return model.Block{}, fmt.Errorf("core: gradient %s from %s failed CID verification", rec.CID.Short(), rec.Node)
+	}
+	return model.DecodeBlock(data)
+}
+
+// publishGlobal uploads and publishes the global update for a partition.
+// In verifiable mode the directory may reject it (caught cheating); only
+// the first valid update wins.
+func (s *Session) publishGlobal(report *AggregatorReport, agg string, partition, iter int, home string, global model.Block) error {
+	data, err := global.Encode()
+	if err != nil {
+		return err
+	}
+	c, node, err := s.putWithFallback(home, data)
+	if err != nil {
+		return fmt.Errorf("core: %s upload global update: %w", agg, err)
+	}
+	rec := directory.Record{
+		Addr: directory.Addr{Uploader: agg, Partition: partition, Iter: iter, Type: directory.TypeUpdate},
+		CID:  c,
+		Node: node,
+	}
+	s.signRecord(&rec)
+	// The directory refuses updates while the partition's gradient set is
+	// still open (ErrTooEarly); retry until it closes or t_sync expires.
+	deadline := time.Now().Add(s.cfg.TSync)
+	for {
+		err = s.dir.Publish(rec)
+		if !errors.Is(err, directory.ErrTooEarly) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: %s publish global update: %w", agg, err)
+		}
+		time.Sleep(s.cfg.PollInterval)
+	}
+	switch {
+	case err == nil:
+		report.PublishedGlobal = true
+		s.emit(EventGlobalPublished, agg, iter, partition, "cid %s on %s", c.Short(), node)
+		return nil
+	case errors.Is(err, directory.ErrVerificationFailed):
+		report.GlobalRejected = true
+		s.emit(EventGlobalRejected, agg, iter, partition, "directory refused the update")
+		return nil
+	case errors.Is(err, directory.ErrAlreadyFinal):
+		return nil // a peer won the race with a valid update
+	default:
+		return fmt.Errorf("core: %s publish global update: %w", agg, err)
+	}
+}
+
+// CleanupIteration garbage-collects an iteration's gradient and
+// partial-update blocks from the storage network once the round is over —
+// the §VI observation that protocol data is only needed briefly, and what
+// keeps the system's storage footprint constant per round (in contrast to
+// the blockchain baseline). Global updates are kept so slow trainers can
+// still catch up. It returns the number of blocks removed.
+//
+// It requires backends that support enumeration and deletion (the
+// in-memory and TCP backends both do); otherwise it reports an error.
+func (s *Session) CleanupIteration(iter int) (int, error) {
+	lister, ok := s.dir.(interface {
+		RecordsForIter(iter int) []directory.Record
+	})
+	if !ok {
+		return 0, errors.New("core: directory does not support record enumeration")
+	}
+	deleter, ok := s.store.(interface {
+		DeleteAll(c cid.CID)
+	})
+	if !ok {
+		return 0, errors.New("core: storage does not support deletion")
+	}
+	recs := lister.RecordsForIter(iter)
+	for _, rec := range recs {
+		deleter.DeleteAll(rec.CID)
+	}
+	if announcer, ok := s.store.(Announcer); ok {
+		for p := 0; p < s.cfg.Spec.Partitions; p++ {
+			announcer.ForgetTopic(storage.Topic(s.cfg.TaskID, iter, p))
+		}
+	}
+	return len(recs), nil
+}
+
+// IterationResult is the outcome of a full protocol iteration.
+type IterationResult struct {
+	// AvgDelta is the averaged model delta every trainer downloads.
+	AvgDelta []float64
+	// Reports holds one report per aggregator role (including dropouts).
+	Reports map[string]*AggregatorReport
+	// Incomplete lists partitions for which no global update was
+	// accepted (e.g. a sole malicious aggregator in verifiable mode).
+	Incomplete []int
+}
+
+// Detected reports whether any malicious aggregation was caught, either by
+// the directory (rejected global) or by peer aggregators (invalid partial).
+func (r *IterationResult) Detected() bool {
+	for _, rep := range r.Reports {
+		if rep.GlobalRejected || len(rep.InvalidPartials) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunIteration executes one complete FL iteration: all trainers upload
+// their deltas concurrently, all aggregators run concurrently (with
+// optional per-aggregator behaviors), and the averaged delta is collected.
+// The deltas map provides each trainer's locally computed model delta.
+func (s *Session) RunIteration(ctx context.Context, iter int, deltas map[string][]float64, behaviors map[string]Behavior) (*IterationResult, error) {
+	if len(deltas) != len(s.cfg.Trainers) {
+		return nil, fmt.Errorf("core: got %d deltas for %d trainers", len(deltas), len(s.cfg.Trainers))
+	}
+	if sched, ok := s.dir.(Scheduler); ok {
+		sched.SetSchedule(iter, time.Now().Add(s.cfg.TTrain))
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	result := &IterationResult{Reports: make(map[string]*AggregatorReport)}
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	for _, tr := range s.cfg.Trainers {
+		delta, ok := deltas[tr]
+		if !ok {
+			return nil, fmt.Errorf("core: missing delta for trainer %s", tr)
+		}
+		wg.Add(1)
+		go func(tr string, delta []float64) {
+			defer wg.Done()
+			if err := s.TrainerUpload(tr, iter, delta); err != nil {
+				fail(err)
+			}
+		}(tr, delta)
+	}
+	for _, ref := range s.cfg.AllAggregators() {
+		behavior := behaviors[ref.ID]
+		wg.Add(1)
+		go func(ref AggregatorRef, b Behavior) {
+			defer wg.Done()
+			rep, err := s.AggregatorRun(ctx, ref.ID, ref.Partition, iter, b)
+			mu.Lock()
+			result.Reports[ref.ID] = rep
+			mu.Unlock()
+			if err != nil {
+				fail(err)
+			}
+		}(ref, behavior)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return result, firstErr
+	}
+
+	for p := 0; p < s.cfg.Spec.Partitions; p++ {
+		if _, err := s.dir.Update(iter, p); err != nil {
+			result.Incomplete = append(result.Incomplete, p)
+		}
+	}
+	if len(result.Incomplete) > 0 {
+		return result, nil // detected-and-blocked round: no usable update
+	}
+
+	avg, err := s.TrainerCollect(ctx, iter)
+	if err != nil {
+		return result, err
+	}
+	result.AvgDelta = avg
+	return result, nil
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(list []string, v string) []string {
+	if contains(list, v) {
+		return list
+	}
+	return append(list, v)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ipls/internal/ml"
+)
+
+// Task drives a complete federated-learning job over a Session: each round,
+// every trainer computes a local model delta with SGD, the deltas flow
+// through the decentralized protocol, and the averaged delta advances the
+// shared global model.
+type Task struct {
+	session *Session
+	model   ml.Model
+	locals  map[string]*ml.Dataset
+	sgd     ml.SGDConfig
+	global  []float64
+	round   int
+}
+
+// RoundMetrics reports one completed FL round.
+type RoundMetrics struct {
+	Round    int
+	Loss     float64 // mean local training loss across trainers
+	Detected bool    // any malicious aggregation caught this round
+	Applied  bool    // the global model advanced (false when blocked)
+}
+
+// NewTask validates shapes and creates a task. The model instance is used
+// as shared scratch space for local training (rounds run trainers
+// sequentially for determinism); initial is the starting global parameter
+// vector.
+func NewTask(s *Session, m ml.Model, locals map[string]*ml.Dataset, sgd ml.SGDConfig, initial []float64) (*Task, error) {
+	if m.Dim() != s.cfg.Spec.Dim {
+		return nil, fmt.Errorf("core: model dim %d != task dim %d", m.Dim(), s.cfg.Spec.Dim)
+	}
+	if len(initial) != m.Dim() {
+		return nil, fmt.Errorf("core: initial params have length %d, want %d", len(initial), m.Dim())
+	}
+	for _, tr := range s.cfg.Trainers {
+		d, ok := locals[tr]
+		if !ok || d.Len() == 0 {
+			return nil, fmt.Errorf("core: trainer %s has no local data", tr)
+		}
+	}
+	return &Task{
+		session: s,
+		model:   m,
+		locals:  locals,
+		sgd:     sgd,
+		global:  append([]float64(nil), initial...),
+	}, nil
+}
+
+// Global returns a copy of the current global parameter vector.
+func (t *Task) Global() []float64 {
+	return append([]float64(nil), t.global...)
+}
+
+// Round returns the number of completed rounds.
+func (t *Task) Round() int { return t.round }
+
+// LocalDeltas computes every trainer's deterministic local delta for the
+// given round from the current global model. Exposed so experiments can
+// compare against the centralized FedAvg reference.
+func (t *Task) LocalDeltas(round int) (map[string][]float64, float64, error) {
+	deltas := make(map[string][]float64, len(t.session.cfg.Trainers))
+	var totalLoss float64
+	for idx, tr := range t.session.cfg.Trainers {
+		cfg := t.sgd
+		cfg.Seed = ml.ParticipantSeed(int64(round), idx)
+		delta, loss, err := ml.LocalDelta(t.model, t.locals[tr], t.global, cfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: trainer %s local training: %w", tr, err)
+		}
+		deltas[tr] = delta
+		totalLoss += loss
+	}
+	return deltas, totalLoss / float64(len(t.session.cfg.Trainers)), nil
+}
+
+// RunRound executes one FL round with the given per-aggregator behaviors
+// (nil for all-honest). If the protocol blocks a malicious round, the
+// global model is left unchanged and Applied is false.
+func (t *Task) RunRound(ctx context.Context, behaviors map[string]Behavior) (RoundMetrics, *IterationResult, error) {
+	round := t.round
+	deltas, loss, err := t.LocalDeltas(round)
+	if err != nil {
+		return RoundMetrics{}, nil, err
+	}
+	res, err := t.session.RunIteration(ctx, round, deltas, behaviors)
+	if err != nil {
+		return RoundMetrics{}, res, err
+	}
+	metrics := RoundMetrics{Round: round, Loss: loss, Detected: res.Detected()}
+	if len(res.Incomplete) == 0 && res.AvgDelta != nil {
+		for i := range t.global {
+			t.global[i] += res.AvgDelta[i]
+		}
+		metrics.Applied = true
+	}
+	t.round++
+	return metrics, res, nil
+}
+
+// Evaluate sets the model to the current global parameters and scores it.
+func (t *Task) Evaluate(d *ml.Dataset) (accuracy, loss float64, err error) {
+	if err := t.model.SetParams(t.global); err != nil {
+		return 0, 0, err
+	}
+	return ml.Accuracy(t.model, d), ml.Loss(t.model, d), nil
+}
+
+// CentralizedRound computes what one round of centralized FedAvg (the
+// reference the paper's §V compares against) would produce from the same
+// state, without touching the task.
+func (t *Task) CentralizedRound(round int) ([]float64, error) {
+	locals := make([]*ml.Dataset, len(t.session.cfg.Trainers))
+	for i, tr := range t.session.cfg.Trainers {
+		locals[i] = t.locals[tr]
+	}
+	cfg := t.sgd
+	cfg.Seed = int64(round)
+	next, _, err := ml.FedAvgRound(t.model, t.global, locals, cfg)
+	return next, err
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind classifies protocol trace events.
+type EventKind int
+
+// Protocol events, in rough lifecycle order.
+const (
+	EventGradientUploaded EventKind = iota + 1
+	EventGradientsCollected
+	EventMergeDownload
+	EventPartialPublished
+	EventPartialVerified
+	EventPartialInvalid
+	EventTakeover
+	EventGlobalPublished
+	EventGlobalRejected
+	EventUpdateCollected
+	EventScreenedOut
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventGradientUploaded:
+		return "gradient-uploaded"
+	case EventGradientsCollected:
+		return "gradients-collected"
+	case EventMergeDownload:
+		return "merge-download"
+	case EventPartialPublished:
+		return "partial-published"
+	case EventPartialVerified:
+		return "partial-verified"
+	case EventPartialInvalid:
+		return "partial-invalid"
+	case EventTakeover:
+		return "takeover"
+	case EventGlobalPublished:
+		return "global-published"
+	case EventGlobalRejected:
+		return "global-rejected"
+	case EventUpdateCollected:
+		return "update-collected"
+	case EventScreenedOut:
+		return "screened-out"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one protocol occurrence.
+type Event struct {
+	Time      time.Time
+	Kind      EventKind
+	Actor     string
+	Iter      int
+	Partition int
+	Detail    string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("[iter %d part %d] %-20s %-12s %s", e.Iter, e.Partition, e.Kind, e.Actor, e.Detail)
+}
+
+// Tracer receives protocol events. Implementations must be safe for
+// concurrent use (trainers and aggregators emit from their own goroutines).
+type Tracer interface {
+	Emit(e Event)
+}
+
+// SetTracer attaches a tracer to the session (nil detaches).
+func (s *Session) SetTracer(t Tracer) { s.tracer = t }
+
+// emit sends an event to the tracer, if any.
+func (s *Session) emit(kind EventKind, actor string, iter, partition int, format string, args ...any) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(Event{
+		Time:      time.Now(),
+		Kind:      kind,
+		Actor:     actor,
+		Iter:      iter,
+		Partition: partition,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Recorder is a Tracer that accumulates events in memory.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// Emit stores the event.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Count returns how many events of the kind were recorded.
+func (r *Recorder) Count(kind EventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsHonestIteration(t *testing.T) {
+	sess, _, _ := testStack(t, func(ts *TaskSpec) {
+		ts.AggregatorsPerPartition = 2
+		ts.ProvidersPerAggregator = 1
+		ts.Verifiable = true
+	})
+	rec := &Recorder{}
+	sess.SetTracer(rec)
+	deltas, _ := randomDeltas(sess.Config().Trainers, 24, 95)
+	if _, err := sess.RunIteration(context.Background(), 0, deltas, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 4 trainers x 3 partitions gradients.
+	if got := rec.Count(EventGradientUploaded); got != 12 {
+		t.Fatalf("gradient-uploaded events = %d, want 12", got)
+	}
+	// 6 aggregators (3 partitions x 2) each collect once and publish a partial.
+	if got := rec.Count(EventGradientsCollected); got != 6 {
+		t.Fatalf("gradients-collected events = %d, want 6", got)
+	}
+	if got := rec.Count(EventPartialPublished); got != 6 {
+		t.Fatalf("partial-published events = %d, want 6", got)
+	}
+	// Exactly one global per partition.
+	if got := rec.Count(EventGlobalPublished); got != 3 {
+		t.Fatalf("global-published events = %d, want 3", got)
+	}
+	// One trainer (the result collection) reads 3 updates.
+	if got := rec.Count(EventUpdateCollected); got != 3 {
+		t.Fatalf("update-collected events = %d, want 3", got)
+	}
+	if got := rec.Count(EventGlobalRejected); got != 0 {
+		t.Fatal("honest run must not be rejected")
+	}
+	// Events render usefully.
+	events := rec.Events()
+	if len(events) == 0 || !strings.Contains(events[0].String(), "iter 0") {
+		t.Fatalf("event formatting broken: %v", events[0])
+	}
+}
+
+func TestTracerRecordsDetectionAndTakeover(t *testing.T) {
+	sess, _, _ := testStack(t, func(ts *TaskSpec) {
+		ts.AggregatorsPerPartition = 2
+		ts.Verifiable = true
+		ts.TSync = time.Second
+	})
+	rec := &Recorder{}
+	sess.SetTracer(rec)
+	deltas, _ := randomDeltas(sess.Config().Trainers, 24, 96)
+	evil := AggregatorID(0, 1)
+	res, err := sess.RunIteration(context.Background(), 0, deltas,
+		map[string]Behavior{evil: BehaviorAlterGradient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("not detected")
+	}
+	if rec.Count(EventPartialInvalid) == 0 {
+		t.Fatal("no partial-invalid event recorded")
+	}
+	if rec.Count(EventTakeover) == 0 {
+		t.Fatal("no takeover event recorded")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EventGradientUploaded, EventGradientsCollected, EventMergeDownload,
+		EventPartialPublished, EventPartialVerified, EventPartialInvalid,
+		EventTakeover, EventGlobalPublished, EventGlobalRejected,
+		EventUpdateCollected, EventScreenedOut,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "event(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() != "event(99)" {
+		t.Fatal("unknown kind formatting wrong")
+	}
+}

@@ -1,0 +1,212 @@
+// Package dag implements chunked, Merkle-linked content addressing, the
+// way IPFS actually stores large objects: data is split into chunks, each
+// chunk is a content-addressed leaf block, and internal nodes list their
+// children's CIDs and sizes. The root CID authenticates the entire object,
+// every block can be fetched (and verified) independently from different
+// nodes, and tampering with any block anywhere in the tree is detected on
+// assembly.
+//
+// Model partitions in this codebase are usually ~1 MB, so the flat
+// single-block path is fine for the protocol; the DAG layer exists for
+// larger models and to keep the storage substrate faithful to IPFS
+// semantics.
+package dag
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"ipls/internal/cid"
+)
+
+// DefaultChunkSize matches IPFS's default 256 KiB chunker.
+const DefaultChunkSize = 256 * 1024
+
+// Fanout is the maximum number of children per internal node.
+const Fanout = 32
+
+// Block type tags.
+const (
+	tagLeaf     = 0x00
+	tagInternal = 0x01
+)
+
+// Ref identifies a DAG (sub)tree: the block's CID and the total payload
+// size beneath it.
+type Ref struct {
+	CID  cid.CID `json:"cid"`
+	Size int64   `json:"size"`
+}
+
+// ErrCorrupt indicates a fetched block did not match its CID or shape.
+var ErrCorrupt = errors.New("dag: corrupt block")
+
+// childEntry is the serialized form of one child reference: a 32-byte raw
+// digest followed by the subtree size.
+const childEntrySize = cid.Size + 8
+
+// Build chunks data and returns the root reference plus every block of the
+// DAG, keyed by CID. chunkSize <= 0 selects the default.
+func Build(data []byte, chunkSize int) (Ref, map[cid.CID][]byte, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	blocks := make(map[cid.CID][]byte)
+
+	// Leaf level.
+	var level []Ref
+	if len(data) == 0 {
+		leaf := []byte{tagLeaf}
+		c := cid.Sum(leaf)
+		blocks[c] = leaf
+		level = []Ref{{CID: c, Size: 0}}
+	}
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		leaf := make([]byte, 1+end-off)
+		leaf[0] = tagLeaf
+		copy(leaf[1:], data[off:end])
+		c := cid.Sum(leaf)
+		blocks[c] = leaf
+		level = append(level, Ref{CID: c, Size: int64(end - off)})
+	}
+
+	// Collapse levels until a single root remains.
+	for len(level) > 1 {
+		var next []Ref
+		for off := 0; off < len(level); off += Fanout {
+			end := off + Fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			node, ref, err := encodeInternal(level[off:end])
+			if err != nil {
+				return Ref{}, nil, err
+			}
+			blocks[ref.CID] = node
+			next = append(next, ref)
+		}
+		level = next
+	}
+	return level[0], blocks, nil
+}
+
+// encodeInternal serializes an internal node over the given children.
+func encodeInternal(children []Ref) ([]byte, Ref, error) {
+	buf := make([]byte, 5, 5+len(children)*childEntrySize)
+	buf[0] = tagInternal
+	binary.BigEndian.PutUint32(buf[1:], uint32(len(children)))
+	var total int64
+	for _, ch := range children {
+		raw, err := hex.DecodeString(string(ch.CID))
+		if err != nil || len(raw) != cid.Size {
+			return nil, Ref{}, fmt.Errorf("dag: malformed child CID %q", ch.CID)
+		}
+		var sz [8]byte
+		binary.BigEndian.PutUint64(sz[:], uint64(ch.Size))
+		buf = append(buf, raw...)
+		buf = append(buf, sz[:]...)
+		total += ch.Size
+	}
+	c := cid.Sum(buf)
+	return buf, Ref{CID: c, Size: total}, nil
+}
+
+// decodeInternal parses an internal node's child list.
+func decodeInternal(block []byte) ([]Ref, error) {
+	if len(block) < 5 {
+		return nil, fmt.Errorf("%w: internal node too short", ErrCorrupt)
+	}
+	n := int(binary.BigEndian.Uint32(block[1:5]))
+	want := 5 + n*childEntrySize
+	if len(block) != want {
+		return nil, fmt.Errorf("%w: internal node length %d != %d", ErrCorrupt, len(block), want)
+	}
+	children := make([]Ref, n)
+	for i := 0; i < n; i++ {
+		off := 5 + i*childEntrySize
+		children[i] = Ref{
+			CID:  cid.CID(hex.EncodeToString(block[off : off+cid.Size])),
+			Size: int64(binary.BigEndian.Uint64(block[off+cid.Size : off+childEntrySize])),
+		}
+	}
+	return children, nil
+}
+
+// Fetcher retrieves a raw block by CID.
+type Fetcher func(c cid.CID) ([]byte, error)
+
+// Assemble reconstructs the object under root, verifying every block's CID
+// and the declared sizes along the way.
+func Assemble(root Ref, fetch Fetcher) ([]byte, error) {
+	out := make([]byte, 0, root.Size)
+	var walk func(ref Ref) error
+	walk = func(ref Ref) error {
+		block, err := fetch(ref.CID)
+		if err != nil {
+			return fmt.Errorf("dag: fetch %s: %w", ref.CID.Short(), err)
+		}
+		if !cid.Verify(block, ref.CID) {
+			return fmt.Errorf("%w: %s fails CID check", ErrCorrupt, ref.CID.Short())
+		}
+		if len(block) == 0 {
+			return fmt.Errorf("%w: empty block", ErrCorrupt)
+		}
+		switch block[0] {
+		case tagLeaf:
+			if int64(len(block)-1) != ref.Size {
+				return fmt.Errorf("%w: leaf size %d != declared %d", ErrCorrupt, len(block)-1, ref.Size)
+			}
+			out = append(out, block[1:]...)
+			return nil
+		case tagInternal:
+			children, err := decodeInternal(block)
+			if err != nil {
+				return err
+			}
+			var total int64
+			for _, ch := range children {
+				total += ch.Size
+			}
+			if total != ref.Size {
+				return fmt.Errorf("%w: children sum %d != declared %d", ErrCorrupt, total, ref.Size)
+			}
+			for _, ch := range children {
+				if err := walk(ch); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("%w: unknown block tag %#x", ErrCorrupt, block[0])
+		}
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Blocks returns the number of blocks a payload of the given size chunks
+// into (leaves plus internal nodes).
+func Blocks(size int64, chunkSize int) int {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	leaves := int((size + int64(chunkSize) - 1) / int64(chunkSize))
+	if leaves == 0 {
+		leaves = 1
+	}
+	total := leaves
+	level := leaves
+	for level > 1 {
+		level = (level + Fanout - 1) / Fanout
+		total += level
+	}
+	return total
+}

@@ -1,0 +1,184 @@
+package dag
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ipls/internal/cid"
+)
+
+func buildAndAssemble(t *testing.T, data []byte, chunkSize int) []byte {
+	t.Helper()
+	root, blocks, err := Build(data, chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Assemble(root, func(c cid.CID) ([]byte, error) {
+		b, ok := blocks[c]
+		if !ok {
+			return nil, fmt.Errorf("missing block %s", c.Short())
+		}
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTripVariousSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{0, 1, 99, 100, 101, 1000, 10_000, 123_456} {
+		data := make([]byte, size)
+		rng.Read(data)
+		got := buildAndAssemble(t, data, 100)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestDefaultChunkSize(t *testing.T) {
+	data := make([]byte, 1000)
+	got := buildAndAssemble(t, data, 0)
+	if !bytes.Equal(got, data) {
+		t.Fatal("default chunk size round trip failed")
+	}
+	// Small payloads fit in one leaf.
+	root, blocks, err := Build(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || root.Size != 1000 {
+		t.Fatalf("expected single leaf, got %d blocks (root size %d)", len(blocks), root.Size)
+	}
+}
+
+func TestDeepTree(t *testing.T) {
+	// chunk 10 bytes, fanout 32: 3200 chunks needs 2+ levels.
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 32_000)
+	rng.Read(data)
+	root, blocks, err := Build(data, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Blocks(32_000, 10); len(blocks) != want {
+		t.Fatalf("block count %d != Blocks() prediction %d", len(blocks), want)
+	}
+	got, err := Assemble(root, func(c cid.CID) ([]byte, error) { return blocks[c], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("deep tree round trip mismatch")
+	}
+}
+
+func TestRootIsDeterministic(t *testing.T) {
+	data := []byte("identical content must produce identical roots")
+	r1, _, err := Build(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Build(append([]byte(nil), data...), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("roots differ for identical content")
+	}
+	r3, _, err := Build([]byte("different content entirely here"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CID == r3.CID {
+		t.Fatal("different content collided")
+	}
+}
+
+func TestTamperedLeafDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 5_000)
+	rng.Read(data)
+	root, blocks, err := Build(data, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with every block in turn; assembly must always fail.
+	for victim := range blocks {
+		mutated := make(map[cid.CID][]byte, len(blocks))
+		for k, v := range blocks {
+			cp := append([]byte(nil), v...)
+			if k == victim {
+				cp[len(cp)/2] ^= 0x01
+			}
+			mutated[k] = cp
+		}
+		_, err := Assemble(root, func(c cid.CID) ([]byte, error) { return mutated[c], nil })
+		if err == nil {
+			t.Fatalf("tampering with %s went undetected", victim.Short())
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	data := make([]byte, 500)
+	root, blocks, err := Build(data, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing block.
+	_, err = Assemble(root, func(c cid.CID) ([]byte, error) { return nil, errors.New("gone") })
+	if err == nil {
+		t.Fatal("missing block not reported")
+	}
+	// Wrong declared size at the root.
+	badRoot := root
+	badRoot.Size++
+	_, err = Assemble(badRoot, func(c cid.CID) ([]byte, error) { return blocks[c], nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("size mismatch not reported: %v", err)
+	}
+	// A block substituted with valid CID but wrong tag: craft an empty
+	// block whose CID we claim — CID check fires first, which is fine.
+	garbage := cid.Sum([]byte{0x7f})
+	_, err = Assemble(Ref{CID: garbage, Size: 0}, func(c cid.CID) ([]byte, error) { return []byte{0x7f}, nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown tag not reported: %v", err)
+	}
+}
+
+func TestBlocksPrediction(t *testing.T) {
+	tests := []struct {
+		size      int64
+		chunk     int
+		wantLeafs int
+	}{
+		{0, 10, 1},
+		{5, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{320, 10, 32}, // exactly one full fanout: 32 leaves + 1 internal
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, tt := range tests {
+		// Random data so identical chunks don't dedupe (content
+		// addressing folds equal chunks into one block).
+		data := make([]byte, tt.size)
+		rng.Read(data)
+		_, blocks, err := Build(data, tt.chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Blocks(tt.size, tt.chunk); got != len(blocks) {
+			t.Fatalf("size %d chunk %d: Blocks()=%d, actual %d", tt.size, tt.chunk, got, len(blocks))
+		}
+	}
+	if Blocks(1000, 0) < 1 {
+		t.Fatal("default chunk Blocks() broken")
+	}
+}

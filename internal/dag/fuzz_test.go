@@ -1,0 +1,54 @@
+package dag
+
+import (
+	"bytes"
+	"testing"
+
+	"ipls/internal/cid"
+)
+
+// FuzzBuildAssemble builds a DAG from arbitrary data with an arbitrary
+// chunk size and checks the round trip is exact.
+func FuzzBuildAssemble(f *testing.F) {
+	f.Add([]byte("hello dag"), 4)
+	f.Add([]byte{}, 1)
+	f.Add(make([]byte, 1000), 7)
+	f.Fuzz(func(t *testing.T, data []byte, chunkSize int) {
+		if chunkSize < 1 || chunkSize > 1<<20 || len(data) > 1<<16 {
+			return
+		}
+		root, blocks, err := Build(data, chunkSize)
+		if err != nil {
+			t.Fatalf("Build failed on valid input: %v", err)
+		}
+		got, err := Assemble(root, func(c cid.CID) ([]byte, error) {
+			return blocks[c], nil
+		})
+		if err != nil {
+			t.Fatalf("Assemble failed: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzAssembleHostile feeds the assembler hostile blocks: it must reject
+// or return, never panic, and never return wrong-sized data.
+func FuzzAssembleHostile(f *testing.F) {
+	f.Add([]byte{tagLeaf, 1, 2, 3}, int64(3))
+	f.Add([]byte{tagInternal, 0, 0, 0, 0}, int64(0))
+	f.Add([]byte{}, int64(0))
+	f.Fuzz(func(t *testing.T, block []byte, size int64) {
+		if size < 0 || size > 1<<20 {
+			return
+		}
+		root := Ref{CID: cid.Sum(block), Size: size}
+		out, err := Assemble(root, func(c cid.CID) ([]byte, error) {
+			return block, nil
+		})
+		if err == nil && int64(len(out)) != size {
+			t.Fatal("assembler returned data that contradicts the declared size")
+		}
+	})
+}

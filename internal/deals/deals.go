@@ -1,0 +1,273 @@
+// Package deals implements a miniature storage-deal market in the spirit
+// of Filecoin, the mechanism the paper's §VI proposes for guaranteeing
+// gradient availability: the task launcher pays storage nodes per epoch to
+// keep blocks alive, nodes post collateral, and random retrieval audits
+// slash nodes that cannot produce the data they are paid for.
+//
+// The market is deliberately small — no chain, no zk proofs-of-storage —
+// but it exercises the economic loop end to end: escrow, per-epoch
+// payment, audit, slashing, and expiry. Since protocol blocks are only
+// needed briefly (§VI), deals are short-lived.
+package deals
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ipls/internal/cid"
+)
+
+// Retriever is the market's view of the storage network: enough to audit
+// that a node can still produce a block.
+type Retriever interface {
+	Get(nodeID string, c cid.CID) ([]byte, error)
+}
+
+// Config sets the market's economic parameters.
+type Config struct {
+	// PricePerEpoch is what the client pays a node per stored block per
+	// epoch.
+	PricePerEpoch int64
+	// Collateral is what a node escrows per deal; it is slashed to the
+	// client on a failed audit.
+	Collateral int64
+	// DurationEpochs is how many epochs a deal lasts.
+	DurationEpochs int
+	// AuditProbability is the chance a given active deal is audited in
+	// an epoch (0..1].
+	AuditProbability float64
+}
+
+func (c Config) validate() error {
+	if c.PricePerEpoch <= 0 || c.Collateral < 0 || c.DurationEpochs <= 0 {
+		return fmt.Errorf("deals: invalid economic parameters %+v", c)
+	}
+	if c.AuditProbability <= 0 || c.AuditProbability > 1 {
+		return fmt.Errorf("deals: audit probability must be in (0,1], got %v", c.AuditProbability)
+	}
+	return nil
+}
+
+// Errors reported by the market.
+var (
+	// ErrInsufficientFunds indicates the payer cannot cover the escrow.
+	ErrInsufficientFunds = errors.New("deals: insufficient funds")
+	// ErrUnknownAccount indicates the account was never funded.
+	ErrUnknownAccount = errors.New("deals: unknown account")
+)
+
+// Client is the account name of the task launcher.
+const Client = "client"
+
+// DealState tracks a deal's lifecycle.
+type DealState int
+
+// Deal states.
+const (
+	DealActive DealState = iota + 1
+	DealCompleted
+	DealSlashed
+)
+
+// String names the state.
+func (s DealState) String() string {
+	switch s {
+	case DealActive:
+		return "active"
+	case DealCompleted:
+		return "completed"
+	case DealSlashed:
+		return "slashed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Deal is one storage agreement.
+type Deal struct {
+	ID         int
+	Node       string
+	CID        cid.CID
+	StartEpoch int
+	EndEpoch   int
+	State      DealState
+}
+
+// AuditResult reports one audit performed during an epoch advance.
+type AuditResult struct {
+	DealID  int
+	Node    string
+	CID     cid.CID
+	Passed  bool
+	Slashed int64
+}
+
+// Market is the deal ledger and escrow.
+type Market struct {
+	mu       sync.Mutex
+	cfg      Config
+	store    Retriever
+	rng      *rand.Rand
+	epoch    int
+	nextID   int
+	balances map[string]int64
+	escrow   map[int]int64 // dealID -> remaining client escrow + collateral
+	deals    map[int]*Deal
+}
+
+// NewMarket creates a market over a storage backend. The seed makes audit
+// selection deterministic for reproducible experiments.
+func NewMarket(store Retriever, cfg Config, seed int64) (*Market, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Market{
+		cfg:      cfg,
+		store:    store,
+		rng:      rand.New(rand.NewSource(seed)),
+		balances: make(map[string]int64),
+		escrow:   make(map[int]int64),
+		deals:    make(map[int]*Deal),
+	}, nil
+}
+
+// Fund credits an account.
+func (m *Market) Fund(account string, amount int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.balances[account] += amount
+}
+
+// Balance returns an account's liquid balance (escrow excluded).
+func (m *Market) Balance(account string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.balances[account]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownAccount, account)
+	}
+	return b, nil
+}
+
+// Epoch returns the current epoch.
+func (m *Market) Epoch() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Propose opens a deal: the client escrows the full duration's payment and
+// the node escrows its collateral.
+func (m *Market) Propose(node string, c cid.CID) (*Deal, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	payment := m.cfg.PricePerEpoch * int64(m.cfg.DurationEpochs)
+	if m.balances[Client] < payment {
+		return nil, fmt.Errorf("%w: client needs %d", ErrInsufficientFunds, payment)
+	}
+	if m.balances[node] < m.cfg.Collateral {
+		return nil, fmt.Errorf("%w: node %q needs %d collateral", ErrInsufficientFunds, node, m.cfg.Collateral)
+	}
+	m.balances[Client] -= payment
+	m.balances[node] -= m.cfg.Collateral
+	deal := &Deal{
+		ID:         m.nextID,
+		Node:       node,
+		CID:        c,
+		StartEpoch: m.epoch,
+		EndEpoch:   m.epoch + m.cfg.DurationEpochs,
+		State:      DealActive,
+	}
+	m.nextID++
+	m.deals[deal.ID] = deal
+	m.escrow[deal.ID] = payment + m.cfg.Collateral
+	return deal, nil
+}
+
+// Deal returns a copy of the deal with the given ID.
+func (m *Market) Deal(id int) (Deal, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.deals[id]
+	if !ok {
+		return Deal{}, fmt.Errorf("deals: no deal %d", id)
+	}
+	return *d, nil
+}
+
+// ActiveDeals lists active deals sorted by ID.
+func (m *Market) ActiveDeals() []Deal {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Deal
+	for _, d := range m.deals {
+		if d.State == DealActive {
+			out = append(out, *d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AdvanceEpoch moves time forward one epoch: every active deal pays the
+// node for the elapsed epoch, randomly selected deals are audited (the
+// node must produce bytes matching the CID), failed audits slash the
+// node's collateral to the client, and expired deals release their
+// collateral back to the node.
+func (m *Market) AdvanceEpoch() []AuditResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	var results []AuditResult
+	ids := make([]int, 0, len(m.deals))
+	for id, d := range m.deals {
+		if d.State == DealActive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		d := m.deals[id]
+		// Pay the node for this epoch from escrow.
+		m.balances[d.Node] += m.cfg.PricePerEpoch
+		m.escrow[id] -= m.cfg.PricePerEpoch
+
+		// Random retrieval audit.
+		if m.rng.Float64() < m.cfg.AuditProbability {
+			res := AuditResult{DealID: id, Node: d.Node, CID: d.CID, Passed: true}
+			data, err := m.store.Get(d.Node, d.CID)
+			if err != nil || !cid.Verify(data, d.CID) {
+				res.Passed = false
+				res.Slashed = m.cfg.Collateral
+				// Slash: collateral goes to the client, along with any
+				// unspent payment escrow.
+				m.balances[Client] += m.escrow[id]
+				m.escrow[id] = 0
+				d.State = DealSlashed
+			}
+			results = append(results, res)
+		}
+		if d.State == DealActive && m.epoch >= d.EndEpoch {
+			// Deal served its full term: release the collateral.
+			m.balances[d.Node] += m.cfg.Collateral
+			m.escrow[id] -= m.cfg.Collateral
+			d.State = DealCompleted
+		}
+	}
+	return results
+}
+
+// TotalEscrow returns the tokens currently locked in deals (conservation
+// checks in tests rely on it).
+func (m *Market) TotalEscrow() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, v := range m.escrow {
+		total += v
+	}
+	return total
+}

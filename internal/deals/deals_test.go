@@ -1,0 +1,227 @@
+package deals
+
+import (
+	"errors"
+	"testing"
+
+	"ipls/internal/cid"
+	"ipls/internal/group"
+	"ipls/internal/scalar"
+	"ipls/internal/storage"
+)
+
+func marketFixture(t *testing.T, cfg Config) (*Market, *storage.Network, cid.CID) {
+	t.Helper()
+	field := scalar.NewField(group.Secp256k1().N)
+	net := storage.NewNetwork(field, 1)
+	net.AddNode("node-a")
+	net.AddNode("node-b")
+	c, err := net.Put("node-a", []byte("gradient block under deal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMarket(net, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fund(Client, 10_000)
+	m.Fund("node-a", 1_000)
+	m.Fund("node-b", 1_000)
+	return m, net, c
+}
+
+func defaultCfg() Config {
+	return Config{PricePerEpoch: 10, Collateral: 100, DurationEpochs: 5, AuditProbability: 1}
+}
+
+func TestHonestDealPaysNode(t *testing.T) {
+	m, _, c := marketFixture(t, defaultCfg())
+	deal, err := m.Propose("node-a", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Escrow: 5 epochs x 10 payment + 100 collateral.
+	if got := m.TotalEscrow(); got != 150 {
+		t.Fatalf("escrow = %d, want 150", got)
+	}
+	for e := 0; e < 5; e++ {
+		for _, res := range m.AdvanceEpoch() {
+			if !res.Passed {
+				t.Fatalf("honest audit failed at epoch %d", e)
+			}
+		}
+	}
+	got, err := m.Deal(deal.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != DealCompleted {
+		t.Fatalf("state = %v, want completed", got.State)
+	}
+	// Node: 1000 - 100 collateral + 5*10 payment + 100 back = 1050.
+	if b, _ := m.Balance("node-a"); b != 1050 {
+		t.Fatalf("node balance = %d, want 1050", b)
+	}
+	// Client paid exactly 50.
+	if b, _ := m.Balance(Client); b != 9950 {
+		t.Fatalf("client balance = %d, want 9950", b)
+	}
+	if m.TotalEscrow() != 0 {
+		t.Fatal("escrow not fully released")
+	}
+}
+
+func TestLostBlockIsSlashed(t *testing.T) {
+	m, net, c := marketFixture(t, defaultCfg())
+	deal, err := m.Propose("node-a", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The node drops the block after one epoch.
+	results := m.AdvanceEpoch()
+	if len(results) != 1 || !results[0].Passed {
+		t.Fatalf("epoch 1 audit: %+v", results)
+	}
+	if err := net.Delete("node-a", c); err != nil {
+		t.Fatal(err)
+	}
+	results = m.AdvanceEpoch()
+	if len(results) != 1 || results[0].Passed {
+		t.Fatalf("expected failed audit, got %+v", results)
+	}
+	if results[0].Slashed != 100 {
+		t.Fatalf("slashed = %d, want 100", results[0].Slashed)
+	}
+	got, _ := m.Deal(deal.ID)
+	if got.State != DealSlashed {
+		t.Fatalf("state = %v, want slashed", got.State)
+	}
+	// Node lost its collateral: 1000 - 100 + 2x10 payments = 920.
+	if b, _ := m.Balance("node-a"); b != 920 {
+		t.Fatalf("node balance = %d, want 920", b)
+	}
+	// Client got the collateral plus unspent escrow back.
+	if b, _ := m.Balance(Client); b != 10_000-50+100+30 {
+		t.Fatalf("client balance = %d", b)
+	}
+	if m.TotalEscrow() != 0 {
+		t.Fatal("escrow leaked after slash")
+	}
+}
+
+func TestCorruptedBlockIsSlashed(t *testing.T) {
+	m, net, c := marketFixture(t, defaultCfg())
+	if _, err := m.Propose("node-a", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Corrupt("node-a", c); err != nil {
+		t.Fatal(err)
+	}
+	results := m.AdvanceEpoch()
+	if len(results) != 1 || results[0].Passed {
+		t.Fatal("corrupted data must fail the audit")
+	}
+}
+
+func TestDownNodeIsSlashed(t *testing.T) {
+	m, net, c := marketFixture(t, defaultCfg())
+	if _, err := m.Propose("node-a", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Fail("node-a"); err != nil {
+		t.Fatal(err)
+	}
+	results := m.AdvanceEpoch()
+	if len(results) != 1 || results[0].Passed {
+		t.Fatal("unreachable node must fail the audit")
+	}
+}
+
+func TestTokenConservation(t *testing.T) {
+	// Across any sequence of events, liquid balances + escrow must be
+	// constant.
+	m, net, c := marketFixture(t, Config{PricePerEpoch: 7, Collateral: 55, DurationEpochs: 3, AuditProbability: 0.5})
+	total := func() int64 {
+		a, _ := m.Balance(Client)
+		b, _ := m.Balance("node-a")
+		d, _ := m.Balance("node-b")
+		return a + b + d + m.TotalEscrow()
+	}
+	start := total()
+	c2, err := net.Put("node-b", []byte("second block"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Propose("node-a", c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Propose("node-b", c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Delete("node-b", c2); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 6; e++ {
+		m.AdvanceEpoch()
+		if got := total(); got != start {
+			t.Fatalf("epoch %d: tokens not conserved: %d != %d", e, got, start)
+		}
+	}
+}
+
+func TestInsufficientFunds(t *testing.T) {
+	m, _, c := marketFixture(t, defaultCfg())
+	m.Fund(Client, -10_000) // drain
+	if _, err := m.Propose("node-a", c); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("expected ErrInsufficientFunds, got %v", err)
+	}
+	m.Fund(Client, 10_000)
+	m.Fund("node-a", -1_000)
+	if _, err := m.Propose("node-a", c); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("expected node ErrInsufficientFunds, got %v", err)
+	}
+}
+
+func TestMarketValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{PricePerEpoch: 1, DurationEpochs: 1, AuditProbability: 0},
+		{PricePerEpoch: 1, DurationEpochs: 1, AuditProbability: 2},
+		{PricePerEpoch: 1, DurationEpochs: 0, AuditProbability: 1},
+		{PricePerEpoch: 0, DurationEpochs: 1, AuditProbability: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMarket(nil, cfg, 1); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m, _, c := marketFixture(t, defaultCfg())
+	if _, err := m.Balance("ghost"); !errors.Is(err, ErrUnknownAccount) {
+		t.Fatal("expected ErrUnknownAccount")
+	}
+	if _, err := m.Deal(42); err == nil {
+		t.Fatal("expected missing-deal error")
+	}
+	if m.Epoch() != 0 {
+		t.Fatal("fresh market epoch should be 0")
+	}
+	d1, err := m.Propose("node-a", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := m.Propose("node-b", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := m.ActiveDeals()
+	if len(active) != 2 || active[0].ID != d1.ID || active[1].ID != d2.ID {
+		t.Fatalf("ActiveDeals = %+v", active)
+	}
+	if DealActive.String() != "active" || DealCompleted.String() != "completed" ||
+		DealSlashed.String() != "slashed" || DealState(9).String() != "state(9)" {
+		t.Fatal("state names wrong")
+	}
+}

@@ -1,0 +1,606 @@
+// Package directory implements the paper's directory service (§III-C): the
+// map from protocol-level addressing information
+// (uploader, partition, iteration, type) to the content ID of the
+// corresponding block in the decentralized storage network.
+//
+// In verifiable mode (§IV-B) the directory additionally maintains, for each
+// partition and iteration, the accumulated Pedersen commitment over all
+// gradients published for it (and per-aggregator accumulators for the
+// multi-aggregator sync phase), and refuses to record an updated partition
+// that is not a pre-image of the accumulated commitment. This is what makes
+// dropped or altered gradients detectable.
+//
+// The service is run by the (trusted) bootstrapper of the FL task.
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ipls/internal/cid"
+	"ipls/internal/identity"
+	"ipls/internal/model"
+	"ipls/internal/pedersen"
+)
+
+// Type tags the kind of block an address refers to.
+type Type uint8
+
+// Block types, mirroring the paper's "gradient", "partial update" and
+// "global update" addressing values.
+const (
+	TypeGradient Type = iota + 1
+	TypePartialUpdate
+	TypeUpdate
+)
+
+// String returns the paper's name for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeGradient:
+		return "gradient"
+	case TypePartialUpdate:
+		return "partial_update"
+	case TypeUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Addr is the addressing meta-information attached to every uploaded block:
+// addr = (uploader_id, partition_id, iter, type). Global updates use the
+// publishing aggregator as uploader but are looked up by (partition, iter).
+type Addr struct {
+	Uploader  string `json:"uploader"`
+	Partition int    `json:"partition"`
+	Iter      int    `json:"iter"`
+	Type      Type   `json:"type"`
+}
+
+// Record maps an address to the CID of the block and the storage node that
+// holds it, plus the uploader's commitment in verifiable mode and, when
+// the task authenticates participants, the uploader's signature over
+// SigningBytes.
+type Record struct {
+	Addr       Addr                `json:"addr"`
+	CID        cid.CID             `json:"cid"`
+	Node       string              `json:"node"`
+	Commitment pedersen.Commitment `json:"commitment,omitempty"`
+	Signature  []byte              `json:"signature,omitempty"`
+}
+
+// SigningBytes returns the canonical byte string a participant signs: the
+// full address, the CID and the commitment. The storage node is excluded
+// (fallback uploads may move a block without invalidating the signature);
+// the address binds the signature to one (uploader, partition, iteration,
+// type) slot, so a signed record cannot be replayed elsewhere.
+func (r Record) SigningBytes() []byte {
+	out := make([]byte, 0, 96+len(r.Commitment))
+	out = append(out, []byte("ipls/record/")...)
+	out = append(out, []byte(r.Addr.Uploader)...)
+	out = append(out, 0)
+	out = appendInt(out, r.Addr.Partition)
+	out = appendInt(out, r.Addr.Iter)
+	out = append(out, byte(r.Addr.Type))
+	out = append(out, []byte(r.CID)...)
+	out = append(out, 0)
+	out = append(out, r.Commitment...)
+	return out
+}
+
+func appendInt(b []byte, v int) []byte {
+	var tmp [8]byte
+	u := uint64(int64(v))
+	for i := 0; i < 8; i++ {
+		tmp[i] = byte(u >> (56 - 8*i))
+	}
+	return append(b, tmp[:]...)
+}
+
+// Errors reported by the directory.
+var (
+	// ErrTooLate indicates a gradient was published after the
+	// iteration's t_train deadline; late trainers miss the round
+	// (Algorithm 1, lines 10-12).
+	ErrTooLate = errors.New("directory: gradient published after t_train")
+	// ErrTooEarly indicates a global update was published while the
+	// partition's gradient set was still open (not all trainers have
+	// published and t_train has not passed). The aggregator should keep
+	// collecting and retry.
+	ErrTooEarly = errors.New("directory: update published before the gradient set closed")
+	// ErrVerificationFailed indicates a published update is not a
+	// pre-image of the accumulated gradient commitment: the aggregator
+	// dropped or altered gradients.
+	ErrVerificationFailed = errors.New("directory: update verification failed")
+	// ErrConflict indicates a different block was already published for
+	// the same address.
+	ErrConflict = errors.New("directory: conflicting publication for address")
+	// ErrAlreadyFinal indicates a global update has already been accepted
+	// for the partition ("only the first aggregator who achieves the true
+	// globally updated partition writes back", §IV-B).
+	ErrAlreadyFinal = errors.New("directory: global update already recorded")
+	// ErrMissingCommitment indicates a gradient publish lacked its
+	// commitment in verifiable mode.
+	ErrMissingCommitment = errors.New("directory: gradient publish requires a commitment")
+	// ErrNotFound indicates no record exists for the queried address.
+	ErrNotFound = errors.New("directory: record not found")
+	// ErrBadSignature indicates a publish whose signature is missing or
+	// does not verify against the registered public key.
+	ErrBadSignature = errors.New("directory: bad record signature")
+)
+
+// BlockFetcher is the directory's minimal view of the storage network, used
+// to retrieve updates for verification.
+type BlockFetcher interface {
+	Get(nodeID string, c cid.CID) ([]byte, error)
+}
+
+type iterPart struct {
+	iter, part int
+}
+
+type iterPartAgg struct {
+	iter, part int
+	agg        string
+}
+
+type partTrainer struct {
+	part    int
+	trainer string
+}
+
+// Stats counts directory traffic, relevant to the paper's "minimize the
+// query load of the directory service" discussion (§VI). Publishes counts
+// records; Requests counts API round trips (batching makes Requests <
+// Publishes).
+type Stats struct {
+	Publishes     int
+	Requests      int
+	Lookups       int
+	Verifications int
+	Rejections    int
+}
+
+// Service is an in-process directory service.
+type Service struct {
+	mu      sync.Mutex
+	params  *pedersen.Params // nil => non-verifiable mode
+	fetcher BlockFetcher
+
+	records map[Addr]Record
+	// Gradient records in publication order, per (iter, partition) and per
+	// aggregator assignment, so aggregators can poll for new CIDs.
+	gradients map[iterPart][]Record
+
+	accPartition  map[iterPart]pedersen.Commitment
+	accAggregator map[iterPartAgg]pedersen.Commitment
+	gradCount     map[iterPartAgg]int
+
+	assignment map[partTrainer]string // (partition, trainer) -> aggregator
+	trainers   map[int]map[string][]string
+
+	finalUpdate map[iterPart]Record
+
+	// schedules holds each iteration's t_train deadline; gradients
+	// published later are rejected so the partition accumulator can
+	// never drift from what aggregators collected (§III-D).
+	schedules map[int]time.Time
+	now       func() time.Time
+
+	// registry, when set, makes the directory authenticate every publish
+	// against the uploader's registered public key.
+	registry *identity.Registry
+
+	stats Stats
+}
+
+// New creates a directory service. params may be nil for the plain
+// (non-verifiable) protocol; fetcher is required only in verifiable mode,
+// where the directory downloads published updates to check them.
+func New(params *pedersen.Params, fetcher BlockFetcher) *Service {
+	return &Service{
+		params:        params,
+		fetcher:       fetcher,
+		records:       make(map[Addr]Record),
+		gradients:     make(map[iterPart][]Record),
+		accPartition:  make(map[iterPart]pedersen.Commitment),
+		accAggregator: make(map[iterPartAgg]pedersen.Commitment),
+		gradCount:     make(map[iterPartAgg]int),
+		assignment:    make(map[partTrainer]string),
+		trainers:      make(map[int]map[string][]string),
+		finalUpdate:   make(map[iterPart]Record),
+		schedules:     make(map[int]time.Time),
+		now:           time.Now,
+	}
+}
+
+// SetRegistry makes the directory require a valid uploader signature on
+// every published record.
+func (s *Service) SetRegistry(r *identity.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registry = r
+}
+
+// SetClock replaces the wall clock, for deterministic tests.
+func (s *Service) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// SetSchedule registers an iteration's t_train deadline. The bootstrapper
+// announces it at the start of every iteration; gradient publications after
+// the deadline are rejected with ErrTooLate.
+func (s *Service) SetSchedule(iter int, tTrain time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.schedules[iter] = tTrain
+}
+
+// Verifiable reports whether the directory enforces commitment checks.
+func (s *Service) Verifiable() bool { return s.params != nil }
+
+// SetAssignment registers that the trainer sends its gradients for the
+// given partition to the given aggregator (the T_ij sets of §II). The
+// bootstrapper configures this before the task starts.
+func (s *Service) SetAssignment(partition int, trainer, aggregator string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.assignment[partTrainer{partition, trainer}] = aggregator
+	byAgg, ok := s.trainers[partition]
+	if !ok {
+		byAgg = make(map[string][]string)
+		s.trainers[partition] = byAgg
+	}
+	byAgg[aggregator] = append(byAgg[aggregator], trainer)
+}
+
+// TrainersFor returns the trainers assigned to an aggregator for a
+// partition, in registration order.
+func (s *Service) TrainersFor(partition int, aggregator string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.trainers[partition][aggregator]
+	out := make([]string, len(list))
+	copy(out, list)
+	return out
+}
+
+// Publish records an uploaded block. For gradients in verifiable mode the
+// record must carry the uploader's commitment, which is folded into the
+// partition and per-aggregator accumulators. For global updates in
+// verifiable mode the directory fetches the block and verifies it against
+// the accumulated partition commitment before accepting it.
+func (s *Service) Publish(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Requests++
+	return s.publishLocked(rec)
+}
+
+// PublishBatch records several uploads in one request — the §VI
+// optimization that lets a trainer announce all of its partitions' CIDs in
+// a single directory round trip. Records are applied in order; the first
+// failure aborts the remainder.
+func (s *Service) PublishBatch(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Requests++
+	for i, rec := range recs {
+		if err := s.publishLocked(rec); err != nil {
+			return fmt.Errorf("directory: batch record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (s *Service) publishLocked(rec Record) error {
+	s.stats.Publishes++
+	if s.registry != nil {
+		pub, err := s.registry.Lookup(rec.Addr.Uploader)
+		if err != nil {
+			s.stats.Rejections++
+			return fmt.Errorf("%w: %v", ErrBadSignature, err)
+		}
+		if !identity.Verify(pub, rec.SigningBytes(), rec.Signature) {
+			s.stats.Rejections++
+			return fmt.Errorf("%w: record from %q", ErrBadSignature, rec.Addr.Uploader)
+		}
+	}
+
+	if existing, ok := s.records[rec.Addr]; ok {
+		if existing.CID == rec.CID {
+			return nil // idempotent re-publish
+		}
+		return fmt.Errorf("%w: %+v", ErrConflict, rec.Addr)
+	}
+
+	switch rec.Addr.Type {
+	case TypeGradient:
+		return s.publishGradientLocked(rec)
+	case TypePartialUpdate:
+		s.records[rec.Addr] = rec
+		return nil
+	case TypeUpdate:
+		return s.publishUpdateLocked(rec)
+	default:
+		return fmt.Errorf("directory: unknown block type %v", rec.Addr.Type)
+	}
+}
+
+func (s *Service) publishGradientLocked(rec Record) error {
+	key := iterPart{rec.Addr.Iter, rec.Addr.Partition}
+	if deadline, ok := s.schedules[rec.Addr.Iter]; ok && s.now().After(deadline) {
+		s.stats.Rejections++
+		return fmt.Errorf("%w: iter %d from %q", ErrTooLate, rec.Addr.Iter, rec.Addr.Uploader)
+	}
+	if s.params != nil {
+		if len(rec.Commitment) == 0 {
+			return ErrMissingCommitment
+		}
+		if !s.params.Valid(rec.Commitment) {
+			return fmt.Errorf("directory: malformed commitment from %q", rec.Addr.Uploader)
+		}
+		// Accumulate C_i = ∏ C_ik for the partition.
+		acc, ok := s.accPartition[key]
+		if !ok {
+			acc = s.params.Identity()
+		}
+		combined, err := s.params.Combine(acc, rec.Commitment)
+		if err != nil {
+			return fmt.Errorf("directory: accumulate partition commitment: %w", err)
+		}
+		s.accPartition[key] = combined
+
+		// Accumulate per-aggregator commitment for the trainers in T_ij.
+		if agg, ok := s.assignment[partTrainer{rec.Addr.Partition, rec.Addr.Uploader}]; ok {
+			akey := iterPartAgg{rec.Addr.Iter, rec.Addr.Partition, agg}
+			aacc, ok := s.accAggregator[akey]
+			if !ok {
+				aacc = s.params.Identity()
+			}
+			acomb, err := s.params.Combine(aacc, rec.Commitment)
+			if err != nil {
+				return fmt.Errorf("directory: accumulate aggregator commitment: %w", err)
+			}
+			s.accAggregator[akey] = acomb
+			s.gradCount[akey]++
+		}
+	}
+	s.records[rec.Addr] = rec
+	s.gradients[key] = append(s.gradients[key], rec)
+	return nil
+}
+
+func (s *Service) publishUpdateLocked(rec Record) error {
+	key := iterPart{rec.Addr.Iter, rec.Addr.Partition}
+	if _, done := s.finalUpdate[key]; done {
+		return fmt.Errorf("%w: iter %d partition %d", ErrAlreadyFinal, rec.Addr.Iter, rec.Addr.Partition)
+	}
+	if s.params != nil {
+		// A global update may only land once the partition's gradient
+		// set is closed: either every assigned trainer has published, or
+		// t_train has passed (after which late gradients are rejected).
+		// Otherwise a gradient arriving between aggregation and
+		// verification would silently be dropped from an accepted
+		// update.
+		expected := s.expectedTrainersLocked(rec.Addr.Partition)
+		got := len(s.gradients[key])
+		if expected > 0 && got < expected {
+			deadline, scheduled := s.schedules[rec.Addr.Iter]
+			if !scheduled || !s.now().After(deadline) {
+				return fmt.Errorf("%w: iter %d partition %d has %d of %d gradients and t_train has not passed",
+					ErrTooEarly, rec.Addr.Iter, rec.Addr.Partition, got, expected)
+			}
+		}
+	}
+	if s.params != nil {
+		ok, err := s.verifyAgainstLocked(rec, s.accPartition[key])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			s.stats.Rejections++
+			return fmt.Errorf("%w: iter %d partition %d by %q",
+				ErrVerificationFailed, rec.Addr.Iter, rec.Addr.Partition, rec.Addr.Uploader)
+		}
+	}
+	s.records[rec.Addr] = rec
+	s.finalUpdate[key] = rec
+	return nil
+}
+
+// expectedTrainersLocked returns how many trainers are assigned to a
+// partition (0 when no assignments were registered, which disables the
+// completeness gate).
+func (s *Service) expectedTrainersLocked(partition int) int {
+	total := 0
+	for _, trainers := range s.trainers[partition] {
+		total += len(trainers)
+	}
+	return total
+}
+
+// verifyAgainstLocked fetches the published block and checks it is a
+// pre-image of the expected accumulated commitment.
+func (s *Service) verifyAgainstLocked(rec Record, want pedersen.Commitment) (bool, error) {
+	if s.fetcher == nil {
+		return false, errors.New("directory: verifiable mode requires a block fetcher")
+	}
+	if len(want) == 0 {
+		return false, fmt.Errorf("directory: no accumulated commitment for %+v", rec.Addr)
+	}
+	s.stats.Verifications++
+	data, err := s.fetcher.Get(rec.Node, rec.CID)
+	if err != nil {
+		return false, fmt.Errorf("directory: fetch update for verification: %w", err)
+	}
+	if !cid.Verify(data, rec.CID) {
+		return false, nil // storage returned tampered bytes
+	}
+	block, err := model.DecodeBlock(data)
+	if err != nil {
+		return false, nil // not even a valid block
+	}
+	got, err := s.params.Commit(block.Values)
+	if err != nil {
+		return false, fmt.Errorf("directory: recommit update: %w", err)
+	}
+	return got.Equal(want), nil
+}
+
+// Lookup returns the record for an exact address.
+func (s *Service) Lookup(addr Addr) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Lookups++
+	rec, ok := s.records[addr]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %+v", ErrNotFound, addr)
+	}
+	return rec, nil
+}
+
+// GradientsFor returns the gradients published so far for (iter, partition)
+// by trainers assigned to the given aggregator, in publication order. With
+// an empty aggregator it returns all gradients for the partition.
+func (s *Service) GradientsFor(iter, partition int, aggregator string) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Lookups++
+	var out []Record
+	for _, rec := range s.gradients[iterPart{iter, partition}] {
+		if aggregator != "" {
+			if s.assignment[partTrainer{partition, rec.Addr.Uploader}] != aggregator {
+				continue
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// PartialUpdates returns the partial updates published for (iter,
+// partition), sorted by uploader for determinism.
+func (s *Service) PartialUpdates(iter, partition int) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Lookups++
+	var out []Record
+	for addr, rec := range s.records {
+		if addr.Type == TypePartialUpdate && addr.Iter == iter && addr.Partition == partition {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Uploader < out[j].Addr.Uploader })
+	return out
+}
+
+// Update returns the accepted global update for (iter, partition), if any.
+func (s *Service) Update(iter, partition int) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Lookups++
+	rec, ok := s.finalUpdate[iterPart{iter, partition}]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: update for iter %d partition %d", ErrNotFound, iter, partition)
+	}
+	return rec, nil
+}
+
+// PartitionAccumulator returns the accumulated commitment C_i over all
+// gradients published for (iter, partition).
+func (s *Service) PartitionAccumulator(iter, partition int) (pedersen.Commitment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.params == nil {
+		return nil, errors.New("directory: not in verifiable mode")
+	}
+	acc, ok := s.accPartition[iterPart{iter, partition}]
+	if !ok {
+		return nil, fmt.Errorf("%w: partition accumulator iter %d partition %d", ErrNotFound, iter, partition)
+	}
+	return acc, nil
+}
+
+// AggregatorAccumulator returns the accumulated commitment ∏ C_ik over the
+// gradients published by trainers in T_ij, plus how many have been folded
+// in. Peer aggregators use this to verify partial updates (§IV-B).
+func (s *Service) AggregatorAccumulator(iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.params == nil {
+		return nil, 0, errors.New("directory: not in verifiable mode")
+	}
+	key := iterPartAgg{iter, partition, aggregator}
+	acc, ok := s.accAggregator[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: aggregator accumulator for %q", ErrNotFound, aggregator)
+	}
+	return acc, s.gradCount[key], nil
+}
+
+// VerifyPartialUpdate checks that serialized block data matches the
+// per-aggregator accumulated commitment — the check a peer aggregator runs
+// before folding another aggregator's partial update into the global one.
+func (s *Service) VerifyPartialUpdate(iter, partition int, aggregator string, data []byte) (bool, error) {
+	s.mu.Lock()
+	acc, ok := s.accAggregator[iterPartAgg{iter, partition, aggregator}]
+	params := s.params
+	s.mu.Unlock()
+	if params == nil {
+		return false, errors.New("directory: not in verifiable mode")
+	}
+	if !ok {
+		return false, fmt.Errorf("%w: aggregator accumulator for %q", ErrNotFound, aggregator)
+	}
+	block, err := model.DecodeBlock(data)
+	if err != nil {
+		return false, nil
+	}
+	got, err := params.Commit(block.Values)
+	if err != nil {
+		return false, err
+	}
+	return got.Equal(acc), nil
+}
+
+// RecordsForIter returns every gradient and partial-update record of an
+// iteration, sorted deterministically. Global updates are excluded: they
+// must stay retrievable until every trainer has collected them. Used by
+// per-iteration garbage collection (§VI: blocks are "only needed for a
+// short period of time").
+func (s *Service) RecordsForIter(iter int) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for addr, rec := range s.records {
+		if addr.Iter != iter || addr.Type == TypeUpdate {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Addr, out[j].Addr
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.Partition != b.Partition {
+			return a.Partition < b.Partition
+		}
+		return a.Uploader < b.Uploader
+	})
+	return out
+}
+
+// Stats returns a copy of the traffic counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,182 @@
+package directory
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"ipls/internal/pedersen"
+)
+
+// The directory service is the one (trusted but not infallible) component
+// the bootstrapper hosts. Snapshot/Restore give it crash recovery: the
+// full state — records, commitment accumulators, assignments, schedules —
+// serializes to a deterministic JSON document that a restarted
+// bootstrapper can restore and continue the iteration from.
+
+// snapshot is the serialized directory state.
+type snapshot struct {
+	Records       []Record          `json:"records"`
+	Gradients     []gradientLog     `json:"gradients"`
+	AccPartition  []partitionAcc    `json:"accPartition"`
+	AccAggregator []aggregatorAcc   `json:"accAggregator"`
+	Assignments   []assignmentEntry `json:"assignments"`
+	Finals        []Record          `json:"finals"`
+	Schedules     []scheduleEntry   `json:"schedules"`
+	Stats         Stats             `json:"stats"`
+}
+
+type gradientLog struct {
+	Iter      int      `json:"iter"`
+	Partition int      `json:"partition"`
+	Recs      []Record `json:"recs"`
+}
+
+type partitionAcc struct {
+	Iter       int    `json:"iter"`
+	Partition  int    `json:"partition"`
+	Commitment []byte `json:"commitment"`
+}
+
+type aggregatorAcc struct {
+	Iter       int    `json:"iter"`
+	Partition  int    `json:"partition"`
+	Aggregator string `json:"aggregator"`
+	Commitment []byte `json:"commitment"`
+	Count      int    `json:"count"`
+}
+
+type assignmentEntry struct {
+	Partition  int    `json:"partition"`
+	Trainer    string `json:"trainer"`
+	Aggregator string `json:"aggregator"`
+}
+
+type scheduleEntry struct {
+	Iter   int       `json:"iter"`
+	TTrain time.Time `json:"tTrain"`
+}
+
+// Snapshot serializes the full directory state.
+func (s *Service) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var snap snapshot
+	for _, rec := range s.records {
+		snap.Records = append(snap.Records, rec)
+	}
+	sort.Slice(snap.Records, func(i, j int) bool { return recordLess(snap.Records[i], snap.Records[j]) })
+	for key, recs := range s.gradients {
+		snap.Gradients = append(snap.Gradients, gradientLog{Iter: key.iter, Partition: key.part, Recs: recs})
+	}
+	sort.Slice(snap.Gradients, func(i, j int) bool {
+		a, b := snap.Gradients[i], snap.Gradients[j]
+		if a.Iter != b.Iter {
+			return a.Iter < b.Iter
+		}
+		return a.Partition < b.Partition
+	})
+	for key, acc := range s.accPartition {
+		snap.AccPartition = append(snap.AccPartition, partitionAcc{Iter: key.iter, Partition: key.part, Commitment: acc})
+	}
+	sort.Slice(snap.AccPartition, func(i, j int) bool {
+		a, b := snap.AccPartition[i], snap.AccPartition[j]
+		if a.Iter != b.Iter {
+			return a.Iter < b.Iter
+		}
+		return a.Partition < b.Partition
+	})
+	for key, acc := range s.accAggregator {
+		snap.AccAggregator = append(snap.AccAggregator, aggregatorAcc{
+			Iter: key.iter, Partition: key.part, Aggregator: key.agg,
+			Commitment: acc, Count: s.gradCount[key],
+		})
+	}
+	sort.Slice(snap.AccAggregator, func(i, j int) bool {
+		a, b := snap.AccAggregator[i], snap.AccAggregator[j]
+		if a.Iter != b.Iter {
+			return a.Iter < b.Iter
+		}
+		if a.Partition != b.Partition {
+			return a.Partition < b.Partition
+		}
+		return a.Aggregator < b.Aggregator
+	})
+	for p, byAgg := range s.trainers {
+		for agg, trainers := range byAgg {
+			for _, tr := range trainers {
+				snap.Assignments = append(snap.Assignments, assignmentEntry{Partition: p, Trainer: tr, Aggregator: agg})
+			}
+		}
+	}
+	sort.Slice(snap.Assignments, func(i, j int) bool {
+		a, b := snap.Assignments[i], snap.Assignments[j]
+		if a.Partition != b.Partition {
+			return a.Partition < b.Partition
+		}
+		if a.Aggregator != b.Aggregator {
+			return a.Aggregator < b.Aggregator
+		}
+		return a.Trainer < b.Trainer
+	})
+	for _, rec := range s.finalUpdate {
+		snap.Finals = append(snap.Finals, rec)
+	}
+	sort.Slice(snap.Finals, func(i, j int) bool { return recordLess(snap.Finals[i], snap.Finals[j]) })
+	for iter, deadline := range s.schedules {
+		snap.Schedules = append(snap.Schedules, scheduleEntry{Iter: iter, TTrain: deadline})
+	}
+	sort.Slice(snap.Schedules, func(i, j int) bool { return snap.Schedules[i].Iter < snap.Schedules[j].Iter })
+	snap.Stats = s.stats
+	return json.Marshal(snap)
+}
+
+func recordLess(a, b Record) bool {
+	if a.Addr.Iter != b.Addr.Iter {
+		return a.Addr.Iter < b.Addr.Iter
+	}
+	if a.Addr.Partition != b.Addr.Partition {
+		return a.Addr.Partition < b.Addr.Partition
+	}
+	if a.Addr.Type != b.Addr.Type {
+		return a.Addr.Type < b.Addr.Type
+	}
+	return a.Addr.Uploader < b.Addr.Uploader
+}
+
+// Restore reconstructs a directory service from a snapshot. The commitment
+// parameters and block fetcher are environment, not state, and must be
+// supplied again (they are deterministic from the task config).
+func Restore(data []byte, params *pedersen.Params, fetcher BlockFetcher) (*Service, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("directory: restore: %w", err)
+	}
+	s := New(params, fetcher)
+	for _, rec := range snap.Records {
+		s.records[rec.Addr] = rec
+	}
+	for _, g := range snap.Gradients {
+		s.gradients[iterPart{g.Iter, g.Partition}] = g.Recs
+	}
+	for _, acc := range snap.AccPartition {
+		s.accPartition[iterPart{acc.Iter, acc.Partition}] = pedersen.Commitment(acc.Commitment)
+	}
+	for _, acc := range snap.AccAggregator {
+		key := iterPartAgg{acc.Iter, acc.Partition, acc.Aggregator}
+		s.accAggregator[key] = pedersen.Commitment(acc.Commitment)
+		s.gradCount[key] = acc.Count
+	}
+	for _, a := range snap.Assignments {
+		s.SetAssignment(a.Partition, a.Trainer, a.Aggregator)
+	}
+	for _, rec := range snap.Finals {
+		s.finalUpdate[iterPart{rec.Addr.Iter, rec.Addr.Partition}] = rec
+	}
+	for _, sched := range snap.Schedules {
+		s.schedules[sched.Iter] = sched.TTrain
+	}
+	s.stats = snap.Stats
+	return s, nil
+}

@@ -1,0 +1,208 @@
+// Package distdir implements the paper's §VI proposal for reducing the
+// directory service's query load: instead of one directory hosted by the
+// bootstrapper, the map is sharded across the storage nodes, "making the
+// IPFS nodes responsible for replying to map queries".
+//
+// Sharding is by partition: all records, accumulators and the final update
+// of a model partition live on the shard that the partition hashes to, so
+// every single-partition operation touches exactly one shard and the
+// per-shard load drops by roughly the shard count. The sharded service is
+// a drop-in replacement for the plain directory (it implements the same
+// client interface), and remains compatible with verifiable aggregation —
+// each shard verifies the partitions it owns.
+package distdir
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"ipls/internal/directory"
+	"ipls/internal/identity"
+	"ipls/internal/pedersen"
+)
+
+// Sharded routes directory operations to per-partition shards.
+type Sharded struct {
+	taskID string
+	shards []*directory.Service
+}
+
+// New creates a sharded directory over n shards, each backed by its own
+// directory.Service with the given commitment parameters and block fetcher
+// (both may be nil for non-verifiable tasks). The taskID salts the
+// partition-to-shard mapping.
+func New(taskID string, n int, params *pedersen.Params, fetcher directory.BlockFetcher) (*Sharded, error) {
+	if n <= 0 {
+		return nil, errors.New("distdir: need at least one shard")
+	}
+	s := &Sharded{taskID: taskID, shards: make([]*directory.Service, n)}
+	for i := range s.shards {
+		s.shards[i] = directory.New(params, fetcher)
+	}
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// shardFor maps a partition to its owning shard.
+func (s *Sharded) shardFor(partition int) *directory.Service {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s/%d", s.taskID, partition)
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// SetAssignment registers a T_ij assignment on the owning shard.
+func (s *Sharded) SetAssignment(partition int, trainer, aggregator string) {
+	s.shardFor(partition).SetAssignment(partition, trainer, aggregator)
+}
+
+// TrainersFor lists the trainers assigned to an aggregator for a partition.
+func (s *Sharded) TrainersFor(partition int, aggregator string) []string {
+	return s.shardFor(partition).TrainersFor(partition, aggregator)
+}
+
+// Publish records an uploaded block on the partition's shard.
+func (s *Sharded) Publish(rec directory.Record) error {
+	return s.shardFor(rec.Addr.Partition).Publish(rec)
+}
+
+// PublishBatch routes each record to its partition's shard. One client
+// round trip fans out to at most Shards() shard requests.
+func (s *Sharded) PublishBatch(recs []directory.Record) error {
+	byShard := make(map[*directory.Service][]directory.Record)
+	for _, rec := range recs {
+		shard := s.shardFor(rec.Addr.Partition)
+		byShard[shard] = append(byShard[shard], rec)
+	}
+	for _, shard := range s.shards { // deterministic order
+		if batch, ok := byShard[shard]; ok {
+			if err := shard.PublishBatch(batch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup resolves an exact address.
+func (s *Sharded) Lookup(addr directory.Addr) (directory.Record, error) {
+	return s.shardFor(addr.Partition).Lookup(addr)
+}
+
+// GradientsFor lists gradient records for an aggregator.
+func (s *Sharded) GradientsFor(iter, partition int, aggregator string) []directory.Record {
+	return s.shardFor(partition).GradientsFor(iter, partition, aggregator)
+}
+
+// PartialUpdates lists the published partial updates.
+func (s *Sharded) PartialUpdates(iter, partition int) []directory.Record {
+	return s.shardFor(partition).PartialUpdates(iter, partition)
+}
+
+// Update returns the accepted global update.
+func (s *Sharded) Update(iter, partition int) (directory.Record, error) {
+	return s.shardFor(partition).Update(iter, partition)
+}
+
+// PartitionAccumulator returns the accumulated partition commitment.
+func (s *Sharded) PartitionAccumulator(iter, partition int) (pedersen.Commitment, error) {
+	return s.shardFor(partition).PartitionAccumulator(iter, partition)
+}
+
+// AggregatorAccumulator returns an aggregator's accumulated commitment.
+func (s *Sharded) AggregatorAccumulator(iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
+	return s.shardFor(partition).AggregatorAccumulator(iter, partition, aggregator)
+}
+
+// VerifyPartialUpdate checks a partial update against the accumulator.
+func (s *Sharded) VerifyPartialUpdate(iter, partition int, aggregator string, data []byte) (bool, error) {
+	return s.shardFor(partition).VerifyPartialUpdate(iter, partition, aggregator, data)
+}
+
+// SetSchedule announces an iteration's t_train deadline on every shard.
+func (s *Sharded) SetSchedule(iter int, tTrain time.Time) {
+	for _, shard := range s.shards {
+		shard.SetSchedule(iter, tTrain)
+	}
+}
+
+// RecordsForIter gathers an iteration's gradient and partial records from
+// all shards.
+func (s *Sharded) RecordsForIter(iter int) []directory.Record {
+	var out []directory.Record
+	for _, shard := range s.shards {
+		out = append(out, shard.RecordsForIter(iter)...)
+	}
+	return out
+}
+
+// SetRegistry makes every shard authenticate publishes against the
+// participants' registered public keys.
+func (s *Sharded) SetRegistry(r *identity.Registry) {
+	for _, shard := range s.shards {
+		shard.SetRegistry(r)
+	}
+}
+
+// Snapshot serializes every shard's state (a JSON array, one document per
+// shard).
+func (s *Sharded) Snapshot() ([]byte, error) {
+	snaps := make([]json.RawMessage, len(s.shards))
+	for i, shard := range s.shards {
+		data, err := shard.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("distdir: shard %d: %w", i, err)
+		}
+		snaps[i] = data
+	}
+	return json.Marshal(snaps)
+}
+
+// Restore reconstructs a sharded directory from a Snapshot. The shard
+// count is implied by the snapshot; taskID must match the original (it
+// determines the partition-to-shard mapping).
+func Restore(taskID string, data []byte, params *pedersen.Params, fetcher directory.BlockFetcher) (*Sharded, error) {
+	var snaps []json.RawMessage
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		return nil, fmt.Errorf("distdir: restore: %w", err)
+	}
+	if len(snaps) == 0 {
+		return nil, errors.New("distdir: empty snapshot")
+	}
+	s := &Sharded{taskID: taskID, shards: make([]*directory.Service, len(snaps))}
+	for i, snap := range snaps {
+		shard, err := directory.Restore(snap, params, fetcher)
+		if err != nil {
+			return nil, fmt.Errorf("distdir: shard %d: %w", i, err)
+		}
+		s.shards[i] = shard
+	}
+	return s, nil
+}
+
+// ShardStats returns each shard's traffic counters — the measurement that
+// shows the bootstrapper's load dropping by the shard count.
+func (s *Sharded) ShardStats() []directory.Stats {
+	out := make([]directory.Stats, len(s.shards))
+	for i, shard := range s.shards {
+		out[i] = shard.Stats()
+	}
+	return out
+}
+
+// Stats aggregates the counters across shards.
+func (s *Sharded) Stats() directory.Stats {
+	var total directory.Stats
+	for _, st := range s.ShardStats() {
+		total.Publishes += st.Publishes
+		total.Requests += st.Requests
+		total.Lookups += st.Lookups
+		total.Verifications += st.Verifications
+		total.Rejections += st.Rejections
+	}
+	return total
+}

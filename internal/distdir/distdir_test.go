@@ -1,0 +1,252 @@
+package distdir
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ipls/internal/core"
+	"ipls/internal/directory"
+	"ipls/internal/identity"
+	"ipls/internal/scalar"
+	"ipls/internal/storage"
+)
+
+// The sharded directory must be a drop-in replacement for the plain one.
+var _ core.Directory = (*Sharded)(nil)
+
+// stack builds a session whose directory is sharded over n shards.
+func stack(t *testing.T, shards int, verifiable bool) (*core.Session, *Sharded) {
+	t.Helper()
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID:                  "distdir",
+		ModelDim:                48,
+		Partitions:              6,
+		Trainers:                []string{"t0", "t1", "t2", "t3"},
+		AggregatorsPerPartition: 1,
+		StorageNodes:            []string{"s0", "s1", "s2"},
+		Verifiable:              verifiable,
+		TTrain:                  3 * time.Second,
+		TSync:                   3 * time.Second,
+		PollInterval:            time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := scalar.NewField(cfg.Curve.N)
+	net := storage.NewNetwork(field, 1)
+	for _, id := range cfg.StorageNodes {
+		net.AddNode(id)
+	}
+	params, err := cfg.PedersenParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := New(cfg.TaskID, shards, params, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < cfg.Spec.Partitions; p++ {
+		for _, agg := range cfg.Aggregators[p] {
+			for _, tr := range cfg.TrainersOf(p, agg) {
+				sharded.SetAssignment(p, tr, agg)
+			}
+		}
+	}
+	sess, err := core.NewSession(cfg, net, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, sharded
+}
+
+func runIteration(t *testing.T, sess *core.Session, seed int64) ([]float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	deltas := make(map[string][]float64)
+	want := make([]float64, sess.Config().Spec.Dim)
+	for _, tr := range sess.Config().Trainers {
+		d := make([]float64, sess.Config().Spec.Dim)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+			want[i] += d[i] / float64(len(sess.Config().Trainers))
+		}
+		deltas[tr] = d
+	}
+	res, err := sess.RunIteration(context.Background(), 0, deltas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incomplete) > 0 {
+		t.Fatalf("incomplete partitions: %v", res.Incomplete)
+	}
+	return res.AvgDelta, want
+}
+
+func TestShardedIterationMatchesExpected(t *testing.T) {
+	for _, verifiable := range []bool{false, true} {
+		sess, _ := stack(t, 3, verifiable)
+		got, want := runIteration(t, sess, 1)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("verifiable=%v: element %d off", verifiable, i)
+			}
+		}
+	}
+}
+
+func TestLoadSpreadsAcrossShards(t *testing.T) {
+	sess, sharded := stack(t, 3, false)
+	runIteration(t, sess, 2)
+	stats := sharded.ShardStats()
+	busy := 0
+	total := 0
+	for _, st := range stats {
+		if st.Publishes > 0 {
+			busy++
+		}
+		total += st.Publishes
+	}
+	if busy < 2 {
+		t.Fatalf("load not spread: per-shard publishes %+v", stats)
+	}
+	if agg := sharded.Stats(); agg.Publishes != total {
+		t.Fatalf("aggregate stats mismatch: %d != %d", agg.Publishes, total)
+	}
+	// No shard should carry everything.
+	for i, st := range stats {
+		if st.Publishes == total {
+			t.Fatalf("shard %d carries the whole load", i)
+		}
+	}
+}
+
+func TestShardedVerificationStillCatchesCheating(t *testing.T) {
+	sess, _ := stack(t, 3, true)
+	rng := rand.New(rand.NewSource(3))
+	deltas := make(map[string][]float64)
+	for _, tr := range sess.Config().Trainers {
+		d := make([]float64, sess.Config().Spec.Dim)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		deltas[tr] = d
+	}
+	evil := core.AggregatorID(2, 0)
+	res, err := sess.RunIteration(context.Background(), 0, deltas,
+		map[string]core.Behavior{evil: core.BehaviorAlterGradient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("sharded directory failed to detect cheating")
+	}
+}
+
+func TestShardedSchedule(t *testing.T) {
+	sess, sharded := stack(t, 2, false)
+	base := time.Now()
+	for i := range sharded.shards {
+		sharded.shards[i].SetClock(func() time.Time { return base })
+	}
+	sharded.SetSchedule(0, base.Add(-time.Minute))
+	if err := sess.TrainerUpload("t0", 0, make([]float64, 48)); err == nil {
+		t.Fatal("late gradient accepted by sharded directory")
+	}
+}
+
+func TestShardedRecordsForIter(t *testing.T) {
+	sess, sharded := stack(t, 3, false)
+	runIteration(t, sess, 4)
+	recs := sharded.RecordsForIter(0)
+	// 4 trainers x 6 partitions gradients (single aggregator: no partials).
+	if len(recs) != 24 {
+		t.Fatalf("expected 24 records, got %d", len(recs))
+	}
+	// Cleanup also works through the sharded directory.
+	removed, err := sess.CleanupIteration(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 24 {
+		t.Fatalf("removed %d, want 24", removed)
+	}
+}
+
+func TestShardedSnapshotRestore(t *testing.T) {
+	sess, sharded := stack(t, 3, true)
+	runIteration(t, sess, 6)
+	snap, err := sharded.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sess.Config()
+	params, err := cfg.PedersenParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(cfg.TaskID, snap, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Shards() != 3 {
+		t.Fatalf("restored %d shards", restored.Shards())
+	}
+	for p := 0; p < cfg.Spec.Partitions; p++ {
+		orig, err := sharded.Update(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Update(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CID != orig.CID {
+			t.Fatalf("partition %d final update changed in restore", p)
+		}
+	}
+	if _, err := Restore("x", []byte("junk"), nil, nil); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	if _, err := Restore("x", []byte("[]"), nil, nil); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+}
+
+func TestShardedRegistry(t *testing.T) {
+	sess, sharded := stack(t, 2, false)
+	cfg := sess.Config()
+	ring, reg := identity.DeterministicSetup(cfg.TaskID, cfg.ParticipantIDs())
+	sharded.SetRegistry(reg)
+	// Unsigned publishes fail on every shard.
+	if err := sess.TrainerUpload("t0", 0, make([]float64, cfg.Spec.Dim)); !errors.Is(err, directory.ErrBadSignature) {
+		t.Fatalf("unsigned publish accepted by sharded directory: %v", err)
+	}
+	sess.SetKeyring(ring)
+	if err := sess.TrainerUpload("t0", 0, make([]float64, cfg.Spec.Dim)); err != nil {
+		t.Fatalf("signed publish rejected: %v", err)
+	}
+}
+
+func TestShardedMisc(t *testing.T) {
+	if _, err := New("x", 0, nil, nil); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	sess, sharded := stack(t, 4, false)
+	if sharded.Shards() != 4 {
+		t.Fatal("shard count wrong")
+	}
+	runIteration(t, sess, 5)
+	if got := sharded.TrainersFor(0, core.AggregatorID(0, 0)); len(got) != 4 {
+		t.Fatalf("TrainersFor = %v", got)
+	}
+	if _, err := sharded.Lookup(directory.Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: directory.TypeGradient}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.Update(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}

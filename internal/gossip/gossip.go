@@ -1,0 +1,160 @@
+// Package gossip implements the purely decentralized federated-learning
+// baseline the paper's introduction contrasts against (category (i):
+// "peers communicate directly with others and perform the learning process
+// via gossiping", [5, 6, 7]): every peer keeps its own model, trains
+// locally, and averages parameters with a few random neighbors each round.
+//
+// There is no aggregator, no global model and no convergence guarantee
+// matching centralized FL — the intro's point ("it may not always achieve
+// the same performance in model accuracy and convergence as centralized
+// FL, and this highly depends on the nature of the dataset") is exactly
+// what the E14 experiment measures on label-skewed data.
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ipls/internal/ml"
+)
+
+// Config parameterizes a gossip-learning run.
+type Config struct {
+	// Degree is how many random neighbors each peer averages with per
+	// round.
+	Degree int
+	// Rounds is the number of gossip rounds.
+	Rounds int
+	// SGD configures each peer's local training per round.
+	SGD ml.SGDConfig
+	// Seed drives neighbor selection.
+	Seed int64
+}
+
+func (c Config) validate(peers int) error {
+	if peers < 2 {
+		return fmt.Errorf("gossip: need at least 2 peers, got %d", peers)
+	}
+	if c.Degree < 1 || c.Degree >= peers {
+		return fmt.Errorf("gossip: degree must be in [1, %d), got %d", peers, c.Degree)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("gossip: rounds must be positive, got %d", c.Rounds)
+	}
+	return nil
+}
+
+// RoundMetrics reports one gossip round.
+type RoundMetrics struct {
+	Round int
+	// MeanAccuracy is the average accuracy of the peers' individual
+	// models on the evaluation set.
+	MeanAccuracy float64
+	// Disagreement is the maximum L2 distance between any peer's model
+	// and the peer average — the consensus gap, zero in centralized FL.
+	Disagreement float64
+}
+
+// Result is a full gossip run.
+type Result struct {
+	PerRound []RoundMetrics
+	// FinalParams holds each peer's final model.
+	FinalParams [][]float64
+}
+
+// Run executes gossip learning: each round every peer trains locally, then
+// averages its parameters with Degree random neighbors' (pre-round)
+// parameters. The model instance is shared scratch space; initial is the
+// common starting parameter vector.
+func Run(m ml.Model, locals []*ml.Dataset, eval *ml.Dataset, initial []float64, cfg Config) (*Result, error) {
+	peers := len(locals)
+	if err := cfg.validate(peers); err != nil {
+		return nil, err
+	}
+	if len(initial) != m.Dim() {
+		return nil, fmt.Errorf("gossip: initial params have length %d, want %d", len(initial), m.Dim())
+	}
+	params := make([][]float64, peers)
+	for i := range params {
+		params[i] = append([]float64(nil), initial...)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	result := &Result{}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Local training step on every peer.
+		for i := range params {
+			sgd := cfg.SGD
+			sgd.Seed = ml.ParticipantSeed(int64(round), i)
+			delta, _, err := ml.LocalDelta(m, locals[i], params[i], sgd)
+			if err != nil {
+				return nil, fmt.Errorf("gossip: peer %d round %d: %w", i, round, err)
+			}
+			for j := range params[i] {
+				params[i][j] += delta[j]
+			}
+		}
+		// Gossip averaging over a fresh random neighborhood per peer.
+		snapshot := make([][]float64, peers)
+		for i := range params {
+			snapshot[i] = append([]float64(nil), params[i]...)
+		}
+		for i := range params {
+			neighbors := rng.Perm(peers)
+			picked := 0
+			for _, n := range neighbors {
+				if n == i {
+					continue
+				}
+				for j := range params[i] {
+					params[i][j] += snapshot[n][j]
+				}
+				picked++
+				if picked == cfg.Degree {
+					break
+				}
+			}
+			inv := 1.0 / float64(picked+1)
+			for j := range params[i] {
+				params[i][j] *= inv
+			}
+		}
+		metrics, err := measure(m, params, eval)
+		if err != nil {
+			return nil, err
+		}
+		metrics.Round = round
+		result.PerRound = append(result.PerRound, metrics)
+	}
+	result.FinalParams = params
+	return result, nil
+}
+
+// measure computes the round metrics over the peers' current models.
+func measure(m ml.Model, params [][]float64, eval *ml.Dataset) (RoundMetrics, error) {
+	peers := len(params)
+	dim := len(params[0])
+	mean := make([]float64, dim)
+	for _, p := range params {
+		for j, v := range p {
+			mean[j] += v / float64(peers)
+		}
+	}
+	var metrics RoundMetrics
+	for _, p := range params {
+		if err := m.SetParams(p); err != nil {
+			return RoundMetrics{}, err
+		}
+		metrics.MeanAccuracy += ml.Accuracy(m, eval) / float64(peers)
+		var dist float64
+		for j, v := range p {
+			d := v - mean[j]
+			dist += d * d
+		}
+		if d := math.Sqrt(dist); d > metrics.Disagreement {
+			metrics.Disagreement = d
+		}
+	}
+	return metrics, nil
+}

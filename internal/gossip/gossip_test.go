@@ -1,0 +1,141 @@
+package gossip
+
+import (
+	"testing"
+
+	"ipls/internal/ml"
+)
+
+func gossipFixture(t *testing.T, nonIID bool) (ml.Model, []*ml.Dataset, *ml.Dataset) {
+	t.Helper()
+	const peers = 8
+	data := ml.Blobs(480, 4, 4, 0.8, 80)
+	var splits []*ml.Dataset
+	var err error
+	if nonIID {
+		splits, err = data.SplitLabelSkew(peers, 1, 81)
+	} else {
+		splits, err = data.SplitIID(peers, 81)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ml.NewLogistic(4, 4), splits, data
+}
+
+func TestGossipConvergesIID(t *testing.T) {
+	m, locals, eval := gossipFixture(t, false)
+	res, err := Run(m, locals, eval, m.Params(), Config{
+		Degree: 2, Rounds: 10,
+		SGD:  ml.SGDConfig{LearningRate: 0.3, Epochs: 2, BatchSize: 16},
+		Seed: 82,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.PerRound[len(res.PerRound)-1]
+	if last.MeanAccuracy < 0.85 {
+		t.Fatalf("gossip on IID data should converge: accuracy %v", last.MeanAccuracy)
+	}
+	if len(res.FinalParams) != 8 {
+		t.Fatal("missing final params")
+	}
+}
+
+func TestGossipDisagreementShrinks(t *testing.T) {
+	m, locals, eval := gossipFixture(t, false)
+	res, err := Run(m, locals, eval, m.Params(), Config{
+		Degree: 3, Rounds: 12,
+		SGD:  ml.SGDConfig{LearningRate: 0.2, Epochs: 1, BatchSize: 16},
+		Seed: 83,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := res.PerRound[1].Disagreement
+	late := res.PerRound[len(res.PerRound)-1].Disagreement
+	if late >= early {
+		t.Fatalf("gossip averaging should shrink disagreement: %v -> %v", early, late)
+	}
+	if late == 0 {
+		t.Fatal("peers never reach exact consensus under gossip — zero is suspicious")
+	}
+}
+
+func TestGossipWorseThanFedAvgOnLabelSkew(t *testing.T) {
+	// The introduction's claim: purely decentralized gossip can lag
+	// centralized(-equivalent) FL, especially on pathological splits.
+	m, locals, eval := gossipFixture(t, true)
+	const rounds = 6
+	sgd := ml.SGDConfig{LearningRate: 0.3, Epochs: 2, BatchSize: 16}
+
+	res, err := Run(m, locals, eval, m.Params(), Config{Degree: 1, Rounds: rounds, SGD: sgd, Seed: 84})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gossipAcc := res.PerRound[rounds-1].MeanAccuracy
+
+	// FedAvg reference from the same initial state.
+	global := ml.NewLogistic(4, 4).Params()
+	for r := 0; r < rounds; r++ {
+		roundSGD := sgd
+		roundSGD.Seed = int64(r)
+		next, _, err := ml.FedAvgRound(m, global, locals, roundSGD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		global = next
+	}
+	if err := m.SetParams(global); err != nil {
+		t.Fatal(err)
+	}
+	fedAcc := ml.Accuracy(m, eval)
+
+	if fedAcc < 0.9 {
+		t.Fatalf("FedAvg reference failed to converge: %v", fedAcc)
+	}
+	if gossipAcc >= fedAcc {
+		t.Fatalf("expected gossip (%v) below FedAvg (%v) on label-skewed data after %d rounds",
+			gossipAcc, fedAcc, rounds)
+	}
+}
+
+func TestGossipDeterministic(t *testing.T) {
+	m, locals, eval := gossipFixture(t, false)
+	cfg := Config{Degree: 2, Rounds: 3, SGD: ml.SGDConfig{LearningRate: 0.2, Epochs: 1, BatchSize: 16}, Seed: 85}
+	initial := m.Params() // capture once: Run mutates the scratch model
+	a, err := Run(m, locals, eval, initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, locals, eval, initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerRound {
+		if a.PerRound[i] != b.PerRound[i] {
+			t.Fatalf("round %d metrics differ across identical runs", i)
+		}
+	}
+}
+
+func TestGossipValidation(t *testing.T) {
+	m, locals, eval := gossipFixture(t, false)
+	sgd := ml.SGDConfig{LearningRate: 0.1, Epochs: 1}
+	bad := []Config{
+		{Degree: 0, Rounds: 1, SGD: sgd},
+		{Degree: 8, Rounds: 1, SGD: sgd},
+		{Degree: 1, Rounds: 0, SGD: sgd},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(m, locals, eval, m.Params(), cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := Run(m, locals[:1], eval, m.Params(), Config{Degree: 1, Rounds: 1, SGD: sgd}); err == nil {
+		t.Error("single peer accepted")
+	}
+	if _, err := Run(m, locals, eval, make([]float64, 3), Config{Degree: 1, Rounds: 1, SGD: sgd}); err == nil {
+		t.Error("wrong initial length accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package group
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func benchScalar(b *testing.B, c *Curve) *big.Int {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 32)
+	rng.Read(buf)
+	return new(big.Int).Mod(new(big.Int).SetBytes(buf), c.N)
+}
+
+func BenchmarkScalarMult(b *testing.B) {
+	for _, c := range allCurves() {
+		b.Run(c.Name, func(b *testing.B) {
+			k := benchScalar(b, c)
+			p := c.Generator()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.ScalarMult(p, k)
+			}
+		})
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	for _, c := range allCurves() {
+		b.Run(c.Name, func(b *testing.B) {
+			p := c.ScalarBaseMult(benchScalar(b, c))
+			q := c.Double(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Add(p, q)
+			}
+		})
+	}
+}
+
+func BenchmarkHashToPoint(b *testing.B) {
+	for _, c := range allCurves() {
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.HashToPoint("bench", i)
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	c := Secp256k1()
+	p := c.ScalarBaseMult(benchScalar(b, c))
+	enc := c.Encode(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

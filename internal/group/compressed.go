@@ -1,0 +1,69 @@
+package group
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// CompressedSize is the size of a compressed point encoding: a parity tag
+// byte followed by the 32-byte x coordinate. Commitments travel in every
+// gradient record, so halving their wire size halves the directory's
+// publish traffic.
+const CompressedSize = 33
+
+// Compressed-point tags, following SEC 1: 0x02/0x03 carry the parity of y,
+// 0x00 marks the identity.
+const (
+	tagIdentity = 0x00
+	tagEvenY    = 0x02
+	tagOddY     = 0x03
+)
+
+// EncodeCompressed serializes a point into 33 bytes (SEC 1 style).
+func (c *Curve) EncodeCompressed(p Point) []byte {
+	buf := make([]byte, CompressedSize)
+	if p.IsInfinity() {
+		return buf
+	}
+	if p.Y.Bit(0) == 1 {
+		buf[0] = tagOddY
+	} else {
+		buf[0] = tagEvenY
+	}
+	p.X.FillBytes(buf[1:])
+	return buf
+}
+
+// DecodeCompressed parses a 33-byte compressed encoding, recovering y from
+// the curve equation and the parity tag.
+func (c *Curve) DecodeCompressed(b []byte) (Point, error) {
+	if len(b) != CompressedSize {
+		return Point{}, fmt.Errorf("group: compressed point must be %d bytes, got %d", CompressedSize, len(b))
+	}
+	switch b[0] {
+	case tagIdentity:
+		for _, v := range b[1:] {
+			if v != 0 {
+				return Point{}, errors.New("group: malformed compressed identity")
+			}
+		}
+		return Point{}, nil
+	case tagEvenY, tagOddY:
+		x := new(big.Int).SetBytes(b[1:])
+		if x.Cmp(c.P) >= 0 {
+			return Point{}, errors.New("group: compressed x out of range")
+		}
+		y, ok := c.solveY(x)
+		if !ok {
+			return Point{}, errors.New("group: compressed x not on curve")
+		}
+		wantOdd := b[0] == tagOddY
+		if (y.Bit(0) == 1) != wantOdd {
+			y.Sub(c.P, y)
+		}
+		return Point{X: x, Y: y}, nil
+	default:
+		return Point{}, fmt.Errorf("group: unsupported compressed tag %#x", b[0])
+	}
+}

@@ -1,0 +1,91 @@
+package group
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, c := range allCurves() {
+		for i := 0; i < 20; i++ {
+			p := c.ScalarBaseMult(randScalar(rng, c))
+			enc := c.EncodeCompressed(p)
+			if len(enc) != CompressedSize {
+				t.Fatalf("%s: encoding length %d", c.Name, len(enc))
+			}
+			got, err := c.DecodeCompressed(enc)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			if !got.Equal(p) {
+				t.Fatalf("%s: round trip mismatch", c.Name)
+			}
+		}
+		// Identity round trip.
+		enc := c.EncodeCompressed(Infinity())
+		got, err := c.DecodeCompressed(enc)
+		if err != nil || !got.IsInfinity() {
+			t.Fatalf("%s: identity round trip failed: %v", c.Name, err)
+		}
+	}
+}
+
+func TestCompressedParityMatters(t *testing.T) {
+	c := Secp256k1()
+	rng := rand.New(rand.NewSource(31))
+	p := c.ScalarBaseMult(randScalar(rng, c))
+	enc := c.EncodeCompressed(p)
+	// Flip the parity tag: decodes to the negated point.
+	if enc[0] == tagEvenY {
+		enc[0] = tagOddY
+	} else {
+		enc[0] = tagEvenY
+	}
+	got, err := c.DecodeCompressed(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(c.Neg(p)) {
+		t.Fatal("flipped parity should decode to -P")
+	}
+}
+
+func TestCompressedRejectsGarbage(t *testing.T) {
+	c := Secp256r1()
+	if _, err := c.DecodeCompressed(make([]byte, 10)); err == nil {
+		t.Fatal("expected length error")
+	}
+	bad := make([]byte, CompressedSize)
+	bad[0] = 0x09
+	if _, err := c.DecodeCompressed(bad); err == nil {
+		t.Fatal("expected tag error")
+	}
+	bad2 := make([]byte, CompressedSize)
+	bad2[5] = 1 // identity tag but non-zero body
+	if _, err := c.DecodeCompressed(bad2); err == nil {
+		t.Fatal("expected malformed-identity error")
+	}
+	// x >= p must be rejected.
+	tooBig := make([]byte, CompressedSize)
+	tooBig[0] = tagEvenY
+	for i := 1; i < CompressedSize; i++ {
+		tooBig[i] = 0xff
+	}
+	if _, err := c.DecodeCompressed(tooBig); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	// A non-residue x (not on curve) must be rejected; find one.
+	probe := make([]byte, CompressedSize)
+	probe[0] = tagEvenY
+	found := false
+	for x := byte(1); x < 50 && !found; x++ {
+		probe[CompressedSize-1] = x
+		if _, err := c.DecodeCompressed(probe); err != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("could not find an off-curve x in probe range")
+	}
+}

@@ -1,0 +1,48 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzDecode checks the uncompressed point decoder: no panics, and
+// anything accepted is on the curve and re-encodes identically.
+func FuzzDecode(f *testing.F) {
+	c := Secp256k1()
+	f.Add(c.Encode(c.Generator()))
+	f.Add(c.Encode(Infinity()))
+	f.Add(make([]byte, EncodedSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		if !c.IsOnCurve(p) {
+			t.Fatal("decoder accepted an off-curve point")
+		}
+		if string(c.Encode(p)) != string(data) {
+			t.Fatal("point encoding not canonical")
+		}
+	})
+}
+
+// FuzzDecodeCompressed does the same for the 33-byte form.
+func FuzzDecodeCompressed(f *testing.F) {
+	c := Secp256r1()
+	f.Add(c.EncodeCompressed(c.Generator()))
+	f.Add(c.EncodeCompressed(Infinity()))
+	g2 := c.ScalarMult(c.Generator(), big.NewInt(2))
+	f.Add(c.EncodeCompressed(g2))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := c.DecodeCompressed(data)
+		if err != nil {
+			return
+		}
+		if !c.IsOnCurve(p) {
+			t.Fatal("compressed decoder accepted an off-curve point")
+		}
+		if string(c.EncodeCompressed(p)) != string(data) {
+			t.Fatal("compressed encoding not canonical")
+		}
+	})
+}

@@ -1,0 +1,226 @@
+package group
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// MultiExpStrategy selects the multi-scalar-multiplication algorithm used to
+// evaluate ∏ pᵢ^{kᵢ}. The paper's commitment implementation is the Naive
+// one; Windowed and Pippenger implement the multi-exponentiation
+// optimizations it cites as future work (Möller '01; Borges et al. '17).
+type MultiExpStrategy int
+
+const (
+	// StrategyAuto picks a strategy based on input size and curve backend.
+	StrategyAuto MultiExpStrategy = iota + 1
+	// StrategyNaive computes each scalar multiplication independently.
+	StrategyNaive
+	// StrategyWindowed uses shared-doubling with per-base 4-bit tables.
+	StrategyWindowed
+	// StrategyPippenger uses the bucket method with signed-scalar recoding.
+	StrategyPippenger
+)
+
+// String returns the strategy name.
+func (s MultiExpStrategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyNaive:
+		return "naive"
+	case StrategyWindowed:
+		return "windowed"
+	case StrategyPippenger:
+		return "pippenger"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Accelerated reports whether the curve uses an optimized stdlib backend.
+func (c *Curve) Accelerated() bool { return c.fast != nil }
+
+// MultiScalarMult computes ∑ kᵢ·pᵢ (written multiplicatively in the paper:
+// ∏ pᵢ^{kᵢ}). Scalars are reduced modulo the group order.
+func (c *Curve) MultiScalarMult(points []Point, scalars []*big.Int, strategy MultiExpStrategy) (Point, error) {
+	if len(points) != len(scalars) {
+		return Point{}, fmt.Errorf("group: %d points but %d scalars", len(points), len(scalars))
+	}
+	if len(points) == 0 {
+		return Point{}, errors.New("group: empty multi-scalar multiplication")
+	}
+	if strategy == StrategyAuto {
+		switch {
+		case c.fast != nil || len(points) < 4:
+			strategy = StrategyNaive
+		case len(points) < 32:
+			strategy = StrategyWindowed
+		default:
+			strategy = StrategyPippenger
+		}
+	}
+	switch strategy {
+	case StrategyNaive:
+		return c.multiExpNaive(points, scalars), nil
+	case StrategyWindowed:
+		return c.multiExpWindowed(points, scalars), nil
+	case StrategyPippenger:
+		return c.multiExpPippenger(points, scalars), nil
+	default:
+		return Point{}, fmt.Errorf("group: unknown strategy %v", strategy)
+	}
+}
+
+func (c *Curve) multiExpNaive(points []Point, scalars []*big.Int) Point {
+	acc := Infinity()
+	for i := range points {
+		term := c.ScalarMult(points[i], scalars[i])
+		acc = c.Add(acc, term)
+	}
+	return acc
+}
+
+// recodeSigned reduces k modulo the order and, when the result lies in the
+// top half of the field, replaces (k, p) by (order−k, −p). This keeps the
+// effective scalar bit-length small for fixed-point-encoded gradients, where
+// negative values would otherwise wrap to ~256-bit scalars.
+func (c *Curve) recodeSigned(p Point, k *big.Int) (Point, *big.Int) {
+	kr := new(big.Int).Mod(k, c.N)
+	half := new(big.Int).Rsh(c.N, 1)
+	if kr.Cmp(half) > 0 {
+		kr.Sub(c.N, kr)
+		p = c.Neg(p)
+	}
+	return p, kr
+}
+
+func (c *Curve) multiExpWindowed(points []Point, scalars []*big.Int) Point {
+	const w = 4
+	n := len(points)
+	tables := make([][16]jacobianPoint, n)
+	maxBits := 0
+	recoded := make([]*big.Int, n)
+	for i := range points {
+		p, k := c.recodeSigned(points[i], scalars[i])
+		recoded[i] = k
+		if bl := k.BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+		jp := toJacobian(p)
+		tables[i][0] = jacobianInfinity()
+		tables[i][1] = jp
+		for t := 2; t < 16; t++ {
+			if t%2 == 0 {
+				tables[i][t] = c.jacDouble(tables[i][t/2])
+			} else {
+				tables[i][t] = c.jacAdd(tables[i][t-1], jp)
+			}
+		}
+	}
+	if maxBits == 0 {
+		return Infinity()
+	}
+	windows := (maxBits + w - 1) / w
+	acc := jacobianInfinity()
+	for win := windows - 1; win >= 0; win-- {
+		if !acc.isInfinity() {
+			for d := 0; d < w; d++ {
+				acc = c.jacDouble(acc)
+			}
+		}
+		for i := range recoded {
+			digit := windowDigit(recoded[i], win, w)
+			if digit != 0 {
+				acc = c.jacAdd(acc, tables[i][digit])
+			}
+		}
+	}
+	return c.fromJacobian(acc)
+}
+
+func (c *Curve) multiExpPippenger(points []Point, scalars []*big.Int) Point {
+	n := len(points)
+	jpoints := make([]jacobianPoint, n)
+	recoded := make([]*big.Int, n)
+	maxBits := 0
+	for i := range points {
+		p, k := c.recodeSigned(points[i], scalars[i])
+		recoded[i] = k
+		jpoints[i] = toJacobian(p)
+		if bl := k.BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+	}
+	if maxBits == 0 {
+		return Infinity()
+	}
+	w := pippengerWindow(n)
+	windows := (maxBits + w - 1) / w
+	buckets := make([]jacobianPoint, 1<<w)
+	acc := jacobianInfinity()
+	for win := windows - 1; win >= 0; win-- {
+		if !acc.isInfinity() {
+			for d := 0; d < w; d++ {
+				acc = c.jacDouble(acc)
+			}
+		}
+		used := false
+		for b := range buckets {
+			buckets[b] = jacobianInfinity()
+		}
+		for i := range recoded {
+			digit := windowDigit(recoded[i], win, w)
+			if digit != 0 {
+				buckets[digit] = c.jacAdd(buckets[digit], jpoints[i])
+				used = true
+			}
+		}
+		if !used {
+			continue
+		}
+		// Bucket aggregation: ∑ b·bucket[b] via the running-sum trick.
+		running := jacobianInfinity()
+		sum := jacobianInfinity()
+		for b := len(buckets) - 1; b >= 1; b-- {
+			if !buckets[b].isInfinity() {
+				running = c.jacAdd(running, buckets[b])
+			}
+			if !running.isInfinity() {
+				sum = c.jacAdd(sum, running)
+			}
+		}
+		acc = c.jacAdd(acc, sum)
+	}
+	return c.fromJacobian(acc)
+}
+
+// pippengerWindow picks a bucket window size that balances the per-window
+// bucket-aggregation cost (2^w adds) against the per-point cost.
+func pippengerWindow(n int) int {
+	switch {
+	case n < 64:
+		return 4
+	case n < 512:
+		return 6
+	case n < 4096:
+		return 8
+	case n < 65536:
+		return 10
+	default:
+		return 12
+	}
+}
+
+// windowDigit extracts the win-th w-bit digit of k (little-endian windows).
+func windowDigit(k *big.Int, win, w int) int {
+	digit := 0
+	base := win * w
+	for bit := 0; bit < w; bit++ {
+		if k.Bit(base+bit) == 1 {
+			digit |= 1 << bit
+		}
+	}
+	return digit
+}

@@ -1,0 +1,167 @@
+// Package mimc implements the MiMC block cipher and a Miyaguchi–Preneel
+// hash over a prime field — a "proof-friendly" hash in the sense of the
+// paper's §VI: its circuit is a few hundred field multiplications, so an
+// aggregator could efficiently prove in zero knowledge that a content ID
+// and a Pedersen commitment bind the same gradient vector, delegating
+// update verification away from the directory service. (The paper cites
+// Poseidon for this role; MiMC is its simpler, well-studied predecessor
+// from Albrecht et al., ASIACRYPT 2016.)
+//
+// Natively MiMC is orders of magnitude slower than SHA-256 — that is the
+// price of algebraic friendliness, and the trade-off the benchmarks
+// quantify.
+package mimc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Hasher is a MiMC permutation and hash over GF(p).
+type Hasher struct {
+	p         *big.Int
+	exponent  *big.Int
+	rounds    int
+	constants []*big.Int
+}
+
+// candidate exponents tried in order; e must be coprime with p−1 for x^e
+// to be a permutation of GF(p).
+var candidateExponents = []int64{3, 5, 7, 11, 13, 17, 19, 23}
+
+// New derives a MiMC instance for the prime field p. The label
+// domain-separates the round constants. The exponent is the smallest
+// candidate coprime with p−1, and the round count is ⌈log_e p⌉, matching
+// the MiMC security analysis.
+func New(p *big.Int, label string) (*Hasher, error) {
+	if p.Sign() <= 0 || !p.ProbablyPrime(32) {
+		return nil, errors.New("mimc: modulus must be a prime")
+	}
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	var exponent *big.Int
+	for _, e := range candidateExponents {
+		be := big.NewInt(e)
+		if new(big.Int).GCD(nil, nil, be, pm1).Cmp(big.NewInt(1)) == 0 {
+			exponent = be
+			break
+		}
+	}
+	if exponent == nil {
+		return nil, errors.New("mimc: no suitable exponent for this field")
+	}
+	bits := float64(p.BitLen())
+	rounds := int(math.Ceil(bits * math.Ln2 / math.Log(float64(exponent.Int64()))))
+	h := &Hasher{
+		p:         p,
+		exponent:  exponent,
+		rounds:    rounds,
+		constants: make([]*big.Int, rounds),
+	}
+	for i := 0; i < rounds; i++ {
+		h.constants[i] = deriveConstant(p, label, i)
+	}
+	// The first round constant is zero by convention.
+	h.constants[0] = new(big.Int)
+	return h, nil
+}
+
+// deriveConstant hashes (label, index, counter) into GF(p) by rejection
+// sampling, so constants are nothing-up-my-sleeve.
+func deriveConstant(p *big.Int, label string, index int) *big.Int {
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(index))
+	for ctr := uint64(0); ; ctr++ {
+		var cb [8]byte
+		binary.BigEndian.PutUint64(cb[:], ctr)
+		d := sha256.New()
+		d.Write([]byte("ipls/mimc/"))
+		d.Write([]byte(label))
+		d.Write([]byte{0})
+		d.Write(idx[:])
+		d.Write(cb[:])
+		c := new(big.Int).SetBytes(d.Sum(nil))
+		if c.Cmp(p) < 0 {
+			return c
+		}
+	}
+}
+
+// Exponent returns the permutation exponent e.
+func (h *Hasher) Exponent() int64 { return h.exponent.Int64() }
+
+// Rounds returns the round count.
+func (h *Hasher) Rounds() int { return h.rounds }
+
+// Permute evaluates the MiMC block cipher E_k(x): rounds of
+// x ← (x + k + cᵢ)^e mod p, followed by a final key addition.
+func (h *Hasher) Permute(x, k *big.Int) *big.Int {
+	t := new(big.Int).Mod(x, h.p)
+	kr := new(big.Int).Mod(k, h.p)
+	for i := 0; i < h.rounds; i++ {
+		t.Add(t, kr)
+		t.Add(t, h.constants[i])
+		t.Exp(t, h.exponent, h.p)
+	}
+	t.Add(t, kr)
+	t.Mod(t, h.p)
+	return t
+}
+
+// Hash absorbs field elements through a Miyaguchi–Preneel chain:
+// hᵢ₊₁ = E_{hᵢ}(mᵢ) + hᵢ + mᵢ. The element count is absorbed first so
+// vectors of different lengths never collide trivially.
+func (h *Hasher) Hash(elems []*big.Int) *big.Int {
+	state := new(big.Int)
+	absorb := func(m *big.Int) {
+		mr := new(big.Int).Mod(m, h.p)
+		next := h.Permute(mr, state)
+		next.Add(next, state)
+		next.Add(next, mr)
+		next.Mod(next, h.p)
+		state = next
+	}
+	absorb(big.NewInt(int64(len(elems))))
+	for _, m := range elems {
+		absorb(m)
+	}
+	return state
+}
+
+// chunkSize is the number of bytes absorbed per field element; 31 bytes
+// always fit below a 256-bit prime.
+const chunkSize = 31
+
+// HashBytes hashes arbitrary bytes by packing them into field elements
+// (31 bytes each, length-prefixed).
+func (h *Hasher) HashBytes(data []byte) *big.Int {
+	elems := make([]*big.Int, 0, len(data)/chunkSize+2)
+	elems = append(elems, big.NewInt(int64(len(data))))
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		elems = append(elems, new(big.Int).SetBytes(data[off:end]))
+	}
+	if len(data) == 0 {
+		elems = append(elems, new(big.Int))
+	}
+	return h.Hash(elems)
+}
+
+// Sum returns HashBytes serialized as a fixed 32-byte digest, the shape a
+// MiMC-based content ID would have inside the storage network.
+func (h *Hasher) Sum(data []byte) [32]byte {
+	var out [32]byte
+	h.HashBytes(data).FillBytes(out[:])
+	return out
+}
+
+// String describes the instance.
+func (h *Hasher) String() string {
+	return fmt.Sprintf("MiMC(e=%d, rounds=%d, %d-bit field)", h.Exponent(), h.rounds, h.p.BitLen())
+}

@@ -1,0 +1,194 @@
+package mimc
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipls/internal/group"
+)
+
+func newTestHasher(t testing.TB) *Hasher {
+	t.Helper()
+	h, err := New(group.Secp256k1().N, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(big.NewInt(16), "x"); err == nil {
+		t.Fatal("composite modulus accepted")
+	}
+	if _, err := New(big.NewInt(-7), "x"); err == nil {
+		t.Fatal("negative modulus accepted")
+	}
+}
+
+func TestParametersForBothCurves(t *testing.T) {
+	for _, curve := range []*group.Curve{group.Secp256k1(), group.Secp256r1()} {
+		h, err := New(curve.N, "params")
+		if err != nil {
+			t.Fatalf("%s: %v", curve.Name, err)
+		}
+		// The exponent must be coprime with p-1 (a permutation).
+		pm1 := new(big.Int).Sub(curve.N, big.NewInt(1))
+		g := new(big.Int).GCD(nil, nil, big.NewInt(h.Exponent()), pm1)
+		if g.Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("%s: exponent %d shares a factor with p-1", curve.Name, h.Exponent())
+		}
+		// Round count must meet the MiMC bound log_e(p).
+		minRounds := 256.0 / (1.4427 * logf(float64(h.Exponent())))
+		if float64(h.Rounds()) < minRounds-1 {
+			t.Fatalf("%s: %d rounds below the security bound %.0f", curve.Name, h.Rounds(), minRounds)
+		}
+	}
+}
+
+func logf(x float64) float64 {
+	// ln via big-free math; avoid importing math twice in tests.
+	switch {
+	case x == 3:
+		return 1.0986
+	case x == 5:
+		return 1.6094
+	case x == 7:
+		return 1.9459
+	default:
+		return 1
+	}
+}
+
+func TestPermuteIsDeterministicAndKeyed(t *testing.T) {
+	h := newTestHasher(t)
+	x := big.NewInt(12345)
+	k1 := big.NewInt(1)
+	k2 := big.NewInt(2)
+	if h.Permute(x, k1).Cmp(h.Permute(x, k1)) != 0 {
+		t.Fatal("permutation not deterministic")
+	}
+	if h.Permute(x, k1).Cmp(h.Permute(x, k2)) == 0 {
+		t.Fatal("different keys gave the same ciphertext")
+	}
+}
+
+func TestPermuteInjectiveSample(t *testing.T) {
+	// E_k is a permutation, so no collisions can appear on any sample.
+	h := newTestHasher(t)
+	k := big.NewInt(99)
+	seen := make(map[string]bool)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		x := new(big.Int).Rand(rng, h.p)
+		y := h.Permute(x, k).String()
+		if seen[y] {
+			t.Fatal("collision in a permutation sample")
+		}
+		seen[y] = true
+	}
+}
+
+func TestHashDistinguishesLengths(t *testing.T) {
+	h := newTestHasher(t)
+	a := h.Hash([]*big.Int{big.NewInt(0)})
+	b := h.Hash([]*big.Int{big.NewInt(0), big.NewInt(0)})
+	if a.Cmp(b) == 0 {
+		t.Fatal("length extension collision")
+	}
+	empty := h.Hash(nil)
+	if empty.Cmp(a) == 0 {
+		t.Fatal("empty input collides with single zero")
+	}
+}
+
+func TestHashBytesCollisionSmoke(t *testing.T) {
+	h := newTestHasher(t)
+	check := func(a, b []byte) bool {
+		if string(a) == string(b) {
+			return true
+		}
+		return h.HashBytes(a).Cmp(h.HashBytes(b)) != 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashBytesEmptyAndBoundarySizes(t *testing.T) {
+	h := newTestHasher(t)
+	seen := make(map[string]bool)
+	for _, n := range []int{0, 1, 30, 31, 32, 61, 62, 63} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i + n)
+		}
+		d := h.HashBytes(data).String()
+		if seen[d] {
+			t.Fatalf("size-%d input collided", n)
+		}
+		seen[d] = true
+	}
+}
+
+func TestDiffusion(t *testing.T) {
+	// Flipping one bit of the input must change the digest.
+	h := newTestHasher(t)
+	data := []byte("gradient partition block bytes for diffusion test")
+	base := h.Sum(data)
+	for i := 0; i < len(data); i += 7 {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 1
+		if h.Sum(mutated) == base {
+			t.Fatalf("bit flip at byte %d did not change the digest", i)
+		}
+	}
+}
+
+func TestDifferentLabelsDifferentHashes(t *testing.T) {
+	h1, err := New(group.Secp256k1().N, "task-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := New(group.Secp256k1().N, "task-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("same bytes")
+	if h1.Sum(data) == h2.Sum(data) {
+		t.Fatal("labels do not domain-separate")
+	}
+}
+
+func TestSumShape(t *testing.T) {
+	h := newTestHasher(t)
+	if got := h.Sum([]byte("x")); len(got) != 32 {
+		t.Fatal("digest must be 32 bytes")
+	}
+	if h.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func BenchmarkMiMCvsSHA256(b *testing.B) {
+	h, err := New(group.Secp256k1().N, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(2)).Read(data)
+	b.Run("mimc", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			h.Sum(data)
+		}
+	})
+	b.Run("sha256", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			sha256.Sum256(data)
+		}
+	})
+}

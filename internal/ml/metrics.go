@@ -1,0 +1,75 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TrainTestSplit randomly partitions a dataset into a training and a test
+// set, with testFrac of the examples held out.
+func TrainTestSplit(d *Dataset, testFrac float64, seed int64) (train, test *Dataset, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("ml: test fraction must be in (0,1), got %v", testFrac)
+	}
+	n := d.Len()
+	nTest := int(float64(n) * testFrac)
+	if nTest == 0 || nTest == n {
+		return nil, nil, fmt.Errorf("ml: split of %d examples at %v leaves an empty side", n, testFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(n)
+	return d.Subset(idx[nTest:]), d.Subset(idx[:nTest]), nil
+}
+
+// ConfusionMatrix returns counts[true][predicted] over the dataset.
+func ConfusionMatrix(m Model, d *Dataset) [][]int {
+	counts := make([][]int, d.Classes)
+	for i := range counts {
+		counts[i] = make([]int, d.Classes)
+	}
+	for i, x := range d.X {
+		pred := m.Predict(x)
+		if d.Y[i] >= 0 && d.Y[i] < d.Classes && pred >= 0 && pred < d.Classes {
+			counts[d.Y[i]][pred]++
+		}
+	}
+	return counts
+}
+
+// PrecisionRecall returns per-class precision and recall from a confusion
+// matrix. Classes with no predictions (or no examples) score zero.
+func PrecisionRecall(confusion [][]int) (precision, recall []float64) {
+	k := len(confusion)
+	precision = make([]float64, k)
+	recall = make([]float64, k)
+	for c := 0; c < k; c++ {
+		var predicted, actual, hit int
+		for t := 0; t < k; t++ {
+			predicted += confusion[t][c]
+			actual += confusion[c][t]
+		}
+		hit = confusion[c][c]
+		if predicted > 0 {
+			precision[c] = float64(hit) / float64(predicted)
+		}
+		if actual > 0 {
+			recall[c] = float64(hit) / float64(actual)
+		}
+	}
+	return precision, recall
+}
+
+// MacroF1 averages the per-class F1 scores.
+func MacroF1(confusion [][]int) float64 {
+	precision, recall := PrecisionRecall(confusion)
+	var sum float64
+	for c := range precision {
+		if precision[c]+recall[c] > 0 {
+			sum += 2 * precision[c] * recall[c] / (precision[c] + recall[c])
+		}
+	}
+	if len(precision) == 0 {
+		return 0
+	}
+	return sum / float64(len(precision))
+}

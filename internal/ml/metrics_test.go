@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrainTestSplit(t *testing.T) {
+	d := Blobs(200, 3, 2, 1.0, 60)
+	train, test, err := TrainTestSplit(d, 0.25, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 150 || test.Len() != 50 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Deterministic.
+	train2, test2, err := TrainTestSplit(d, 0.25, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range test.Y {
+		if test.Y[i] != test2.Y[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	_ = train2
+	if _, _, err := TrainTestSplit(d, 0, 1); err == nil {
+		t.Fatal("expected fraction error")
+	}
+	if _, _, err := TrainTestSplit(d, 1, 1); err == nil {
+		t.Fatal("expected fraction error")
+	}
+	tiny := d.Subset([]int{0, 1})
+	if _, _, err := TrainTestSplit(tiny, 0.01, 1); err == nil {
+		t.Fatal("expected empty-side error")
+	}
+}
+
+func TestConfusionMatrixAndMetrics(t *testing.T) {
+	d := Blobs(400, 4, 3, 0.6, 62)
+	train, test, err := TrainTestSplit(d, 0.25, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewLogistic(4, 3)
+	global := m.Params()
+	delta, _, err := LocalDelta(m, train, global, SGDConfig{LearningRate: 0.5, Epochs: 25, BatchSize: 32, Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range global {
+		global[i] += delta[i]
+	}
+	if err := m.SetParams(global); err != nil {
+		t.Fatal(err)
+	}
+	confusion := ConfusionMatrix(m, test)
+	// Totals match the dataset.
+	total := 0
+	diag := 0
+	for i := range confusion {
+		for j := range confusion[i] {
+			total += confusion[i][j]
+			if i == j {
+				diag += confusion[i][j]
+			}
+		}
+	}
+	if total != test.Len() {
+		t.Fatalf("confusion total %d != %d", total, test.Len())
+	}
+	// Diagonal fraction equals accuracy.
+	acc := Accuracy(m, test)
+	if math.Abs(float64(diag)/float64(total)-acc) > 1e-9 {
+		t.Fatal("confusion diagonal disagrees with Accuracy")
+	}
+	precision, recall := PrecisionRecall(confusion)
+	for c := range precision {
+		if precision[c] < 0.7 || recall[c] < 0.7 {
+			t.Fatalf("class %d precision/recall too low: %v/%v", c, precision[c], recall[c])
+		}
+	}
+	if f1 := MacroF1(confusion); f1 < 0.8 || f1 > 1 {
+		t.Fatalf("macro F1 = %v", f1)
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	// A class that is never predicted scores zero precision, not NaN.
+	confusion := [][]int{
+		{5, 0},
+		{5, 0}, // class 1 never predicted
+	}
+	precision, recall := PrecisionRecall(confusion)
+	if precision[1] != 0 || recall[1] != 0 {
+		t.Fatalf("unpredicted class should score zero: %v %v", precision[1], recall[1])
+	}
+	if precision[0] != 0.5 || recall[0] != 1 {
+		t.Fatalf("class 0 metrics wrong: %v %v", precision[0], recall[0])
+	}
+	f1 := MacroF1(confusion)
+	if math.IsNaN(f1) || f1 <= 0 {
+		t.Fatalf("macro F1 = %v", f1)
+	}
+	if MacroF1(nil) != 0 {
+		t.Fatal("empty confusion should score 0")
+	}
+}

@@ -1,0 +1,310 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a differentiable classifier with a flat parameter vector — the
+// shape the IPLS protocol segments into partitions.
+type Model interface {
+	// Dim returns the length of the parameter vector.
+	Dim() int
+	// Params returns a copy of the parameter vector.
+	Params() []float64
+	// SetParams overwrites the parameters from a vector of length Dim.
+	SetParams(p []float64) error
+	// Gradient returns the mean cross-entropy gradient and loss over the
+	// batch.
+	Gradient(x [][]float64, y []int) ([]float64, float64)
+	// Predict returns the most likely class for one input.
+	Predict(x []float64) int
+}
+
+// softmax writes the softmax of z into p (both length k) and returns
+// nothing; it is numerically stabilized by max subtraction.
+func softmax(z, p []float64) {
+	maxZ := z[0]
+	for _, v := range z[1:] {
+		if v > maxZ {
+			maxZ = v
+		}
+	}
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(v - maxZ)
+		p[i] = e
+		sum += e
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}
+
+// Logistic is multinomial logistic (softmax) regression. Parameters are
+// packed row-major: weights[class][feature] then biases[class].
+type Logistic struct {
+	features int
+	classes  int
+	w        []float64 // classes*features
+	b        []float64 // classes
+}
+
+var _ Model = (*Logistic)(nil)
+
+// NewLogistic creates a zero-initialized softmax regression model.
+func NewLogistic(features, classes int) *Logistic {
+	return &Logistic{
+		features: features,
+		classes:  classes,
+		w:        make([]float64, classes*features),
+		b:        make([]float64, classes),
+	}
+}
+
+// Dim returns classes*(features+1).
+func (m *Logistic) Dim() int { return m.classes * (m.features + 1) }
+
+// Params returns [w..., b...].
+func (m *Logistic) Params() []float64 {
+	out := make([]float64, 0, m.Dim())
+	out = append(out, m.w...)
+	return append(out, m.b...)
+}
+
+// SetParams loads a packed parameter vector.
+func (m *Logistic) SetParams(p []float64) error {
+	if len(p) != m.Dim() {
+		return fmt.Errorf("ml: logistic wants %d params, got %d", m.Dim(), len(p))
+	}
+	copy(m.w, p[:len(m.w)])
+	copy(m.b, p[len(m.w):])
+	return nil
+}
+
+func (m *Logistic) scores(x []float64, z []float64) {
+	for c := 0; c < m.classes; c++ {
+		s := m.b[c]
+		row := m.w[c*m.features : (c+1)*m.features]
+		for f, xf := range x {
+			s += row[f] * xf
+		}
+		z[c] = s
+	}
+}
+
+// Gradient returns the mean softmax cross-entropy gradient over the batch.
+func (m *Logistic) Gradient(x [][]float64, y []int) ([]float64, float64) {
+	grad := make([]float64, m.Dim())
+	gw := grad[:len(m.w)]
+	gb := grad[len(m.w):]
+	z := make([]float64, m.classes)
+	p := make([]float64, m.classes)
+	var loss float64
+	inv := 1.0 / float64(len(x))
+	for i, xi := range x {
+		m.scores(xi, z)
+		softmax(z, p)
+		loss += -math.Log(math.Max(p[y[i]], 1e-12)) * inv
+		for c := 0; c < m.classes; c++ {
+			d := p[c]
+			if c == y[i] {
+				d -= 1
+			}
+			d *= inv
+			row := gw[c*m.features : (c+1)*m.features]
+			for f, xf := range xi {
+				row[f] += d * xf
+			}
+			gb[c] += d
+		}
+	}
+	return grad, loss
+}
+
+// Predict returns the argmax class.
+func (m *Logistic) Predict(x []float64) int {
+	z := make([]float64, m.classes)
+	m.scores(x, z)
+	best := 0
+	for c := 1; c < m.classes; c++ {
+		if z[c] > z[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// MLP is a one-hidden-layer tanh network with a softmax output, parameters
+// packed as [W1 (hidden×features), b1, W2 (classes×hidden), b2].
+type MLP struct {
+	features, hidden, classes int
+	w1, b1, w2, b2            []float64
+}
+
+var _ Model = (*MLP)(nil)
+
+// NewMLP creates an MLP with seeded Xavier-style initialization so that all
+// parties derive the same initial global model from the task seed.
+func NewMLP(features, hidden, classes int, seed int64) *MLP {
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{
+		features: features,
+		hidden:   hidden,
+		classes:  classes,
+		w1:       make([]float64, hidden*features),
+		b1:       make([]float64, hidden),
+		w2:       make([]float64, classes*hidden),
+		b2:       make([]float64, classes),
+	}
+	s1 := math.Sqrt(1.0 / float64(features))
+	for i := range m.w1 {
+		m.w1[i] = rng.NormFloat64() * s1
+	}
+	s2 := math.Sqrt(1.0 / float64(hidden))
+	for i := range m.w2 {
+		m.w2[i] = rng.NormFloat64() * s2
+	}
+	return m
+}
+
+// Dim returns the total number of parameters.
+func (m *MLP) Dim() int {
+	return len(m.w1) + len(m.b1) + len(m.w2) + len(m.b2)
+}
+
+// Params returns the packed parameter vector.
+func (m *MLP) Params() []float64 {
+	out := make([]float64, 0, m.Dim())
+	out = append(out, m.w1...)
+	out = append(out, m.b1...)
+	out = append(out, m.w2...)
+	return append(out, m.b2...)
+}
+
+// SetParams loads a packed parameter vector.
+func (m *MLP) SetParams(p []float64) error {
+	if len(p) != m.Dim() {
+		return fmt.Errorf("ml: mlp wants %d params, got %d", m.Dim(), len(p))
+	}
+	o := 0
+	copy(m.w1, p[o:o+len(m.w1)])
+	o += len(m.w1)
+	copy(m.b1, p[o:o+len(m.b1)])
+	o += len(m.b1)
+	copy(m.w2, p[o:o+len(m.w2)])
+	o += len(m.w2)
+	copy(m.b2, p[o:])
+	return nil
+}
+
+// forward computes hidden activations h and output probabilities p.
+func (m *MLP) forward(x []float64, h, z, p []float64) {
+	for j := 0; j < m.hidden; j++ {
+		s := m.b1[j]
+		row := m.w1[j*m.features : (j+1)*m.features]
+		for f, xf := range x {
+			s += row[f] * xf
+		}
+		h[j] = math.Tanh(s)
+	}
+	for c := 0; c < m.classes; c++ {
+		s := m.b2[c]
+		row := m.w2[c*m.hidden : (c+1)*m.hidden]
+		for j, hj := range h {
+			s += row[j] * hj
+		}
+		z[c] = s
+	}
+	softmax(z, p)
+}
+
+// Gradient returns the mean cross-entropy gradient over the batch via
+// backpropagation.
+func (m *MLP) Gradient(x [][]float64, y []int) ([]float64, float64) {
+	grad := make([]float64, m.Dim())
+	o1 := len(m.w1)
+	o2 := o1 + len(m.b1)
+	o3 := o2 + len(m.w2)
+	gw1, gb1, gw2, gb2 := grad[:o1], grad[o1:o2], grad[o2:o3], grad[o3:]
+
+	h := make([]float64, m.hidden)
+	z := make([]float64, m.classes)
+	p := make([]float64, m.classes)
+	dz := make([]float64, m.classes)
+	dh := make([]float64, m.hidden)
+	var loss float64
+	inv := 1.0 / float64(len(x))
+	for i, xi := range x {
+		m.forward(xi, h, z, p)
+		loss += -math.Log(math.Max(p[y[i]], 1e-12)) * inv
+		for c := range dz {
+			dz[c] = p[c]
+			if c == y[i] {
+				dz[c] -= 1
+			}
+			dz[c] *= inv
+		}
+		for j := range dh {
+			dh[j] = 0
+		}
+		for c := 0; c < m.classes; c++ {
+			row := m.w2[c*m.hidden : (c+1)*m.hidden]
+			grow := gw2[c*m.hidden : (c+1)*m.hidden]
+			for j, hj := range h {
+				grow[j] += dz[c] * hj
+				dh[j] += dz[c] * row[j]
+			}
+			gb2[c] += dz[c]
+		}
+		for j := 0; j < m.hidden; j++ {
+			da := dh[j] * (1 - h[j]*h[j])
+			grow := gw1[j*m.features : (j+1)*m.features]
+			for f, xf := range xi {
+				grow[f] += da * xf
+			}
+			gb1[j] += da
+		}
+	}
+	return grad, loss
+}
+
+// Predict returns the argmax class.
+func (m *MLP) Predict(x []float64) int {
+	h := make([]float64, m.hidden)
+	z := make([]float64, m.classes)
+	p := make([]float64, m.classes)
+	m.forward(x, h, z, p)
+	best := 0
+	for c := 1; c < m.classes; c++ {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of the dataset the model classifies
+// correctly.
+func Accuracy(m Model, d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range d.X {
+		if m.Predict(x) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// Loss returns the mean cross-entropy loss on the dataset.
+func Loss(m Model, d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	_, l := m.Gradient(d.X, d.Y)
+	return l
+}

@@ -1,0 +1,145 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SGDConfig configures local training on one federated participant.
+type SGDConfig struct {
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Epochs is the number of passes over the local data per FL round.
+	Epochs int
+	// BatchSize is the mini-batch size (0 means full batch).
+	BatchSize int
+	// Momentum is the classical momentum coefficient (0 disables it).
+	Momentum float64
+	// WeightDecay is the L2 regularization coefficient (0 disables it).
+	WeightDecay float64
+	// Seed makes shuffling deterministic: the decentralized protocol and
+	// the centralized reference must compute identical local updates for
+	// the equivalence experiment.
+	Seed int64
+}
+
+func (c SGDConfig) validate() error {
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("ml: learning rate must be positive, got %v", c.LearningRate)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("ml: epochs must be positive, got %d", c.Epochs)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("ml: batch size must be non-negative, got %d", c.BatchSize)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("ml: momentum must be in [0,1), got %v", c.Momentum)
+	}
+	if c.WeightDecay < 0 {
+		return fmt.Errorf("ml: weight decay must be non-negative, got %v", c.WeightDecay)
+	}
+	return nil
+}
+
+// LocalDelta runs cfg.Epochs of mini-batch SGD on the local dataset,
+// starting from the global parameter vector, and returns the model delta
+// (w_local − w_global) together with the final epoch's mean loss. This is
+// the "gradU ← train(M)" step of Algorithm 1: the delta is what the trainer
+// partitions, quantizes and uploads.
+//
+// The computation is fully deterministic given (global, d, cfg).
+func LocalDelta(m Model, d *Dataset, global []float64, cfg SGDConfig) ([]float64, float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, err
+	}
+	if d.Len() == 0 {
+		return nil, 0, fmt.Errorf("ml: empty local dataset")
+	}
+	if err := m.SetParams(global); err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := m.Params()
+	batch := cfg.BatchSize
+	if batch == 0 || batch > d.Len() {
+		batch = d.Len()
+	}
+	var velocity []float64
+	if cfg.Momentum > 0 {
+		velocity = make([]float64, len(params))
+	}
+	var lastLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		order := rng.Perm(d.Len())
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < len(order); lo += batch {
+			hi := lo + batch
+			if hi > len(order) {
+				hi = len(order)
+			}
+			bx := make([][]float64, hi-lo)
+			by := make([]int, hi-lo)
+			for i, j := range order[lo:hi] {
+				bx[i] = d.X[j]
+				by[i] = d.Y[j]
+			}
+			grad, loss := m.Gradient(bx, by)
+			for i := range params {
+				g := grad[i] + cfg.WeightDecay*params[i]
+				if velocity != nil {
+					velocity[i] = cfg.Momentum*velocity[i] + g
+					g = velocity[i]
+				}
+				params[i] -= cfg.LearningRate * g
+			}
+			if err := m.SetParams(params); err != nil {
+				return nil, 0, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	delta := make([]float64, len(params))
+	for i := range delta {
+		delta[i] = params[i] - global[i]
+	}
+	return delta, lastLoss, nil
+}
+
+// FedAvgRound is the centralized reference: every participant computes its
+// local delta from the same global model, and the server averages them.
+// It returns the new global parameters and the mean training loss.
+func FedAvgRound(m Model, global []float64, locals []*Dataset, cfg SGDConfig) ([]float64, float64, error) {
+	if len(locals) == 0 {
+		return nil, 0, fmt.Errorf("ml: no participants")
+	}
+	sum := make([]float64, len(global))
+	var totalLoss float64
+	for i, d := range locals {
+		localCfg := cfg
+		localCfg.Seed = ParticipantSeed(cfg.Seed, i)
+		delta, loss, err := LocalDelta(m, d, global, localCfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ml: participant %d: %w", i, err)
+		}
+		for j := range sum {
+			sum[j] += delta[j]
+		}
+		totalLoss += loss
+	}
+	next := make([]float64, len(global))
+	inv := 1.0 / float64(len(locals))
+	for j := range next {
+		next[j] = global[j] + sum[j]*inv
+	}
+	return next, totalLoss * inv, nil
+}
+
+// ParticipantSeed derives a per-participant shuffling seed from the round
+// seed, identically in the centralized and decentralized paths.
+func ParticipantSeed(roundSeed int64, participant int) int64 {
+	return roundSeed*1_000_003 + int64(participant)*97 + 13
+}

@@ -1,0 +1,60 @@
+package model
+
+import (
+	"testing"
+
+	"ipls/internal/group"
+	"ipls/internal/scalar"
+)
+
+// FuzzDecodeBlock hammers the block decoder with arbitrary bytes: it must
+// never panic, and any block it accepts must re-encode to the same bytes
+// (canonical encoding).
+func FuzzDecodeBlock(f *testing.F) {
+	field := scalar.NewField(group.Secp256k1().N)
+	quant, err := scalar.NewQuantizer(field, scalar.DefaultShift)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := Quantize(quant, []float64{1.5, -2.25, 0})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := good.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		block, err := DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		re, err := block.Encode()
+		if err != nil {
+			t.Fatalf("accepted block failed to re-encode: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatal("decode/encode round trip is not canonical")
+		}
+	})
+}
+
+// FuzzDecodeFloats checks the float-vector codec never panics and round
+// trips canonically.
+func FuzzDecodeFloats(f *testing.F) {
+	f.Add(EncodeFloats([]float64{1, -2, 3.5}))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vec, err := DecodeFloats(data)
+		if err != nil {
+			return
+		}
+		if string(EncodeFloats(vec)) != string(data) {
+			t.Fatal("float codec not canonical")
+		}
+	})
+}

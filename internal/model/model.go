@@ -1,0 +1,243 @@
+// Package model handles the machine-learning parameter vector as the IPLS
+// protocol sees it: a flat float64 vector that is segmented into partitions
+// (§II), quantized into scalar-field elements, and serialized into
+// content-addressed blocks for the storage network.
+//
+// Every gradient block carries an extra trailing element, the averaging
+// counter: trainers append the value 1 to each partition (Algorithm 1 line
+// 14), aggregation sums the counters along with the gradients, and trainers
+// divide the downloaded update by the summed counter to recover the average
+// (lines 20-21).
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"ipls/internal/scalar"
+)
+
+// Spec describes the layout of a model's parameter vector.
+type Spec struct {
+	// Dim is the total number of parameters.
+	Dim int
+	// Partitions is the number of contiguous segments the vector is split
+	// into; each partition is aggregated independently (§II).
+	Partitions int
+}
+
+// Validate checks that the spec is usable.
+func (s Spec) Validate() error {
+	if s.Dim <= 0 {
+		return fmt.Errorf("model: dimension must be positive, got %d", s.Dim)
+	}
+	if s.Partitions <= 0 || s.Partitions > s.Dim {
+		return fmt.Errorf("model: partitions must be in [1, %d], got %d", s.Dim, s.Partitions)
+	}
+	return nil
+}
+
+// Range returns the half-open parameter index range [lo, hi) covered by
+// partition i. Partitions differ in size by at most one element.
+func (s Spec) Range(i int) (lo, hi int) {
+	base := s.Dim / s.Partitions
+	rem := s.Dim % s.Partitions
+	if i < rem {
+		lo = i * (base + 1)
+		hi = lo + base + 1
+		return lo, hi
+	}
+	lo = rem*(base+1) + (i-rem)*base
+	return lo, lo + base
+}
+
+// PartitionLen returns the number of parameters in partition i.
+func (s Spec) PartitionLen(i int) int {
+	lo, hi := s.Range(i)
+	return hi - lo
+}
+
+// Split segments a parameter vector into its partitions. The returned slices
+// alias vec.
+func Split(s Spec, vec []float64) ([][]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(vec) != s.Dim {
+		return nil, fmt.Errorf("model: vector length %d != dim %d", len(vec), s.Dim)
+	}
+	parts := make([][]float64, s.Partitions)
+	for i := 0; i < s.Partitions; i++ {
+		lo, hi := s.Range(i)
+		parts[i] = vec[lo:hi]
+	}
+	return parts, nil
+}
+
+// Join reassembles partitions into a full parameter vector.
+func Join(s Spec, parts [][]float64) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(parts) != s.Partitions {
+		return nil, fmt.Errorf("model: got %d partitions, want %d", len(parts), s.Partitions)
+	}
+	vec := make([]float64, s.Dim)
+	for i, p := range parts {
+		lo, hi := s.Range(i)
+		if len(p) != hi-lo {
+			return nil, fmt.Errorf("model: partition %d has length %d, want %d", i, len(p), hi-lo)
+		}
+		copy(vec[lo:hi], p)
+	}
+	return vec, nil
+}
+
+// Block is a quantized partition as it travels through the storage network:
+// gradient values followed by the averaging counter as the final element.
+type Block struct {
+	Values []*big.Int
+}
+
+// Counter returns the averaging counter (the trailing element).
+func (b Block) Counter() *big.Int {
+	if len(b.Values) == 0 {
+		return new(big.Int)
+	}
+	return b.Values[len(b.Values)-1]
+}
+
+// Dim returns the number of gradient values (excluding the counter).
+func (b Block) Dim() int {
+	if len(b.Values) == 0 {
+		return 0
+	}
+	return len(b.Values) - 1
+}
+
+// BlockSize returns the serialized size in bytes of a block holding dim
+// gradient values plus the counter.
+func BlockSize(dim int) int {
+	return 4 + scalar.ElementSize*(dim+1)
+}
+
+// Encode serializes the block deterministically: a big-endian element count
+// followed by fixed 32-byte big-endian elements. Deterministic bytes are
+// what make content addressing (CID = SHA-256 of the block) meaningful.
+func (b Block) Encode() ([]byte, error) {
+	buf := make([]byte, 4, 4+scalar.ElementSize*len(b.Values))
+	binary.BigEndian.PutUint32(buf, uint32(len(b.Values)))
+	for i, v := range b.Values {
+		elem, err := scalar.MarshalElement(v)
+		if err != nil {
+			return nil, fmt.Errorf("model: element %d: %w", i, err)
+		}
+		buf = append(buf, elem...)
+	}
+	return buf, nil
+}
+
+// DecodeBlock parses a serialized block.
+func DecodeBlock(data []byte) (Block, error) {
+	if len(data) < 4 {
+		return Block{}, errors.New("model: block too short")
+	}
+	n := binary.BigEndian.Uint32(data)
+	want := 4 + int(n)*scalar.ElementSize
+	if len(data) != want {
+		return Block{}, fmt.Errorf("model: block length %d != expected %d for %d elements", len(data), want, n)
+	}
+	values := make([]*big.Int, n)
+	for i := 0; i < int(n); i++ {
+		off := 4 + i*scalar.ElementSize
+		v, err := scalar.UnmarshalElement(data[off : off+scalar.ElementSize])
+		if err != nil {
+			return Block{}, err
+		}
+		values[i] = v
+	}
+	return Block{Values: values}, nil
+}
+
+// Quantize converts a float partition into a block, appending the averaging
+// counter 1 (Algorithm 1 line 14).
+func Quantize(q *scalar.Quantizer, part []float64) (Block, error) {
+	values := make([]*big.Int, 0, len(part)+1)
+	enc, err := q.EncodeVec(part)
+	if err != nil {
+		return Block{}, err
+	}
+	values = append(values, enc...)
+	one, err := q.Encode(1)
+	if err != nil {
+		return Block{}, err
+	}
+	values = append(values, one)
+	return Block{Values: values}, nil
+}
+
+// Dequantize recovers the averaged float partition from an aggregated
+// update block by dividing the decoded sum by the decoded counter
+// (Algorithm 1 lines 20-21).
+func Dequantize(q *scalar.Quantizer, b Block) ([]float64, error) {
+	if len(b.Values) < 2 {
+		return nil, errors.New("model: update block must hold at least one value and the counter")
+	}
+	count := q.Decode(b.Counter())
+	if count <= 0 || math.Abs(count-math.Round(count)) > 1e-6 {
+		return nil, fmt.Errorf("model: invalid averaging counter %v", count)
+	}
+	vals := q.DecodeVec(b.Values[:len(b.Values)-1])
+	for i := range vals {
+		vals[i] /= count
+	}
+	return vals, nil
+}
+
+// Sum returns the element-wise field sum of blocks (gradients and counters
+// alike). This is exactly the aggregation step the paper's aggregators and
+// merge-and-download providers perform.
+func Sum(f *scalar.Field, blocks ...Block) (Block, error) {
+	if len(blocks) == 0 {
+		return Block{}, errors.New("model: no blocks to sum")
+	}
+	vecs := make([][]*big.Int, len(blocks))
+	for i, b := range blocks {
+		vecs[i] = b.Values
+	}
+	sum, err := f.SumVecs(vecs...)
+	if err != nil {
+		return Block{}, fmt.Errorf("model: %w", err)
+	}
+	return Block{Values: sum}, nil
+}
+
+// EncodeFloats serializes a float64 vector (used for checkpoints and
+// baseline payloads; not content-addressed protocol data).
+func EncodeFloats(vec []float64) []byte {
+	buf := make([]byte, 4+8*len(vec))
+	binary.BigEndian.PutUint32(buf, uint32(len(vec)))
+	for i, v := range vec {
+		binary.BigEndian.PutUint64(buf[4+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeFloats parses a vector produced by EncodeFloats.
+func DecodeFloats(data []byte) ([]float64, error) {
+	if len(data) < 4 {
+		return nil, errors.New("model: float vector too short")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if len(data) != 4+8*int(n) {
+		return nil, fmt.Errorf("model: float vector length %d != expected %d", len(data), 4+8*int(n))
+	}
+	vec := make([]float64, n)
+	for i := range vec {
+		vec[i] = math.Float64frombits(binary.BigEndian.Uint64(data[4+8*i:]))
+	}
+	return vec, nil
+}

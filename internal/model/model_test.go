@@ -1,0 +1,261 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipls/internal/group"
+	"ipls/internal/scalar"
+)
+
+func testQuantizer(t *testing.T) *scalar.Quantizer {
+	t.Helper()
+	f := scalar.NewField(group.Secp256k1().N)
+	q, err := scalar.NewQuantizer(f, scalar.DefaultShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Dim: 10, Partitions: 4}, true},
+		{Spec{Dim: 10, Partitions: 10}, true},
+		{Spec{Dim: 10, Partitions: 1}, true},
+		{Spec{Dim: 0, Partitions: 1}, false},
+		{Spec{Dim: 10, Partitions: 0}, false},
+		{Spec{Dim: 10, Partitions: 11}, false},
+		{Spec{Dim: -5, Partitions: 1}, false},
+	}
+	for _, tt := range tests {
+		err := tt.spec.Validate()
+		if (err == nil) != tt.ok {
+			t.Errorf("Validate(%+v) error = %v, want ok=%v", tt.spec, err, tt.ok)
+		}
+	}
+}
+
+func TestRangeCoversVectorExactly(t *testing.T) {
+	check := func(dim8, parts8 uint8) bool {
+		dim := int(dim8)%500 + 1
+		parts := int(parts8)%dim + 1
+		s := Spec{Dim: dim, Partitions: parts}
+		covered := 0
+		prevHi := 0
+		for i := 0; i < parts; i++ {
+			lo, hi := s.Range(i)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			if hi-lo < dim/parts || hi-lo > dim/parts+1 {
+				return false // partitions must be near-equal
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == dim && prevHi == dim
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []Spec{
+		{Dim: 16, Partitions: 4},
+		{Dim: 17, Partitions: 4},
+		{Dim: 5, Partitions: 5},
+		{Dim: 100, Partitions: 7},
+	} {
+		vec := make([]float64, tc.Dim)
+		for i := range vec {
+			vec[i] = rng.NormFloat64()
+		}
+		parts, err := Split(tc, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Join(tc, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vec {
+			if got[i] != vec[i] {
+				t.Fatalf("spec %+v: element %d mismatch", tc, i)
+			}
+		}
+	}
+}
+
+func TestSplitJoinErrors(t *testing.T) {
+	s := Spec{Dim: 10, Partitions: 2}
+	if _, err := Split(s, make([]float64, 9)); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Split(Spec{Dim: 0, Partitions: 1}, nil); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := Join(s, make([][]float64, 3)); err == nil {
+		t.Fatal("expected partition count error")
+	}
+	if _, err := Join(s, [][]float64{make([]float64, 5), make([]float64, 4)}); err == nil {
+		t.Fatal("expected partition length error")
+	}
+}
+
+func TestBlockEncodeDecodeRoundTrip(t *testing.T) {
+	q := testQuantizer(t)
+	rng := rand.New(rand.NewSource(2))
+	part := make([]float64, 33)
+	for i := range part {
+		part[i] = rng.NormFloat64()
+	}
+	b, err := Quantize(q, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != BlockSize(len(part)) {
+		t.Fatalf("encoded size %d != BlockSize %d", len(data), BlockSize(len(part)))
+	}
+	got, err := DecodeBlock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != len(b.Values) {
+		t.Fatal("value count mismatch")
+	}
+	for i := range got.Values {
+		if got.Values[i].Cmp(b.Values[i]) != 0 {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeBlockErrors(t *testing.T) {
+	if _, err := DecodeBlock([]byte{1, 2}); err == nil {
+		t.Fatal("expected short-block error")
+	}
+	if _, err := DecodeBlock([]byte{0, 0, 0, 2, 1, 2, 3}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestQuantizeAppendsCounter(t *testing.T) {
+	q := testQuantizer(t)
+	b, err := Quantize(q, []float64{0.5, -0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim() != 2 {
+		t.Fatalf("Dim() = %d", b.Dim())
+	}
+	if got := q.Decode(b.Counter()); got != 1 {
+		t.Fatalf("counter decodes to %v, want 1", got)
+	}
+}
+
+func TestSumAndDequantizeAverages(t *testing.T) {
+	// The core Algorithm 1 data path: N trainers quantize, blocks are
+	// field-summed, the trainer divides by the summed counter.
+	q := testQuantizer(t)
+	f := q.Field()
+	rng := rand.New(rand.NewSource(3))
+	const n = 16
+	const dim = 20
+	trueAvg := make([]float64, dim)
+	blocks := make([]Block, n)
+	for tr := 0; tr < n; tr++ {
+		part := make([]float64, dim)
+		for i := range part {
+			part[i] = rng.NormFloat64()
+			trueAvg[i] += part[i] / n
+		}
+		b, err := Quantize(q, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks[tr] = b
+	}
+	sum, err := Sum(f, blocks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Decode(sum.Counter()); got != n {
+		t.Fatalf("summed counter = %v, want %d", got, n)
+	}
+	avg, err := Dequantize(q, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1.0 / math.Ldexp(1, scalar.DefaultShift-2)
+	for i := range avg {
+		if math.Abs(avg[i]-trueAvg[i]) > eps {
+			t.Fatalf("element %d: avg %v, want %v", i, avg[i], trueAvg[i])
+		}
+	}
+}
+
+func TestSumErrors(t *testing.T) {
+	f := scalar.NewField(group.Secp256k1().N)
+	if _, err := Sum(f); err == nil {
+		t.Fatal("expected error summing nothing")
+	}
+	q := testQuantizer(t)
+	b1, _ := Quantize(q, []float64{1})
+	b2, _ := Quantize(q, []float64{1, 2})
+	if _, err := Sum(f, b1, b2); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestDequantizeErrors(t *testing.T) {
+	q := testQuantizer(t)
+	if _, err := Dequantize(q, Block{}); err == nil {
+		t.Fatal("expected error on empty block")
+	}
+	// A zero counter must be rejected.
+	zero, _ := Quantize(q, []float64{1.0})
+	zero.Values[len(zero.Values)-1].SetInt64(0)
+	if _, err := Dequantize(q, zero); err == nil {
+		t.Fatal("expected error on zero counter")
+	}
+}
+
+func TestEncodeFloatsRoundTrip(t *testing.T) {
+	check := func(raw []uint64) bool {
+		vec := make([]float64, len(raw))
+		for i, u := range raw {
+			vec[i] = math.Float64frombits(u)
+		}
+		got, err := DecodeFloats(EncodeFloats(vec))
+		if err != nil || len(got) != len(vec) {
+			return false
+		}
+		for i := range vec {
+			if math.Float64bits(got[i]) != math.Float64bits(vec[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFloats([]byte{1}); err == nil {
+		t.Fatal("expected short-input error")
+	}
+	if _, err := DecodeFloats([]byte{0, 0, 0, 2, 9}); err == nil {
+		t.Fatal("expected length error")
+	}
+}

@@ -1,0 +1,157 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSumCommutativeAssociative: block aggregation order must never matter
+// — aggregators, providers and takeover peers fold blocks in different
+// orders and must produce identical aggregates.
+func TestSumCommutativeAssociative(t *testing.T) {
+	q := testQuantizer(t)
+	f := q.Field()
+	rng := rand.New(rand.NewSource(7))
+	mkBlock := func(dim int) Block {
+		part := make([]float64, dim)
+		for i := range part {
+			part[i] = rng.NormFloat64()
+		}
+		b, err := Quantize(q, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for trial := 0; trial < 30; trial++ {
+		dim := 1 + rng.Intn(20)
+		a, b, c := mkBlock(dim), mkBlock(dim), mkBlock(dim)
+
+		ab, _ := Sum(f, a, b)
+		ba, _ := Sum(f, b, a)
+		for i := range ab.Values {
+			if ab.Values[i].Cmp(ba.Values[i]) != 0 {
+				t.Fatal("sum not commutative")
+			}
+		}
+		abc1, _ := Sum(f, ab, c)
+		bc, _ := Sum(f, b, c)
+		abc2, _ := Sum(f, a, bc)
+		abc3, _ := Sum(f, a, b, c)
+		for i := range abc1.Values {
+			if abc1.Values[i].Cmp(abc2.Values[i]) != 0 || abc1.Values[i].Cmp(abc3.Values[i]) != 0 {
+				t.Fatal("sum not associative")
+			}
+		}
+	}
+}
+
+// TestBlockEncodeIsCanonical: identical blocks encode to identical bytes
+// (content addressing depends on it), and any single-element change
+// produces different bytes.
+func TestBlockEncodeIsCanonical(t *testing.T) {
+	q := testQuantizer(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(16)
+		part := make([]float64, dim)
+		for i := range part {
+			part[i] = rng.NormFloat64()
+		}
+		b1, err := Quantize(q, part)
+		if err != nil {
+			return false
+		}
+		b2, err := Quantize(q, part)
+		if err != nil {
+			return false
+		}
+		e1, err := b1.Encode()
+		if err != nil {
+			return false
+		}
+		e2, err := b2.Encode()
+		if err != nil {
+			return false
+		}
+		if string(e1) != string(e2) {
+			return false
+		}
+		// Mutate one element: encoding must change.
+		b2.Values[rng.Intn(len(b2.Values))] = q.Field().Add(b2.Values[0], b2.Values[len(b2.Values)-1])
+		e3, err := b2.Encode()
+		if err != nil {
+			return false
+		}
+		return string(e1) != string(e3)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitQuantizeSumJoinPipeline runs the whole trainer→aggregator→
+// trainer data path for random shapes and checks the end-to-end average.
+func TestSplitQuantizeSumJoinPipeline(t *testing.T) {
+	q := testQuantizer(t)
+	f := q.Field()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		dim := 2 + rng.Intn(40)
+		partitions := 1 + rng.Intn(dim)
+		trainers := 1 + rng.Intn(8)
+		spec := Spec{Dim: dim, Partitions: partitions}
+
+		trueAvg := make([]float64, dim)
+		// Per-partition aggregated blocks.
+		aggregates := make([]Block, partitions)
+		for tr := 0; tr < trainers; tr++ {
+			vec := make([]float64, dim)
+			for i := range vec {
+				vec[i] = rng.NormFloat64()
+				trueAvg[i] += vec[i] / float64(trainers)
+			}
+			parts, err := Split(spec, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, part := range parts {
+				block, err := Quantize(q, part)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if aggregates[p].Values == nil {
+					aggregates[p] = block
+				} else {
+					aggregates[p], err = Sum(f, aggregates[p], block)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		outParts := make([][]float64, partitions)
+		for p, block := range aggregates {
+			avg, err := Dequantize(q, block)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outParts[p] = avg
+		}
+		got, err := Join(spec, outParts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			diff := got[i] - trueAvg[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-6 {
+				t.Fatalf("trial %d (dim=%d parts=%d trainers=%d): element %d off by %v",
+					trial, dim, partitions, trainers, i, diff)
+			}
+		}
+	}
+}

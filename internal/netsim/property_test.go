@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRandomTopologyConservation drives random transfer patterns and checks
+// global invariants: bytes are conserved, no transfer completes faster than
+// its bottleneck allows, and the simulation terminates.
+func TestRandomTopologyConservation(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		e := NewEnv()
+		nNodes := 2 + rng.Intn(6)
+		nodes := make([]*Node, nNodes)
+		for i := range nodes {
+			up := Mbps(1 + rng.Float64()*99)
+			down := Mbps(1 + rng.Float64()*99)
+			nodes[i] = e.AddNode(fmt.Sprintf("n%d", i), up, down)
+		}
+		type xfer struct {
+			from, to   int
+			bytes      int64
+			start      time.Duration
+			completeAt time.Duration
+		}
+		nX := 1 + rng.Intn(12)
+		xfers := make([]*xfer, nX)
+		var totalBytes int64
+		for i := range xfers {
+			x := &xfer{
+				from:  rng.Intn(nNodes),
+				to:    rng.Intn(nNodes),
+				bytes: int64(1 + rng.Intn(1<<20)),
+				start: time.Duration(rng.Intn(1000)) * time.Millisecond,
+			}
+			if x.from != x.to {
+				totalBytes += x.bytes
+			}
+			xfers[i] = x
+			e.Go(fmt.Sprintf("x%d", i), func() {
+				e.Sleep(x.start)
+				e.Transfer(nodes[x.from], nodes[x.to], x.bytes)
+				x.completeAt = e.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var sent, recv int64
+		for _, n := range nodes {
+			sent += n.BytesSent
+			recv += n.BytesReceived
+		}
+		if sent != recv {
+			t.Fatalf("trial %d: bytes not conserved: %d sent, %d received", trial, sent, recv)
+		}
+		for i, x := range xfers {
+			if x.from == x.to {
+				continue
+			}
+			// A transfer can never beat its bottleneck running alone.
+			bottleneck := nodes[x.from].UpBps
+			if nodes[x.to].DownBps < bottleneck {
+				bottleneck = nodes[x.to].DownBps
+			}
+			minDur := time.Duration(float64(x.bytes*8) / bottleneck * float64(time.Second))
+			if got := x.completeAt - x.start; got < minDur-time.Millisecond {
+				t.Fatalf("trial %d xfer %d: finished in %v, below bottleneck minimum %v",
+					trial, i, got, minDur)
+			}
+		}
+	}
+}
+
+// TestAggregateThroughputNeverExceedsCapacity checks that n concurrent
+// flows into one receiver never finish before the receiver's downlink
+// could have carried their total volume.
+func TestAggregateThroughputNeverExceedsCapacity(t *testing.T) {
+	for _, n := range []int{2, 5, 16} {
+		e := NewEnv()
+		recv := e.AddNode("recv", Mbps(1000), Mbps(10))
+		var total int64
+		last := time.Duration(0)
+		for i := 0; i < n; i++ {
+			src := e.AddNode(fmt.Sprintf("s%d", i), Mbps(1000), Mbps(1000))
+			size := int64((i + 1) * 100_000)
+			total += size
+			e.Go(src.Name, func() {
+				e.Transfer(src, recv, size)
+				if e.Now() > last {
+					last = e.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		floor := time.Duration(float64(total*8) / Mbps(10) * float64(time.Second))
+		if last < floor-time.Millisecond {
+			t.Fatalf("n=%d: all flows done at %v, below capacity floor %v", n, last, floor)
+		}
+	}
+}
+
+// TestWorkConservation: a single flow through otherwise idle links must
+// finish exactly at the bottleneck rate (the scheduler must not waste
+// capacity).
+func TestWorkConservation(t *testing.T) {
+	e := NewEnv()
+	a := e.AddNode("a", Mbps(50), Mbps(50))
+	b := e.AddNode("b", Mbps(50), Mbps(25))
+	e.Go("x", func() { e.Transfer(a, b, 5_000_000) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(float64(5_000_000*8) / Mbps(25) * float64(time.Second))
+	diff := e.Now() - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Fatalf("single flow took %v, want %v", e.Now(), want)
+	}
+}

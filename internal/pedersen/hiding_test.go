@@ -1,0 +1,138 @@
+package pedersen
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"ipls/internal/group"
+	"ipls/internal/scalar"
+)
+
+func TestHidingCommitOpenRoundTrip(t *testing.T) {
+	p := setup(t, 8)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(1))
+	v := randomVector(rng, q, 8)
+	r, err := p.NewBlinding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.CommitHiding(v, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.VerifyOpening(c, Opening{Values: v, Blinding: r})
+	if err != nil || !ok {
+		t.Fatalf("honest opening rejected: ok=%v err=%v", ok, err)
+	}
+	// Wrong blinding or wrong values fail.
+	bad := new(big.Int).Add(r, big.NewInt(1))
+	if ok, _ := p.VerifyOpening(c, Opening{Values: v, Blinding: bad}); ok {
+		t.Fatal("wrong blinding accepted")
+	}
+	altered := append([]*big.Int(nil), v...)
+	altered[0] = p.Field().Add(altered[0], big.NewInt(1))
+	if ok, _ := p.VerifyOpening(c, Opening{Values: altered, Blinding: r}); ok {
+		t.Fatal("altered vector accepted")
+	}
+}
+
+func TestHidingPropertySameVectorDifferentCommitments(t *testing.T) {
+	// The whole point of the blinding: commitments to identical vectors
+	// are unlinkable.
+	p := setup(t, 4)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(2))
+	v := randomVector(rng, q, 4)
+	r1, err := p.NewBlinding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.NewBlinding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := p.CommitHiding(v, r1)
+	c2, _ := p.CommitHiding(v, r2)
+	if c1.Equal(c2) {
+		t.Fatal("identical vectors produced identical hiding commitments")
+	}
+	// The deterministic commitment is the r=0 special case plus the
+	// blinding term; hiding and binding-only commitments never collide
+	// for non-zero r.
+	plain, _ := p.Commit(v)
+	if c1.Equal(plain) {
+		t.Fatal("hiding commitment collided with the deterministic one")
+	}
+}
+
+func TestHidingHomomorphism(t *testing.T) {
+	// Combine(C1, C2) must open to the combined opening.
+	p := setup(t, 6)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(3))
+	var coms []Commitment
+	var opens []Opening
+	for i := 0; i < 3; i++ {
+		v := randomVector(rng, q, 6)
+		r, err := p.NewBlinding()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := p.CommitHiding(v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coms = append(coms, c)
+		opens = append(opens, Opening{Values: v, Blinding: r})
+	}
+	combined, err := p.Combine(coms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opening, err := p.CombineOpenings(opens...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.VerifyOpening(combined, opening)
+	if err != nil || !ok {
+		t.Fatalf("combined opening rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestHidingErrors(t *testing.T) {
+	p := setup(t, 2)
+	if _, err := p.CommitHiding(nil, big.NewInt(1)); err == nil {
+		t.Fatal("empty vector accepted")
+	}
+	if _, err := p.CommitHiding([]*big.Int{big.NewInt(1)}, nil); err == nil {
+		t.Fatal("nil blinding accepted")
+	}
+	if _, err := p.CombineOpenings(); err == nil {
+		t.Fatal("empty combine accepted")
+	}
+	if _, err := p.CombineOpenings(Opening{Values: []*big.Int{big.NewInt(1)}}); err == nil {
+		t.Fatal("opening without blinding accepted")
+	}
+}
+
+func TestBlindingGeneratorIndependent(t *testing.T) {
+	// The blinding generator must differ from every vector generator
+	// (same derivation with a colliding label would break hiding).
+	p := setup(t, 16)
+	h := p.BlindingGenerator()
+	for i := 0; i < 16; i++ {
+		if h.Equal(p.generators(16)[i]) {
+			t.Fatalf("blinding generator equals vector generator %d", i)
+		}
+	}
+	// Stable across calls and instances.
+	p2, err := Setup(group.Secp256r1Fast(), 4, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(p2.BlindingGenerator()) {
+		t.Fatal("blinding generator not deterministic")
+	}
+}

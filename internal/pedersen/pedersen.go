@@ -1,0 +1,155 @@
+// Package pedersen implements the deterministic Pedersen vector commitments
+// used by the paper for verifiable aggregation (§IV-A).
+//
+// A commitment to a vector v = (v₀ … v_{n−1}) is C = ∏ hᵢ^{vᵢ}, where the
+// hᵢ are public generators with unknown mutual discrete logarithms. The
+// commitment is vector-binding under the discrete-logarithm assumption and
+// additively homomorphic: C(v₁)·C(v₂) = C(v₁+v₂), which is exactly what lets
+// the directory service verify that an aggregator's update equals the sum of
+// the trainers' gradients without seeing the gradients.
+package pedersen
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"ipls/internal/group"
+	"ipls/internal/scalar"
+)
+
+// Commitment is an opaque serialized commitment (an encoded curve point).
+type Commitment []byte
+
+// Equal reports whether two commitments are byte-identical. Encodings are
+// canonical, so this coincides with group-element equality.
+func (c Commitment) Equal(other Commitment) bool { return bytes.Equal(c, other) }
+
+// Params holds the public parameters for committing to vectors of up to
+// Len() elements.
+type Params struct {
+	curve *group.Curve
+	label string
+	field *scalar.Field
+
+	mu       sync.Mutex
+	gens     []group.Point
+	blinding group.Point // lazily derived hiding generator
+}
+
+// Setup deterministically derives public parameters for vectors of length n
+// on the given curve. Generators are derived by hashing (label, index) to
+// curve points, so all parties compute identical parameters without trusted
+// setup. Additional generators are derived lazily if longer vectors are
+// later committed through Extend.
+func Setup(curve *group.Curve, n int, label string) (*Params, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pedersen: negative vector length %d", n)
+	}
+	p := &Params{
+		curve: curve,
+		label: label,
+		field: scalar.NewField(curve.N),
+	}
+	if err := p.Extend(n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Curve returns the underlying curve.
+func (p *Params) Curve() *group.Curve { return p.curve }
+
+// Field returns the scalar field of the commitment group.
+func (p *Params) Field() *scalar.Field { return p.field }
+
+// Label returns the domain-separation label used to derive generators.
+func (p *Params) Label() string { return p.label }
+
+// Len returns the number of generators currently derived.
+func (p *Params) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.gens)
+}
+
+// Extend makes sure at least n generators are available.
+func (p *Params) Extend(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.gens); i < n; i++ {
+		p.gens = append(p.gens, p.curve.HashToPoint(p.label, i))
+	}
+	return nil
+}
+
+// generators returns the first n generators, deriving more as needed.
+func (p *Params) generators(n int) []group.Point {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.gens); i < n; i++ {
+		p.gens = append(p.gens, p.curve.HashToPoint(p.label, i))
+	}
+	return p.gens[:n]
+}
+
+// Commit commits to the vector v using the automatically selected
+// multi-exponentiation strategy.
+func (p *Params) Commit(v []*big.Int) (Commitment, error) {
+	return p.CommitWith(v, group.StrategyAuto)
+}
+
+// CommitWith commits to v using an explicit multi-exponentiation strategy.
+func (p *Params) CommitWith(v []*big.Int, strategy group.MultiExpStrategy) (Commitment, error) {
+	if len(v) == 0 {
+		return nil, errors.New("pedersen: cannot commit to an empty vector")
+	}
+	gens := p.generators(len(v))
+	point, err := p.curve.MultiScalarMult(gens, v, strategy)
+	if err != nil {
+		return nil, fmt.Errorf("pedersen: %w", err)
+	}
+	return Commitment(p.curve.Encode(point)), nil
+}
+
+// Verify reports whether C is the commitment to v, by recomputing the
+// commitment (§IV-A: "given the vector and the commitment, one can verify it
+// is a valid pre-image by re-running this computation").
+func (p *Params) Verify(v []*big.Int, c Commitment) (bool, error) {
+	want, err := p.Commit(v)
+	if err != nil {
+		return false, err
+	}
+	return want.Equal(c), nil
+}
+
+// Combine homomorphically combines commitments: the result commits to the
+// element-wise field sum of the committed vectors.
+func (p *Params) Combine(cs ...Commitment) (Commitment, error) {
+	if len(cs) == 0 {
+		return nil, errors.New("pedersen: nothing to combine")
+	}
+	acc := group.Infinity()
+	for i, c := range cs {
+		pt, err := p.curve.Decode(c)
+		if err != nil {
+			return nil, fmt.Errorf("pedersen: commitment %d: %w", i, err)
+		}
+		acc = p.curve.Add(acc, pt)
+	}
+	return Commitment(p.curve.Encode(acc)), nil
+}
+
+// Identity returns the commitment to the all-zero vector, the neutral
+// element for Combine.
+func (p *Params) Identity() Commitment {
+	return Commitment(p.curve.Encode(group.Infinity()))
+}
+
+// Valid reports whether c decodes to a point on the curve.
+func (p *Params) Valid(c Commitment) bool {
+	_, err := p.curve.Decode(c)
+	return err == nil
+}

@@ -1,0 +1,225 @@
+package pedersen
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"ipls/internal/group"
+	"ipls/internal/scalar"
+)
+
+func setup(t *testing.T, n int) *Params {
+	t.Helper()
+	p, err := Setup(group.Secp256r1Fast(), n, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func randomVector(rng *rand.Rand, q *scalar.Quantizer, n int) []*big.Int {
+	vec := make([]float64, n)
+	for i := range vec {
+		vec[i] = (rng.Float64() - 0.5) * 10
+	}
+	enc, err := q.EncodeVec(vec)
+	if err != nil {
+		panic(err)
+	}
+	return enc
+}
+
+func TestCommitVerify(t *testing.T) {
+	p := setup(t, 8)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(1))
+	v := randomVector(rng, q, 8)
+	c, err := p.Commit(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Verify(v, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid commitment failed verification")
+	}
+}
+
+func TestVerifyRejectsAlteredVector(t *testing.T) {
+	p := setup(t, 8)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(2))
+	v := randomVector(rng, q, 8)
+	c, err := p.Commit(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	altered := make([]*big.Int, len(v))
+	copy(altered, v)
+	altered[3] = p.Field().Add(altered[3], big.NewInt(1))
+	ok, err := p.Verify(altered, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("altered vector passed verification")
+	}
+}
+
+func TestHomomorphism(t *testing.T) {
+	// Combine(C(v1), C(v2)) must equal C(v1 + v2): the core property the
+	// whole verifiable-aggregation design relies on (§IV-A).
+	for _, curve := range []*group.Curve{group.Secp256k1(), group.Secp256r1Fast()} {
+		p, err := Setup(curve, 16, "homomorphism")
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+		rng := rand.New(rand.NewSource(3))
+		v1 := randomVector(rng, q, 16)
+		v2 := randomVector(rng, q, 16)
+		v3 := randomVector(rng, q, 16)
+		c1, _ := p.Commit(v1)
+		c2, _ := p.Commit(v2)
+		c3, _ := p.Commit(v3)
+		combined, err := p.Combine(c1, c2, c3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := p.Field().SumVecs(v1, v2, v3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := p.Commit(sum)
+		if !combined.Equal(want) {
+			t.Fatalf("%s: homomorphism violated", curve.Name)
+		}
+	}
+}
+
+func TestCombineIdentity(t *testing.T) {
+	p := setup(t, 4)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(4))
+	v := randomVector(rng, q, 4)
+	c, _ := p.Commit(v)
+	got, err := p.Combine(c, p.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(c) {
+		t.Fatal("identity commitment is not neutral for Combine")
+	}
+}
+
+func TestStrategiesProduceSameCommitment(t *testing.T) {
+	p := setup(t, 40)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(5))
+	v := randomVector(rng, q, 40)
+	want, err := p.CommitWith(v, group.StrategyNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []group.MultiExpStrategy{group.StrategyWindowed, group.StrategyPippenger, group.StrategyAuto} {
+		got, err := p.CommitWith(v, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("strategy %v produced a different commitment", s)
+		}
+	}
+}
+
+func TestDeterministicSetup(t *testing.T) {
+	p1, err := Setup(group.Secp256k1(), 4, "task-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Setup(group.Secp256k1(), 4, "task-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []*big.Int{big.NewInt(1), big.NewInt(2), big.NewInt(3), big.NewInt(4)}
+	c1, _ := p1.Commit(v)
+	c2, _ := p2.Commit(v)
+	if !c1.Equal(c2) {
+		t.Fatal("same label produced different parameters")
+	}
+	p3, err := Setup(group.Secp256k1(), 4, "task-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, _ := p3.Commit(v)
+	if c1.Equal(c3) {
+		t.Fatal("different labels produced identical parameters")
+	}
+}
+
+func TestExtendGrowsLazily(t *testing.T) {
+	p := setup(t, 2)
+	if p.Len() != 2 {
+		t.Fatalf("expected 2 generators, got %d", p.Len())
+	}
+	v := []*big.Int{big.NewInt(1), big.NewInt(2), big.NewInt(3), big.NewInt(4), big.NewInt(5)}
+	if _, err := p.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("expected lazy extension to 5 generators, got %d", p.Len())
+	}
+	if err := p.Extend(10); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 10 {
+		t.Fatalf("expected 10 generators, got %d", p.Len())
+	}
+}
+
+func TestCommitErrors(t *testing.T) {
+	p := setup(t, 2)
+	if _, err := p.Commit(nil); err == nil {
+		t.Fatal("expected error for empty vector")
+	}
+	if _, err := p.Combine(); err == nil {
+		t.Fatal("expected error for empty combine")
+	}
+	if _, err := p.Combine(Commitment([]byte{1, 2, 3})); err == nil {
+		t.Fatal("expected error for malformed commitment")
+	}
+	if _, err := Setup(group.Secp256k1(), -1, "x"); err == nil {
+		t.Fatal("expected error for negative length")
+	}
+}
+
+func TestValid(t *testing.T) {
+	p := setup(t, 2)
+	c, _ := p.Commit([]*big.Int{big.NewInt(1), big.NewInt(2)})
+	if !p.Valid(c) {
+		t.Fatal("valid commitment rejected")
+	}
+	if p.Valid(Commitment([]byte{0xff})) {
+		t.Fatal("garbage accepted as commitment")
+	}
+}
+
+func TestDistinctVectorsDistinctCommitments(t *testing.T) {
+	// Binding smoke test: random distinct vectors must not collide.
+	p := setup(t, 6)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(6))
+	seen := make(map[string]bool)
+	for i := 0; i < 20; i++ {
+		v := randomVector(rng, q, 6)
+		c, _ := p.Commit(v)
+		key := string(c)
+		if seen[key] {
+			t.Fatal("commitment collision on distinct random vectors")
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,252 @@
+package scalar
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testOrder is the secp256k1 group order, a representative 256-bit prime.
+var testOrder, _ = new(big.Int).SetString(
+	"fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141", 16)
+
+func testField() *Field { return NewField(testOrder) }
+
+func randomElement(rng *rand.Rand, f *Field) *big.Int {
+	b := make([]byte, 32)
+	rng.Read(b)
+	return f.Reduce(new(big.Int).SetBytes(b))
+}
+
+func TestFieldAddSubRoundTrip(t *testing.T) {
+	f := testField()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := randomElement(rng, f)
+		b := randomElement(rng, f)
+		got := f.Sub(f.Add(a, b), b)
+		if got.Cmp(a) != 0 {
+			t.Fatalf("(a+b)-b != a: a=%v b=%v got=%v", a, b, got)
+		}
+	}
+}
+
+func TestFieldAddCommutativeAssociative(t *testing.T) {
+	f := testField()
+	check := func(ab, bb, cb [32]byte) bool {
+		a := f.Reduce(new(big.Int).SetBytes(ab[:]))
+		b := f.Reduce(new(big.Int).SetBytes(bb[:]))
+		c := f.Reduce(new(big.Int).SetBytes(cb[:]))
+		if f.Add(a, b).Cmp(f.Add(b, a)) != 0 {
+			return false
+		}
+		return f.Add(f.Add(a, b), c).Cmp(f.Add(a, f.Add(b, c))) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldMulDistributes(t *testing.T) {
+	f := testField()
+	check := func(ab, bb, cb [32]byte) bool {
+		a := f.Reduce(new(big.Int).SetBytes(ab[:]))
+		b := f.Reduce(new(big.Int).SetBytes(bb[:]))
+		c := f.Reduce(new(big.Int).SetBytes(cb[:]))
+		lhs := f.Mul(a, f.Add(b, c))
+		rhs := f.Add(f.Mul(a, b), f.Mul(a, c))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldNeg(t *testing.T) {
+	f := testField()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a := randomElement(rng, f)
+		if f.Add(a, f.Neg(a)).Sign() != 0 {
+			t.Fatalf("a + (-a) != 0 for a=%v", a)
+		}
+	}
+	if f.Neg(new(big.Int)).Sign() != 0 {
+		t.Fatal("-0 != 0")
+	}
+}
+
+func TestFieldInv(t *testing.T) {
+	f := testField()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		a := randomElement(rng, f)
+		if a.Sign() == 0 {
+			continue
+		}
+		inv, err := f.Inv(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Mul(a, inv).Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("a * a^-1 != 1 for a=%v", a)
+		}
+	}
+	if _, err := f.Inv(new(big.Int)); err == nil {
+		t.Fatal("expected error inverting zero")
+	}
+}
+
+func TestFieldSumVecs(t *testing.T) {
+	f := testField()
+	a := []*big.Int{big.NewInt(1), big.NewInt(2)}
+	b := []*big.Int{big.NewInt(10), big.NewInt(20)}
+	c := []*big.Int{big.NewInt(100), big.NewInt(200)}
+	got, err := f.SumVecs(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Int64() != 111 || got[1].Int64() != 222 {
+		t.Fatalf("bad sum: %v", got)
+	}
+	if _, err := f.SumVecs(); err == nil {
+		t.Fatal("expected error on empty sum")
+	}
+	if _, err := f.SumVecs(a, []*big.Int{big.NewInt(1)}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := f.AddVec(a, []*big.Int{big.NewInt(1)}); err == nil {
+		t.Fatal("expected length-mismatch error from AddVec")
+	}
+}
+
+func TestQuantizerRoundTrip(t *testing.T) {
+	f := testField()
+	q, err := NewQuantizer(f, DefaultShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1.0 / math.Ldexp(1, DefaultShift-1)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		x := (rng.Float64() - 0.5) * 200 // [-100, 100)
+		v, err := q.Encode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.Decode(v)
+		if math.Abs(got-x) > eps {
+			t.Fatalf("round trip error too large: x=%v got=%v", x, got)
+		}
+	}
+}
+
+func TestQuantizerNegativeValues(t *testing.T) {
+	f := testField()
+	q, _ := NewQuantizer(f, 16)
+	v, err := q.Encode(-1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Negative values wrap to the top of the field.
+	if v.Cmp(f.half) <= 0 {
+		t.Fatalf("expected encoding above order/2, got %v", v)
+	}
+	if got := q.Decode(v); got != -1.5 {
+		t.Fatalf("decode: got %v want -1.5", got)
+	}
+}
+
+func TestQuantizerSumHomomorphism(t *testing.T) {
+	f := testField()
+	q, _ := NewQuantizer(f, DefaultShift)
+	rng := rand.New(rand.NewSource(5))
+	const trainers = 16
+	const dim = 32
+	encoded := make([][]*big.Int, trainers)
+	trueSum := make([]float64, dim)
+	for tr := 0; tr < trainers; tr++ {
+		vec := make([]float64, dim)
+		for i := range vec {
+			vec[i] = (rng.Float64() - 0.5) * 2
+			// The true sum of the *quantized* values is what must be
+			// recovered exactly.
+			trueSum[i] += math.Round(vec[i]*math.Ldexp(1, DefaultShift)) / math.Ldexp(1, DefaultShift)
+		}
+		enc, err := q.EncodeVec(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encoded[tr] = enc
+	}
+	sum, err := f.SumVecs(encoded...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := q.DecodeVec(sum)
+	for i := range dec {
+		if math.Abs(dec[i]-trueSum[i]) > 1e-9 {
+			t.Fatalf("element %d: decoded sum %v != quantized true sum %v", i, dec[i], trueSum[i])
+		}
+	}
+}
+
+func TestQuantizerRejectsNonFinite(t *testing.T) {
+	f := testField()
+	q, _ := NewQuantizer(f, DefaultShift)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := q.Encode(x); err == nil {
+			t.Fatalf("expected error encoding %v", x)
+		}
+	}
+	if _, err := q.Encode(math.Ldexp(1, 60)); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestNewQuantizerValidation(t *testing.T) {
+	f := testField()
+	if _, err := NewQuantizer(f, 0); err == nil {
+		t.Fatal("expected error for shift 0")
+	}
+	if _, err := NewQuantizer(f, 64); err == nil {
+		t.Fatal("expected error for shift 64")
+	}
+}
+
+func TestMarshalElementRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := testField()
+	for i := 0; i < 100; i++ {
+		v := randomElement(rng, f)
+		b, err := MarshalElement(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != ElementSize {
+			t.Fatalf("bad length %d", len(b))
+		}
+		got, err := UnmarshalElement(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(v) != 0 {
+			t.Fatalf("round trip mismatch: %v != %v", got, v)
+		}
+	}
+}
+
+func TestMarshalElementErrors(t *testing.T) {
+	if _, err := MarshalElement(big.NewInt(-1)); err == nil {
+		t.Fatal("expected error for negative element")
+	}
+	tooBig := new(big.Int).Lsh(big.NewInt(1), 256)
+	if _, err := MarshalElement(tooBig); err == nil {
+		t.Fatal("expected error for oversized element")
+	}
+	if _, err := UnmarshalElement(make([]byte, 31)); err == nil {
+		t.Fatal("expected error for short input")
+	}
+}

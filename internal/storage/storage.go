@@ -1,0 +1,509 @@
+// Package storage implements the decentralized content-addressed storage
+// network that replaces direct peer-to-peer communication in the modified
+// IPLS protocol (§III-B). It plays the role IPFS plays in the paper: blocks
+// are stored and retrieved by their SHA-256 content ID, data can be
+// replicated across nodes for availability (§VI), and nodes support the
+// merge-and-download operation (§III-E) that pre-aggregates gradient blocks
+// before shipping them to an aggregator.
+//
+// The network is honest-but-unreliable: nodes may fail (and recover), and a
+// test hook can corrupt stored bytes, because the paper explicitly does not
+// assume retrieved data is correct — parties verify CIDs themselves.
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"ipls/internal/cid"
+	"ipls/internal/dag"
+	"ipls/internal/model"
+	"ipls/internal/scalar"
+)
+
+func bigOne() *big.Int { return big.NewInt(1) }
+
+// Errors reported by the storage network.
+var (
+	// ErrNotFound indicates no reachable node holds the requested block.
+	ErrNotFound = errors.New("storage: block not found")
+	// ErrNodeDown indicates the addressed node is unavailable.
+	ErrNodeDown = errors.New("storage: node is down")
+	// ErrUnknownNode indicates the node ID is not part of the network.
+	ErrUnknownNode = errors.New("storage: unknown node")
+)
+
+// Client is the view protocol participants have of the storage network:
+// enough to upload gradients, download blocks, and request pre-aggregation.
+type Client interface {
+	// Put stores data on the addressed node (plus replicas) and returns
+	// its content ID.
+	Put(nodeID string, data []byte) (cid.CID, error)
+	// Get retrieves a block from the addressed node.
+	Get(nodeID string, c cid.CID) ([]byte, error)
+	// MergeGet asks the addressed node to pre-aggregate the gradient
+	// blocks with the given CIDs and returns the serialized sum block.
+	MergeGet(nodeID string, cs []cid.CID) ([]byte, error)
+}
+
+// Placement selects how replicas are assigned to nodes.
+type Placement int
+
+// Placement policies.
+const (
+	// PlacementRing stores replicas on the primary's successors in node
+	// ID order — simple, but a fixed primary always hits the same
+	// successors.
+	PlacementRing Placement = iota + 1
+	// PlacementRendezvous scores each node by hash(CID, node ID) and
+	// stores replicas on the top scorers — the §VI proposal for a
+	// "uniform allocation of gradients to nodes ... based on the hash of
+	// the gradients and the nodes id's", which also makes the replica
+	// set unpredictable to colluding parties.
+	PlacementRendezvous
+)
+
+// Network is an in-memory storage network.
+type Network struct {
+	mu        sync.Mutex
+	field     *scalar.Field
+	replicas  int
+	placement Placement
+	nodes     map[string]*Node
+	order     []string
+	pubsub    *PubSub
+
+	remoteFetches int
+}
+
+var _ Client = (*Network)(nil)
+
+// NewNetwork creates a storage network. The field is needed so nodes can
+// merge gradient blocks; replicas is the number of nodes each block is
+// stored on (minimum 1).
+func NewNetwork(field *scalar.Field, replicas int) *Network {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Network{
+		field:     field,
+		replicas:  replicas,
+		placement: PlacementRing,
+		nodes:     make(map[string]*Node),
+		pubsub:    NewPubSub(),
+	}
+}
+
+// SetPlacement selects the replica placement policy.
+func (n *Network) SetPlacement(p Placement) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.placement = p
+}
+
+// PubSub returns the network's pub/sub bus (the IPFS pub/sub stand-in).
+func (n *Network) PubSub() *PubSub { return n.pubsub }
+
+// Announce publishes a pub/sub message (IPFS pub/sub, used by aggregators
+// to announce partial-update hashes, §IV-B).
+func (n *Network) Announce(topic, from string, data []byte) {
+	n.pubsub.Publish(topic, from, data)
+}
+
+// Listen returns announcements on topic from the given cursor, plus the
+// next cursor.
+func (n *Network) Listen(topic string, since int) ([]Announcement, int) {
+	return n.pubsub.Fetch(topic, since)
+}
+
+// ForgetTopic drops a topic's retained announcements.
+func (n *Network) ForgetTopic(topic string) {
+	n.pubsub.Forget(topic)
+}
+
+// Node is a single storage host.
+type Node struct {
+	id          string
+	blocks      map[cid.CID][]byte
+	down        bool
+	cheatMerges bool
+
+	// MergeOps counts merge-and-download requests served, and
+	// MergedBlocks the total number of gradient blocks folded into them.
+	MergeOps     int
+	MergedBlocks int
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() string { return nd.id }
+
+// StoredBlocks returns how many distinct blocks the node holds.
+func (nd *Node) StoredBlocks() int { return len(nd.blocks) }
+
+// BlockCIDs returns the CIDs of all blocks the node holds, in sorted order.
+func (nd *Node) BlockCIDs() []cid.CID {
+	out := make([]cid.CID, 0, len(nd.blocks))
+	for c := range nd.blocks {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StoredBytes returns the total bytes the node holds.
+func (nd *Node) StoredBytes() int64 {
+	var total int64
+	for _, b := range nd.blocks {
+		total += int64(len(b))
+	}
+	return total
+}
+
+// AddNode registers a storage node.
+func (n *Network) AddNode(id string) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("storage: duplicate node %q", id))
+	}
+	nd := &Node{id: id, blocks: make(map[cid.CID][]byte)}
+	n.nodes[id] = nd
+	n.order = append(n.order, id)
+	sort.Strings(n.order)
+	return nd
+}
+
+// NodeIDs returns all node identifiers in deterministic order.
+func (n *Network) NodeIDs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Node looks up a node by ID.
+func (n *Network) Node(id string) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	return nd, nil
+}
+
+// Fail marks a node as unavailable.
+func (n *Network) Fail(id string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	nd.down = true
+	return nil
+}
+
+// Recover brings a failed node back (its blocks survive, as an IPFS node's
+// datastore would).
+func (n *Network) Recover(id string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	nd.down = false
+	return nil
+}
+
+// Corrupt flips a byte of the stored block on one node — a test hook for
+// the "we do not assume correctness of retrieved data" adversary (§III-A).
+func (n *Network) Corrupt(id string, c cid.CID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	data, ok := nd.blocks[c]
+	if !ok {
+		return ErrNotFound
+	}
+	mutated := append([]byte(nil), data...)
+	mutated[len(mutated)/2] ^= 0xff
+	nd.blocks[c] = mutated
+	return nil
+}
+
+// CheatMerges makes a node return subtly corrupted merge-and-download
+// results — a test hook for the §IV check that the merged block's
+// commitment equals the product of its constituents' commitments.
+func (n *Network) CheatMerges(id string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	nd.cheatMerges = true
+	return nil
+}
+
+// Delete removes a block from one node. Deleting an absent block is a
+// no-op, mirroring IPFS unpinning semantics.
+func (n *Network) Delete(nodeID string, c cid.CID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[nodeID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
+	}
+	delete(nd.blocks, c)
+	return nil
+}
+
+// DeleteAll removes a block from every node: the per-iteration garbage
+// collection that keeps the storage footprint of the protocol constant
+// ("gradients and updates [are] only needed for a short period of time",
+// §VI).
+func (n *Network) DeleteAll(c cid.CID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, nd := range n.nodes {
+		delete(nd.blocks, c)
+	}
+}
+
+// Put stores data on the addressed node and on replicas-1 successor nodes
+// in ring order, returning the block's CID. Successors that are down are
+// skipped; the primary must be up.
+func (n *Network) Put(nodeID string, data []byte) (cid.CID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[nodeID]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
+	}
+	if nd.down {
+		return "", fmt.Errorf("%w: %q", ErrNodeDown, nodeID)
+	}
+	c := cid.Sum(data)
+	stored := append([]byte(nil), data...)
+	nd.blocks[c] = stored
+	if n.replicas > 1 {
+		for _, id := range n.replicaTargets(nodeID, c) {
+			n.nodes[id].blocks[c] = stored
+		}
+	}
+	return c, nil
+}
+
+// replicaTargets picks replicas-1 live nodes (other than the primary)
+// according to the placement policy.
+func (n *Network) replicaTargets(primary string, c cid.CID) []string {
+	want := n.replicas - 1
+	var out []string
+	switch n.placement {
+	case PlacementRendezvous:
+		// Highest-random-weight: score every candidate by
+		// hash(CID, node) and take the top scorers.
+		type scored struct {
+			id    string
+			score uint64
+		}
+		cands := make([]scored, 0, len(n.order))
+		for _, id := range n.order {
+			if id == primary || n.nodes[id].down {
+				continue
+			}
+			cands = append(cands, scored{id: id, score: rendezvousScore(c, id)})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			return cands[i].id < cands[j].id
+		})
+		for i := 0; i < len(cands) && i < want; i++ {
+			out = append(out, cands[i].id)
+		}
+	default: // PlacementRing
+		idx := sort.SearchStrings(n.order, primary)
+		for step := 1; step < len(n.order) && len(out) < want; step++ {
+			id := n.order[(idx+step)%len(n.order)]
+			if n.nodes[id].down {
+				continue
+			}
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// rendezvousScore hashes (CID, node ID) into a 64-bit weight.
+func rendezvousScore(c cid.CID, nodeID string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(c))
+	h.Write([]byte{0})
+	h.Write([]byte(nodeID))
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum)
+}
+
+// Get retrieves a block from the addressed node. The caller is responsible
+// for verifying the returned bytes against the CID.
+func (n *Network) Get(nodeID string, c cid.CID) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
+	}
+	if nd.down {
+		return nil, fmt.Errorf("%w: %q", ErrNodeDown, nodeID)
+	}
+	data, ok := nd.blocks[c]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %q", ErrNotFound, c.Short(), nodeID)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Fetch retrieves a block from any live node (content routing).
+func (n *Network) Fetch(c cid.CID) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	data, ok := n.fetchLocked(c)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, c.Short())
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (n *Network) fetchLocked(c cid.CID) ([]byte, bool) {
+	for _, id := range n.order {
+		nd := n.nodes[id]
+		if nd.down {
+			continue
+		}
+		if data, ok := nd.blocks[c]; ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// MergeGet implements merge-and-download: the addressed node decodes the
+// gradient blocks with the given CIDs, sums them in the scalar field and
+// returns one aggregated block. Blocks the node does not hold locally are
+// fetched from peers first (counted in RemoteFetches).
+func (n *Network) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
+	}
+	if nd.down {
+		return nil, fmt.Errorf("%w: %q", ErrNodeDown, nodeID)
+	}
+	if len(cs) == 0 {
+		return nil, errors.New("storage: merge of zero blocks")
+	}
+	blocks := make([]model.Block, 0, len(cs))
+	for _, c := range cs {
+		data, ok := nd.blocks[c]
+		if !ok {
+			remote, found := n.fetchLocked(c)
+			if !found {
+				return nil, fmt.Errorf("%w: %s for merge on %q", ErrNotFound, c.Short(), nodeID)
+			}
+			n.remoteFetches++
+			nd.blocks[c] = remote
+			data = remote
+		}
+		b, err := model.DecodeBlock(data)
+		if err != nil {
+			return nil, fmt.Errorf("storage: merge decode %s: %w", c.Short(), err)
+		}
+		blocks = append(blocks, b)
+	}
+	sum, err := model.Sum(n.field, blocks...)
+	if err != nil {
+		return nil, fmt.Errorf("storage: merge: %w", err)
+	}
+	if nd.cheatMerges {
+		// A lazy or malicious provider quietly mis-aggregates.
+		sum.Values[0] = n.field.Add(sum.Values[0], bigOne())
+	}
+	nd.MergeOps++
+	nd.MergedBlocks += len(blocks)
+	return sum.Encode()
+}
+
+// PutDAG chunks a large object into a Merkle DAG and stores every block on
+// the addressed node (with the network's replication policy applied per
+// block). It returns the root reference. chunkSize <= 0 uses the IPFS
+// default of 256 KiB.
+func (n *Network) PutDAG(nodeID string, data []byte, chunkSize int) (dag.Ref, error) {
+	root, blocks, err := dag.Build(data, chunkSize)
+	if err != nil {
+		return dag.Ref{}, err
+	}
+	// Store in deterministic order so replica placement is reproducible.
+	ids := make([]cid.CID, 0, len(blocks))
+	for c := range blocks {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, c := range ids {
+		stored, err := n.Put(nodeID, blocks[c])
+		if err != nil {
+			return dag.Ref{}, err
+		}
+		if stored != c {
+			return dag.Ref{}, fmt.Errorf("storage: DAG block CID drifted: %s != %s", stored.Short(), c.Short())
+		}
+	}
+	return root, nil
+}
+
+// GetDAG reassembles an object from its root reference, fetching blocks
+// from the addressed node with content-routing fallback and verifying
+// every block against its CID.
+func (n *Network) GetDAG(nodeID string, root dag.Ref) ([]byte, error) {
+	return dag.Assemble(root, func(c cid.CID) ([]byte, error) {
+		data, err := n.Get(nodeID, c)
+		if err != nil {
+			return n.Fetch(c)
+		}
+		return data, nil
+	})
+}
+
+// RemoteFetches reports how many merge inputs had to be pulled from peer
+// nodes rather than served locally.
+func (n *Network) RemoteFetches() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.remoteFetches
+}
+
+// TotalStoredBytes sums stored bytes across all nodes (replicas included),
+// used by the blockchain-baseline comparison.
+func (n *Network) TotalStoredBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total int64
+	for _, nd := range n.nodes {
+		total += nd.StoredBytes()
+	}
+	return total
+}

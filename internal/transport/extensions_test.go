@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ipls/internal/core"
+	"ipls/internal/directory"
+	"ipls/internal/storage"
+)
+
+func TestPublishBatchOverTCP(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-batch", ModelDim: 8, Partitions: 2,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, dir := startServer(t, cfg)
+	c := dialClient(t, addr)
+	id1, _ := c.Put("s0", []byte("a"))
+	id2, _ := c.Put("s0", []byte("b"))
+	err = c.PublishBatch([]directory.Record{
+		{Addr: directory.Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: directory.TypeGradient}, CID: id1, Node: "s0"},
+		{Addr: directory.Addr{Uploader: "t0", Partition: 1, Iter: 0, Type: directory.TypeGradient}, CID: id2, Node: "s0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.Stats().Requests != 1 || dir.Stats().Publishes != 2 {
+		t.Fatalf("stats = %+v", dir.Stats())
+	}
+	recs := c.RecordsForIter(0)
+	if len(recs) != 2 {
+		t.Fatalf("RecordsForIter over TCP returned %d records", len(recs))
+	}
+}
+
+func TestScheduleOverTCP(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-sched", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, dir := startServer(t, cfg)
+	c := dialClient(t, addr)
+	base := time.Now()
+	dir.SetClock(func() time.Time { return base })
+	c.SetSchedule(7, base.Add(-time.Minute))
+	id, _ := c.Put("s0", []byte("late gradient"))
+	err = c.Publish(directory.Record{
+		Addr: directory.Addr{Uploader: "t0", Partition: 0, Iter: 7, Type: directory.TypeGradient},
+		CID:  id, Node: "s0",
+	})
+	if !errors.Is(err, directory.ErrTooLate) {
+		t.Fatalf("ErrTooLate lost over TCP: %v", err)
+	}
+}
+
+func TestCleanupOverTCP(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-gc", ModelDim: 16, Partitions: 2,
+		Trainers: []string{"t0", "t1"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0", "s1"},
+		TTrain:       2 * time.Second, TSync: 2 * time.Second,
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, netw, _ := startServer(t, cfg)
+	client := dialClient(t, addr)
+	sess, err := core.NewSession(cfg, client, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := map[string][]float64{"t0": make([]float64, 16), "t1": make([]float64, 16)}
+	if _, err := sess.RunIteration(context.Background(), 0, deltas, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := netw.TotalStoredBytes()
+	removed, err := sess.CleanupIteration(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 || netw.TotalStoredBytes() >= before {
+		t.Fatalf("cleanup over TCP ineffective: removed=%d, %d -> %d bytes",
+			removed, before, netw.TotalStoredBytes())
+	}
+	// Updates still retrievable.
+	if _, err := sess.TrainerCollect(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPubSubOverTCP(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-pubsub", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, netw, _ := startServer(t, cfg)
+	c := dialClient(t, addr)
+	c.Announce("topic", "agg-a", []byte("hash announcement"))
+	msgs, next := c.Listen("topic", 0)
+	if len(msgs) != 1 || next != 1 {
+		t.Fatalf("Listen over TCP: %d msgs next=%d", len(msgs), next)
+	}
+	if msgs[0].From != "agg-a" || string(msgs[0].Data) != "hash announcement" {
+		t.Fatalf("wrong announcement: %+v", msgs[0])
+	}
+	c.ForgetTopic("topic")
+	if got, _ := netw.Listen("topic", 0); len(got) != 0 {
+		t.Fatal("ForgetTopic over TCP ineffective")
+	}
+	// The TCP client satisfies the Announcer capability used by core.
+	var _ core.Announcer = c
+}
+
+func TestConcurrentClientsStress(t *testing.T) {
+	// Many clients hammering the same server concurrently: the RPC layer
+	// and the underlying services must stay consistent.
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-stress", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0", "s1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, netw, _ := startServer(t, cfg)
+	const clients = 8
+	const putsEach = 25
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < putsEach; j++ {
+				data := []byte{byte(i), byte(j), 0xaa}
+				id, err := c.Put("s0", data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.Get("s0", id)
+				if err != nil || string(got) != string(data) {
+					errs <- err
+					return
+				}
+				c.Announce("stress", "c", data)
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	nd, err := netw.Node("s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.StoredBlocks() != clients*putsEach {
+		t.Fatalf("stored %d blocks, want %d", nd.StoredBlocks(), clients*putsEach)
+	}
+	if msgs, _ := netw.Listen("stress", 0); len(msgs) != clients*putsEach {
+		t.Fatalf("retained %d announcements, want %d", len(msgs), clients*putsEach)
+	}
+}
+
+func TestStorageDeleteAllOverTCP(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-del", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0", "s1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, _ := startServer(t, cfg)
+	c := dialClient(t, addr)
+	id, err := c.Put("s0", []byte("ephemeral"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DeleteAll(id)
+	if _, err := c.Fetch(id); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("block should be gone everywhere: %v", err)
+	}
+}

@@ -1,0 +1,667 @@
+// Package transport exposes the storage network and the directory service
+// over TCP using net/rpc, so that trainers, aggregators and the
+// bootstrapper can run as separate processes on separate machines. The
+// clients implement the same interfaces the in-memory backends do
+// (storage.Client and core.Directory), so the protocol engine is oblivious
+// to which deployment it runs on.
+//
+// Canonical protocol errors (not-found, verification-failed, …) are mapped
+// to stable wire codes and back, so errors.Is works across the network.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+
+	"ipls/internal/cid"
+	"ipls/internal/directory"
+	"ipls/internal/pedersen"
+	"ipls/internal/storage"
+)
+
+// Wire error codes.
+const (
+	codeNone               = ""
+	codeNotFound           = "not_found"
+	codeNodeDown           = "node_down"
+	codeUnknownNode        = "unknown_node"
+	codeDirNotFound        = "dir_not_found"
+	codeConflict           = "conflict"
+	codeAlreadyFinal       = "already_final"
+	codeVerificationFailed = "verification_failed"
+	codeMissingCommitment  = "missing_commitment"
+	codeTooLate            = "too_late"
+	codeTooEarly           = "too_early"
+	codeBadSignature       = "bad_signature"
+	codeOther              = "other:"
+)
+
+// encodeErr maps an error to a wire code.
+func encodeErr(err error) string {
+	switch {
+	case err == nil:
+		return codeNone
+	case errors.Is(err, storage.ErrNotFound):
+		return codeNotFound
+	case errors.Is(err, storage.ErrNodeDown):
+		return codeNodeDown
+	case errors.Is(err, storage.ErrUnknownNode):
+		return codeUnknownNode
+	case errors.Is(err, directory.ErrNotFound):
+		return codeDirNotFound
+	case errors.Is(err, directory.ErrConflict):
+		return codeConflict
+	case errors.Is(err, directory.ErrAlreadyFinal):
+		return codeAlreadyFinal
+	case errors.Is(err, directory.ErrVerificationFailed):
+		return codeVerificationFailed
+	case errors.Is(err, directory.ErrMissingCommitment):
+		return codeMissingCommitment
+	case errors.Is(err, directory.ErrTooLate):
+		return codeTooLate
+	case errors.Is(err, directory.ErrTooEarly):
+		return codeTooEarly
+	case errors.Is(err, directory.ErrBadSignature):
+		return codeBadSignature
+	default:
+		return codeOther + err.Error()
+	}
+}
+
+// decodeErr maps a wire code back to a canonical error.
+func decodeErr(code string) error {
+	switch code {
+	case codeNone:
+		return nil
+	case codeNotFound:
+		return storage.ErrNotFound
+	case codeNodeDown:
+		return storage.ErrNodeDown
+	case codeUnknownNode:
+		return storage.ErrUnknownNode
+	case codeDirNotFound:
+		return directory.ErrNotFound
+	case codeConflict:
+		return directory.ErrConflict
+	case codeAlreadyFinal:
+		return directory.ErrAlreadyFinal
+	case codeVerificationFailed:
+		return directory.ErrVerificationFailed
+	case codeMissingCommitment:
+		return directory.ErrMissingCommitment
+	case codeTooLate:
+		return directory.ErrTooLate
+	case codeTooEarly:
+		return directory.ErrTooEarly
+	case codeBadSignature:
+		return directory.ErrBadSignature
+	default:
+		return errors.New(strings.TrimPrefix(code, codeOther))
+	}
+}
+
+// --- Storage RPC service -------------------------------------------------
+
+// StorageService exposes a storage.Network over RPC.
+type StorageService struct {
+	net *storage.Network
+}
+
+// PutArgs/PutReply carry StorageService.Put.
+type (
+	PutArgs struct {
+		Node string
+		Data []byte
+	}
+	PutReply struct {
+		CID string
+		Err string
+	}
+)
+
+// Put stores a block.
+func (s *StorageService) Put(args *PutArgs, reply *PutReply) error {
+	c, err := s.net.Put(args.Node, args.Data)
+	reply.CID = string(c)
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// GetArgs/GetReply carry StorageService.Get and Fetch.
+type (
+	GetArgs struct {
+		Node string
+		CID  string
+	}
+	GetReply struct {
+		Data []byte
+		Err  string
+	}
+)
+
+// Get retrieves a block from a specific node.
+func (s *StorageService) Get(args *GetArgs, reply *GetReply) error {
+	data, err := s.net.Get(args.Node, cid.CID(args.CID))
+	reply.Data = data
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// Fetch retrieves a block from any live node (content routing).
+func (s *StorageService) Fetch(args *GetArgs, reply *GetReply) error {
+	data, err := s.net.Fetch(cid.CID(args.CID))
+	reply.Data = data
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// MergeArgs carries StorageService.MergeGet.
+type MergeArgs struct {
+	Node string
+	CIDs []string
+}
+
+// MergeGet performs merge-and-download on the addressed node.
+func (s *StorageService) MergeGet(args *MergeArgs, reply *GetReply) error {
+	cids := make([]cid.CID, len(args.CIDs))
+	for i, c := range args.CIDs {
+		cids[i] = cid.CID(c)
+	}
+	data, err := s.net.MergeGet(args.Node, cids)
+	reply.Data = data
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// AnnounceArgs carries one pub/sub publication.
+type AnnounceArgs struct {
+	Topic string
+	From  string
+	Data  []byte
+}
+
+// Announce publishes a pub/sub message on the storage network's bus.
+func (s *StorageService) Announce(args *AnnounceArgs, reply *ErrReply) error {
+	s.net.Announce(args.Topic, args.From, args.Data)
+	reply.Err = codeNone
+	return nil
+}
+
+// ListenArgs polls a pub/sub topic from a cursor.
+type ListenArgs struct {
+	Topic string
+	Since int
+}
+
+// ListenReply carries retained announcements and the next cursor.
+type ListenReply struct {
+	Msgs []storage.Announcement
+	Next int
+}
+
+// Listen returns announcements on a topic from the given cursor.
+func (s *StorageService) Listen(args *ListenArgs, reply *ListenReply) error {
+	reply.Msgs, reply.Next = s.net.Listen(args.Topic, args.Since)
+	return nil
+}
+
+// TopicArgs names a pub/sub topic.
+type TopicArgs struct {
+	Topic string
+}
+
+// ForgetTopic drops a topic's retained announcements.
+func (s *StorageService) ForgetTopic(args *TopicArgs, reply *ErrReply) error {
+	s.net.ForgetTopic(args.Topic)
+	reply.Err = codeNone
+	return nil
+}
+
+// DeleteAllArgs names a block to garbage-collect network-wide.
+type DeleteAllArgs struct {
+	CID string
+}
+
+// DeleteAll removes a block from every storage node.
+func (s *StorageService) DeleteAll(args *DeleteAllArgs, reply *ErrReply) error {
+	s.net.DeleteAll(cid.CID(args.CID))
+	reply.Err = codeNone
+	return nil
+}
+
+// --- Directory RPC service ----------------------------------------------
+
+// DirectoryService exposes a directory.Service over RPC.
+type DirectoryService struct {
+	svc *directory.Service
+}
+
+// ErrReply is a bare error-code reply.
+type ErrReply struct {
+	Err string
+}
+
+// Publish records an uploaded block.
+func (d *DirectoryService) Publish(rec *directory.Record, reply *ErrReply) error {
+	reply.Err = encodeErr(d.svc.Publish(*rec))
+	return nil
+}
+
+// BatchArgs carries several records for one publish round trip.
+type BatchArgs struct {
+	Recs []directory.Record
+}
+
+// PublishBatch records several uploads in one request.
+func (d *DirectoryService) PublishBatch(args *BatchArgs, reply *ErrReply) error {
+	reply.Err = encodeErr(d.svc.PublishBatch(args.Recs))
+	return nil
+}
+
+// RecordReply carries a single directory record.
+type RecordReply struct {
+	Rec directory.Record
+	Err string
+}
+
+// Lookup resolves an exact address.
+func (d *DirectoryService) Lookup(addr *directory.Addr, reply *RecordReply) error {
+	rec, err := d.svc.Lookup(*addr)
+	reply.Rec = rec
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// QueryArgs addresses per-iteration, per-partition queries.
+type QueryArgs struct {
+	Iter       int
+	Partition  int
+	Aggregator string
+}
+
+// RecordsReply carries a record list.
+type RecordsReply struct {
+	Recs []directory.Record
+}
+
+// GradientsFor lists gradients visible for an aggregator.
+func (d *DirectoryService) GradientsFor(args *QueryArgs, reply *RecordsReply) error {
+	reply.Recs = d.svc.GradientsFor(args.Iter, args.Partition, args.Aggregator)
+	return nil
+}
+
+// PartialUpdates lists the published partial updates.
+func (d *DirectoryService) PartialUpdates(args *QueryArgs, reply *RecordsReply) error {
+	reply.Recs = d.svc.PartialUpdates(args.Iter, args.Partition)
+	return nil
+}
+
+// Update returns the accepted global update.
+func (d *DirectoryService) Update(args *QueryArgs, reply *RecordReply) error {
+	rec, err := d.svc.Update(args.Iter, args.Partition)
+	reply.Rec = rec
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// CommitmentReply carries an accumulated commitment.
+type CommitmentReply struct {
+	Commitment []byte
+	Count      int
+	Err        string
+}
+
+// PartitionAccumulator returns the partition's accumulated commitment.
+func (d *DirectoryService) PartitionAccumulator(args *QueryArgs, reply *CommitmentReply) error {
+	acc, err := d.svc.PartitionAccumulator(args.Iter, args.Partition)
+	reply.Commitment = acc
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// AggregatorAccumulator returns an aggregator's accumulated commitment.
+func (d *DirectoryService) AggregatorAccumulator(args *QueryArgs, reply *CommitmentReply) error {
+	acc, n, err := d.svc.AggregatorAccumulator(args.Iter, args.Partition, args.Aggregator)
+	reply.Commitment = acc
+	reply.Count = n
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// VerifyArgs carries a partial-update verification request.
+type VerifyArgs struct {
+	Iter       int
+	Partition  int
+	Aggregator string
+	Data       []byte
+}
+
+// BoolReply carries a verification verdict.
+type BoolReply struct {
+	OK  bool
+	Err string
+}
+
+// IterArgs addresses a whole iteration.
+type IterArgs struct {
+	Iter int
+}
+
+// RecordsForIter lists an iteration's gradient and partial records.
+func (d *DirectoryService) RecordsForIter(args *IterArgs, reply *RecordsReply) error {
+	reply.Recs = d.svc.RecordsForIter(args.Iter)
+	return nil
+}
+
+// ScheduleArgs carries an iteration's t_train deadline.
+type ScheduleArgs struct {
+	Iter   int
+	TTrain time.Time
+}
+
+// SetSchedule registers an iteration's t_train deadline.
+func (d *DirectoryService) SetSchedule(args *ScheduleArgs, reply *ErrReply) error {
+	d.svc.SetSchedule(args.Iter, args.TTrain)
+	reply.Err = codeNone
+	return nil
+}
+
+// VerifyPartialUpdate checks a partial update against the accumulator.
+func (d *DirectoryService) VerifyPartialUpdate(args *VerifyArgs, reply *BoolReply) error {
+	ok, err := d.svc.VerifyPartialUpdate(args.Iter, args.Partition, args.Aggregator, args.Data)
+	reply.OK = ok
+	reply.Err = encodeErr(err)
+	return nil
+}
+
+// --- Server ---------------------------------------------------------------
+
+// Server hosts storage and/or directory services on a TCP listener.
+type Server struct {
+	rpcSrv *rpc.Server
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates an empty RPC server; register services before Serve.
+func NewServer() *Server {
+	return &Server{
+		rpcSrv: rpc.NewServer(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// RegisterStorage exposes a storage network.
+func (s *Server) RegisterStorage(netw *storage.Network) error {
+	return s.rpcSrv.RegisterName("Storage", &StorageService{net: netw})
+}
+
+// RegisterDirectory exposes a directory service.
+func (s *Server) RegisterDirectory(svc *directory.Service) error {
+	return s.rpcSrv.RegisterName("Directory", &DirectoryService{svc: svc})
+}
+
+// Listen binds the server to an address ("127.0.0.1:0" for an ephemeral
+// port) and starts accepting connections in the background.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.rpcSrv.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes open connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// --- Clients ---------------------------------------------------------------
+
+// Client is a TCP connection to a transport server, usable as both a
+// storage client and a directory client.
+type Client struct {
+	rpc *rpc.Client
+}
+
+var _ storage.Client = (*Client)(nil)
+
+// Dial connects to a transport server.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// Put stores a block on the addressed node.
+func (c *Client) Put(nodeID string, data []byte) (cid.CID, error) {
+	var reply PutReply
+	if err := c.rpc.Call("Storage.Put", &PutArgs{Node: nodeID, Data: data}, &reply); err != nil {
+		return "", err
+	}
+	return cid.CID(reply.CID), decodeErr(reply.Err)
+}
+
+// Get retrieves a block from the addressed node.
+func (c *Client) Get(nodeID string, id cid.CID) ([]byte, error) {
+	var reply GetReply
+	if err := c.rpc.Call("Storage.Get", &GetArgs{Node: nodeID, CID: string(id)}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Data, decodeErr(reply.Err)
+}
+
+// Fetch retrieves a block from any live node.
+func (c *Client) Fetch(id cid.CID) ([]byte, error) {
+	var reply GetReply
+	if err := c.rpc.Call("Storage.Fetch", &GetArgs{CID: string(id)}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Data, decodeErr(reply.Err)
+}
+
+// MergeGet requests provider-side pre-aggregation.
+func (c *Client) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
+	ids := make([]string, len(cs))
+	for i, x := range cs {
+		ids[i] = string(x)
+	}
+	var reply GetReply
+	if err := c.rpc.Call("Storage.MergeGet", &MergeArgs{Node: nodeID, CIDs: ids}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Data, decodeErr(reply.Err)
+}
+
+// Publish records an uploaded block with the directory.
+func (c *Client) Publish(rec directory.Record) error {
+	var reply ErrReply
+	if err := c.rpc.Call("Directory.Publish", &rec, &reply); err != nil {
+		return err
+	}
+	return decodeErr(reply.Err)
+}
+
+// PublishBatch records several uploads in one round trip.
+func (c *Client) PublishBatch(recs []directory.Record) error {
+	var reply ErrReply
+	if err := c.rpc.Call("Directory.PublishBatch", &BatchArgs{Recs: recs}, &reply); err != nil {
+		return err
+	}
+	return decodeErr(reply.Err)
+}
+
+// Lookup resolves an exact address.
+func (c *Client) Lookup(addr directory.Addr) (directory.Record, error) {
+	var reply RecordReply
+	if err := c.rpc.Call("Directory.Lookup", &addr, &reply); err != nil {
+		return directory.Record{}, err
+	}
+	return reply.Rec, decodeErr(reply.Err)
+}
+
+// GradientsFor lists gradient records for an aggregator. RPC failures
+// surface as an empty list, which the protocol treats as "nothing yet".
+func (c *Client) GradientsFor(iter, partition int, aggregator string) []directory.Record {
+	var reply RecordsReply
+	if err := c.rpc.Call("Directory.GradientsFor",
+		&QueryArgs{Iter: iter, Partition: partition, Aggregator: aggregator}, &reply); err != nil {
+		return nil
+	}
+	return reply.Recs
+}
+
+// PartialUpdates lists published partial updates.
+func (c *Client) PartialUpdates(iter, partition int) []directory.Record {
+	var reply RecordsReply
+	if err := c.rpc.Call("Directory.PartialUpdates",
+		&QueryArgs{Iter: iter, Partition: partition}, &reply); err != nil {
+		return nil
+	}
+	return reply.Recs
+}
+
+// Update returns the accepted global update.
+func (c *Client) Update(iter, partition int) (directory.Record, error) {
+	var reply RecordReply
+	if err := c.rpc.Call("Directory.Update",
+		&QueryArgs{Iter: iter, Partition: partition}, &reply); err != nil {
+		return directory.Record{}, err
+	}
+	return reply.Rec, decodeErr(reply.Err)
+}
+
+// PartitionAccumulator returns the accumulated partition commitment.
+func (c *Client) PartitionAccumulator(iter, partition int) (pedersen.Commitment, error) {
+	var reply CommitmentReply
+	if err := c.rpc.Call("Directory.PartitionAccumulator",
+		&QueryArgs{Iter: iter, Partition: partition}, &reply); err != nil {
+		return nil, err
+	}
+	return pedersen.Commitment(reply.Commitment), decodeErr(reply.Err)
+}
+
+// AggregatorAccumulator returns an aggregator's accumulated commitment.
+func (c *Client) AggregatorAccumulator(iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
+	var reply CommitmentReply
+	if err := c.rpc.Call("Directory.AggregatorAccumulator",
+		&QueryArgs{Iter: iter, Partition: partition, Aggregator: aggregator}, &reply); err != nil {
+		return nil, 0, err
+	}
+	return pedersen.Commitment(reply.Commitment), reply.Count, decodeErr(reply.Err)
+}
+
+// Announce publishes a pub/sub message. Failures are swallowed: pub/sub is
+// a discovery hint, and the directory remains the source of truth.
+func (c *Client) Announce(topic, from string, data []byte) {
+	var reply ErrReply
+	_ = c.rpc.Call("Storage.Announce", &AnnounceArgs{Topic: topic, From: from, Data: data}, &reply)
+}
+
+// Listen polls a pub/sub topic from a cursor. On RPC failure it reports no
+// messages and leaves the cursor unchanged.
+func (c *Client) Listen(topic string, since int) ([]storage.Announcement, int) {
+	var reply ListenReply
+	if err := c.rpc.Call("Storage.Listen", &ListenArgs{Topic: topic, Since: since}, &reply); err != nil {
+		return nil, since
+	}
+	return reply.Msgs, reply.Next
+}
+
+// ForgetTopic drops a topic's retained announcements.
+func (c *Client) ForgetTopic(topic string) {
+	var reply ErrReply
+	_ = c.rpc.Call("Storage.ForgetTopic", &TopicArgs{Topic: topic}, &reply)
+}
+
+// DeleteAll garbage-collects a block from every storage node.
+func (c *Client) DeleteAll(id cid.CID) {
+	var reply ErrReply
+	_ = c.rpc.Call("Storage.DeleteAll", &DeleteAllArgs{CID: string(id)}, &reply)
+}
+
+// RecordsForIter lists an iteration's gradient and partial records.
+func (c *Client) RecordsForIter(iter int) []directory.Record {
+	var reply RecordsReply
+	if err := c.rpc.Call("Directory.RecordsForIter", &IterArgs{Iter: iter}, &reply); err != nil {
+		return nil
+	}
+	return reply.Recs
+}
+
+// SetSchedule announces an iteration's t_train deadline to the directory.
+// RPC failures are swallowed: the schedule is an optimization, and the
+// protocol remains safe without it (the directory just cannot reject late
+// gradients).
+func (c *Client) SetSchedule(iter int, tTrain time.Time) {
+	var reply ErrReply
+	_ = c.rpc.Call("Directory.SetSchedule", &ScheduleArgs{Iter: iter, TTrain: tTrain}, &reply)
+}
+
+// VerifyPartialUpdate checks a partial update against the accumulator.
+func (c *Client) VerifyPartialUpdate(iter, partition int, aggregator string, data []byte) (bool, error) {
+	var reply BoolReply
+	if err := c.rpc.Call("Directory.VerifyPartialUpdate",
+		&VerifyArgs{Iter: iter, Partition: partition, Aggregator: aggregator, Data: data}, &reply); err != nil {
+		return false, err
+	}
+	return reply.OK, decodeErr(reply.Err)
+}

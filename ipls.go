@@ -1,0 +1,285 @@
+package ipls
+
+import (
+	"ipls/internal/baseline"
+	"ipls/internal/core"
+	"ipls/internal/deals"
+	"ipls/internal/directory"
+	"ipls/internal/distdir"
+	"ipls/internal/gossip"
+	"ipls/internal/group"
+	"ipls/internal/identity"
+	"ipls/internal/ml"
+	"ipls/internal/scalar"
+	"ipls/internal/storage"
+	"ipls/internal/transport"
+)
+
+// This file is the library's public API: a curated facade over the
+// implementation packages. Downstream users import "ipls" and get the
+// protocol (TaskSpec → Config → Session/Task), the storage and directory
+// backends, the virtual-time simulator and the ML substrate, without
+// reaching into internal packages.
+
+// ---- Task configuration -------------------------------------------------
+
+// TaskSpec declares a federated-learning task (see core.TaskSpec).
+type TaskSpec = core.TaskSpec
+
+// Config is the deterministic expansion of a TaskSpec shared by all
+// participants.
+type Config = core.Config
+
+// NewConfig validates and expands a TaskSpec.
+func NewConfig(ts TaskSpec) (*Config, error) { return core.NewConfig(ts) }
+
+// AggregatorID names the j-th aggregator of partition p.
+func AggregatorID(p, j int) string { return core.AggregatorID(p, j) }
+
+// ---- Protocol execution --------------------------------------------------
+
+// Session executes the protocol against pluggable storage and directory
+// backends.
+type Session = core.Session
+
+// NewSession creates a session over explicit backends (e.g. TCP clients).
+func NewSession(cfg *Config, store StorageClient, dir DirectoryClient) (*Session, error) {
+	return core.NewSession(cfg, store, dir)
+}
+
+// NewLocalStack wires an in-memory deployment: storage network, directory
+// service and session.
+func NewLocalStack(cfg *Config, replicas int) (*Session, *StorageNetwork, *DirectoryService, error) {
+	return core.NewLocalStack(cfg, replicas)
+}
+
+// StorageClient is the participant's view of the storage network.
+type StorageClient = storage.Client
+
+// DirectoryClient is the participant's view of the directory service.
+type DirectoryClient = core.Directory
+
+// Aggregator behaviors (honest and the §III-A malicious deviations).
+type Behavior = core.Behavior
+
+// Behavior values.
+const (
+	BehaviorHonest        = core.BehaviorHonest
+	BehaviorDropGradient  = core.BehaviorDropGradient
+	BehaviorAlterGradient = core.BehaviorAlterGradient
+	BehaviorForgeUpdate   = core.BehaviorForgeUpdate
+	BehaviorDropout       = core.BehaviorDropout
+)
+
+// IterationResult is the outcome of one protocol iteration.
+type IterationResult = core.IterationResult
+
+// AggregatorReport summarizes one aggregator's iteration.
+type AggregatorReport = core.AggregatorReport
+
+// Tracer receives structured protocol events; Recorder collects them.
+type (
+	Tracer   = core.Tracer
+	Recorder = core.Recorder
+	Event    = core.Event
+)
+
+// ---- Federated-learning driver -------------------------------------------
+
+// Task drives a complete FL job (local SGD → protocol → global model).
+type Task = core.Task
+
+// NewTask builds a task over a session.
+func NewTask(s *Session, m Model, locals map[string]*Dataset, sgd SGDConfig, initial []float64) (*Task, error) {
+	return core.NewTask(s, m, locals, sgd, initial)
+}
+
+// RoundMetrics reports one FL round.
+type RoundMetrics = core.RoundMetrics
+
+// ---- Machine-learning substrate -------------------------------------------
+
+// Model is a differentiable classifier with a flat parameter vector.
+type Model = ml.Model
+
+// Dataset is a labelled classification dataset.
+type Dataset = ml.Dataset
+
+// SGDConfig configures local training.
+type SGDConfig = ml.SGDConfig
+
+// NewLogistic creates a softmax-regression model.
+func NewLogistic(features, classes int) *ml.Logistic { return ml.NewLogistic(features, classes) }
+
+// NewMLP creates a one-hidden-layer network with seeded initialization.
+func NewMLP(features, hidden, classes int, seed int64) *ml.MLP {
+	return ml.NewMLP(features, hidden, classes, seed)
+}
+
+// Blobs generates a Gaussian-blobs dataset.
+func Blobs(n, features, classes int, spread float64, seed int64) *Dataset {
+	return ml.Blobs(n, features, classes, spread, seed)
+}
+
+// Rings generates a non-linearly-separable concentric-rings dataset.
+func Rings(n, classes int, noise float64, seed int64) *Dataset {
+	return ml.Rings(n, classes, noise, seed)
+}
+
+// Accuracy scores a model on a dataset.
+func Accuracy(m Model, d *Dataset) float64 { return ml.Accuracy(m, d) }
+
+// ---- Storage & directory backends -----------------------------------------
+
+// StorageNetwork is the in-memory content-addressed storage network.
+type StorageNetwork = storage.Network
+
+// NewStorageNetwork creates a standalone storage network (NewLocalStack
+// builds one automatically) using the named commitment curve's scalar
+// field for merge-and-download arithmetic.
+func NewStorageNetwork(curveName string, replicas int) (*StorageNetwork, error) {
+	if curveName == "" {
+		curveName = "secp256r1-fast"
+	}
+	curve, err := group.ByName(curveName)
+	if err != nil {
+		return nil, err
+	}
+	return storage.NewNetwork(scalar.NewField(curve.N), replicas), nil
+}
+
+// DirectoryService is the in-process directory service.
+type DirectoryService = directory.Service
+
+// ShardedDirectory spreads the directory maps across shards (§VI).
+type ShardedDirectory = distdir.Sharded
+
+// NewShardedDirectory creates a partition-sharded directory.
+func NewShardedDirectory(taskID string, shards int, cfg *Config, fetcher directory.BlockFetcher) (*ShardedDirectory, error) {
+	params, err := cfg.PedersenParams()
+	if err != nil {
+		return nil, err
+	}
+	s, err := distdir.New(taskID, shards, params, fetcher)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < cfg.Spec.Partitions; p++ {
+		for _, agg := range cfg.Aggregators[p] {
+			for _, tr := range cfg.TrainersOf(p, agg) {
+				s.SetAssignment(p, tr, agg)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Record is a directory record (addr → CID).
+type Record = directory.Record
+
+// Placement selects the replica placement policy.
+type Placement = storage.Placement
+
+// Placement policies.
+const (
+	PlacementRing       = storage.PlacementRing
+	PlacementRendezvous = storage.PlacementRendezvous
+)
+
+// ---- Identities -----------------------------------------------------------
+
+// KeyPair is a participant's Ed25519 signing identity; Registry holds the
+// public keys the directory authenticates against; Keyring holds the
+// private keys a process controls.
+type (
+	KeyPair  = identity.KeyPair
+	Registry = identity.Registry
+	Keyring  = identity.Keyring
+)
+
+// GenerateIdentity creates a fresh participant identity.
+func GenerateIdentity(id string) (*KeyPair, error) { return identity.Generate(id) }
+
+// DeterministicIdentities derives a keyring and registry for the listed
+// participants (tests/demos).
+func DeterministicIdentities(label string, ids []string) (*Keyring, *Registry) {
+	return identity.DeterministicSetup(label, ids)
+}
+
+// ---- Networked deployment ---------------------------------------------------
+
+// Server hosts the storage network and directory service over TCP.
+type Server = transport.Server
+
+// NewServer creates an empty TCP server; register services, then Listen.
+func NewServer() *Server { return transport.NewServer() }
+
+// Client is a TCP connection usable as both StorageClient and
+// DirectoryClient.
+type Client = transport.Client
+
+// Dial connects to a transport server.
+func Dial(addr string) (*Client, error) { return transport.Dial(addr) }
+
+// ---- Evaluation ------------------------------------------------------------
+
+// SimConfig parameterizes a virtual-time protocol simulation; SimResult
+// holds its measurements.
+type (
+	SimConfig = core.SimConfig
+	SimResult = core.SimResult
+)
+
+// Simulate runs one protocol iteration in virtual time (the paper's delay
+// figures).
+func Simulate(cfg SimConfig) (*SimResult, error) { return core.Simulate(cfg) }
+
+// AnalyticAggregationDelay evaluates the §III-E closed form
+// τ = S·(T/(dP) + P/b) in seconds.
+func AnalyticAggregationDelay(partitionBytes int64, trainersPerAgg, providers int, dMbps, bMbps float64) float64 {
+	return core.AnalyticAggregationDelay(partitionBytes, trainersPerAgg, providers, dMbps, bMbps)
+}
+
+// OptimalProviders returns the §III-E optimum |P_ij| = √(b·|T_ij|/d).
+func OptimalProviders(trainersPerAgg int, dMbps, bMbps float64) float64 {
+	return core.OptimalProviders(trainersPerAgg, dMbps, bMbps)
+}
+
+// GossipConfig parameterizes the purely-decentralized baseline; GossipRun
+// executes it.
+type GossipConfig = gossip.Config
+
+// GossipRun executes gossip learning for comparison with the protocol.
+func GossipRun(m Model, locals []*Dataset, eval *Dataset, initial []float64, cfg GossipConfig) (*gossip.Result, error) {
+	return gossip.Run(m, locals, eval, initial, cfg)
+}
+
+// BCFLConfig and IPLSConfig parameterize the blockchain-baseline cost
+// comparison; BCFLCosts and IPLSCosts evaluate it.
+type (
+	BCFLConfig = baseline.BCFLConfig
+	IPLSConfig = baseline.IPLSConfig
+)
+
+// Cost-model entry points for the blockchain baseline comparison.
+var (
+	BCFLCosts = baseline.BCFLCosts
+	IPLSCosts = baseline.IPLSCosts
+	BCFLDelay = baseline.BCFLDelay
+)
+
+// StorageMarket is the Filecoin-style deal market (§VI availability);
+// DealsConfig sets its economic parameters.
+type (
+	StorageMarket = deals.Market
+	DealsConfig   = deals.Config
+)
+
+// NewStorageMarket creates a deal market over a storage backend.
+func NewStorageMarket(store deals.Retriever, cfg DealsConfig, seed int64) (*StorageMarket, error) {
+	return deals.NewMarket(store, cfg, seed)
+}
+
+// MarketClient is the account name of the task launcher in the deal
+// market.
+const MarketClient = deals.Client

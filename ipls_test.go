@@ -1,0 +1,225 @@
+package ipls_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"ipls"
+)
+
+// TestFacadeEndToEnd drives a complete FL job purely through the public
+// API: config, local stack, identities, task, rounds, simulation.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg, err := ipls.NewConfig(ipls.TaskSpec{
+		TaskID:                  "facade",
+		ModelDim:                20,
+		Partitions:              4,
+		Trainers:                []string{"t0", "t1", "t2", "t3"},
+		AggregatorsPerPartition: 2,
+		StorageNodes:            []string{"s0", "s1", "s2"},
+		ProvidersPerAggregator:  1,
+		Verifiable:              true,
+		TTrain:                  3 * time.Second,
+		TSync:                   3 * time.Second,
+		PollInterval:            time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, net, dir, err := ipls.NewLocalStack(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetPlacement(ipls.PlacementRendezvous)
+	ring, reg := ipls.DeterministicIdentities(cfg.TaskID, cfg.ParticipantIDs())
+	dir.SetRegistry(reg)
+	sess.SetKeyring(ring)
+
+	data := ipls.Blobs(240, 4, 4, 0.8, 1)
+	splits, err := data.SplitIID(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals := map[string]*ipls.Dataset{}
+	for i, tr := range cfg.Trainers {
+		locals[tr] = splits[i]
+	}
+	m := ipls.NewLogistic(4, 4)
+	task, err := ipls.NewTask(sess, m, locals,
+		ipls.SGDConfig{LearningRate: 0.3, Epochs: 2, BatchSize: 16}, m.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		metrics, _, err := task.RunRound(context.Background(), nil)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if !metrics.Applied {
+			t.Fatalf("round %d not applied", r)
+		}
+	}
+	acc, _, err := task.Evaluate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("facade task accuracy %v", acc)
+	}
+}
+
+// TestFacadeMaliciousDetection drives the verifiable-aggregation story
+// through the facade.
+func TestFacadeMaliciousDetection(t *testing.T) {
+	cfg, err := ipls.NewConfig(ipls.TaskSpec{
+		TaskID:                  "facade-evil",
+		ModelDim:                12,
+		Partitions:              1,
+		Trainers:                []string{"t0", "t1"},
+		AggregatorsPerPartition: 1,
+		StorageNodes:            []string{"s0"},
+		Verifiable:              true,
+		TTrain:                  2 * time.Second,
+		TSync:                   400 * time.Millisecond,
+		PollInterval:            time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _, _, err := ipls.NewLocalStack(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &ipls.Recorder{}
+	sess.SetTracer(rec)
+	deltas := map[string][]float64{"t0": make([]float64, 12), "t1": make([]float64, 12)}
+	res, err := sess.RunIteration(context.Background(), 0, deltas,
+		map[string]ipls.Behavior{ipls.AggregatorID(0, 0): ipls.BehaviorForgeUpdate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("facade failed to detect forged update")
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("facade tracer recorded nothing")
+	}
+}
+
+// TestFacadeSimulationAndBaselines exercises the evaluation surface.
+func TestFacadeSimulationAndBaselines(t *testing.T) {
+	res, err := ipls.Simulate(ipls.SimConfig{
+		Trainers:                16,
+		Partitions:              1,
+		AggregatorsPerPartition: 1,
+		PartitionBytes:          1_300_000,
+		StorageNodes:            16,
+		ProvidersPerAggregator:  4,
+		BandwidthMbps:           10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ipls.AnalyticAggregationDelay(1_300_000, 16, 4, 10, 10)
+	if math.Abs(res.TotalDelay.Seconds()-want) > 0.1 {
+		t.Fatalf("facade sim %v vs analytic %v", res.TotalDelay.Seconds(), want)
+	}
+	if _, _, err := ipls.BCFLCosts(ipls.BCFLConfig{
+		Rounds: 5, Trainers: 4, ChainNodes: 3, UpdateBytes: 1 << 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ipls.IPLSCosts(ipls.IPLSConfig{
+		Rounds: 5, Trainers: 4, Partitions: 2, AggregatorsPerPartition: 1, UpdateBytes: 1 << 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeTCP exercises the networked deployment through the facade.
+func TestFacadeTCP(t *testing.T) {
+	cfg, err := ipls.NewConfig(ipls.TaskSpec{
+		TaskID:                  "facade-tcp",
+		ModelDim:                8,
+		Partitions:              2,
+		Trainers:                []string{"t0", "t1"},
+		AggregatorsPerPartition: 1,
+		StorageNodes:            []string{"s0", "s1"},
+		TTrain:                  2 * time.Second,
+		TSync:                   2 * time.Second,
+		PollInterval:            time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, net, dir, err := ipls.NewLocalStack(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ipls.NewServer()
+	if err := srv.RegisterStorage(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterDirectory(dir); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := ipls.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sess, err := ipls.NewSession(cfg, client, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := map[string][]float64{"t0": make([]float64, 8), "t1": make([]float64, 8)}
+	res, err := sess.RunIteration(context.Background(), 0, deltas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incomplete) > 0 {
+		t.Fatalf("facade TCP run incomplete: %v", res.Incomplete)
+	}
+}
+
+// TestFacadeShardedDirectory exercises the §VI sharded directory through
+// the facade.
+func TestFacadeShardedDirectory(t *testing.T) {
+	cfg, err := ipls.NewConfig(ipls.TaskSpec{
+		TaskID:                  "facade-shard",
+		ModelDim:                12,
+		Partitions:              3,
+		Trainers:                []string{"t0", "t1"},
+		AggregatorsPerPartition: 1,
+		StorageNodes:            []string{"s0", "s1"},
+		TTrain:                  2 * time.Second,
+		TSync:                   2 * time.Second,
+		PollInterval:            time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, net, _, err := ipls.NewLocalStack(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := ipls.NewShardedDirectory(cfg.TaskID, 2, cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := ipls.NewSession(cfg, net, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := map[string][]float64{"t0": make([]float64, 12), "t1": make([]float64, 12)}
+	if _, err := sess.RunIteration(context.Background(), 0, deltas, nil); err != nil {
+		t.Fatal(err)
+	}
+}
