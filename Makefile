@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build vet test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The observability and protocol layers are the concurrency-heavy ones;
+# keep them race-clean without paying for a full-tree race run.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/transport/...
+
+check: build vet test race

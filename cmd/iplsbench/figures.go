@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"ipls/internal/core"
@@ -39,6 +40,11 @@ func fig1() error {
 		}
 		fmt.Printf("%-12d %14s %14s %14s\n", p,
 			round(res.GradAggDelay), round(res.UploadDelayMean), round(res.TotalDelay))
+		providers := strconv.Itoa(p)
+		recordGauge("bench_delay_seconds", res.GradAggDelay.Seconds(),
+			"experiment", "fig1", "metric", "agg", "providers", providers)
+		recordGauge("bench_delay_seconds", res.TotalDelay.Seconds(),
+			"experiment", "fig1", "metric", "total", "providers", providers)
 	}
 	naive := base
 	naive.StorageNodes = 8
@@ -85,6 +91,11 @@ func fig2() error {
 			round(res.GradAggDelay), round(res.SyncDelay),
 			round(res.GradAggDelay+res.SyncDelay),
 			float64(res.BytesPerAggregator)/1e6)
+		aggs := strconv.Itoa(a)
+		recordGauge("bench_delay_seconds", (res.GradAggDelay + res.SyncDelay).Seconds(),
+			"experiment", "fig2", "metric", "total", "aggregators", aggs)
+		recordGauge("bench_bytes_per_aggregator", float64(res.BytesPerAggregator),
+			"experiment", "fig2", "aggregators", aggs)
 	}
 	fmt.Println("expected bytes: (16/|A_i| + |A_i| - 1) x 1.1 MB")
 	return nil

@@ -21,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
+
+	"ipls/internal/obs"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("iplsbench", flag.ContinueOnError)
 	maxParams := fs.Int("max-params", 100_000, "largest model size for fig3")
 	rounds := fs.Int("rounds", 10, "FL rounds for converge/baseline experiments")
+	metricsOut := fs.String("metrics-out", "", "write the run's datapoints and per-experiment wall time to this file as JSON")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|dirload|hash|all>")
 		fs.PrintDefaults()
@@ -62,20 +66,53 @@ func run(args []string) error {
 		"gossip":    func() error { return gossipVsFL(*rounds) },
 		"quant":     quantAblation,
 	}
+	// Each run exports exactly one snapshot, so start from a fresh registry.
+	benchReg = obs.NewRegistry()
+	timed := func(key string, fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return err
+		}
+		recordGauge("bench_experiment_seconds", time.Since(start).Seconds(), "experiment", key)
+		return nil
+	}
 	name := fs.Arg(0)
 	if name == "all" {
 		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "dirload", "hash", "placement", "straggler", "gossip", "quant"} {
-			if err := experiments[key](); err != nil {
+			if err := timed(key, experiments[key]); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}
 			fmt.Println()
 		}
-		return nil
+		return writeMetrics(*metricsOut)
 	}
 	exp, ok := experiments[name]
 	if !ok {
 		fs.Usage()
 		return fmt.Errorf("unknown experiment %q", name)
 	}
-	return exp()
+	if err := timed(name, exp); err != nil {
+		return err
+	}
+	return writeMetrics(*metricsOut)
+}
+
+// writeMetrics dumps the bench registry as JSON when -metrics-out is set.
+func writeMetrics(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := benchReg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	fmt.Printf("metrics: snapshot written to %s\n", path)
+	return nil
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"ipls/internal/obs"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
@@ -36,6 +41,30 @@ func TestBaselineAndConvergeWithFewRounds(t *testing.T) {
 	}
 	if err := run([]string{"-rounds", "1", "converge"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMetricsOutExportsDatapoints checks that -metrics-out writes a JSON
+// snapshot carrying both the experiment's datapoints and its wall time.
+func TestMetricsOutExportsDatapoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-metrics-out", path, "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gauges[`bench_experiment_seconds{experiment="fig1"}`] <= 0 {
+		t.Fatalf("missing experiment wall time: %v", snap.Gauges)
+	}
+	key := `bench_delay_seconds{experiment="fig1",metric="total",providers="4"}`
+	if snap.Gauges[key] <= 0 {
+		t.Fatalf("missing fig1 datapoint %s: %v", key, snap.Gauges)
 	}
 }
 

@@ -1,0 +1,17 @@
+package main
+
+import "ipls/internal/obs"
+
+// benchReg collects machine-readable datapoints alongside the printed
+// tables. Experiments publish gauges through recordGauge, the driver adds
+// per-experiment wall time, and -metrics-out serializes the registry as
+// JSON. run() resets it so each invocation exports exactly one run.
+var benchReg = obs.NewRegistry()
+
+// recordGauge publishes one experiment datapoint, e.g.
+//
+//	recordGauge("bench_delay_seconds", 1.93,
+//	        "experiment", "fig1", "metric", "total", "providers", "4")
+func recordGauge(name string, v float64, labelPairs ...string) {
+	benchReg.Gauge(name, labelPairs...).Set(v)
+}

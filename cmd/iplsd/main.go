@@ -30,6 +30,7 @@ import (
 	"ipls/internal/directory"
 	"ipls/internal/identity"
 	"ipls/internal/ml"
+	"ipls/internal/obs"
 	"ipls/internal/scalar"
 	"ipls/internal/storage"
 	"ipls/internal/transport"
@@ -132,6 +133,41 @@ func (tf *taskFlags) attachKey(sess *core.Session, id string) {
 	sess.SetKeyring(ring)
 }
 
+// introspection is a process's observability bundle: a metrics registry,
+// a bounded event ring for /events, and the HTTP server exposing both
+// (plus /healthz) when -metrics-addr is set.
+type introspection struct {
+	reg *obs.Registry
+	rec *core.Recorder
+	srv *obs.HTTPServer
+}
+
+// startIntrospection builds the bundle, serving it over HTTP when addr is
+// non-empty. health (optional) backs /healthz.
+func startIntrospection(addr string, health func() error) (*introspection, error) {
+	in := &introspection{reg: obs.NewRegistry(), rec: core.NewRecorder(1024)}
+	if addr == "" {
+		return in, nil
+	}
+	srv, err := obs.StartHTTP(addr, obs.HandlerConfig{
+		Registry: in.reg,
+		Events:   func() any { return in.rec.Events() },
+		Health:   health,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("metrics endpoint: %w", err)
+	}
+	in.srv = srv
+	fmt.Printf("iplsd: introspection on http://%s/metrics (/events, /healthz)\n", srv.Addr)
+	return in, nil
+}
+
+func (in *introspection) close() {
+	if in.srv != nil {
+		in.srv.Close()
+	}
+}
+
 func run(args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: iplsd <serve|trainer|aggregator|demo> [flags]")
@@ -155,6 +191,7 @@ func run(args []string) error {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("iplsd serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7000", "TCP listen address")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
 	snapshotFile := fs.String("snapshot-file", "", "restore the directory from this file if it exists; save on shutdown")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -198,6 +235,14 @@ func serve(args []string) error {
 	if err := srv.RegisterDirectory(dir); err != nil {
 		return err
 	}
+	in, err := startIntrospection(*metricsAddr, nil)
+	if err != nil {
+		return err
+	}
+	defer in.close()
+	netw.SetMetrics(in.reg)
+	srv.SetMetrics(in.reg)
+	srv.SetTracer(in.rec)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err
@@ -226,6 +271,7 @@ func trainer(args []string) error {
 	fs := flag.NewFlagSet("iplsd trainer", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7000", "server address")
 	index := fs.Int("index", 0, "trainer index in [0, trainers)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -248,6 +294,14 @@ func trainer(args []string) error {
 		return err
 	}
 	tf.attachKey(sess, me)
+	in, err := startIntrospection(*metricsAddr, nil)
+	if err != nil {
+		return err
+	}
+	defer in.close()
+	sess.SetMetrics(in.reg)
+	sess.SetTracer(in.rec)
+	client.SetMetrics(in.reg)
 	local, err := tf.localData(*index)
 	if err != nil {
 		return err
@@ -286,6 +340,7 @@ func aggregator(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7000", "server address")
 	partition := fs.Int("partition", 0, "partition this aggregator serves")
 	slot := fs.Int("slot", 0, "aggregator slot j within the partition")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -311,6 +366,14 @@ func aggregator(args []string) error {
 		return err
 	}
 	tf.attachKey(sess, me)
+	in, err := startIntrospection(*metricsAddr, nil)
+	if err != nil {
+		return err
+	}
+	defer in.close()
+	sess.SetMetrics(in.reg)
+	sess.SetTracer(in.rec)
+	client.SetMetrics(in.reg)
 	fmt.Printf("iplsd: aggregator %s starting (%d rounds)\n", me, tf.rounds)
 	for round := 0; round < tf.rounds; round++ {
 		rep, err := sess.AggregatorRun(context.Background(), me, *partition, round, core.BehaviorHonest)
@@ -327,6 +390,7 @@ func aggregator(args []string) error {
 // TCP — a smoke test for the networked deployment.
 func demo(args []string) error {
 	fs := flag.NewFlagSet("iplsd demo", flag.ContinueOnError)
+	metricsAddr := fs.String("metrics-addr", "", "serve the demo server's /metrics, /events and /healthz on this address (empty disables)")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -353,6 +417,14 @@ func demo(args []string) error {
 	if err := srv.RegisterDirectory(dir); err != nil {
 		return err
 	}
+	in, err := startIntrospection(*metricsAddr, nil)
+	if err != nil {
+		return err
+	}
+	defer in.close()
+	netw.SetMetrics(in.reg)
+	srv.SetMetrics(in.reg)
+	srv.SetTracer(in.rec)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		return err

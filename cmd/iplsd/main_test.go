@@ -2,7 +2,12 @@ package main
 
 import (
 	"flag"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
+
+	"ipls/internal/core"
 )
 
 func parseTaskFlags(t *testing.T, args []string) *taskFlags {
@@ -112,6 +117,69 @@ func TestDemoEndToEnd(t *testing.T) {
 	err := demo([]string{
 		"-trainers", "2", "-partitions", "2", "-aggregators", "1",
 		"-storage-nodes", "2", "-rounds", "1", "-verifiable",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartIntrospectionServes(t *testing.T) {
+	in, err := startIntrospection("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.close()
+	in.reg.Counter("bytes_uploaded_total", "node", "ipfs-00").Add(77)
+	in.rec.Emit(core.Event{Kind: core.EventGradientUploaded, Actor: "trainer-00", Bytes: 77})
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + in.srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `bytes_uploaded_total{node="ipfs-00"} 77`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/events"); !strings.Contains(body, `"gradient-uploaded"`) || !strings.Contains(body, "trainer-00") {
+		t.Fatalf("/events missing trace event:\n%s", body)
+	}
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %q", body)
+	}
+}
+
+func TestStartIntrospectionDisabled(t *testing.T) {
+	in, err := startIntrospection("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.close()
+	if in.srv != nil {
+		t.Fatal("no HTTP server expected when the address is empty")
+	}
+	// The bundle must still work as a metrics/trace target.
+	in.reg.Counter("x").Inc()
+	in.rec.Emit(core.Event{Kind: core.EventTakeover})
+	if in.rec.Count(core.EventTakeover) != 1 {
+		t.Fatal("recorder inert")
+	}
+}
+
+func TestDemoWithIntrospectionEndpoint(t *testing.T) {
+	err := demo([]string{
+		"-trainers", "2", "-partitions", "1", "-aggregators", "1",
+		"-storage-nodes", "2", "-rounds", "1",
+		"-metrics-addr", "127.0.0.1:0",
 	})
 	if err != nil {
 		t.Fatal(err)

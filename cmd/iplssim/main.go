@@ -19,6 +19,7 @@ import (
 
 	"ipls/internal/core"
 	"ipls/internal/ml"
+	"ipls/internal/obs"
 )
 
 func main() {
@@ -46,6 +47,9 @@ func run(args []string) error {
 		cleanup     = fs.Bool("cleanup", false, "garbage-collect each iteration's blocks after the round")
 		screen      = fs.Float64("screen", 0, "drop trainer gradients with L2 norm above this bound (0 = off; incompatible with -verifiable)")
 		trace       = fs.Bool("trace", false, "print the protocol event timeline of the first round")
+		traceOut    = fs.String("trace-out", "", "write the full protocol event stream to this file as JSON Lines")
+		metricsOut  = fs.String("metrics-out", "", "write the final metrics registry snapshot to this file as JSON")
+		summary     = fs.Bool("summary", false, "print per-iteration latency/byte summaries folded from the trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,10 +126,33 @@ func run(args []string) error {
 		fmt.Printf("injecting %s on %s\n", b, core.AggregatorID(0, 0))
 	}
 
-	var recorder *core.Recorder
-	if *trace {
+	reg := obs.NewRegistry()
+	sess.SetMetrics(reg)
+	net.SetMetrics(reg)
+
+	// Compose the requested trace consumers: an in-memory recorder for the
+	// -trace timeline and -summary folding, and a JSONL file sink for
+	// -trace-out. The JSONL sink streams, so long runs stay bounded.
+	var (
+		recorder *core.Recorder
+		sink     *core.JSONLTracer
+		tracers  core.MultiTracer
+	)
+	if *trace || *summary {
 		recorder = &core.Recorder{}
-		sess.SetTracer(recorder)
+		tracers = append(tracers, recorder)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		defer f.Close()
+		sink = core.NewJSONLTracer(f)
+		tracers = append(tracers, sink)
+	}
+	if len(tracers) > 0 {
+		sess.SetTracer(tracers)
 	}
 
 	fmt.Printf("model=%s dim=%d trainers=%d partitions=%d |A_i|=%d verifiable=%v split=%s\n",
@@ -133,12 +160,11 @@ func run(args []string) error {
 	fmt.Printf("%-8s %10s %10s %10s %10s\n", "round", "loss", "accuracy", "applied", "detected")
 	for r := 0; r < *rounds; r++ {
 		metrics, _, err := task.RunRound(context.Background(), behaviors)
-		if r == 0 && recorder != nil {
+		if r == 0 && *trace && recorder != nil {
 			fmt.Println("-- round 0 event timeline --")
 			for _, e := range recorder.Events() {
 				fmt.Println("  " + e.String())
 			}
-			sess.SetTracer(nil)
 		}
 		if err != nil {
 			return fmt.Errorf("round %d: %w", r, err)
@@ -159,6 +185,35 @@ func run(args []string) error {
 		stats.Publishes, stats.Requests, stats.Lookups, stats.Verifications, stats.Rejections)
 	fmt.Printf("storage footprint after run: %.2f MB across %d nodes\n",
 		float64(net.TotalStoredBytes())/1e6, len(cfg.StorageNodes))
+	if *summary && recorder != nil {
+		fmt.Printf("%-6s %8s %12s %12s %8s %8s %8s\n",
+			"iter", "events", "latency", "up-bytes", "down-MB", "merges", "takeover")
+		for _, s := range core.SummarizeTrace(recorder.Events()) {
+			fmt.Printf("%-6d %8d %12s %12d %8.3f %8d %8d\n",
+				s.Iter, s.Events, s.Latency.Round(time.Microsecond), s.BytesUploaded,
+				float64(s.BytesDownloaded)/1e6, s.MergeDownloads, s.Takeovers)
+		}
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Printf("trace: %d events written to %s (%d dropped)\n", sink.Emitted(), *traceOut, sink.Dropped())
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
+	}
 	return nil
 }
 

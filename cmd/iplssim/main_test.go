@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"ipls/internal/core"
+	"ipls/internal/obs"
 )
 
 func TestParseBehavior(t *testing.T) {
@@ -54,6 +59,68 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Fatal("expected flag parse error")
+	}
+}
+
+// TestRunExportsTraceAndMetrics drives a simulated multi-node run and
+// checks the exported artifacts: the JSONL trace must parse and fold into
+// non-empty per-iteration summaries, and the metrics snapshot must show
+// non-zero upload bytes, merge savings and aggregation-latency samples.
+func TestRunExportsTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	err := run([]string{
+		"-trainers", "4", "-partitions", "2", "-aggregators", "2",
+		"-storage-nodes", "3", "-providers", "1", "-rounds", "2",
+		"-trace-out", tracePath, "-metrics-out", metricsPath, "-summary",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := core.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := core.SummarizeTrace(events)
+	if len(sums) != 2 {
+		t.Fatalf("trace covers %d iterations, want 2", len(sums))
+	}
+	for _, s := range sums {
+		if s.BytesUploaded == 0 || s.GradientUploads == 0 {
+			t.Fatalf("iteration %d summary empty: %+v", s.Iter, s)
+		}
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	var uploaded int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "bytes_uploaded_total") {
+			uploaded += v
+		}
+	}
+	if uploaded == 0 {
+		t.Fatal("snapshot has zero bytes_uploaded_total")
+	}
+	if snap.Counters["merge_bytes_saved_total"] == 0 {
+		t.Fatal("snapshot has zero merge_bytes_saved_total")
+	}
+	lat, ok := snap.Histograms["aggregation_latency_seconds"]
+	if !ok || lat.Count == 0 {
+		t.Fatal("snapshot missing aggregation latency observations")
 	}
 }
 

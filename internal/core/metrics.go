@@ -1,0 +1,72 @@
+package core
+
+import (
+	"time"
+
+	"ipls/internal/obs"
+)
+
+// sessionMetrics holds the session's pre-resolved instruments. The zero
+// value is fully inert: every field is a nil obs instrument, which
+// discards, so an uninstrumented session pays only a nil check per
+// observation.
+type sessionMetrics struct {
+	// aggregationLatency is the per-iteration aggregation latency — from
+	// an aggregator starting its run to its global update being accepted
+	// (the paper's Fig. 1/2 delay axis).
+	aggregationLatency *obs.Histogram
+
+	// Phase timers around the protocol's hot path.
+	phaseUpload    *obs.Histogram // trainer gradient upload (Algorithm 1, 3-9)
+	phaseCollect   *obs.Histogram // trainer global-update collection
+	phaseGradients *obs.Histogram // aggregator gradient collection (28-34)
+	phaseMerge     *obs.Histogram // one merge-and-download request (§III-E)
+	phaseVerify    *obs.Histogram // one partial-update verification (§IV-B)
+	phasePublish   *obs.Histogram // global-update upload + directory publish
+
+	gradientsUploaded *obs.Counter
+	updatesCollected  *obs.Counter
+	mergeDownloads    *obs.Counter
+	verifyPass        *obs.Counter
+	verifyFail        *obs.Counter
+	takeovers         *obs.Counter
+	screenedOut       *obs.Counter
+	globalsPublished  *obs.Counter
+	globalsRejected   *obs.Counter
+}
+
+// SetMetrics points the session's instrumentation at a registry (nil
+// detaches). Like SetTracer, call it before the session is used
+// concurrently.
+func (s *Session) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		s.metrics = sessionMetrics{}
+		return
+	}
+	phase := func(name string) *obs.Histogram {
+		return reg.Histogram("phase_seconds", obs.DefBuckets, "phase", name)
+	}
+	s.metrics = sessionMetrics{
+		aggregationLatency: reg.Histogram("aggregation_latency_seconds", obs.DefBuckets),
+		phaseUpload:        phase("trainer_upload"),
+		phaseCollect:       phase("trainer_collect"),
+		phaseGradients:     phase("gradient_collect"),
+		phaseMerge:         phase("merge_download"),
+		phaseVerify:        phase("verify"),
+		phasePublish:       phase("publish"),
+		gradientsUploaded:  reg.Counter("gradients_uploaded_total"),
+		updatesCollected:   reg.Counter("updates_collected_total"),
+		mergeDownloads:     reg.Counter("merge_downloads_total"),
+		verifyPass:         reg.Counter("verification_pass_total"),
+		verifyFail:         reg.Counter("verification_fail_total"),
+		takeovers:          reg.Counter("takeover_total"),
+		screenedOut:        reg.Counter("screened_out_total"),
+		globalsPublished:   reg.Counter("globals_published_total"),
+		globalsRejected:    reg.Counter("globals_rejected_total"),
+	}
+}
+
+// observeSince records the elapsed seconds since start on a histogram.
+func observeSince(h *obs.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

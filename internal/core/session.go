@@ -70,6 +70,7 @@ type Session struct {
 	quant   *scalar.Quantizer
 	field   *scalar.Field
 	tracer  Tracer
+	metrics sessionMetrics
 	keyring *identity.Keyring
 }
 
@@ -195,11 +196,13 @@ func (s *Session) poll(ctx context.Context, deadline time.Time, fn func() (bool,
 // its record — including the Pedersen commitment in verifiable mode — is
 // published to the directory.
 func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error {
+	defer observeSince(s.metrics.phaseUpload, time.Now())
 	parts, err := model.Split(s.cfg.Spec, delta)
 	if err != nil {
 		return fmt.Errorf("core: trainer %s: %w", trainer, err)
 	}
 	recs := make([]directory.Record, 0, len(parts))
+	sizes := make([]int64, 0, len(parts))
 	for i, part := range parts {
 		block, err := model.Quantize(s.quant, part)
 		if err != nil {
@@ -227,6 +230,7 @@ func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error
 		}
 		s.signRecord(&rec)
 		recs = append(recs, rec)
+		sizes = append(sizes, int64(len(data)))
 	}
 	// Announce all partitions in one directory round trip when the
 	// backend supports batching (§VI's load-reduction optimization).
@@ -243,8 +247,9 @@ func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error
 			}
 		}
 	}
-	for _, rec := range recs {
-		s.emit(EventGradientUploaded, trainer, iter, rec.Addr.Partition, "cid %s on %s", rec.CID.Short(), rec.Node)
+	s.metrics.gradientsUploaded.Add(int64(len(recs)))
+	for i, rec := range recs {
+		s.emitBytes(EventGradientUploaded, trainer, iter, rec.Addr.Partition, sizes[i], "cid %s on %s", rec.CID.Short(), rec.Node)
 	}
 	return nil
 }
@@ -254,6 +259,7 @@ func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error
 // CID-verifies the blocks, divides by the averaging counter and reassembles
 // the full averaged model delta.
 func (s *Session) TrainerCollect(ctx context.Context, iter int) ([]float64, error) {
+	defer observeSince(s.metrics.phaseCollect, time.Now())
 	deadline := time.Now().Add(s.cfg.TSync)
 	parts := make([][]float64, s.cfg.Spec.Partitions)
 	for i := 0; i < s.cfg.Spec.Partitions; i++ {
@@ -297,7 +303,8 @@ func (s *Session) TrainerCollect(ctx context.Context, iter int) ([]float64, erro
 			return nil, fmt.Errorf("core: dequantize update partition %d: %w", i, err)
 		}
 		parts[i] = avg
-		s.emit(EventUpdateCollected, "trainer", iter, i, "update %s", rec.CID.Short())
+		s.metrics.updatesCollected.Inc()
+		s.emitBytes(EventUpdateCollected, "trainer", iter, i, int64(len(data)), "update %s", rec.CID.Short())
 	}
 	return model.Join(s.cfg.Spec, parts)
 }
@@ -346,6 +353,13 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 	if behavior == BehaviorDropout {
 		return report, nil // crashed before doing anything
 	}
+	start := time.Now()
+	defer func() {
+		// Aggregation latency per iteration: run start to accepted global.
+		if report.PublishedGlobal {
+			observeSince(s.metrics.aggregationLatency, start)
+		}
+	}()
 	expected := s.cfg.TrainersOf(partition, agg)
 	if len(expected) == 0 {
 		return report, fmt.Errorf("core: aggregator %s has no trainers for partition %d", agg, partition)
@@ -360,6 +374,7 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 	if err != nil {
 		return report, err
 	}
+	observeSince(s.metrics.phaseGradients, start)
 	report.GradientsAggregated = len(recs) - len(report.ScreenedOut)
 	report.MergeDownloads = merges
 	s.emit(EventGradientsCollected, agg, iter, partition, "%d gradients, %d merged downloads", report.GradientsAggregated, merges)
@@ -396,7 +411,7 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 	if err := s.dir.Publish(partialRec); err != nil {
 		return report, fmt.Errorf("core: %s publish partial: %w", agg, err)
 	}
-	s.emit(EventPartialPublished, agg, iter, partition, "cid %s", partialCID.Short())
+	s.emitBytes(EventPartialPublished, agg, iter, partition, int64(len(partialData)), "cid %s", partialCID.Short())
 	// Announce the partial's hash over pub/sub so peers discover it
 	// without polling the directory (§IV-B).
 	announcer, hasPubSub := s.store.(Announcer)
@@ -453,14 +468,18 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 				continue
 			}
 			if s.params != nil {
+				vStart := time.Now()
 				ok, err := s.dir.VerifyPartialUpdate(iter, partition, peer, data)
+				observeSince(s.metrics.phaseVerify, vStart)
 				if err != nil {
 					return err
 				}
 				if !ok {
+					s.metrics.verifyFail.Inc()
 					markInvalid(peer, "commitment verification failed")
 					continue
 				}
+				s.metrics.verifyPass.Inc()
 			}
 			block, err := model.DecodeBlock(data)
 			if err != nil {
@@ -468,7 +487,7 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 				continue
 			}
 			partials[peer] = block
-			s.emit(EventPartialVerified, agg, iter, partition, "accepted partial from %s", peer)
+			s.emitBytes(EventPartialVerified, agg, iter, partition, int64(len(data)), "accepted partial from %s", peer)
 		}
 		return nil
 	}
@@ -518,6 +537,7 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 		partials[peer] = redo
 		report.TookOverFor = append(report.TookOverFor, peer)
 		report.GradientsAggregated += len(peerRecs)
+		s.metrics.takeovers.Inc()
 		s.emit(EventTakeover, agg, iter, partition, "redid %s's aggregation over %d gradients", peer, len(peerRecs))
 	}
 
@@ -568,7 +588,11 @@ func (s *Session) collectBlocks(recs []directory.Record, report *AggregatorRepor
 			return nil, 0, err
 		}
 		if norm := s.blockNorm(b); norm > s.cfg.ScreenNorm {
+			before := len(report.ScreenedOut)
 			report.ScreenedOut = appendUnique(report.ScreenedOut, rec.Addr.Uploader)
+			if len(report.ScreenedOut) > before {
+				s.metrics.screenedOut.Inc()
+			}
 			continue
 		}
 		blocks = append(blocks, b)
@@ -621,7 +645,9 @@ func (s *Session) downloadGradients(recs []directory.Record) ([]model.Block, int
 			for i, rec := range grp {
 				cids[i] = rec.CID
 			}
+			mStart := time.Now()
 			data, err := s.store.MergeGet(node, cids)
+			observeSince(s.metrics.phaseMerge, mStart)
 			if err != nil {
 				return nil, merges, fmt.Errorf("core: merge-and-download on %s: %w", node, err)
 			}
@@ -659,8 +685,9 @@ func (s *Session) downloadGradients(recs []directory.Record) ([]model.Block, int
 			}
 			merges++
 			blocks = append(blocks, block)
-			s.emit(EventMergeDownload, "aggregator", grp[0].Addr.Iter, grp[0].Addr.Partition,
-				"%s pre-aggregated %d gradients", node, len(grp))
+			s.metrics.mergeDownloads.Inc()
+			s.emitBytes(EventMergeDownload, "aggregator", grp[0].Addr.Iter, grp[0].Addr.Partition,
+				int64(len(data)), "%s pre-aggregated %d gradients", node, len(grp))
 		}
 		return blocks, merges, nil
 	}
@@ -718,6 +745,7 @@ func (s *Session) fetchGradient(rec directory.Record) (model.Block, error) {
 // In verifiable mode the directory may reject it (caught cheating); only
 // the first valid update wins.
 func (s *Session) publishGlobal(report *AggregatorReport, agg string, partition, iter int, home string, global model.Block) error {
+	defer observeSince(s.metrics.phasePublish, time.Now())
 	data, err := global.Encode()
 	if err != nil {
 		return err
@@ -748,10 +776,12 @@ func (s *Session) publishGlobal(report *AggregatorReport, agg string, partition,
 	switch {
 	case err == nil:
 		report.PublishedGlobal = true
-		s.emit(EventGlobalPublished, agg, iter, partition, "cid %s on %s", c.Short(), node)
+		s.metrics.globalsPublished.Inc()
+		s.emitBytes(EventGlobalPublished, agg, iter, partition, int64(len(data)), "cid %s on %s", c.Short(), node)
 		return nil
 	case errors.Is(err, directory.ErrVerificationFailed):
 		report.GlobalRejected = true
+		s.metrics.globalsRejected.Inc()
 		s.emit(EventGlobalRejected, agg, iter, partition, "directory refused the update")
 		return nil
 	case errors.Is(err, directory.ErrAlreadyFinal):

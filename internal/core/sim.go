@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ipls/internal/netsim"
+	"ipls/internal/obs"
 )
 
 // SimConfig parameterizes a virtual-time protocol run over the netsim
@@ -52,6 +53,10 @@ type SimConfig struct {
 	// §III-D. Gradients that miss the cutoff are excluded from the
 	// aggregate (and counted in SimResult.MissedGradients).
 	TTrainCutoff time.Duration
+	// Metrics, when non-nil, receives the simulated flow counters under
+	// the same names real runs use (bytes_uploaded_total{node=...} etc.),
+	// so snapshots from simulated and emulated experiments line up.
+	Metrics *obs.Registry
 }
 
 func (c SimConfig) validate() error {
@@ -113,6 +118,9 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		return nil, err
 	}
 	env := netsim.NewEnv()
+	if cfg.Metrics != nil {
+		env.SetMetrics(cfg.Metrics)
+	}
 	if cfg.LatencyMs > 0 {
 		env.SetLatency(time.Duration(cfg.LatencyMs * float64(time.Millisecond)))
 	}

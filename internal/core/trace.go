@@ -1,7 +1,10 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -24,49 +27,91 @@ const (
 	EventScreenedOut
 )
 
+var eventKindNames = map[EventKind]string{
+	EventGradientUploaded:   "gradient-uploaded",
+	EventGradientsCollected: "gradients-collected",
+	EventMergeDownload:      "merge-download",
+	EventPartialPublished:   "partial-published",
+	EventPartialVerified:    "partial-verified",
+	EventPartialInvalid:     "partial-invalid",
+	EventTakeover:           "takeover",
+	EventGlobalPublished:    "global-published",
+	EventGlobalRejected:     "global-rejected",
+	EventUpdateCollected:    "update-collected",
+	EventScreenedOut:        "screened-out",
+}
+
 // String names the event kind.
 func (k EventKind) String() string {
-	switch k {
-	case EventGradientUploaded:
-		return "gradient-uploaded"
-	case EventGradientsCollected:
-		return "gradients-collected"
-	case EventMergeDownload:
-		return "merge-download"
-	case EventPartialPublished:
-		return "partial-published"
-	case EventPartialVerified:
-		return "partial-verified"
-	case EventPartialInvalid:
-		return "partial-invalid"
-	case EventTakeover:
-		return "takeover"
-	case EventGlobalPublished:
-		return "global-published"
-	case EventGlobalRejected:
-		return "global-rejected"
-	case EventUpdateCollected:
-		return "update-collected"
-	case EventScreenedOut:
-		return "screened-out"
-	default:
-		return fmt.Sprintf("event(%d)", int(k))
+	if name, ok := eventKindNames[k]; ok {
+		return name
 	}
+	return fmt.Sprintf("event(%d)", int(k))
 }
 
-// Event is one protocol occurrence.
+// EventKindFromString parses a kind name back (the inverse of String),
+// accepting the event(N) form for kinds this build does not know.
+func EventKindFromString(s string) (EventKind, error) {
+	for k, name := range eventKindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	if inner, ok := strings.CutPrefix(s, "event("); ok {
+		if num, ok := strings.CutSuffix(inner, ")"); ok {
+			n, err := strconv.Atoi(num)
+			if err == nil {
+				return EventKind(n), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("core: unknown event kind %q", s)
+}
+
+// MarshalJSON renders the kind as its name, keeping exported JSONL traces
+// readable and stable across builds.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses a kind name (or a legacy numeric kind).
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		var n int
+		if err2 := json.Unmarshal(data, &n); err2 == nil {
+			*k = EventKind(n)
+			return nil
+		}
+		return err
+	}
+	kind, err := EventKindFromString(s)
+	if err != nil {
+		return err
+	}
+	*k = kind
+	return nil
+}
+
+// Event is one protocol occurrence. The JSON field names are the stable
+// JSONL trace schema documented in README.md.
 type Event struct {
-	Time      time.Time
-	Kind      EventKind
-	Actor     string
-	Iter      int
-	Partition int
-	Detail    string
+	Time      time.Time `json:"time"`
+	Kind      EventKind `json:"kind"`
+	Actor     string    `json:"actor"`
+	Iter      int       `json:"iter"`
+	Partition int       `json:"partition"`
+	// Bytes is the payload size the event refers to (uploaded block,
+	// merged download, collected update); zero when not applicable.
+	Bytes  int64  `json:"bytes,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
 
-// String renders the event for logs.
+// String renders the event for logs. The timestamp is RFC 3339 with
+// nanoseconds, so lines exported from different nodes stay orderable.
 func (e Event) String() string {
-	return fmt.Sprintf("[iter %d part %d] %-20s %-12s %s", e.Iter, e.Partition, e.Kind, e.Actor, e.Detail)
+	return fmt.Sprintf("%s [iter %d part %d] %-20s %-12s %s",
+		e.Time.Format(time.RFC3339Nano), e.Iter, e.Partition, e.Kind, e.Actor, e.Detail)
 }
 
 // Tracer receives protocol events. Implementations must be safe for
@@ -80,6 +125,11 @@ func (s *Session) SetTracer(t Tracer) { s.tracer = t }
 
 // emit sends an event to the tracer, if any.
 func (s *Session) emit(kind EventKind, actor string, iter, partition int, format string, args ...any) {
+	s.emitBytes(kind, actor, iter, partition, 0, format, args...)
+}
+
+// emitBytes sends an event carrying a payload size to the tracer, if any.
+func (s *Session) emitBytes(kind EventKind, actor string, iter, partition int, bytes int64, format string, args ...any) {
 	if s.tracer == nil {
 		return
 	}
@@ -89,35 +139,63 @@ func (s *Session) emit(kind EventKind, actor string, iter, partition int, format
 		Actor:     actor,
 		Iter:      iter,
 		Partition: partition,
+		Bytes:     bytes,
 		Detail:    fmt.Sprintf(format, args...),
 	})
 }
 
-// Recorder is a Tracer that accumulates events in memory.
+// Recorder is a Tracer that accumulates events in memory. The zero value
+// is unbounded (every event is retained); NewRecorder builds a bounded one
+// that evicts oldest-first, so long simulated runs cannot accumulate
+// millions of events.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	mu       sync.Mutex
+	events   []Event
+	capacity int // <= 0: unbounded
+	start    int // ring head once a bounded recorder is full
+	dropped  int
 }
 
 var _ Tracer = (*Recorder)(nil)
 
-// Emit stores the event.
+// NewRecorder creates a recorder retaining at most capacity events
+// (capacity <= 0 means unbounded). When full, the oldest event is evicted
+// and counted in Dropped.
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{capacity: capacity}
+}
+
+// Emit stores the event, evicting the oldest when a capacity is set.
 func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.capacity > 0 && len(r.events) == r.capacity {
+		r.events[r.start] = e
+		r.start = (r.start + 1) % r.capacity
+		r.dropped++
+		return
+	}
 	r.events = append(r.events, e)
 }
 
-// Events returns a copy of everything recorded so far.
+// Events returns a copy of the retained events, oldest first.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
 	return out
 }
 
-// Count returns how many events of the kind were recorded.
+// Dropped reports how many events were evicted to stay within capacity.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Count returns how many retained events have the kind.
 func (r *Recorder) Count(kind EventKind) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

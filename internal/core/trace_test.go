@@ -72,6 +72,93 @@ func TestTracerRecordsDetectionAndTakeover(t *testing.T) {
 	if rec.Count(EventTakeover) == 0 {
 		t.Fatal("no takeover event recorded")
 	}
+	// The takeover must be attributed to the honest peer redoing the evil
+	// aggregator's partition, with the timestamp populated.
+	for _, e := range rec.Events() {
+		if e.Kind != EventTakeover {
+			continue
+		}
+		if e.Actor == evil {
+			t.Fatalf("takeover attributed to the malicious aggregator: %v", e)
+		}
+		if e.Partition != 0 || e.Iter != 0 {
+			t.Fatalf("takeover event misaddressed: %v", e)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("takeover event has no timestamp: %v", e)
+		}
+		if !strings.Contains(e.Detail, evil) {
+			t.Fatalf("takeover detail does not name the replaced peer: %v", e)
+		}
+	}
+}
+
+func TestTracerRecordsScreenedOut(t *testing.T) {
+	// Screening is incompatible with verifiable mode, so this exercises the
+	// non-verifiable path.
+	sess, _, _ := testStack(t, func(ts *TaskSpec) { ts.ScreenNorm = 100 })
+	rec := NewRecorder(256)
+	sess.SetTracer(rec)
+	deltas, _ := randomDeltas(sess.Config().Trainers, 24, 97)
+	for i := range deltas["t3"] {
+		deltas["t3"][i] = 1e6 // way past the norm bound
+	}
+	if _, err := sess.RunIteration(context.Background(), 0, deltas, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(EventScreenedOut) == 0 {
+		t.Fatal("no screened-out event recorded")
+	}
+	found := false
+	for _, e := range rec.Events() {
+		if e.Kind == EventScreenedOut && strings.Contains(e.Detail, "t3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("screened-out event does not name the poisoned trainer")
+	}
+}
+
+func TestRecorderCapacityEvictsOldest(t *testing.T) {
+	rec := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		rec.Emit(Event{Iter: i})
+	}
+	events := rec.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Iter != i+2 { // 0 and 1 evicted; 2,3,4 retained oldest-first
+			t.Fatalf("events[%d].Iter = %d, want %d", i, e.Iter, i+2)
+		}
+	}
+	if rec.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", rec.Dropped())
+	}
+}
+
+func TestRecorderZeroValueIsUnbounded(t *testing.T) {
+	rec := &Recorder{}
+	for i := 0; i < 100; i++ {
+		rec.Emit(Event{Iter: i})
+	}
+	if len(rec.Events()) != 100 || rec.Dropped() != 0 {
+		t.Fatalf("zero-value recorder: %d events, %d dropped", len(rec.Events()), rec.Dropped())
+	}
+}
+
+func TestEventStringIncludesTimestamp(t *testing.T) {
+	at := time.Date(2026, 3, 14, 15, 9, 26, 535_000_000, time.UTC)
+	e := Event{Time: at, Kind: EventTakeover, Actor: "agg-0-0", Iter: 2, Partition: 1, Detail: "x"}
+	s := e.String()
+	if !strings.Contains(s, "2026-03-14T15:09:26.535Z") {
+		t.Fatalf("event string %q missing RFC 3339 timestamp", s)
+	}
+	if !strings.Contains(s, "takeover") || !strings.Contains(s, "iter 2") {
+		t.Fatalf("event string %q lost kind or iteration", s)
+	}
 }
 
 func TestEventKindStrings(t *testing.T) {

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JSONLTracer streams protocol events to a writer as JSON Lines, one event
+// per line, in bounded memory: events are encoded as they happen instead
+// of accumulating like a Recorder. It is safe for concurrent emitters.
+type JSONLTracer struct {
+	mu      sync.Mutex
+	buf     *bufio.Writer
+	emitted int
+	failed  int
+	err     error
+}
+
+var _ Tracer = (*JSONLTracer)(nil)
+
+// NewJSONLTracer wraps w in a buffered JSONL sink. Call Flush (or Close)
+// before reading what was written.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{buf: bufio.NewWriter(w)}
+}
+
+// Emit writes the event as one JSON line. Write errors are retained (see
+// Err) and subsequent events are dropped rather than blocking the
+// protocol.
+func (t *JSONLTracer) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		t.failed++
+		return
+	}
+	line, err := json.Marshal(e)
+	if err == nil {
+		_, err = t.buf.Write(append(line, '\n'))
+	}
+	if err != nil {
+		t.err = err
+		t.failed++
+		return
+	}
+	t.emitted++
+}
+
+// Flush forces buffered lines to the underlying writer.
+func (t *JSONLTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.buf.Flush()
+}
+
+// Close flushes the sink. It does not close the underlying writer (the
+// caller owns it).
+func (t *JSONLTracer) Close() error { return t.Flush() }
+
+// Emitted returns how many events were successfully encoded.
+func (t *JSONLTracer) Emitted() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Dropped returns how many events were lost to write errors.
+func (t *JSONLTracer) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed
+}
+
+// Err returns the first write error, if any.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// MultiTracer fans every event out to several tracers (e.g. a bounded
+// Recorder for /events plus a JSONL file sink).
+type MultiTracer []Tracer
+
+var _ Tracer = (MultiTracer)(nil)
+
+// Emit forwards the event to every non-nil tracer.
+func (m MultiTracer) Emit(e Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Emit(e)
+		}
+	}
+}
+
+// ReadJSONL parses a JSONL event stream produced by JSONLTracer. Blank
+// lines are skipped; a malformed line aborts with an error naming it.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("core: trace line %d: %w", lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read trace: %w", err)
+	}
+	return events, nil
+}
+
+// IterationSummary condenses one iteration's event stream into the
+// latency and byte measurements the paper's evaluation plots (§V).
+type IterationSummary struct {
+	Iter   int       `json:"iter"`
+	Events int       `json:"events"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	// Latency spans the iteration's first event to its last.
+	Latency time.Duration `json:"latency_ns"`
+	// BytesUploaded sums payloads pushed into storage (gradients, partial
+	// and global updates); BytesDownloaded sums payloads pulled out
+	// (merged downloads, verified partials, collected updates).
+	BytesUploaded   int64 `json:"bytes_uploaded"`
+	BytesDownloaded int64 `json:"bytes_downloaded"`
+	GradientUploads int   `json:"gradient_uploads"`
+	MergeDownloads  int   `json:"merge_downloads"`
+	PartialsInvalid int   `json:"partials_invalid"`
+	Takeovers       int   `json:"takeovers"`
+	ScreenedOut     int   `json:"screened_out"`
+	GlobalsAccepted int   `json:"globals_accepted"`
+	GlobalsRejected int   `json:"globals_rejected"`
+}
+
+// SummarizeTrace folds an event stream into per-iteration summaries,
+// sorted by iteration. Events may arrive in any order (merged logs from
+// several nodes work, provided their clocks are comparable).
+func SummarizeTrace(events []Event) []IterationSummary {
+	byIter := make(map[int]*IterationSummary)
+	for _, e := range events {
+		s, ok := byIter[e.Iter]
+		if !ok {
+			s = &IterationSummary{Iter: e.Iter, Start: e.Time, End: e.Time}
+			byIter[e.Iter] = s
+		}
+		s.Events++
+		if e.Time.Before(s.Start) {
+			s.Start = e.Time
+		}
+		if e.Time.After(s.End) {
+			s.End = e.Time
+		}
+		switch e.Kind {
+		case EventGradientUploaded:
+			s.GradientUploads++
+			s.BytesUploaded += e.Bytes
+		case EventPartialPublished, EventGlobalPublished:
+			s.BytesUploaded += e.Bytes
+			if e.Kind == EventGlobalPublished {
+				s.GlobalsAccepted++
+			}
+		case EventMergeDownload:
+			s.MergeDownloads++
+			s.BytesDownloaded += e.Bytes
+		case EventPartialVerified, EventUpdateCollected:
+			s.BytesDownloaded += e.Bytes
+		case EventPartialInvalid:
+			s.PartialsInvalid++
+		case EventTakeover:
+			s.Takeovers++
+		case EventScreenedOut:
+			s.ScreenedOut++
+		case EventGlobalRejected:
+			s.GlobalsRejected++
+		}
+	}
+	out := make([]IterationSummary, 0, len(byIter))
+	for _, s := range byIter {
+		s.Latency = s.End.Sub(s.Start)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Iter < out[j].Iter })
+	return out
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLTracer(&buf)
+	in := []Event{
+		{Time: time.Unix(100, 0).UTC(), Kind: EventGradientUploaded, Actor: "t0", Iter: 0, Partition: 1, Bytes: 321, Detail: "cid abc"},
+		{Time: time.Unix(101, 0).UTC(), Kind: EventMergeDownload, Actor: "aggregator", Iter: 0, Partition: 1, Bytes: 128},
+		{Time: time.Unix(102, 0).UTC(), Kind: EventGlobalPublished, Actor: "a-0-0", Iter: 0, Partition: 1, Bytes: 64},
+	}
+	for _, e := range in {
+		sink.Emit(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Emitted() != len(in) || sink.Dropped() != 0 {
+		t.Fatalf("emitted=%d dropped=%d", sink.Emitted(), sink.Dropped())
+	}
+	// Kinds serialize as stable names, not ints.
+	if !strings.Contains(buf.String(), `"kind":"gradient-uploaded"`) {
+		t.Fatalf("trace line lost kind name:\n%s", buf.String())
+	}
+	out, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !out[i].Time.Equal(in[i].Time) || out[i].Kind != in[i].Kind ||
+			out[i].Actor != in[i].Actor || out[i].Bytes != in[i].Bytes ||
+			out[i].Detail != in[i].Detail {
+			t.Fatalf("event %d mangled: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsMalformedLine(t *testing.T) {
+	input := `{"time":"2026-01-01T00:00:00Z","kind":"takeover","actor":"a","iter":0,"partition":0}
+not json
+`
+	if _, err := ReadJSONL(strings.NewReader(input)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line not reported with its number: %v", err)
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestJSONLTracerRetainsWriteError(t *testing.T) {
+	sink := NewJSONLTracer(&failingWriter{after: 0})
+	sink.Emit(Event{Kind: EventTakeover})
+	if err := sink.Flush(); err == nil {
+		// The buffered writer may absorb the first line; force it out.
+		sink.Emit(Event{Kind: EventTakeover, Detail: strings.Repeat("x", 1<<16)})
+		if err := sink.Flush(); err == nil {
+			t.Fatal("write error swallowed")
+		}
+	}
+	sink.Emit(Event{Kind: EventTakeover})
+	if sink.Dropped() == 0 {
+		t.Fatal("events after a write error must count as dropped")
+	}
+	if sink.Err() == nil {
+		t.Fatal("first error not retained")
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	a, b := NewRecorder(8), NewRecorder(8)
+	mt := MultiTracer{a, nil, b}
+	mt.Emit(Event{Kind: EventTakeover})
+	if a.Count(EventTakeover) != 1 || b.Count(EventTakeover) != 1 {
+		t.Fatalf("fan-out failed: a=%d b=%d", a.Count(EventTakeover), b.Count(EventTakeover))
+	}
+}
+
+func TestSummarizeTraceFromLiveRun(t *testing.T) {
+	sess, _, _ := testStack(t, func(ts *TaskSpec) {
+		ts.AggregatorsPerPartition = 2
+		ts.ProvidersPerAggregator = 1
+	})
+	var buf bytes.Buffer
+	sink := NewJSONLTracer(&buf)
+	sess.SetTracer(sink)
+	deltas, _ := randomDeltas(sess.Config().Trainers, 24, 98)
+	if _, err := sess.RunIteration(context.Background(), 0, deltas, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := SummarizeTrace(events)
+	if len(sums) != 1 || sums[0].Iter != 0 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	s := sums[0]
+	if s.Events != len(events) || s.Events == 0 {
+		t.Fatalf("summary covers %d of %d events", s.Events, len(events))
+	}
+	// 4 trainers x 3 partitions gradients, each with a payload size.
+	if s.GradientUploads != 12 {
+		t.Fatalf("gradient uploads = %d, want 12", s.GradientUploads)
+	}
+	if s.BytesUploaded <= 0 || s.BytesDownloaded <= 0 {
+		t.Fatalf("byte accounting empty: up=%d down=%d", s.BytesUploaded, s.BytesDownloaded)
+	}
+	if s.MergeDownloads == 0 {
+		t.Fatal("merge-and-download runs must summarize merge downloads")
+	}
+	if s.Latency <= 0 {
+		t.Fatalf("latency = %v", s.Latency)
+	}
+	if s.GlobalsAccepted != 3 {
+		t.Fatalf("globals accepted = %d, want 3", s.GlobalsAccepted)
+	}
+}
+
+func TestSummarizeTraceGroupsByIteration(t *testing.T) {
+	base := time.Unix(1000, 0)
+	events := []Event{
+		{Time: base, Kind: EventGradientUploaded, Iter: 1, Bytes: 10},
+		{Time: base.Add(2 * time.Second), Kind: EventGlobalPublished, Iter: 1, Bytes: 5},
+		{Time: base.Add(time.Second), Kind: EventTakeover, Iter: 0},
+		{Time: base.Add(3 * time.Second), Kind: EventScreenedOut, Iter: 0},
+	}
+	sums := SummarizeTrace(events)
+	if len(sums) != 2 || sums[0].Iter != 0 || sums[1].Iter != 1 {
+		t.Fatalf("summaries out of order: %+v", sums)
+	}
+	if sums[0].Takeovers != 1 || sums[0].ScreenedOut != 1 {
+		t.Fatalf("iter 0 miscounted: %+v", sums[0])
+	}
+	if sums[1].BytesUploaded != 15 || sums[1].Latency != 2*time.Second {
+		t.Fatalf("iter 1 miscounted: %+v", sums[1])
+	}
+}

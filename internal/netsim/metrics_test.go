@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"testing"
+
+	"ipls/internal/obs"
+)
+
+func TestTransferMirrorsIntoRegistry(t *testing.T) {
+	env := NewEnv()
+	reg := obs.NewRegistry()
+	env.SetMetrics(reg)
+	a := env.AddNode("a", Mbps(8), Mbps(8))
+	b := env.AddNode("b", Mbps(8), Mbps(8))
+	env.Go("xfer", func() {
+		env.Transfer(a, b, 1000)
+		env.Transfer(a, b, 500)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("bytes_uploaded_total", "node", "a").Value(); got != 1500 {
+		t.Fatalf("bytes_uploaded_total{a} = %d, want 1500", got)
+	}
+	if got := reg.Counter("bytes_downloaded_total", "node", "b").Value(); got != 1500 {
+		t.Fatalf("bytes_downloaded_total{b} = %d, want 1500", got)
+	}
+	if got := reg.Counter("transfers_total").Value(); got != 2 {
+		t.Fatalf("transfers_total = %d, want 2", got)
+	}
+	if a.BytesSent != 1500 || b.BytesReceived != 1500 {
+		t.Fatalf("legacy counters diverged: sent=%d recv=%d", a.BytesSent, b.BytesReceived)
+	}
+	if reg.Gauge("sim_virtual_time_seconds").Value() <= 0 {
+		t.Fatal("virtual clock gauge never advanced")
+	}
+}
+
+func TestSetMetricsAfterAddNode(t *testing.T) {
+	env := NewEnv()
+	a := env.AddNode("a", Mbps(8), Mbps(8))
+	b := env.AddNode("b", Mbps(8), Mbps(8))
+	reg := obs.NewRegistry()
+	env.SetMetrics(reg) // must re-resolve existing nodes
+	env.Go("xfer", func() { env.Transfer(a, b, 100) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("bytes_uploaded_total", "node", "a").Value(); got != 100 {
+		t.Fatalf("bytes_uploaded_total{a} = %d, want 100", got)
+	}
+}

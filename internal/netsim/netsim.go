@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"ipls/internal/obs"
 )
 
 // Env is a simulation environment: a virtual clock, a set of nodes, the
@@ -32,6 +34,10 @@ type Env struct {
 	current *proc
 
 	nodes map[string]*Node
+
+	reg       *obs.Registry
+	transfers *obs.Counter
+	clock     *obs.Gauge
 }
 
 // NewEnv creates an empty simulation environment.
@@ -45,6 +51,20 @@ func NewEnv() *Env {
 // SetLatency sets a fixed per-transfer latency added before the
 // bandwidth-limited phase of every Transfer.
 func (e *Env) SetLatency(d time.Duration) { e.latency = d }
+
+// SetMetrics mirrors transfer accounting into a registry under the same
+// metric names real-TCP runs use (bytes_uploaded_total{node=...},
+// bytes_downloaded_total{node=...}), so simulated and emulated experiments
+// produce comparable snapshots. It also exposes transfers_total and a
+// sim_virtual_time_seconds gauge. Call it before Run; nil detaches.
+func (e *Env) SetMetrics(reg *obs.Registry) {
+	e.reg = reg
+	e.transfers = reg.Counter("transfers_total")
+	e.clock = reg.Gauge("sim_virtual_time_seconds")
+	for _, n := range e.nodes {
+		n.resolveMetrics(reg)
+	}
+}
 
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return e.now }
@@ -60,7 +80,14 @@ type Node struct {
 	BytesSent     int64
 	BytesReceived int64
 
-	env *Env
+	env     *Env
+	sentCtr *obs.Counter
+	recvCtr *obs.Counter
+}
+
+func (n *Node) resolveMetrics(reg *obs.Registry) {
+	n.sentCtr = reg.Counter("bytes_uploaded_total", "node", n.Name)
+	n.recvCtr = reg.Counter("bytes_downloaded_total", "node", n.Name)
 }
 
 // AddNode registers a node with the given link capacities (bits/second).
@@ -72,6 +99,7 @@ func (e *Env) AddNode(name string, upBps, downBps float64) *Node {
 		panic(fmt.Sprintf("netsim: duplicate node %q", name))
 	}
 	n := &Node{Name: name, UpBps: upBps, DownBps: downBps, env: e}
+	n.resolveMetrics(e.reg)
 	e.nodes[name] = n
 	return n
 }
@@ -216,6 +244,9 @@ func (e *Env) Transfer(from, to *Node, bytes int64) {
 	}
 	from.BytesSent += bytes
 	to.BytesReceived += bytes
+	from.sentCtr.Add(bytes)
+	to.recvCtr.Add(bytes)
+	e.transfers.Inc()
 	if from == to || bytes == 0 {
 		if e.latency > 0 {
 			e.Sleep(e.latency)
@@ -278,6 +309,7 @@ func (e *Env) advanceTo(t time.Duration) {
 		f.remaining -= f.rate * dt
 	}
 	e.now = t
+	e.clock.Set(t.Seconds())
 }
 
 func (e *Env) fireTimers() {

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+)
+
+// WriteJSON renders a snapshot of the registry as indented JSON — the
+// machine-readable companion to WriteProm, used for diffable benchmark
+// metric files.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// HandlerConfig wires the introspection endpoints.
+type HandlerConfig struct {
+	// Registry backs /metrics (Prometheus text) and /metrics.json.
+	Registry *Registry
+	// Events, when non-nil, backs /events with a JSON-marshalable value
+	// (typically a recorder's recent trace events).
+	Events func() any
+	// Health, when non-nil, backs /healthz; an error answers 503.
+	Health func() error
+}
+
+// NewHandler builds the live-introspection handler:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  JSON snapshot of the registry
+//	/events        recent trace events as JSON
+//	/healthz       liveness probe
+func NewHandler(cfg HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "ipls introspection\n\n/metrics\n/metrics.json\n/events\n/healthz\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cfg.Registry.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := cfg.Registry.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var payload any = []any{}
+		if cfg.Events != nil {
+			payload = cfg.Events()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// HTTPServer is a running introspection server.
+type HTTPServer struct {
+	// Addr is the bound address (useful with ":0" listens).
+	Addr string
+	srv  *http.Server
+}
+
+// StartHTTP binds addr and serves the introspection handler in the
+// background. Close the returned server to stop it.
+func StartHTTP(addr string, cfg HandlerConfig) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHandler(cfg)}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &HTTPServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close stops the server, interrupting in-flight requests.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

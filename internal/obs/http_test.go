@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bytes_uploaded_total", "node", "s0").Add(42)
+	h := NewHandler(HandlerConfig{
+		Registry: reg,
+		Events:   func() any { return []string{"e1", "e2"} },
+	})
+
+	code, body := get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, `bytes_uploaded_total{node="s0"} 42`) {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+
+	code, body = get(t, h, "/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters[`bytes_uploaded_total{node="s0"}`] != 42 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+
+	code, body = get(t, h, "/events")
+	if code != 200 {
+		t.Fatalf("/events = %d", code)
+	}
+	var events []string
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "e1" {
+		t.Fatalf("events = %v", events)
+	}
+
+	code, body = get(t, h, "/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, _ = get(t, h, "/nope")
+	if code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestHandlerHealthFailure(t *testing.T) {
+	h := NewHandler(HandlerConfig{Health: func() error { return errors.New("directory down") }})
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "directory down") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestHandlerWithoutEventsOrRegistry(t *testing.T) {
+	h := NewHandler(HandlerConfig{})
+	if code, _ := get(t, h, "/metrics"); code != 200 {
+		t.Fatalf("/metrics without registry = %d", code)
+	}
+	code, body := get(t, h, "/events")
+	if code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("/events without source = %d %q", code, body)
+	}
+}
+
+func TestStartHTTPServesOverTCP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up").Inc()
+	srv, err := StartHTTP("127.0.0.1:0", HandlerConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("served metrics = %q", body)
+	}
+}

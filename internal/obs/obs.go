@@ -1,0 +1,422 @@
+// Package obs is the repo's observability substrate: a concurrent metrics
+// registry (counters, gauges, fixed-bucket histograms), a bounded event
+// ring, and HTTP introspection handlers. It is stdlib-only and imports
+// nothing else from this module, so every layer — storage, netsim,
+// transport, protocol core, commands — can depend on it.
+//
+// The paper's contribution is quantitative (iteration latency, bytes moved
+// per aggregation, merge-and-download savings, §V), so the registry is the
+// shared measurement substrate every experiment and optimisation reports
+// against. Metric names are identical between the in-memory storage
+// network, the discrete-event simulator and the TCP transport, which makes
+// simulated and real runs directly comparable.
+//
+// All instruments are safe for concurrent use. A nil *Registry and nil
+// instruments are valid no-ops, so instrumented code needs no "is
+// observability on?" branches.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bucket upper bounds in seconds,
+// spanning sub-millisecond phase timings to minute-long iterations.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Counter is a monotonically increasing int64. The nil Counter discards.
+type Counter struct {
+	v      atomic.Int64
+	name   string
+	labels string
+}
+
+// Add increments the counter by n (negative deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero for the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. The nil Gauge discards.
+type Gauge struct {
+	bits   atomic.Uint64
+	name   string
+	labels string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero for the nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into fixed buckets. The nil
+// Histogram discards.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1
+	sum    float64
+	total  uint64
+	name   string
+	labels string
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns how many values were observed (zero for the nil Histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observed values (zero for the nil Histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper limits; Counts has one extra entry for
+	// the +Inf bucket. Counts are per-bucket, not cumulative.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.total,
+	}
+}
+
+// Registry holds named instruments. Instruments are identified by name
+// plus an optional set of label pairs; asking for the same identity twice
+// returns the same instrument. The nil *Registry hands out nil (no-op)
+// instruments, so components can be built uninstrumented at zero cost.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// fmtLabels renders alternating key/value pairs as a canonical (sorted)
+// Prometheus label block, e.g. {node="ipfs-00"}. Empty input yields "".
+func fmtLabels(labelPairs []string) string {
+	if len(labelPairs) == 0 {
+		return ""
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("obs: label pairs must alternate key, value")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labelPairs)/2)
+	for i := 0; i < len(labelPairs); i += 2 {
+		pairs = append(pairs, kv{labelPairs[i], labelPairs[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating if needed) the counter with the given name and
+// label pairs.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	labels := fmtLabels(labelPairs)
+	key := name + labels
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{name: name, labels: labels}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name and
+// label pairs.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	labels := fmtLabels(labelPairs)
+	key := name + labels
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{name: name, labels: labels}
+	r.gauges[key] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the given name
+// and label pairs. buckets are ascending upper bounds; nil uses
+// DefBuckets. The buckets of the first registration win.
+func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	labels := fmtLabels(labelPairs)
+	key := name + labels
+	r.mu.RLock()
+	h, ok := r.histograms[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[key]; ok {
+		return h
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q buckets must be ascending", name))
+	}
+	h = &Histogram{name: name, labels: labels, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	r.histograms[key] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument, keyed by
+// name{labels}. It marshals deterministically (encoding/json sorts map
+// keys), so snapshots are diffable across runs.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, h := range r.histograms {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = h.snapshot()
+	}
+	return snap
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one # TYPE line per metric family, histograms with
+// cumulative _bucket/_sum/_count series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(counters, func(i, j int) bool {
+		return counters[i].name+counters[i].labels < counters[j].name+counters[j].labels
+	})
+	sort.Slice(gauges, func(i, j int) bool {
+		return gauges[i].name+gauges[i].labels < gauges[j].name+gauges[j].labels
+	})
+	sort.Slice(hists, func(i, j int) bool {
+		return hists[i].name+hists[i].labels < hists[j].name+hists[j].labels
+	})
+
+	lastType := ""
+	typeLine := func(name, kind string) string {
+		if name == lastType {
+			return ""
+		}
+		lastType = name
+		return fmt.Sprintf("# TYPE %s %s\n", name, kind)
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "%s%s%s %d\n", typeLine(c.name, "counter"), c.name, c.labels, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "%s%s%s %v\n", typeLine(g.name, "gauge"), g.name, g.labels, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		snap := h.snapshot()
+		if _, err := fmt.Fprint(w, typeLine(h.name, "histogram")); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			if err := writeBucket(w, h, fmt.Sprintf("%v", bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += snap.Counts[len(snap.Bounds)]
+		if err := writeBucket(w, h, "+Inf", cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %v\n%s_count%s %d\n",
+			h.name, h.labels, snap.Sum, h.name, h.labels, snap.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBucket emits one cumulative histogram bucket, splicing le into any
+// existing label block.
+func writeBucket(w io.Writer, h *Histogram, le string, cum uint64) error {
+	labels := h.labels
+	if labels == "" {
+		labels = fmt.Sprintf("{le=%q}", le)
+	} else {
+		labels = strings.TrimSuffix(labels, "}") + fmt.Sprintf(",le=%q}", le)
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, labels, cum)
+	return err
+}

@@ -1,0 +1,75 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded, concurrency-safe buffer of recent items (the backing
+// store for the /events introspection endpoint). When full, the oldest
+// item is evicted; Dropped reports how many were lost that way.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []any
+	start   int // index of the oldest item once the ring is full
+	full    bool
+	dropped uint64
+}
+
+// NewRing creates a ring holding at most capacity items (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]any, 0, capacity)}
+}
+
+// Add appends an item, evicting the oldest when the ring is full.
+func (r *Ring) Add(v any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		r.buf = append(r.buf, v)
+		r.full = len(r.buf) == cap(r.buf)
+		if r.full {
+			r.buf = r.buf[:cap(r.buf)]
+		}
+		return
+	}
+	r.buf[r.start] = v
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Items returns the retained items, oldest first.
+func (r *Ring) Items() []any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]any, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}
+
+// Dropped reports how many items were evicted to make room.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of retained items.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}

@@ -1,0 +1,58 @@
+package storage
+
+import "ipls/internal/obs"
+
+// nodeMetrics are the per-node instruments, labelled with the node ID.
+// Every field may be nil (a no-op) when the network is not instrumented.
+type nodeMetrics struct {
+	// bytesUploaded counts payload bytes written to this node by Put;
+	// bytesDownloaded counts payload bytes served by Get/Fetch/MergeGet.
+	bytesUploaded   *obs.Counter
+	bytesDownloaded *obs.Counter
+	// blocksStored counts primary writes; blocksReplicated counts replica
+	// copies placed on this node by the placement policy.
+	blocksStored     *obs.Counter
+	blocksReplicated *obs.Counter
+}
+
+func resolveNodeMetrics(reg *obs.Registry, id string) nodeMetrics {
+	return nodeMetrics{
+		bytesUploaded:    reg.Counter("bytes_uploaded_total", "node", id),
+		bytesDownloaded:  reg.Counter("bytes_downloaded_total", "node", id),
+		blocksStored:     reg.Counter("blocks_stored_total", "node", id),
+		blocksReplicated: reg.Counter("blocks_replicated_total", "node", id),
+	}
+}
+
+// SetMetrics points the network's instrumentation at a registry. The
+// network always has one (NewNetwork creates a private registry so
+// counters like RemoteFetches work with no setup); passing nil resets to
+// a fresh private registry. Counter values do not carry over.
+func (n *Network) SetMetrics(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.setMetricsLocked(reg)
+}
+
+func (n *Network) setMetricsLocked(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	n.reg = reg
+	n.remoteFetchCtr = reg.Counter("remote_fetches_total")
+	n.mergeOps = reg.Counter("merge_ops_total")
+	// merge_bytes_saved_total is the §III-E payoff: bytes the aggregator
+	// did NOT download because the provider pre-aggregated the blocks
+	// (sum of merged input sizes minus the single output size).
+	n.mergeBytesSaved = reg.Counter("merge_bytes_saved_total")
+	for _, nd := range n.nodes {
+		nd.metrics = resolveNodeMetrics(reg, nd.id)
+	}
+}
+
+// Metrics returns the registry the network currently reports into.
+func (n *Network) Metrics() *obs.Registry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reg
+}

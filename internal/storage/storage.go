@@ -23,6 +23,7 @@ import (
 	"ipls/internal/cid"
 	"ipls/internal/dag"
 	"ipls/internal/model"
+	"ipls/internal/obs"
 	"ipls/internal/scalar"
 )
 
@@ -78,7 +79,10 @@ type Network struct {
 	order     []string
 	pubsub    *PubSub
 
-	remoteFetches int
+	reg             *obs.Registry
+	remoteFetchCtr  *obs.Counter
+	mergeOps        *obs.Counter
+	mergeBytesSaved *obs.Counter
 }
 
 var _ Client = (*Network)(nil)
@@ -90,13 +94,15 @@ func NewNetwork(field *scalar.Field, replicas int) *Network {
 	if replicas < 1 {
 		replicas = 1
 	}
-	return &Network{
+	n := &Network{
 		field:     field,
 		replicas:  replicas,
 		placement: PlacementRing,
 		nodes:     make(map[string]*Node),
 		pubsub:    NewPubSub(),
 	}
+	n.setMetricsLocked(nil) // private registry until SetMetrics is called
+	return n
 }
 
 // SetPlacement selects the replica placement policy.
@@ -132,6 +138,7 @@ type Node struct {
 	blocks      map[cid.CID][]byte
 	down        bool
 	cheatMerges bool
+	metrics     nodeMetrics
 
 	// MergeOps counts merge-and-download requests served, and
 	// MergedBlocks the total number of gradient blocks folded into them.
@@ -171,7 +178,7 @@ func (n *Network) AddNode(id string) *Node {
 	if _, dup := n.nodes[id]; dup {
 		panic(fmt.Sprintf("storage: duplicate node %q", id))
 	}
-	nd := &Node{id: id, blocks: make(map[cid.CID][]byte)}
+	nd := &Node{id: id, blocks: make(map[cid.CID][]byte), metrics: resolveNodeMetrics(n.reg, id)}
 	n.nodes[id] = nd
 	n.order = append(n.order, id)
 	sort.Strings(n.order)
@@ -297,9 +304,13 @@ func (n *Network) Put(nodeID string, data []byte) (cid.CID, error) {
 	c := cid.Sum(data)
 	stored := append([]byte(nil), data...)
 	nd.blocks[c] = stored
+	nd.metrics.blocksStored.Inc()
+	nd.metrics.bytesUploaded.Add(int64(len(stored)))
 	if n.replicas > 1 {
 		for _, id := range n.replicaTargets(nodeID, c) {
-			n.nodes[id].blocks[c] = stored
+			replica := n.nodes[id]
+			replica.blocks[c] = stored
+			replica.metrics.blocksReplicated.Inc()
 		}
 	}
 	return c, nil
@@ -373,6 +384,7 @@ func (n *Network) Get(nodeID string, c cid.CID) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s on %q", ErrNotFound, c.Short(), nodeID)
 	}
+	nd.metrics.bytesDownloaded.Add(int64(len(data)))
 	return append([]byte(nil), data...), nil
 }
 
@@ -380,24 +392,27 @@ func (n *Network) Get(nodeID string, c cid.CID) ([]byte, error) {
 func (n *Network) Fetch(c cid.CID) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	data, ok := n.fetchLocked(c)
-	if !ok {
+	data, holder := n.fetchLocked(c)
+	if holder == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, c.Short())
 	}
+	holder.metrics.bytesDownloaded.Add(int64(len(data)))
 	return append([]byte(nil), data...), nil
 }
 
-func (n *Network) fetchLocked(c cid.CID) ([]byte, bool) {
+// fetchLocked finds the first live node holding c, returning the bytes and
+// the node that served them (nil when no live node holds the block).
+func (n *Network) fetchLocked(c cid.CID) ([]byte, *Node) {
 	for _, id := range n.order {
 		nd := n.nodes[id]
 		if nd.down {
 			continue
 		}
 		if data, ok := nd.blocks[c]; ok {
-			return data, true
+			return data, nd
 		}
 	}
-	return nil, false
+	return nil, nil
 }
 
 // MergeGet implements merge-and-download: the addressed node decodes the
@@ -418,17 +433,19 @@ func (n *Network) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
 		return nil, errors.New("storage: merge of zero blocks")
 	}
 	blocks := make([]model.Block, 0, len(cs))
+	var inputBytes int64
 	for _, c := range cs {
 		data, ok := nd.blocks[c]
 		if !ok {
-			remote, found := n.fetchLocked(c)
-			if !found {
+			remote, holder := n.fetchLocked(c)
+			if holder == nil {
 				return nil, fmt.Errorf("%w: %s for merge on %q", ErrNotFound, c.Short(), nodeID)
 			}
-			n.remoteFetches++
+			n.remoteFetchCtr.Inc()
 			nd.blocks[c] = remote
 			data = remote
 		}
+		inputBytes += int64(len(data))
 		b, err := model.DecodeBlock(data)
 		if err != nil {
 			return nil, fmt.Errorf("storage: merge decode %s: %w", c.Short(), err)
@@ -445,7 +462,16 @@ func (n *Network) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
 	}
 	nd.MergeOps++
 	nd.MergedBlocks += len(blocks)
-	return sum.Encode()
+	out, err := sum.Encode()
+	if err != nil {
+		return nil, err
+	}
+	nd.metrics.bytesDownloaded.Add(int64(len(out)))
+	n.mergeOps.Inc()
+	if saved := inputBytes - int64(len(out)); saved > 0 {
+		n.mergeBytesSaved.Add(saved)
+	}
+	return out, nil
 }
 
 // PutDAG chunks a large object into a Merkle DAG and stores every block on
@@ -490,10 +516,15 @@ func (n *Network) GetDAG(nodeID string, root dag.Ref) ([]byte, error) {
 
 // RemoteFetches reports how many merge inputs had to be pulled from peer
 // nodes rather than served locally.
+//
+// Deprecated: this is a thin wrapper over the remote_fetches_total counter
+// in the network's metrics registry (see SetMetrics / Metrics); read it
+// from there instead. Note the count resets when SetMetrics swaps the
+// registry.
 func (n *Network) RemoteFetches() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.remoteFetches
+	return int(n.remoteFetchCtr.Value())
 }
 
 // TotalStoredBytes sums stored bytes across all nodes (replicas included),

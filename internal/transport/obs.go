@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"ipls/internal/core"
+	"ipls/internal/directory"
+	"ipls/internal/obs"
+)
+
+// serverObs is the instrumentation shared by a server's RPC services. The
+// registry and tracer can be swapped at runtime (SetMetrics/SetTracer), so
+// access is guarded; a zero serverObs discards everything.
+type serverObs struct {
+	mu     sync.RWMutex
+	reg    *obs.Registry
+	tracer core.Tracer
+}
+
+// count bumps rpc_requests_total{method=...} for one served call.
+func (o *serverObs) count(method string) {
+	o.mu.RLock()
+	reg := o.reg
+	o.mu.RUnlock()
+	reg.Counter("rpc_requests_total", "method", method).Inc()
+}
+
+// emit forwards a synthesized protocol event to the tracer, if any.
+func (o *serverObs) emit(e core.Event) {
+	o.mu.RLock()
+	t := o.tracer
+	o.mu.RUnlock()
+	if t != nil {
+		t.Emit(e)
+	}
+}
+
+// eventForRecord maps a published directory record to the protocol event it
+// witnesses, so a serve-mode daemon has a live /events feed without the
+// remote sessions shipping their traces home.
+func eventForRecord(rec directory.Record) (core.EventKind, bool) {
+	switch rec.Addr.Type {
+	case directory.TypeGradient:
+		return core.EventGradientUploaded, true
+	case directory.TypePartialUpdate:
+		return core.EventPartialPublished, true
+	case directory.TypeUpdate:
+		return core.EventGlobalPublished, true
+	default:
+		return 0, false
+	}
+}
+
+// recordPublished synthesizes the trace event for one accepted record.
+func (o *serverObs) recordPublished(rec directory.Record) {
+	kind, ok := eventForRecord(rec)
+	if !ok {
+		return
+	}
+	o.emit(core.Event{
+		Time:      time.Now(),
+		Kind:      kind,
+		Actor:     rec.Addr.Uploader,
+		Iter:      rec.Addr.Iter,
+		Partition: rec.Addr.Partition,
+		Detail:    "cid " + rec.CID.Short() + " on " + rec.Node + " (rpc)",
+	})
+}
+
+// SetMetrics points the server's RPC instrumentation (request counters) at
+// a registry; nil detaches. Storage byte counters live on the storage
+// network itself (storage.Network.SetMetrics).
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	s.obs.mu.Lock()
+	s.obs.reg = reg
+	s.obs.mu.Unlock()
+}
+
+// SetTracer attaches a tracer that receives protocol events synthesized
+// from directory publishes (gradient/partial/global); nil detaches.
+func (s *Server) SetTracer(t core.Tracer) {
+	s.obs.mu.Lock()
+	s.obs.tracer = t
+	s.obs.mu.Unlock()
+}
+
+// clientMetrics are the client's wire-level byte counters, labelled with
+// the storage node addressed (content-routed fetches use node="*").
+type clientMetrics struct {
+	mu  sync.RWMutex
+	reg *obs.Registry
+}
+
+func (m *clientMetrics) registry() *obs.Registry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.reg
+}
+
+func (m *clientMetrics) uploaded(node string, n int) {
+	m.registry().Counter("bytes_uploaded_total", "node", node).Add(int64(n))
+}
+
+func (m *clientMetrics) downloaded(node string, n int) {
+	m.registry().Counter("bytes_downloaded_total", "node", node).Add(int64(n))
+}
+
+// SetMetrics points the client's byte accounting at a registry; nil
+// detaches. The counters use the canonical names
+// (bytes_uploaded_total{node=...} / bytes_downloaded_total{node=...}), so a
+// trainer or aggregator process exposes the same families a simulated run
+// records.
+func (c *Client) SetMetrics(reg *obs.Registry) {
+	c.metrics.mu.Lock()
+	c.metrics.reg = reg
+	c.metrics.mu.Unlock()
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"testing"
+
+	"ipls/internal/core"
+	"ipls/internal/directory"
+	"ipls/internal/obs"
+	"ipls/internal/scalar"
+	"ipls/internal/storage"
+)
+
+func TestServerAndClientObservability(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-obs", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0", "s1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Like startServer, but keeping a handle on the Server for SetMetrics.
+	field := scalar.NewField(cfg.Curve.N)
+	netw := storage.NewNetwork(field, 1)
+	for _, id := range cfg.StorageNodes {
+		netw.AddNode(id)
+	}
+	dir := directory.New(nil, netw)
+	cfg.ApplyAssignments(dir)
+
+	srv := NewServer()
+	if err := srv.RegisterStorage(netw); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterDirectory(dir); err != nil {
+		t.Fatal(err)
+	}
+	serverReg := obs.NewRegistry()
+	rec := core.NewRecorder(16)
+	srv.SetMetrics(serverReg)
+	srv.SetTracer(rec)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	c := dialClient(t, addr)
+	clientReg := obs.NewRegistry()
+	c.SetMetrics(clientReg)
+
+	data := []byte("observable gradient block")
+	id, err := c.Put("s0", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("s0", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(directory.Record{
+		Addr: directory.Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: directory.TypeGradient},
+		CID:  id,
+		Node: "s0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := serverReg.Counter("rpc_requests_total", "method", "Storage.Put").Value(); got != 1 {
+		t.Fatalf("rpc_requests_total{Storage.Put} = %d, want 1", got)
+	}
+	if got := serverReg.Counter("rpc_requests_total", "method", "Directory.Publish").Value(); got != 1 {
+		t.Fatalf("rpc_requests_total{Directory.Publish} = %d, want 1", got)
+	}
+	if got := clientReg.Counter("bytes_uploaded_total", "node", "s0").Value(); got != int64(len(data)) {
+		t.Fatalf("client bytes_uploaded_total = %d, want %d", got, len(data))
+	}
+	if got := clientReg.Counter("bytes_downloaded_total", "node", "s0").Value(); got != int64(len(data)) {
+		t.Fatalf("client bytes_downloaded_total = %d, want %d", got, len(data))
+	}
+	// The accepted gradient publish must surface as a synthesized event.
+	if n := rec.Count(core.EventGradientUploaded); n != 1 {
+		t.Fatalf("synthesized gradient-uploaded events = %d, want 1", n)
+	}
+	events := rec.Events()
+	if len(events) != 1 || events[0].Actor != "t0" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestUninstrumentedServerAndClientAreNoOps(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-noobs", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, _ := startServer(t, cfg)
+	c := dialClient(t, addr)
+	if _, err := c.Put("s0", []byte("no registry attached")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -110,6 +110,7 @@ func decodeErr(code string) error {
 // StorageService exposes a storage.Network over RPC.
 type StorageService struct {
 	net *storage.Network
+	obs *serverObs
 }
 
 // PutArgs/PutReply carry StorageService.Put.
@@ -126,6 +127,7 @@ type (
 
 // Put stores a block.
 func (s *StorageService) Put(args *PutArgs, reply *PutReply) error {
+	s.obs.count("Storage.Put")
 	c, err := s.net.Put(args.Node, args.Data)
 	reply.CID = string(c)
 	reply.Err = encodeErr(err)
@@ -146,6 +148,7 @@ type (
 
 // Get retrieves a block from a specific node.
 func (s *StorageService) Get(args *GetArgs, reply *GetReply) error {
+	s.obs.count("Storage.Get")
 	data, err := s.net.Get(args.Node, cid.CID(args.CID))
 	reply.Data = data
 	reply.Err = encodeErr(err)
@@ -154,6 +157,7 @@ func (s *StorageService) Get(args *GetArgs, reply *GetReply) error {
 
 // Fetch retrieves a block from any live node (content routing).
 func (s *StorageService) Fetch(args *GetArgs, reply *GetReply) error {
+	s.obs.count("Storage.Fetch")
 	data, err := s.net.Fetch(cid.CID(args.CID))
 	reply.Data = data
 	reply.Err = encodeErr(err)
@@ -168,6 +172,7 @@ type MergeArgs struct {
 
 // MergeGet performs merge-and-download on the addressed node.
 func (s *StorageService) MergeGet(args *MergeArgs, reply *GetReply) error {
+	s.obs.count("Storage.MergeGet")
 	cids := make([]cid.CID, len(args.CIDs))
 	for i, c := range args.CIDs {
 		cids[i] = cid.CID(c)
@@ -239,6 +244,7 @@ func (s *StorageService) DeleteAll(args *DeleteAllArgs, reply *ErrReply) error {
 // DirectoryService exposes a directory.Service over RPC.
 type DirectoryService struct {
 	svc *directory.Service
+	obs *serverObs
 }
 
 // ErrReply is a bare error-code reply.
@@ -248,7 +254,12 @@ type ErrReply struct {
 
 // Publish records an uploaded block.
 func (d *DirectoryService) Publish(rec *directory.Record, reply *ErrReply) error {
-	reply.Err = encodeErr(d.svc.Publish(*rec))
+	d.obs.count("Directory.Publish")
+	err := d.svc.Publish(*rec)
+	if err == nil {
+		d.obs.recordPublished(*rec)
+	}
+	reply.Err = encodeErr(err)
 	return nil
 }
 
@@ -259,7 +270,14 @@ type BatchArgs struct {
 
 // PublishBatch records several uploads in one request.
 func (d *DirectoryService) PublishBatch(args *BatchArgs, reply *ErrReply) error {
-	reply.Err = encodeErr(d.svc.PublishBatch(args.Recs))
+	d.obs.count("Directory.PublishBatch")
+	err := d.svc.PublishBatch(args.Recs)
+	if err == nil {
+		for _, rec := range args.Recs {
+			d.obs.recordPublished(rec)
+		}
+	}
+	reply.Err = encodeErr(err)
 	return nil
 }
 
@@ -385,6 +403,7 @@ func (d *DirectoryService) VerifyPartialUpdate(args *VerifyArgs, reply *BoolRepl
 type Server struct {
 	rpcSrv *rpc.Server
 	ln     net.Listener
+	obs    serverObs
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -402,12 +421,12 @@ func NewServer() *Server {
 
 // RegisterStorage exposes a storage network.
 func (s *Server) RegisterStorage(netw *storage.Network) error {
-	return s.rpcSrv.RegisterName("Storage", &StorageService{net: netw})
+	return s.rpcSrv.RegisterName("Storage", &StorageService{net: netw, obs: &s.obs})
 }
 
 // RegisterDirectory exposes a directory service.
 func (s *Server) RegisterDirectory(svc *directory.Service) error {
-	return s.rpcSrv.RegisterName("Directory", &DirectoryService{svc: svc})
+	return s.rpcSrv.RegisterName("Directory", &DirectoryService{svc: svc, obs: &s.obs})
 }
 
 // Listen binds the server to an address ("127.0.0.1:0" for an ephemeral
@@ -474,7 +493,8 @@ func (s *Server) Close() error {
 // Client is a TCP connection to a transport server, usable as both a
 // storage client and a directory client.
 type Client struct {
-	rpc *rpc.Client
+	rpc     *rpc.Client
+	metrics clientMetrics
 }
 
 var _ storage.Client = (*Client)(nil)
@@ -497,6 +517,9 @@ func (c *Client) Put(nodeID string, data []byte) (cid.CID, error) {
 	if err := c.rpc.Call("Storage.Put", &PutArgs{Node: nodeID, Data: data}, &reply); err != nil {
 		return "", err
 	}
+	if reply.Err == codeNone {
+		c.metrics.uploaded(nodeID, len(data))
+	}
 	return cid.CID(reply.CID), decodeErr(reply.Err)
 }
 
@@ -506,6 +529,7 @@ func (c *Client) Get(nodeID string, id cid.CID) ([]byte, error) {
 	if err := c.rpc.Call("Storage.Get", &GetArgs{Node: nodeID, CID: string(id)}, &reply); err != nil {
 		return nil, err
 	}
+	c.metrics.downloaded(nodeID, len(reply.Data))
 	return reply.Data, decodeErr(reply.Err)
 }
 
@@ -515,6 +539,7 @@ func (c *Client) Fetch(id cid.CID) ([]byte, error) {
 	if err := c.rpc.Call("Storage.Fetch", &GetArgs{CID: string(id)}, &reply); err != nil {
 		return nil, err
 	}
+	c.metrics.downloaded("*", len(reply.Data))
 	return reply.Data, decodeErr(reply.Err)
 }
 
@@ -528,6 +553,7 @@ func (c *Client) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
 	if err := c.rpc.Call("Storage.MergeGet", &MergeArgs{Node: nodeID, CIDs: ids}, &reply); err != nil {
 		return nil, err
 	}
+	c.metrics.downloaded(nodeID, len(reply.Data))
 	return reply.Data, decodeErr(reply.Err)
 }
 
