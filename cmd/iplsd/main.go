@@ -134,37 +134,70 @@ func (tf *taskFlags) attachKey(sess *core.Session, id string) {
 }
 
 // introspection is a process's observability bundle: a metrics registry,
-// a bounded event ring for /events, and the HTTP server exposing both
-// (plus /healthz) when -metrics-addr is set.
+// a bounded event ring for /events, a bounded span ring for /spans (plus
+// an optional span JSONL file), and the HTTP server exposing them (with
+// /healthz, /buildinfo and optionally /debug/pprof/) when -metrics-addr
+// is set.
 type introspection struct {
-	reg *obs.Registry
-	rec *core.Recorder
-	srv *obs.HTTPServer
+	reg   *obs.Registry
+	rec   *core.Recorder
+	spans *obs.SpanCollector
+	sink  obs.SpanSink
+	spanW *obs.SpanJSONLWriter
+	spanF *os.File
+	srv   *obs.HTTPServer
 }
 
 // startIntrospection builds the bundle, serving it over HTTP when addr is
-// non-empty. health (optional) backs /healthz.
-func startIntrospection(addr string, health func() error) (*introspection, error) {
-	in := &introspection{reg: obs.NewRegistry(), rec: core.NewRecorder(1024)}
+// non-empty. spanOut streams spans to a JSONL file (empty disables);
+// pprof mounts the profiling handlers; health (optional) backs /healthz.
+func startIntrospection(addr, spanOut string, pprof bool, health func() error) (*introspection, error) {
+	in := &introspection{
+		reg:   obs.NewRegistry(),
+		rec:   core.NewRecorder(1024),
+		spans: obs.NewSpanCollector(4096),
+	}
+	sinks := obs.MultiSpanSink{in.spans}
+	if spanOut != "" {
+		f, err := os.Create(spanOut)
+		if err != nil {
+			return nil, fmt.Errorf("span-out: %w", err)
+		}
+		in.spanF = f
+		in.spanW = obs.NewSpanJSONLWriter(f)
+		sinks = append(sinks, in.spanW)
+	}
+	in.sink = sinks
 	if addr == "" {
 		return in, nil
 	}
 	srv, err := obs.StartHTTP(addr, obs.HandlerConfig{
 		Registry: in.reg,
 		Events:   func() any { return in.rec.Events() },
+		Spans:    func() any { return in.spans.Spans() },
 		Health:   health,
+		Pprof:    pprof,
 	})
 	if err != nil {
+		in.close()
 		return nil, fmt.Errorf("metrics endpoint: %w", err)
 	}
 	in.srv = srv
-	fmt.Printf("iplsd: introspection on http://%s/metrics (/events, /healthz)\n", srv.Addr)
+	fmt.Printf("iplsd: introspection on http://%s/metrics (/events, /spans, /buildinfo, /healthz)\n", srv.Addr)
 	return in, nil
 }
 
 func (in *introspection) close() {
 	if in.srv != nil {
 		in.srv.Close()
+	}
+	if in.spanW != nil {
+		if err := in.spanW.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "iplsd: span-out flush: %v\n", err)
+		}
+	}
+	if in.spanF != nil {
+		in.spanF.Close()
 	}
 }
 
@@ -192,6 +225,8 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("iplsd serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7000", "TCP listen address")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
+	spanOut := fs.String("span-out", "", "write storage-side causal spans to this file as JSON Lines (analyze with iplstrace)")
+	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
 	snapshotFile := fs.String("snapshot-file", "", "restore the directory from this file if it exists; save on shutdown")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -235,12 +270,13 @@ func serve(args []string) error {
 	if err := srv.RegisterDirectory(dir); err != nil {
 		return err
 	}
-	in, err := startIntrospection(*metricsAddr, nil)
+	in, err := startIntrospection(*metricsAddr, *spanOut, *pprofFlag, nil)
 	if err != nil {
 		return err
 	}
 	defer in.close()
 	netw.SetMetrics(in.reg)
+	netw.SetSpans(in.sink)
 	srv.SetMetrics(in.reg)
 	srv.SetTracer(in.rec)
 	addr, err := srv.Listen(*listen)
@@ -272,6 +308,8 @@ func trainer(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7000", "server address")
 	index := fs.Int("index", 0, "trainer index in [0, trainers)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
+	spanOut := fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
+	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -294,13 +332,14 @@ func trainer(args []string) error {
 		return err
 	}
 	tf.attachKey(sess, me)
-	in, err := startIntrospection(*metricsAddr, nil)
+	in, err := startIntrospection(*metricsAddr, *spanOut, *pprofFlag, nil)
 	if err != nil {
 		return err
 	}
 	defer in.close()
 	sess.SetMetrics(in.reg)
 	sess.SetTracer(in.rec)
+	sess.SetSpans(in.sink)
 	client.SetMetrics(in.reg)
 	local, err := tf.localData(*index)
 	if err != nil {
@@ -341,6 +380,8 @@ func aggregator(args []string) error {
 	partition := fs.Int("partition", 0, "partition this aggregator serves")
 	slot := fs.Int("slot", 0, "aggregator slot j within the partition")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
+	spanOut := fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
+	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -366,13 +407,14 @@ func aggregator(args []string) error {
 		return err
 	}
 	tf.attachKey(sess, me)
-	in, err := startIntrospection(*metricsAddr, nil)
+	in, err := startIntrospection(*metricsAddr, *spanOut, *pprofFlag, nil)
 	if err != nil {
 		return err
 	}
 	defer in.close()
 	sess.SetMetrics(in.reg)
 	sess.SetTracer(in.rec)
+	sess.SetSpans(in.sink)
 	client.SetMetrics(in.reg)
 	fmt.Printf("iplsd: aggregator %s starting (%d rounds)\n", me, tf.rounds)
 	for round := 0; round < tf.rounds; round++ {
@@ -391,6 +433,8 @@ func aggregator(args []string) error {
 func demo(args []string) error {
 	fs := flag.NewFlagSet("iplsd demo", flag.ContinueOnError)
 	metricsAddr := fs.String("metrics-addr", "", "serve the demo server's /metrics, /events and /healthz on this address (empty disables)")
+	spanOut := fs.String("span-out", "", "write the demo server's storage-side spans to this file as JSON Lines")
+	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -417,12 +461,13 @@ func demo(args []string) error {
 	if err := srv.RegisterDirectory(dir); err != nil {
 		return err
 	}
-	in, err := startIntrospection(*metricsAddr, nil)
+	in, err := startIntrospection(*metricsAddr, *spanOut, *pprofFlag, nil)
 	if err != nil {
 		return err
 	}
 	defer in.close()
 	netw.SetMetrics(in.reg)
+	netw.SetSpans(in.sink)
 	srv.SetMetrics(in.reg)
 	srv.SetTracer(in.rec)
 	addr, err := srv.Listen("127.0.0.1:0")

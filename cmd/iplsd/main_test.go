@@ -4,10 +4,13 @@ import (
 	"flag"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"ipls/internal/core"
+	"ipls/internal/obs"
 )
 
 func parseTaskFlags(t *testing.T, args []string) *taskFlags {
@@ -124,7 +127,7 @@ func TestDemoEndToEnd(t *testing.T) {
 }
 
 func TestStartIntrospectionServes(t *testing.T) {
-	in, err := startIntrospection("127.0.0.1:0", nil)
+	in, err := startIntrospection("127.0.0.1:0", "", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,8 +161,75 @@ func TestStartIntrospectionServes(t *testing.T) {
 	}
 }
 
+func TestStartIntrospectionSpansAndPprof(t *testing.T) {
+	dir := t.TempDir()
+	spanPath := filepath.Join(dir, "role.spans")
+	in, err := startIntrospection("127.0.0.1:0", spanPath, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.sink.EmitSpan(obs.Span{
+		Name:    "upload",
+		Actor:   "trainer-00",
+		Context: obs.SpanContext{Session: "d", Iter: 0, SpanID: obs.NewSpanID()},
+	})
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + in.srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/spans"); code != 200 || !strings.Contains(body, `"upload"`) {
+		t.Fatalf("/spans = %d %q", code, body)
+	}
+	if code, body := get("/buildinfo"); code != 200 || !strings.Contains(body, "go_version") {
+		t.Fatalf("/buildinfo = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof not mounted with -pprof: %d", code)
+	}
+
+	// close() flushes the span JSONL file.
+	in.close()
+	f, err := os.Open(spanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpanJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "upload" {
+		t.Fatalf("span file = %+v", spans)
+	}
+}
+
+func TestStartIntrospectionPprofOffByDefault(t *testing.T) {
+	in, err := startIntrospection("127.0.0.1:0", "", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.close()
+	resp, err := http.Get("http://" + in.srv.Addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("pprof reachable without -pprof: %d", resp.StatusCode)
+	}
+}
+
 func TestStartIntrospectionDisabled(t *testing.T) {
-	in, err := startIntrospection("", nil)
+	in, err := startIntrospection("", "", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,6 +48,7 @@ func run(args []string) error {
 		screen      = fs.Float64("screen", 0, "drop trainer gradients with L2 norm above this bound (0 = off; incompatible with -verifiable)")
 		trace       = fs.Bool("trace", false, "print the protocol event timeline of the first round")
 		traceOut    = fs.String("trace-out", "", "write the full protocol event stream to this file as JSON Lines")
+		spanOut     = fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
 		metricsOut  = fs.String("metrics-out", "", "write the final metrics registry snapshot to this file as JSON")
 		summary     = fs.Bool("summary", false, "print per-iteration latency/byte summaries folded from the trace")
 	)
@@ -154,6 +155,19 @@ func run(args []string) error {
 	if len(tracers) > 0 {
 		sess.SetTracer(tracers)
 	}
+	var spanSink *obs.SpanJSONLWriter
+	if *spanOut != "" {
+		f, err := os.Create(*spanOut)
+		if err != nil {
+			return fmt.Errorf("span-out: %w", err)
+		}
+		defer f.Close()
+		spanSink = obs.NewSpanJSONLWriter(f)
+		sess.SetSpans(spanSink)
+		// The storage network emits the "merge" spans that hang under the
+		// aggregators' merge_download spans.
+		net.SetSpans(spanSink)
+	}
 
 	fmt.Printf("model=%s dim=%d trainers=%d partitions=%d |A_i|=%d verifiable=%v split=%s\n",
 		*modelKind, m.Dim(), *trainers, *partitions, *aggregators, *verifiable, *split)
@@ -199,6 +213,12 @@ func run(args []string) error {
 			return fmt.Errorf("trace-out: %w", err)
 		}
 		fmt.Printf("trace: %d events written to %s (%d dropped)\n", sink.Emitted(), *traceOut, sink.Dropped())
+	}
+	if spanSink != nil {
+		if err := spanSink.Close(); err != nil {
+			return fmt.Errorf("span-out: %w", err)
+		}
+		fmt.Printf("spans: %d spans written to %s (%d dropped)\n", spanSink.Emitted(), *spanOut, spanSink.Dropped())
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ipls/internal/core"
 	"ipls/internal/obs"
@@ -121,6 +122,69 @@ func TestRunExportsTraceAndMetrics(t *testing.T) {
 	lat, ok := snap.Histograms["aggregation_latency_seconds"]
 	if !ok || lat.Count == 0 {
 		t.Fatal("snapshot missing aggregation latency observations")
+	}
+}
+
+// TestRunExportsSpans is the acceptance path for causal tracing: a
+// multi-node, multi-iteration run with -span-out yields a span file whose
+// per-iteration critical-path phases sum exactly to the end-to-end
+// latency, with the cross-role causality (aggregate → upload links,
+// merge under merge_download) intact.
+func TestRunExportsSpans(t *testing.T) {
+	dir := t.TempDir()
+	spanPath := filepath.Join(dir, "run.spans")
+	err := run([]string{
+		"-trainers", "4", "-partitions", "2", "-aggregators", "2",
+		"-storage-nodes", "3", "-providers", "1", "-rounds", "3",
+		"-span-out", spanPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(spanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpanJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans exported")
+	}
+
+	breakdowns := obs.BreakdownTrace(spans)
+	if len(breakdowns) != 3 {
+		t.Fatalf("breakdowns cover %d iterations, want 3", len(breakdowns))
+	}
+	for _, b := range breakdowns {
+		if b.Latency <= 0 {
+			t.Fatalf("iter %d latency %v", b.Iter, b.Latency)
+		}
+		var sum time.Duration
+		for _, p := range b.Phases {
+			sum += p.Duration
+		}
+		if sum != b.Latency {
+			t.Fatalf("iter %d phases sum to %v, latency %v", b.Iter, sum, b.Latency)
+		}
+	}
+
+	for iter := 0; iter < 3; iter++ {
+		tree := obs.BuildTree(spans, "iplssim", iter)
+		if tree.Orphans != 0 {
+			t.Fatalf("iter %d: %d orphaned spans", iter, tree.Orphans)
+		}
+		agg := tree.Find("aggregate")
+		if agg == nil || len(agg.Span.Links) == 0 {
+			t.Fatalf("iter %d aggregate has no causal links to uploads", iter)
+		}
+		md := tree.Find("merge_download")
+		if md == nil || len(md.Children) == 0 || md.Children[0].Span.Name != "merge" {
+			t.Fatalf("iter %d merge span not under merge_download", iter)
+		}
 	}
 }
 

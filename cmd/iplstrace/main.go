@@ -1,0 +1,154 @@
+// Command iplstrace analyzes span traces recorded by iplssim/iplsd
+// (-span-out): it folds each iteration's span tree into a critical path
+// and per-phase latency breakdown — the shape of the paper's §V latency
+// figures, computed from a recorded run — and can export the spans in
+// Chrome trace-event format for Perfetto / chrome://tracing.
+//
+// Several input files merge into one stream, so per-node span files from
+// a distributed run can be analyzed together:
+//
+//	iplstrace run-node1.spans run-node2.spans
+//	iplstrace -json run.spans
+//	iplstrace -chrome trace.json run.spans
+//	iplstrace -tree run.spans
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ipls/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "iplstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("iplstrace", flag.ContinueOnError)
+	var (
+		jsonOut = fs.Bool("json", false, "emit the per-iteration breakdowns as JSON instead of a table")
+		chrome  = fs.String("chrome", "", "write the spans in Chrome trace-event format to this file (open in Perfetto)")
+		tree    = fs.Bool("tree", false, "print each iteration's span tree instead of the breakdown")
+	)
+	fs.SetOutput(out)
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: iplstrace [flags] span-file.jsonl [more-files...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("no span files given")
+	}
+
+	var spans []obs.Span
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		part, err := obs.ReadSpanJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		spans = append(spans, part...)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans in input")
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			return fmt.Errorf("chrome export: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chrome trace: %d spans written to %s\n", len(spans), *chrome)
+	}
+
+	if *tree {
+		printTrees(out, spans)
+		return nil
+	}
+
+	breakdowns := obs.BreakdownTrace(spans)
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(breakdowns)
+	}
+	printBreakdowns(out, breakdowns)
+	return nil
+}
+
+// printBreakdowns renders the per-iteration phase tables. Phase durations
+// sum to the iteration latency by construction (untraced stretches are
+// charged to the "(untraced)" phase).
+func printBreakdowns(out io.Writer, breakdowns []obs.IterationBreakdown) {
+	for i, b := range breakdowns {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "%s iter %d: %d spans, latency %s\n",
+			orUnnamed(b.Session), b.Iter, b.Spans, b.Latency.Round(time.Microsecond))
+		fmt.Fprintf(out, "  %-18s %12s %7s %5s %12s\n", "phase", "time", "frac", "segs", "bytes")
+		for _, p := range b.Phases {
+			fmt.Fprintf(out, "  %-18s %12s %6.1f%% %5d %12d\n",
+				p.Phase, p.Duration.Round(time.Microsecond), p.Fraction*100, p.Segments, p.Bytes)
+		}
+	}
+}
+
+// printTrees renders each trace's span forest with indentation.
+func printTrees(out io.Writer, spans []obs.Span) {
+	for i, k := range obs.TraceKeys(spans) {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		t := obs.BuildTree(spans, k.Session, k.Iter)
+		fmt.Fprintf(out, "%s iter %d: %d spans", orUnnamed(k.Session), k.Iter, t.Size())
+		if t.Orphans > 0 {
+			fmt.Fprintf(out, " (%d orphaned)", t.Orphans)
+		}
+		fmt.Fprintln(out)
+		t.Walk(func(n *obs.SpanNode, depth int) {
+			line := fmt.Sprintf("%s%s", strings.Repeat("  ", depth+1), n.Span.Name)
+			if n.Span.Actor != "" {
+				line += " [" + n.Span.Actor + "]"
+			}
+			line += " " + n.Span.Duration().Round(time.Microsecond).String()
+			if n.Span.Bytes > 0 {
+				line += fmt.Sprintf(" %dB", n.Span.Bytes)
+			}
+			if len(n.Span.Links) > 0 {
+				line += fmt.Sprintf(" links=%d", len(n.Span.Links))
+			}
+			fmt.Fprintln(out, line)
+		})
+	}
+}
+
+func orUnnamed(session string) string {
+	if session == "" {
+		return "(unnamed)"
+	}
+	return session
+}

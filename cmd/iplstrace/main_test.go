@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ipls/internal/obs"
+)
+
+// writeSpanFile writes a small two-iteration trace split across files the
+// way a distributed run produces them: the aggregator-side spans in one
+// file, the storage-side merge span in another.
+func writeSpanFiles(t *testing.T, dir string) (string, string) {
+	t.Helper()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	at := func(ms int64) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	mk := func(iter int, id, parent, name, actor string, s, e int64) obs.Span {
+		return obs.Span{
+			Name: name, Actor: actor,
+			Context: obs.SpanContext{Session: "run", Iter: iter, SpanID: id, Parent: parent},
+			Start:   at(s), End: at(e),
+		}
+	}
+	aggSide := []obs.Span{
+		mk(0, "it0", "", "iteration", "session", 0, 100),
+		mk(0, "agg0", "it0", "aggregate", "agg-p0-0", 10, 90),
+		mk(0, "md0", "agg0", "merge_download", "agg-p0-0", 20, 60),
+		mk(1, "it1", "", "iteration", "session", 0, 80),
+	}
+	storeSide := []obs.Span{
+		mk(0, "m0", "md0", "merge", "ipfs-00", 25, 55),
+	}
+	write := func(name string, spans []obs.Span) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := obs.NewSpanJSONLWriter(f)
+		for _, s := range spans {
+			w.EmitSpan(s)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write("agg.spans", aggSide), write("store.spans", storeSide)
+}
+
+func TestRunBreakdownTable(t *testing.T) {
+	aggFile, storeFile := writeSpanFiles(t, t.TempDir())
+	var out bytes.Buffer
+	if err := run([]string{aggFile, storeFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "run iter 0") || !strings.Contains(text, "run iter 1") {
+		t.Fatalf("missing iteration headers:\n%s", text)
+	}
+	// The storage-side merge span merged in and lands on the critical path.
+	if !strings.Contains(text, "merge") {
+		t.Fatalf("merged multi-file stream lost the merge span:\n%s", text)
+	}
+	if !strings.Contains(text, "latency 100ms") {
+		t.Fatalf("iteration latency missing:\n%s", text)
+	}
+}
+
+func TestRunJSONBreakdown(t *testing.T) {
+	aggFile, storeFile := writeSpanFiles(t, t.TempDir())
+	var out bytes.Buffer
+	if err := run([]string{"-json", aggFile, storeFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var breakdowns []obs.IterationBreakdown
+	if err := json.Unmarshal(out.Bytes(), &breakdowns); err != nil {
+		t.Fatalf("-json output not valid JSON: %v", err)
+	}
+	if len(breakdowns) != 2 {
+		t.Fatalf("breakdowns = %d, want 2", len(breakdowns))
+	}
+	var sum time.Duration
+	for _, p := range breakdowns[0].Phases {
+		sum += p.Duration
+	}
+	if sum != breakdowns[0].Latency || breakdowns[0].Latency != 100*time.Millisecond {
+		t.Fatalf("phase sum %v vs latency %v", sum, breakdowns[0].Latency)
+	}
+}
+
+func TestRunTreeView(t *testing.T) {
+	aggFile, storeFile := writeSpanFiles(t, t.TempDir())
+	var out bytes.Buffer
+	if err := run([]string{"-tree", aggFile, storeFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// The cross-file merge span nests under merge_download: deeper indent.
+	mdLine, mLine := "", ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "merge_download") {
+			mdLine = line
+		} else if strings.Contains(line, "merge ") {
+			mLine = line
+		}
+	}
+	if mdLine == "" || mLine == "" {
+		t.Fatalf("tree view missing merge spans:\n%s", text)
+	}
+	indent := func(s string) int { return len(s) - len(strings.TrimLeft(s, " ")) }
+	if indent(mLine) <= indent(mdLine) {
+		t.Fatalf("merge not nested under merge_download:\n%s", text)
+	}
+	if !strings.Contains(text, "[ipfs-00]") {
+		t.Fatalf("actor missing from tree:\n%s", text)
+	}
+}
+
+func TestRunChromeExport(t *testing.T) {
+	dir := t.TempDir()
+	aggFile, storeFile := writeSpanFiles(t, dir)
+	chromePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-chrome", chromePath, aggFile, storeFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("chrome export not valid JSON: %v", err)
+	}
+	var complete int
+	for _, e := range trace.TraceEvents {
+		if e.Phase == "X" {
+			complete++
+		}
+	}
+	if complete != 5 {
+		t.Fatalf("chrome X events = %d, want 5", complete)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no input files must error")
+	}
+	if err := run([]string{"/does/not/exist.spans"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file must error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.spans")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty span stream must error")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"ipls/internal/directory"
 	"ipls/internal/identity"
 	"ipls/internal/model"
+	"ipls/internal/obs"
 	"ipls/internal/pedersen"
 	"ipls/internal/scalar"
 	"ipls/internal/storage"
@@ -70,6 +71,8 @@ type Session struct {
 	quant   *scalar.Quantizer
 	field   *scalar.Field
 	tracer  Tracer
+	spans   obs.SpanSink
+	clock   func() time.Time
 	metrics sessionMetrics
 	keyring *identity.Keyring
 }
@@ -196,7 +199,13 @@ func (s *Session) poll(ctx context.Context, deadline time.Time, fn func() (bool,
 // its record — including the Pedersen commitment in verifiable mode — is
 // published to the directory.
 func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error {
+	return s.trainerUpload(obs.SpanContext{}, trainer, iter, delta)
+}
+
+func (s *Session) trainerUpload(parent obs.SpanContext, trainer string, iter int, delta []float64) (err error) {
 	defer observeSince(s.metrics.phaseUpload, time.Now())
+	sc := s.startSpan("upload", trainer, iter, parent)
+	defer func() { sc.endErr(err) }()
 	parts, err := model.Split(s.cfg.Spec, delta)
 	if err != nil {
 		return fmt.Errorf("core: trainer %s: %w", trainer, err)
@@ -212,7 +221,14 @@ func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error
 		if err != nil {
 			return fmt.Errorf("core: trainer %s partition %d: %w", trainer, i, err)
 		}
+		put := sc.child("store_put")
+		put.attr("partition", fmt.Sprint(i))
 		c, node, err := s.putWithFallback(s.cfg.UploadNode(i, trainer), data)
+		put.bytes(int64(len(data)))
+		if err == nil {
+			put.attr("node", node)
+		}
+		put.endErr(err)
 		if err != nil {
 			return fmt.Errorf("core: trainer %s upload partition %d: %w", trainer, i, err)
 		}
@@ -220,9 +236,15 @@ func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error
 			Addr: directory.Addr{Uploader: trainer, Partition: i, Iter: iter, Type: directory.TypeGradient},
 			CID:  c,
 			Node: node,
+			// The upload root's context travels with the record: whoever
+			// downloads this gradient can causally link back to the upload.
+			Span: sc.ctxRef(),
 		}
 		if s.params != nil {
+			commit := sc.child("commit")
+			commit.attr("partition", fmt.Sprint(i))
 			com, err := s.params.Commit(block.Values)
+			commit.endErr(err)
 			if err != nil {
 				return fmt.Errorf("core: trainer %s commit partition %d: %w", trainer, i, err)
 			}
@@ -234,18 +256,23 @@ func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error
 	}
 	// Announce all partitions in one directory round trip when the
 	// backend supports batching (§VI's load-reduction optimization).
+	pub := sc.child("dir_publish")
 	if batcher, ok := s.dir.(interface {
 		PublishBatch(recs []directory.Record) error
 	}); ok {
-		if err := batcher.PublishBatch(recs); err != nil {
+		err := batcher.PublishBatch(recs)
+		pub.endErr(err)
+		if err != nil {
 			return fmt.Errorf("core: trainer %s publish: %w", trainer, err)
 		}
 	} else {
 		for _, rec := range recs {
 			if err := s.dir.Publish(rec); err != nil {
+				pub.endErr(err)
 				return fmt.Errorf("core: trainer %s publish partition %d: %w", trainer, rec.Addr.Partition, err)
 			}
 		}
+		pub.end()
 	}
 	s.metrics.gradientsUploaded.Add(int64(len(recs)))
 	for i, rec := range recs {
@@ -259,11 +286,19 @@ func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error
 // CID-verifies the blocks, divides by the averaging counter and reassembles
 // the full averaged model delta.
 func (s *Session) TrainerCollect(ctx context.Context, iter int) ([]float64, error) {
+	return s.trainerCollect(obs.SpanContext{}, ctx, iter)
+}
+
+func (s *Session) trainerCollect(parent obs.SpanContext, ctx context.Context, iter int) (_ []float64, err error) {
 	defer observeSince(s.metrics.phaseCollect, time.Now())
+	sc := s.startSpan("collect", "trainer", iter, parent)
+	defer func() { sc.endErr(err) }()
 	deadline := time.Now().Add(s.cfg.TSync)
 	parts := make([][]float64, s.cfg.Spec.Partitions)
 	for i := 0; i < s.cfg.Spec.Partitions; i++ {
 		var rec directory.Record
+		wait := sc.child("update_wait")
+		wait.attr("partition", fmt.Sprint(i))
 		err := s.poll(ctx, deadline, func() (bool, error) {
 			r, err := s.dir.Update(iter, i)
 			if errors.Is(err, directory.ErrNotFound) {
@@ -275,9 +310,13 @@ func (s *Session) TrainerCollect(ctx context.Context, iter int) ([]float64, erro
 			rec = r
 			return true, nil
 		})
+		wait.endErr(err)
 		if err != nil {
 			return nil, fmt.Errorf("core: await update iter %d partition %d: %w", iter, i, err)
 		}
+		dl := sc.child("download")
+		dl.attr("partition", fmt.Sprint(i))
+		dl.link(rec.Span)
 		data, err := s.store.Get(rec.Node, rec.CID)
 		if err != nil {
 			// The primary holder may have failed; fall back to any
@@ -288,9 +327,12 @@ func (s *Session) TrainerCollect(ctx context.Context, iter int) ([]float64, erro
 				data, err = fetcher.Fetch(rec.CID)
 			}
 			if err != nil {
+				dl.endErr(err)
 				return nil, fmt.Errorf("core: download update partition %d: %w", i, err)
 			}
 		}
+		dl.bytes(int64(len(data)))
+		dl.end()
 		if !cid.Verify(data, rec.CID) {
 			return nil, fmt.Errorf("core: update partition %d failed CID verification", i)
 		}
@@ -346,6 +388,10 @@ type AggregatorReport struct {
 // taking over for missing or cheating peers), and publish the global
 // update. The behavior parameter injects the malicious deviations of §III-A.
 func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter int, behavior Behavior) (*AggregatorReport, error) {
+	return s.aggregatorRun(obs.SpanContext{}, ctx, agg, partition, iter, behavior)
+}
+
+func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg string, partition, iter int, behavior Behavior) (_ *AggregatorReport, err error) {
 	if behavior == 0 {
 		behavior = BehaviorHonest
 	}
@@ -353,6 +399,9 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 	if behavior == BehaviorDropout {
 		return report, nil // crashed before doing anything
 	}
+	sc := s.startSpan("aggregate", agg, iter, parent)
+	sc.attr("partition", fmt.Sprint(partition))
+	defer func() { sc.endErr(err) }()
 	start := time.Now()
 	defer func() {
 		// Aggregation latency per iteration: run start to accepted global.
@@ -366,11 +415,21 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 	}
 
 	// Phase 1: collect gradients from my trainers (Algorithm 1, 28-34).
+	wait := sc.child("gradient_wait")
 	recs, err := s.awaitGradients(ctx, iter, partition, agg, len(expected), time.Now().Add(s.cfg.TTrain))
+	wait.attr("gradients", fmt.Sprint(len(recs)))
+	wait.endErr(err)
 	if err != nil {
 		return report, err
 	}
-	blocks, merges, err := s.collectBlocks(recs, report)
+	// Link the uploads this aggregation depends on: the records carry the
+	// uploaders' span contexts across the directory boundary.
+	for _, rec := range recs {
+		sc.link(rec.Span)
+	}
+	fetch := sc.child("fetch_gradients")
+	blocks, merges, err := s.collectBlocks(fetch, recs, report)
+	fetch.endErr(err)
 	if err != nil {
 		return report, err
 	}
@@ -391,24 +450,30 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 	peers := s.cfg.Aggregators[partition]
 	if len(peers) == 1 {
 		// Sole aggregator: the partial is the global update.
-		return report, s.publishGlobal(report, agg, partition, iter, home, partial)
+		return report, s.publishGlobal(sc, report, agg, partition, iter, home, partial)
 	}
 
+	pp := sc.child("partial_publish")
 	partialData, err := partial.Encode()
 	if err != nil {
+		pp.endErr(err)
 		return report, err
 	}
+	pp.bytes(int64(len(partialData)))
 	partialCID, partialNode, err := s.putWithFallback(home, partialData)
 	if err != nil {
+		pp.endErr(err)
 		return report, fmt.Errorf("core: %s upload partial: %w", agg, err)
 	}
 	partialRec := directory.Record{
 		Addr: directory.Addr{Uploader: agg, Partition: partition, Iter: iter, Type: directory.TypePartialUpdate},
 		CID:  partialCID,
 		Node: partialNode,
+		Span: pp.ctxRef(),
 	}
 	s.signRecord(&partialRec)
 	if err := s.dir.Publish(partialRec); err != nil {
+		pp.endErr(err)
 		return report, fmt.Errorf("core: %s publish partial: %w", agg, err)
 	}
 	s.emitBytes(EventPartialPublished, agg, iter, partition, int64(len(partialData)), "cid %s", partialCID.Short())
@@ -421,6 +486,7 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 			announcer.Announce(topic, agg, data)
 		}
 	}
+	pp.end()
 
 	// Phase 3: synchronize with the other aggregators of this partition
 	// (Algorithm 1, 37-42), verifying partials in verifiable mode (§IV-B).
@@ -456,27 +522,39 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 			s.emit(EventPartialInvalid, agg, iter, partition, "partial from %s rejected: %s", peer, reason)
 		}
 	}
+	sync := sc.child("sync_wait")
 	processRecs := func(recs []directory.Record) error {
 		for _, rec := range recs {
 			peer := rec.Addr.Uploader
 			if _, have := partials[peer]; have || contains(report.InvalidPartials, peer) {
 				continue
 			}
+			// One verify span per peer partial examined, linked to the
+			// peer's publish span carried in the record.
+			vs := sync.child("verify")
+			vs.attr("peer", peer)
+			vs.link(rec.Span)
 			data, err := s.store.Get(rec.Node, rec.CID)
 			if err != nil || !cid.Verify(data, rec.CID) {
 				markInvalid(peer, "unretrievable or CID mismatch")
+				vs.attr("verdict", "unretrievable")
+				vs.end()
 				continue
 			}
+			vs.bytes(int64(len(data)))
 			if s.params != nil {
 				vStart := time.Now()
 				ok, err := s.dir.VerifyPartialUpdate(iter, partition, peer, data)
 				observeSince(s.metrics.phaseVerify, vStart)
 				if err != nil {
+					vs.endErr(err)
 					return err
 				}
 				if !ok {
 					s.metrics.verifyFail.Inc()
 					markInvalid(peer, "commitment verification failed")
+					vs.attr("verdict", "rejected")
+					vs.end()
 					continue
 				}
 				s.metrics.verifyPass.Inc()
@@ -484,9 +562,13 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 			block, err := model.DecodeBlock(data)
 			if err != nil {
 				markInvalid(peer, "malformed block")
+				vs.attr("verdict", "malformed")
+				vs.end()
 				continue
 			}
 			partials[peer] = block
+			vs.attr("verdict", "accepted")
+			vs.end()
 			s.emitBytes(EventPartialVerified, agg, iter, partition, int64(len(data)), "accepted partial from %s", peer)
 		}
 		return nil
@@ -503,9 +585,11 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 	// missing.
 	if hasPubSub && len(partials)+len(report.InvalidPartials) < len(peers) {
 		if err := processRecs(s.dir.PartialUpdates(iter, partition)); err != nil {
+			sync.end()
 			return report, err
 		}
 	}
+	sync.end()
 
 	// Phase 4: take over for peers that never produced a valid partial —
 	// download their trainers' gradients and redo their aggregation
@@ -521,19 +605,28 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 		// Wait for the peer's full trainer set (bounded by t_train) —
 		// taking over from a partial set would drop late-but-in-time
 		// gradients from the aggregate.
+		to := sc.child("takeover")
+		to.attr("peer", peer)
 		peerExpected := s.cfg.TrainersOf(partition, peer)
 		peerRecs, err := s.awaitGradients(ctx, iter, partition, peer, len(peerExpected), time.Now().Add(s.cfg.TTrain))
 		if err != nil || len(peerRecs) == 0 {
+			to.endErr(err)
 			continue
 		}
-		peerBlocks, _, err := s.collectBlocks(peerRecs, report)
+		for _, rec := range peerRecs {
+			to.link(rec.Span)
+		}
+		peerBlocks, _, err := s.collectBlocks(to, peerRecs, report)
 		if err != nil {
+			to.endErr(err)
 			return report, fmt.Errorf("core: %s take over %s: %w", agg, peer, err)
 		}
 		redo, err := model.Sum(s.field, peerBlocks...)
 		if err != nil {
+			to.endErr(err)
 			return report, err
 		}
+		to.end()
 		partials[peer] = redo
 		report.TookOverFor = append(report.TookOverFor, peer)
 		report.GradientsAggregated += len(peerRecs)
@@ -552,7 +645,7 @@ func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter
 	if err != nil {
 		return report, err
 	}
-	return report, s.publishGlobal(report, agg, partition, iter, home, global)
+	return report, s.publishGlobal(sc, report, agg, partition, iter, home, global)
 }
 
 // awaitGradients polls the directory until all expected gradient records
@@ -577,9 +670,9 @@ func (s *Session) awaitGradients(ctx context.Context, iter, partition int, agg s
 // collectBlocks retrieves the gradient blocks for records, applying norm
 // screening when configured (which forces individual downloads, since the
 // check needs each gradient separately) and merge-and-download otherwise.
-func (s *Session) collectBlocks(recs []directory.Record, report *AggregatorReport) ([]model.Block, int, error) {
+func (s *Session) collectBlocks(sc *spanScope, recs []directory.Record, report *AggregatorReport) ([]model.Block, int, error) {
 	if s.cfg.ScreenNorm <= 0 {
-		return s.downloadGradients(recs)
+		return s.downloadGradients(sc, recs)
 	}
 	var blocks []model.Block
 	for _, rec := range recs {
@@ -618,7 +711,7 @@ func (s *Session) blockNorm(b model.Block) float64 {
 // groups of records stored on the same provider when enabled. Merged blocks
 // are verified against the product of the published per-gradient
 // commitments; on failure the gradients are fetched individually.
-func (s *Session) downloadGradients(recs []directory.Record) ([]model.Block, int, error) {
+func (s *Session) downloadGradients(sc *spanScope, recs []directory.Record) ([]model.Block, int, error) {
 	merges := 0
 	var blocks []model.Block
 	if s.cfg.MergeAndDownload {
@@ -645,9 +738,23 @@ func (s *Session) downloadGradients(recs []directory.Record) ([]model.Block, int
 			for i, rec := range grp {
 				cids[i] = rec.CID
 			}
+			// The merge_download span's context rides the request to the
+			// storage node, which parents its own "merge" span under it —
+			// the cross-node half of the causal trace.
+			md := sc.child("merge_download")
+			md.attr("node", node)
+			md.attr("blocks", fmt.Sprint(len(grp)))
 			mStart := time.Now()
-			data, err := s.store.MergeGet(node, cids)
+			var data []byte
+			var err error
+			if spanner, ok := s.store.(mergeSpanner); ok && md.ctx().Valid() {
+				data, err = spanner.MergeGetSpan(node, cids, md.ctx())
+			} else {
+				data, err = s.store.MergeGet(node, cids)
+			}
 			observeSince(s.metrics.phaseMerge, mStart)
+			md.bytes(int64(len(data)))
+			md.endErr(err)
 			if err != nil {
 				return nil, merges, fmt.Errorf("core: merge-and-download on %s: %w", node, err)
 			}
@@ -744,20 +851,25 @@ func (s *Session) fetchGradient(rec directory.Record) (model.Block, error) {
 // publishGlobal uploads and publishes the global update for a partition.
 // In verifiable mode the directory may reject it (caught cheating); only
 // the first valid update wins.
-func (s *Session) publishGlobal(report *AggregatorReport, agg string, partition, iter int, home string, global model.Block) error {
+func (s *Session) publishGlobal(parent *spanScope, report *AggregatorReport, agg string, partition, iter int, home string, global model.Block) (err error) {
 	defer observeSince(s.metrics.phasePublish, time.Now())
+	gp := parent.child("global_publish")
+	defer func() { gp.endErr(err) }()
 	data, err := global.Encode()
 	if err != nil {
 		return err
 	}
+	gp.bytes(int64(len(data)))
 	c, node, err := s.putWithFallback(home, data)
 	if err != nil {
 		return fmt.Errorf("core: %s upload global update: %w", agg, err)
 	}
+	gp.attr("node", node)
 	rec := directory.Record{
 		Addr: directory.Addr{Uploader: agg, Partition: partition, Iter: iter, Type: directory.TypeUpdate},
 		CID:  c,
 		Node: node,
+		Span: gp.ctxRef(),
 	}
 	s.signRecord(&rec)
 	// The directory refuses updates while the partition's gradient set is
@@ -776,15 +888,18 @@ func (s *Session) publishGlobal(report *AggregatorReport, agg string, partition,
 	switch {
 	case err == nil:
 		report.PublishedGlobal = true
+		gp.attr("outcome", "accepted")
 		s.metrics.globalsPublished.Inc()
 		s.emitBytes(EventGlobalPublished, agg, iter, partition, int64(len(data)), "cid %s on %s", c.Short(), node)
 		return nil
 	case errors.Is(err, directory.ErrVerificationFailed):
 		report.GlobalRejected = true
+		gp.attr("outcome", "rejected")
 		s.metrics.globalsRejected.Inc()
 		s.emit(EventGlobalRejected, agg, iter, partition, "directory refused the update")
 		return nil
 	case errors.Is(err, directory.ErrAlreadyFinal):
+		gp.attr("outcome", "peer-won")
 		return nil // a peer won the race with a valid update
 	default:
 		return fmt.Errorf("core: %s publish global update: %w", agg, err)
@@ -852,9 +967,17 @@ func (r *IterationResult) Detected() bool {
 // optional per-aggregator behaviors), and the averaged delta is collected.
 // The deltas map provides each trainer's locally computed model delta.
 func (s *Session) RunIteration(ctx context.Context, iter int, deltas map[string][]float64, behaviors map[string]Behavior) (*IterationResult, error) {
+	return s.runIteration(obs.SpanContext{}, ctx, iter, deltas, behaviors)
+}
+
+func (s *Session) runIteration(parent obs.SpanContext, ctx context.Context, iter int, deltas map[string][]float64, behaviors map[string]Behavior) (_ *IterationResult, err error) {
 	if len(deltas) != len(s.cfg.Trainers) {
 		return nil, fmt.Errorf("core: got %d deltas for %d trainers", len(deltas), len(s.cfg.Trainers))
 	}
+	// The iteration span roots the trace: every role span below runs as a
+	// child, so the critical path tiles the whole iteration.
+	it := s.startSpan("iteration", "session", iter, parent)
+	defer func() { it.endErr(err) }()
 	if sched, ok := s.dir.(Scheduler); ok {
 		sched.SetSchedule(iter, time.Now().Add(s.cfg.TTrain))
 	}
@@ -879,7 +1002,7 @@ func (s *Session) RunIteration(ctx context.Context, iter int, deltas map[string]
 		wg.Add(1)
 		go func(tr string, delta []float64) {
 			defer wg.Done()
-			if err := s.TrainerUpload(tr, iter, delta); err != nil {
+			if err := s.trainerUpload(it.ctx(), tr, iter, delta); err != nil {
 				fail(err)
 			}
 		}(tr, delta)
@@ -889,7 +1012,7 @@ func (s *Session) RunIteration(ctx context.Context, iter int, deltas map[string]
 		wg.Add(1)
 		go func(ref AggregatorRef, b Behavior) {
 			defer wg.Done()
-			rep, err := s.AggregatorRun(ctx, ref.ID, ref.Partition, iter, b)
+			rep, err := s.aggregatorRun(it.ctx(), ctx, ref.ID, ref.Partition, iter, b)
 			mu.Lock()
 			result.Reports[ref.ID] = rep
 			mu.Unlock()
@@ -912,7 +1035,7 @@ func (s *Session) RunIteration(ctx context.Context, iter int, deltas map[string]
 		return result, nil // detected-and-blocked round: no usable update
 	}
 
-	avg, err := s.TrainerCollect(ctx, iter)
+	avg, err := s.trainerCollect(it.ctx(), ctx, iter)
 	if err != nil {
 		return result, err
 	}

@@ -57,6 +57,14 @@ type SimConfig struct {
 	// the same names real runs use (bytes_uploaded_total{node=...} etc.),
 	// so snapshots from simulated and emulated experiments line up.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, receives protocol events stamped with the
+	// simulation's virtual clock (anchored at the Unix epoch), so the
+	// same trace tooling folds simulated and real runs.
+	Tracer Tracer
+	// Spans, when non-nil, receives per-role causal spans (upload,
+	// aggregate, merge_download, sync_wait) in virtual time under the
+	// trace (session "sim", iter 0).
+	Spans obs.SpanSink
 }
 
 func (c SimConfig) validate() error {
@@ -214,6 +222,32 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	for k, n := range expected {
 		arrived[k] = env.NewCounter(n)
 	}
+	// Observability: simulated runs emit the same event stream and span
+	// trees real runs do, stamped with the virtual clock anchored at the
+	// Unix epoch.
+	simClock := env.Clock(time.Unix(0, 0).UTC())
+	emitEvent := func(kind EventKind, actor string, partition int, bytes int64, detail string) {
+		if cfg.Tracer == nil {
+			return
+		}
+		cfg.Tracer.Emit(Event{
+			Time: simClock(), Kind: kind, Actor: actor,
+			Partition: partition, Bytes: bytes, Detail: detail,
+		})
+	}
+	emitSpan := func(name, actor string, ctx obs.SpanContext, start time.Time, bytes int64) {
+		if cfg.Spans == nil || !ctx.Valid() {
+			return
+		}
+		cfg.Spans.EmitSpan(obs.Span{
+			Name: name, Actor: actor, Context: ctx,
+			Start: start, End: simClock(), Bytes: bytes,
+		})
+	}
+	simRoot := func() obs.SpanContext {
+		return obs.SpanContext{Session: "sim", SpanID: obs.NewSpanID()}
+	}
+
 	cutoff := cfg.TTrainCutoff
 	missed := 0
 	// waitArrival waits for a counter, honoring the t_train cutoff, and
@@ -238,6 +272,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	for t := 0; t < cfg.Trainers; t++ {
 		t := t
 		env.Go(fmt.Sprintf("trainer-%d", t), func() {
+			upCtx := simRoot()
+			upStart := simClock()
 			for p := 0; p < cfg.Partitions; p++ {
 				j := aggOf(t)
 				if cfg.Direct {
@@ -255,8 +291,10 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 					arrived[slotKey{p, j, providerOf(p, j, t)}].Add()
 					gradArrived[[2]int{p, t}].Add()
 				}
+				emitEvent(EventGradientUploaded, trainers[t].Name, p, cfg.PartitionBytes, "simulated upload")
 			}
 			uploadDone[t] = env.Now()
+			emitSpan("upload", trainers[t].Name, upCtx, upStart, cfg.PartitionBytes*int64(cfg.Partitions))
 		})
 	}
 
@@ -266,6 +304,10 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 			p, j := p, j
 			agg := aggs[p][j]
 			env.Go(agg.Name, func() {
+				aggCtx := simRoot()
+				aggStart := simClock()
+				fetchCtx := aggCtx.Child()
+				fetchStart := simClock()
 				// Phase 1: obtain all of T_ij's gradients (or those that
 				// made the t_train cutoff).
 				if cfg.Direct {
@@ -289,6 +331,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 					for _, node := range groups {
 						node := node
 						env.Go(fmt.Sprintf("merge-p%d-%d-n%d", p, j, node), func() {
+							mdCtx := fetchCtx.Child()
+							mdStart := simClock()
 							ctr := arrived[slotKey{p, j, node}]
 							if !waitArrival(ctr) {
 								missed += expected[slotKey{p, j, node}] - ctr.Count()
@@ -298,6 +342,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 								// partition-sized block over what arrived.
 								env.Transfer(stores[node], agg, cfg.PartitionBytes)
 								mergeDownloads++
+								emitEvent(EventMergeDownload, agg.Name, p, cfg.PartitionBytes, "simulated merge-and-download")
+								emitSpan("merge_download", stores[node].Name, mdCtx, mdStart, cfg.PartitionBytes)
 							}
 							done.Add()
 						})
@@ -323,11 +369,14 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 				if env.Now() > gradDone {
 					gradDone = env.Now()
 				}
+				emitSpan("fetch_gradients", agg.Name, fetchCtx, fetchStart, 0)
 
 				// Phase 2: multi-aggregator sync via the storage network.
 				if cfg.AggregatorsPerPartition > 1 && !cfg.Direct {
+					syncStart := simClock()
 					home := stores[(p*cfg.AggregatorsPerPartition+j)%len(stores)]
 					env.Transfer(agg, home, cfg.PartitionBytes)
+					emitEvent(EventPartialPublished, agg.Name, p, cfg.PartitionBytes, "simulated partial upload")
 					partialReady[[2]int{p, j}].Fire()
 					done := env.NewCounter(cfg.AggregatorsPerPartition - 1)
 					for k := 0; k < cfg.AggregatorsPerPartition; k++ {
@@ -343,6 +392,7 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 						})
 					}
 					done.Wait()
+					emitSpan("sync_wait", agg.Name, aggCtx.Child(), syncStart, 0)
 				}
 				if env.Now() > syncDone {
 					syncDone = env.Now()
@@ -350,6 +400,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 				if env.Now() > totalDone {
 					totalDone = env.Now()
 				}
+				emitEvent(EventGlobalPublished, agg.Name, p, cfg.PartitionBytes, "simulated global update")
+				emitSpan("aggregate", agg.Name, aggCtx, aggStart, agg.BytesReceived)
 			})
 		}
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"time"
+
+	"ipls/internal/obs"
 )
 
 // fig1Config reproduces the paper's Fig. 1 setup: 16 trainers, one
@@ -269,5 +271,82 @@ func TestSimValidation(t *testing.T) {
 		if _, err := Simulate(cfg); err == nil {
 			t.Errorf("config %d should be rejected", i)
 		}
+	}
+}
+
+func TestSimEmitsVirtualTimeSpans(t *testing.T) {
+	col := obs.NewSpanCollector(0)
+	rec := &Recorder{}
+	cfg := fig1Config(2)
+	cfg.Spans = col
+	cfg.Tracer = rec
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := col.Spans()
+	if len(spans) == 0 {
+		t.Fatal("simulation emitted no spans")
+	}
+	epoch := time.Unix(0, 0).UTC()
+	names := map[string]int{}
+	for _, s := range spans {
+		names[s.Name]++
+		if s.Context.Session != "sim" || s.Context.Iter != 0 {
+			t.Fatalf("span trace identity: %+v", s.Context)
+		}
+		// Virtual clock anchored at the epoch: every timestamp sits inside
+		// [epoch, epoch+TotalDelay].
+		if s.Start.Before(epoch) || s.End.After(epoch.Add(res.TotalDelay)) {
+			t.Fatalf("span %s [%v,%v] outside virtual window ending %v",
+				s.Name, s.Start, s.End, epoch.Add(res.TotalDelay))
+		}
+		if s.End.Before(s.Start) {
+			t.Fatalf("span %s inverted", s.Name)
+		}
+	}
+	if names["upload"] != cfg.Trainers {
+		t.Fatalf("upload spans = %d, want %d", names["upload"], cfg.Trainers)
+	}
+	if names["aggregate"] != cfg.Partitions*cfg.AggregatorsPerPartition {
+		t.Fatalf("aggregate spans = %d", names["aggregate"])
+	}
+	if names["merge_download"] != res.MergeDownloads {
+		t.Fatalf("merge_download spans = %d, want %d", names["merge_download"], res.MergeDownloads)
+	}
+
+	// The spans assemble into trees: merge_download under fetch_gradients
+	// under aggregate, with no orphans.
+	tree := obs.BuildTree(spans, "sim", 0)
+	if tree.Orphans != 0 {
+		t.Fatalf("%d orphaned sim spans", tree.Orphans)
+	}
+	agg := tree.Find("aggregate")
+	if agg == nil {
+		t.Fatal("no aggregate tree")
+	}
+	fetch := tree.Find("fetch_gradients")
+	if fetch == nil || len(fetch.Children) == 0 {
+		t.Fatal("merge_download not parented under fetch_gradients")
+	}
+
+	// Events share the virtual timeline, so SummarizeTrace latency is the
+	// simulated iteration duration, not wall time.
+	sums := SummarizeTrace(rec.Events())
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[0].Latency <= 0 || sums[0].Latency > res.TotalDelay {
+		t.Fatalf("virtual latency %v vs total delay %v", sums[0].Latency, res.TotalDelay)
+	}
+	// And the critical-path breakdown tiles the traced window.
+	b := obs.Breakdown(spans)
+	var sum time.Duration
+	for _, p := range b.Phases {
+		sum += p.Duration
+	}
+	if sum != b.Latency {
+		t.Fatalf("sim phases sum to %v, latency %v", sum, b.Latency)
 	}
 }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"time"
+
+	"ipls/internal/cid"
+	"ipls/internal/obs"
+)
+
+// Span plumbing for the session: the protocol engine emits causal spans
+// (obs.Span) alongside the flat event stream, one tree per FL iteration.
+// Role entry points (upload, collect, aggregate) open root spans — or
+// children, when RunIteration supplies its iteration-wide parent — and
+// phase helpers open children under them. Contexts cross process
+// boundaries inside directory records (Record.Span) and the
+// merge-and-download RPC, which is what lets an aggregator's trace
+// reference the uploads and storage-side merges it depended on.
+
+// SetSpans attaches the sink that receives the session's completed spans
+// (nil detaches). Like SetTracer it must be called before the session
+// runs roles.
+func (s *Session) SetSpans(sink obs.SpanSink) { s.spans = sink }
+
+// SetClock overrides the session's notion of "now" for event and span
+// timestamps (nil restores the wall clock). Deadlines and polling still
+// use the wall clock — the clock only stamps observability output, so a
+// virtual-time harness (netsim) can produce traces in its own timeline.
+func (s *Session) SetClock(fn func() time.Time) { s.clock = fn }
+
+// now is the session's observability clock.
+func (s *Session) now() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now()
+}
+
+// spanScope is an open span under construction. A nil scope (spans
+// disabled) is valid and every method is a no-op, so instrumentation
+// sites need no conditionals. Each scope is owned by one goroutine.
+type spanScope struct {
+	s    *Session
+	span obs.Span
+}
+
+// startSpan opens a span. With a valid parent the span joins the
+// parent's trace; otherwise it roots a new tree in the (task, iter)
+// trace. Returns nil when the session has no span sink.
+func (s *Session) startSpan(name, actor string, iter int, parent obs.SpanContext) *spanScope {
+	if s.spans == nil {
+		return nil
+	}
+	var ctx obs.SpanContext
+	if parent.Valid() {
+		ctx = parent.Child()
+	} else {
+		ctx = obs.SpanContext{Session: s.cfg.TaskID, Iter: iter, SpanID: obs.NewSpanID()}
+	}
+	return &spanScope{s: s, span: obs.Span{Name: name, Actor: actor, Context: ctx, Start: s.now()}}
+}
+
+// child opens a sub-span of sc with the same actor.
+func (sc *spanScope) child(name string) *spanScope {
+	if sc == nil {
+		return nil
+	}
+	return &spanScope{s: sc.s, span: obs.Span{
+		Name: name, Actor: sc.span.Actor, Context: sc.span.Context.Child(), Start: sc.s.now(),
+	}}
+}
+
+// ctx returns the scope's span context (zero when spans are disabled).
+func (sc *spanScope) ctx() obs.SpanContext {
+	if sc == nil {
+		return obs.SpanContext{}
+	}
+	return sc.span.Context
+}
+
+// ctxRef returns a pointer to the scope's context for embedding in a
+// directory record, or nil when spans are disabled.
+func (sc *spanScope) ctxRef() *obs.SpanContext {
+	if sc == nil {
+		return nil
+	}
+	c := sc.span.Context
+	return &c
+}
+
+// bytes adds to the span's payload byte count.
+func (sc *spanScope) bytes(n int64) {
+	if sc != nil {
+		sc.span.Bytes += n
+	}
+}
+
+// attr sets a span attribute.
+func (sc *spanScope) attr(k, v string) {
+	if sc == nil {
+		return
+	}
+	if sc.span.Attrs == nil {
+		sc.span.Attrs = make(map[string]string)
+	}
+	sc.span.Attrs[k] = v
+}
+
+// link records a causal reference to a span in another role's tree.
+func (sc *spanScope) link(c *obs.SpanContext) {
+	if sc == nil || c == nil || !c.Valid() {
+		return
+	}
+	sc.span.Links = append(sc.span.Links, *c)
+}
+
+// end closes the span and emits it.
+func (sc *spanScope) end() {
+	if sc == nil {
+		return
+	}
+	sc.span.End = sc.s.now()
+	sc.s.spans.EmitSpan(sc.span)
+}
+
+// endErr closes the span, recording the error as an attribute first.
+func (sc *spanScope) endErr(err error) {
+	if sc != nil && err != nil {
+		sc.attr("error", err.Error())
+	}
+	sc.end()
+}
+
+// mergeSpanner is the optional storage capability of carrying a span
+// context with a merge-and-download request (storage.Network and
+// transport.Client both implement it).
+type mergeSpanner interface {
+	MergeGetSpan(nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ipls/internal/ml"
+	"ipls/internal/obs"
 )
 
 // Task drives a complete federated-learning job over a Session: each round,
@@ -86,7 +87,9 @@ func (t *Task) LocalDeltas(round int) (map[string][]float64, float64, error) {
 // global model is left unchanged and Applied is false.
 func (t *Task) RunRound(ctx context.Context, behaviors map[string]Behavior) (RoundMetrics, *IterationResult, error) {
 	round := t.round
+	train := t.session.startSpan("train", "trainers", round, obs.SpanContext{})
 	deltas, loss, err := t.LocalDeltas(round)
+	train.endErr(err)
 	if err != nil {
 		return RoundMetrics{}, nil, err
 	}

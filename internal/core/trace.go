@@ -129,12 +129,14 @@ func (s *Session) emit(kind EventKind, actor string, iter, partition int, format
 }
 
 // emitBytes sends an event carrying a payload size to the tracer, if any.
+// Timestamps come from the session clock (SetClock), so virtual-time
+// harnesses produce traces in their own timeline.
 func (s *Session) emitBytes(kind EventKind, actor string, iter, partition int, bytes int64, format string, args ...any) {
 	if s.tracer == nil {
 		return
 	}
 	s.tracer.Emit(Event{
-		Time:      time.Now(),
+		Time:      s.now(),
 		Kind:      kind,
 		Actor:     actor,
 		Iter:      iter,

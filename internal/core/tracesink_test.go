@@ -157,3 +157,57 @@ func TestSummarizeTraceGroupsByIteration(t *testing.T) {
 		t.Fatalf("iter 1 miscounted: %+v", sums[1])
 	}
 }
+
+func TestSummarizeTraceEmpty(t *testing.T) {
+	if sums := SummarizeTrace(nil); len(sums) != 0 {
+		t.Fatalf("empty stream: %+v", sums)
+	}
+}
+
+func TestSummarizeTraceOutOfOrderTimestamps(t *testing.T) {
+	// Merged per-node logs interleave arbitrarily; latency must span
+	// earliest to latest regardless of arrival order.
+	base := time.Unix(2000, 0)
+	events := []Event{
+		{Time: base.Add(4 * time.Second), Kind: EventGlobalPublished, Iter: 0, Bytes: 1},
+		{Time: base, Kind: EventGradientUploaded, Iter: 0, Bytes: 1},
+		{Time: base.Add(2 * time.Second), Kind: EventMergeDownload, Iter: 0, Bytes: 1},
+	}
+	sums := SummarizeTrace(events)
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if !sums[0].Start.Equal(base) || !sums[0].End.Equal(base.Add(4*time.Second)) {
+		t.Fatalf("window = %v..%v", sums[0].Start, sums[0].End)
+	}
+	if sums[0].Latency != 4*time.Second {
+		t.Fatalf("latency = %v, want 4s", sums[0].Latency)
+	}
+}
+
+func TestSummarizeTraceSingleEvent(t *testing.T) {
+	sums := SummarizeTrace([]Event{{Time: time.Unix(5, 0), Kind: EventTakeover, Iter: 7}})
+	if len(sums) != 1 || sums[0].Iter != 7 || sums[0].Latency != 0 || sums[0].Events != 1 {
+		t.Fatalf("single-event summary: %+v", sums)
+	}
+}
+
+func TestSummarizeTraceAfterRecorderEviction(t *testing.T) {
+	// A bounded recorder that dropped events still summarizes what it
+	// kept — the summary window just narrows to the retained suffix.
+	rec := NewRecorder(2)
+	base := time.Unix(3000, 0)
+	for i := 0; i < 5; i++ {
+		rec.Emit(Event{Time: base.Add(time.Duration(i) * time.Second), Kind: EventGradientUploaded, Iter: 0, Bytes: 1})
+	}
+	if rec.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", rec.Dropped())
+	}
+	sums := SummarizeTrace(rec.Events())
+	if len(sums) != 1 || sums[0].GradientUploads != 2 {
+		t.Fatalf("summaries after eviction: %+v", sums)
+	}
+	if !sums[0].Start.Equal(base.Add(3 * time.Second)) {
+		t.Fatalf("window start = %v, want the retained suffix", sums[0].Start)
+	}
+}

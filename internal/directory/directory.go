@@ -23,6 +23,7 @@ import (
 	"ipls/internal/cid"
 	"ipls/internal/identity"
 	"ipls/internal/model"
+	"ipls/internal/obs"
 	"ipls/internal/pedersen"
 )
 
@@ -71,6 +72,12 @@ type Record struct {
 	Node       string              `json:"node"`
 	Commitment pedersen.Commitment `json:"commitment,omitempty"`
 	Signature  []byte              `json:"signature,omitempty"`
+	// Span is the uploader's span context — the causal-trace envelope
+	// that lets a downloader link its spans to the span that produced the
+	// block, across process and node boundaries. Like Node it is excluded
+	// from SigningBytes: it is observability metadata, not protocol state,
+	// and a relay must be able to strip or forward it freely.
+	Span *obs.SpanContext `json:"span,omitempty"`
 }
 
 // SigningBytes returns the canonical byte string a participant signs: the

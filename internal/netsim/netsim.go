@@ -69,6 +69,14 @@ func (e *Env) SetMetrics(reg *obs.Registry) {
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return e.now }
 
+// Clock returns a wall-clock view of the virtual time, anchored at base:
+// each call reports base plus the current virtual offset. Hand it to
+// consumers that stamp absolute timestamps (core.Session.SetClock, span
+// emitters) so their output lands on the simulation's timeline.
+func (e *Env) Clock(base time.Time) func() time.Time {
+	return func() time.Time { return base.Add(e.now) }
+}
+
 // Node is a simulated host with independent uplink and downlink capacities
 // in bits per second.
 type Node struct {

@@ -363,3 +363,26 @@ func assertPanics(t *testing.T, fn func(), msg string) {
 	}()
 	fn()
 }
+
+func TestClockAnchorsVirtualTime(t *testing.T) {
+	e := NewEnv()
+	base := time.Unix(0, 0).UTC()
+	clock := e.Clock(base)
+	if got := clock(); !got.Equal(base) {
+		t.Fatalf("clock before run = %v, want %v", got, base)
+	}
+	var during time.Time
+	e.Go("sleeper", func() {
+		e.Sleep(7 * time.Second)
+		during = clock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := base.Add(7 * time.Second); !during.Equal(want) {
+		t.Fatalf("clock mid-run = %v, want %v", during, want)
+	}
+	if got := clock(); !got.Equal(base.Add(7 * time.Second)) {
+		t.Fatalf("clock after run = %v", got)
+	}
+}

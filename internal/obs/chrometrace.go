@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export: renders a span stream in the Trace Event
+// Format (the JSON object form with a traceEvents array), which Perfetto
+// and chrome://tracing open directly. Each trace (session, iter) becomes
+// a process row and each actor a named thread row, so an iteration's
+// per-role timelines sit side by side.
+
+// chromeEvent is one Trace Event Format entry. Complete events ("X")
+// carry a microsecond timestamp and duration; metadata events ("M") name
+// the process and thread rows.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders spans in Chrome trace-event JSON. Timestamps
+// are microseconds relative to the earliest span start, so virtual-clock
+// and wall-clock traces both render sensibly.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if len(spans) > 0 {
+		base := spans[0].Start
+		for _, s := range spans {
+			if s.Start.Before(base) {
+				base = s.Start
+			}
+		}
+
+		// Deterministic pid per trace and tid per actor within it.
+		type row struct {
+			key   TraceKey
+			actor string
+		}
+		pids := make(map[TraceKey]int)
+		tids := make(map[row]int)
+		for _, k := range TraceKeys(spans) {
+			pids[k] = len(pids) + 1
+		}
+		var rows []row
+		seen := make(map[row]bool)
+		for _, s := range spans {
+			r := row{key: TraceKey{Session: s.Context.Session, Iter: s.Context.Iter}, actor: s.Actor}
+			if !seen[r] {
+				seen[r] = true
+				rows = append(rows, r)
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].key != rows[j].key {
+				if rows[i].key.Session != rows[j].key.Session {
+					return rows[i].key.Session < rows[j].key.Session
+				}
+				return rows[i].key.Iter < rows[j].key.Iter
+			}
+			return rows[i].actor < rows[j].actor
+		})
+		for _, r := range rows {
+			tids[r] = len(tids) + 1
+		}
+
+		for k, pid := range pids {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "process_name", Phase: "M", PID: pid,
+				Args: map[string]any{"name": trackName(k)},
+			})
+		}
+		for r, tid := range tids {
+			name := r.actor
+			if name == "" {
+				name = "(no actor)"
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pids[r.key], TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		// Metadata order is map-dependent above; fix it for diffable output.
+		meta := trace.TraceEvents
+		sort.Slice(meta, func(i, j int) bool {
+			if meta[i].PID != meta[j].PID {
+				return meta[i].PID < meta[j].PID
+			}
+			if meta[i].TID != meta[j].TID {
+				return meta[i].TID < meta[j].TID
+			}
+			return meta[i].Name < meta[j].Name
+		})
+
+		for _, s := range spans {
+			k := TraceKey{Session: s.Context.Session, Iter: s.Context.Iter}
+			args := map[string]any{
+				"span_id": s.Context.SpanID,
+			}
+			if s.Context.Parent != "" {
+				args["parent_id"] = s.Context.Parent
+			}
+			if s.Bytes > 0 {
+				args["bytes"] = s.Bytes
+			}
+			for key, v := range s.Attrs {
+				args[key] = v
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name:  s.Name,
+				Cat:   "ipls",
+				Phase: "X",
+				TS:    float64(s.Start.Sub(base).Nanoseconds()) / 1e3,
+				Dur:   float64(s.Duration().Nanoseconds()) / 1e3,
+				PID:   pids[k],
+				TID:   tids[row{key: k, actor: s.Actor}],
+				Args:  args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// trackName renders a trace key as the Perfetto process-row label.
+func trackName(k TraceKey) string {
+	session := k.Session
+	if session == "" {
+		session = "trace"
+	}
+	return session + " iter " + strconv.Itoa(k.Iter)
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []Span{
+		mkSpan("s", 0, "root", "", "iteration", 0, 100),
+		mkSpan("s", 0, "up", "root", "upload", 5, 30),
+		mkSpan("s", 1, "r2", "", "iteration", 0, 50),
+	}
+	spans[0].Actor = "session"
+	spans[1].Actor = "trainer-00"
+	spans[1].Bytes = 612
+	spans[1].Attrs = map[string]string{"partition": "0"}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+
+	var complete, meta int
+	pids := map[int]bool{}
+	for _, e := range out.TraceEvents {
+		switch e.Phase {
+		case "X":
+			complete++
+			pids[e.PID] = true
+			if e.TS < 0 || e.Dur < 0 {
+				t.Fatalf("negative ts/dur: %+v", e)
+			}
+			if e.Args["span_id"] == "" {
+				t.Fatalf("X event missing span_id: %+v", e)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if complete != len(spans) {
+		t.Fatalf("X events = %d, want %d", complete, len(spans))
+	}
+	// One process row per trace: (s,0) and (s,1).
+	if len(pids) != 2 {
+		t.Fatalf("distinct pids = %d, want 2", len(pids))
+	}
+	if meta == 0 {
+		t.Fatal("no metadata rows")
+	}
+
+	// The upload span carries parent, bytes and attrs in args; ts is
+	// microseconds relative to the earliest start (5ms -> 5000).
+	for _, e := range out.TraceEvents {
+		if e.Phase == "X" && e.Name == "upload" {
+			if e.Args["parent_id"] != "root" {
+				t.Fatalf("upload parent_id = %v", e.Args["parent_id"])
+			}
+			if e.Args["bytes"] != float64(612) {
+				t.Fatalf("upload bytes = %v", e.Args["bytes"])
+			}
+			if e.Args["partition"] != "0" {
+				t.Fatalf("upload attr = %v", e.Args["partition"])
+			}
+			if e.TS != 5000 {
+				t.Fatalf("upload ts = %v, want 5000us", e.TS)
+			}
+			if e.Dur != 25000 {
+				t.Fatalf("upload dur = %v, want 25000us", e.Dur)
+			}
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("empty export not valid JSON: %v", err)
+	}
+	if evs, ok := out["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("traceEvents = %v, want empty array", out["traceEvents"])
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	spans := []Span{
+		mkSpan("s", 0, "a", "", "x", 0, 10),
+		mkSpan("s", 0, "b", "", "y", 2, 8),
+		mkSpan("t", 1, "c", "", "z", 0, 4),
+	}
+	spans[0].Actor, spans[1].Actor, spans[2].Actor = "n1", "n2", "n3"
+	var one, two bytes.Buffer
+	if err := WriteChromeTrace(&one, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&two, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("chrome export is not deterministic")
+	}
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Critical-path analysis: fold a trace's spans into the chain of work
+// that determined the iteration's end-to-end latency, and a per-phase
+// breakdown of that chain — the shape of the paper's Figs. 5-7, computed
+// from a recorded run instead of hand-instrumented experiments.
+//
+// The algorithm is the standard walk-back over the span forest: starting
+// from the interval [first span start, last span end], recursively
+// attribute each stretch of time to the deepest span active on the path
+// that ends last. The resulting segments tile the interval exactly, so
+// the per-phase durations always sum to the end-to-end latency.
+
+// GapPhase names the synthetic phase charged for stretches of an
+// iteration not covered by any recorded span (scheduling gaps, untraced
+// work between roles).
+const GapPhase = "(untraced)"
+
+// PathSegment is one stretch of the critical path, attributed to a span.
+type PathSegment struct {
+	// Phase is the owning span's name (GapPhase for uncovered time).
+	Phase string `json:"phase"`
+	Actor string `json:"actor,omitempty"`
+	// SpanID identifies the owning span (empty for gaps).
+	SpanID string    `json:"span_id,omitempty"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// Duration is the segment's length.
+func (p PathSegment) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// PhaseDuration aggregates the critical-path time charged to one phase.
+type PhaseDuration struct {
+	Phase    string        `json:"phase"`
+	Duration time.Duration `json:"duration_ns"`
+	// Fraction is Duration over the iteration's end-to-end latency.
+	Fraction float64 `json:"fraction"`
+	Segments int     `json:"segments"`
+	// Bytes sums the byte counts of the spans charged (a span's bytes are
+	// counted once even if it contributes several segments).
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// IterationBreakdown is one trace's critical path and phase breakdown.
+type IterationBreakdown struct {
+	Session string    `json:"session"`
+	Iter    int       `json:"iter"`
+	Spans   int       `json:"spans"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+	// Latency is the end-to-end iteration latency (End - Start). The
+	// Phases durations sum to it exactly.
+	Latency time.Duration   `json:"latency_ns"`
+	Phases  []PhaseDuration `json:"phases"`
+	Path    []PathSegment   `json:"critical_path"`
+}
+
+// CriticalPath computes the critical path through one trace's spans. The
+// returned segments are in chronological order and tile
+// [min start, max end] exactly; an empty input yields nil.
+func CriticalPath(spans []Span) []PathSegment {
+	if len(spans) == 0 {
+		return nil
+	}
+	// Children indexed by parent span ID; spans with an absent parent are
+	// treated as roots (their causal parent ran in a process whose spans
+	// were not merged into this stream).
+	present := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		if s.Context.Valid() {
+			present[s.Context.SpanID] = true
+		}
+	}
+	children := make(map[string][]Span)
+	var roots []Span
+	t0, t1 := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.Start.Before(t0) {
+			t0 = s.Start
+		}
+		if s.End.After(t1) {
+			t1 = s.End
+		}
+		if p := s.Context.Parent; p != "" && present[p] && p != s.Context.SpanID {
+			children[p] = append(children[p], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	if t1.Before(t0) {
+		t1 = t0
+	}
+
+	byEndDesc := func(ss []Span) {
+		sort.Slice(ss, func(i, j int) bool {
+			if !ss[i].End.Equal(ss[j].End) {
+				return ss[i].End.After(ss[j].End)
+			}
+			return ss[i].Context.SpanID < ss[j].Context.SpanID
+		})
+	}
+	for _, ss := range children {
+		byEndDesc(ss)
+	}
+	byEndDesc(roots)
+
+	// attribute charges [lo, hi] to span s, descending into the children
+	// that end latest first; time not covered by a child is s's own.
+	// Segments are appended newest-first and reversed at the end.
+	var segs []PathSegment
+	var attribute func(s Span, lo, hi time.Time)
+	charge := func(s Span, lo, hi time.Time) {
+		if hi.After(lo) {
+			segs = append(segs, PathSegment{
+				Phase: s.Name, Actor: s.Actor, SpanID: s.Context.SpanID,
+				Start: lo, End: hi,
+			})
+		}
+	}
+	attribute = func(s Span, lo, hi time.Time) {
+		t := hi
+		for _, c := range children[s.Context.SpanID] {
+			if !t.After(lo) {
+				break
+			}
+			end := c.End
+			if end.After(t) {
+				end = t
+			}
+			start := c.Start
+			if start.Before(lo) {
+				start = lo
+			}
+			if !end.After(start) {
+				continue
+			}
+			charge(s, end, t) // s's own time after this child
+			attribute(c, start, end)
+			t = start
+		}
+		charge(s, lo, t)
+	}
+
+	// Synthetic root spanning the whole iteration, with every real root as
+	// a child: the same walk then yields the cross-role critical path, and
+	// uncovered stretches surface as GapPhase.
+	t := t1
+	for _, r := range roots {
+		if !t.After(t0) {
+			break
+		}
+		end := r.End
+		if end.After(t) {
+			end = t
+		}
+		start := r.Start
+		if start.Before(t0) {
+			start = t0
+		}
+		if !end.After(start) {
+			continue
+		}
+		if t.After(end) {
+			segs = append(segs, PathSegment{Phase: GapPhase, Start: end, End: t})
+		}
+		attribute(r, start, end)
+		t = start
+	}
+	if t.After(t0) {
+		segs = append(segs, PathSegment{Phase: GapPhase, Start: t0, End: t})
+	}
+
+	// Reverse into chronological order and merge adjacent segments that
+	// belong to the same span.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	merged := segs[:0]
+	for _, seg := range segs {
+		if n := len(merged); n > 0 && merged[n-1].SpanID == seg.SpanID &&
+			merged[n-1].Phase == seg.Phase && merged[n-1].End.Equal(seg.Start) {
+			merged[n-1].End = seg.End
+			continue
+		}
+		merged = append(merged, seg)
+	}
+	return merged
+}
+
+// Breakdown folds one trace's spans into its critical path and per-phase
+// durations. The spans must all belong to one (session, iter) trace;
+// BreakdownTrace groups a mixed stream first.
+func Breakdown(spans []Span) IterationBreakdown {
+	var b IterationBreakdown
+	if len(spans) == 0 {
+		return b
+	}
+	b.Session = spans[0].Context.Session
+	b.Iter = spans[0].Context.Iter
+	b.Spans = len(spans)
+	b.Path = CriticalPath(spans)
+	if len(b.Path) == 0 {
+		return b
+	}
+	b.Start = b.Path[0].Start
+	b.End = b.Path[len(b.Path)-1].End
+	b.Latency = b.End.Sub(b.Start)
+
+	bytesOf := make(map[string]int64, len(spans))
+	for _, s := range spans {
+		bytesOf[s.Context.SpanID] = s.Bytes
+	}
+	agg := make(map[string]*PhaseDuration)
+	var order []string
+	counted := make(map[string]bool)
+	for _, seg := range b.Path {
+		p, ok := agg[seg.Phase]
+		if !ok {
+			p = &PhaseDuration{Phase: seg.Phase}
+			agg[seg.Phase] = p
+			order = append(order, seg.Phase)
+		}
+		p.Duration += seg.Duration()
+		p.Segments++
+		if seg.SpanID != "" && !counted[seg.SpanID] {
+			counted[seg.SpanID] = true
+			p.Bytes += bytesOf[seg.SpanID]
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if agg[order[i]].Duration != agg[order[j]].Duration {
+			return agg[order[i]].Duration > agg[order[j]].Duration
+		}
+		return order[i] < order[j]
+	})
+	for _, name := range order {
+		p := *agg[name]
+		if b.Latency > 0 {
+			p.Fraction = float64(p.Duration) / float64(b.Latency)
+		}
+		b.Phases = append(b.Phases, p)
+	}
+	return b
+}
+
+// BreakdownTrace groups a mixed span stream by trace (session, iter) and
+// returns one breakdown per trace, sorted by session then iteration.
+func BreakdownTrace(spans []Span) []IterationBreakdown {
+	byTrace := make(map[TraceKey][]Span)
+	for _, s := range spans {
+		k := TraceKey{Session: s.Context.Session, Iter: s.Context.Iter}
+		byTrace[k] = append(byTrace[k], s)
+	}
+	keys := TraceKeys(spans)
+	out := make([]IterationBreakdown, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Breakdown(byTrace[k]))
+	}
+	return out
+}

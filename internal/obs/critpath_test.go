@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sumSegments adds up the critical-path segment durations.
+func sumSegments(segs []PathSegment) time.Duration {
+	var total time.Duration
+	for _, s := range segs {
+		total += s.Duration()
+	}
+	return total
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	if segs := CriticalPath(nil); segs != nil {
+		t.Fatalf("empty input: %v", segs)
+	}
+}
+
+func TestCriticalPathTilesInterval(t *testing.T) {
+	// root [0,100] with children up [5,30] and agg [20,90]; agg has child
+	// md [30,50]. Walk-back attributes [90,100] to root, agg's own time
+	// around md, and md itself; up is shadowed by agg except [5,20].
+	spans := []Span{
+		mkSpan("s", 0, "root", "", "iteration", 0, 100),
+		mkSpan("s", 0, "up", "root", "upload", 5, 30),
+		mkSpan("s", 0, "agg", "root", "aggregate", 20, 90),
+		mkSpan("s", 0, "md", "agg", "merge_download", 30, 50),
+	}
+	segs := CriticalPath(spans)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	// Segments tile [t0, t1] exactly: chronological, contiguous, summing
+	// to the end-to-end latency.
+	if !segs[0].Start.Equal(spans[0].Start) || !segs[len(segs)-1].End.Equal(spans[0].End) {
+		t.Fatalf("segments do not cover [t0,t1]: %v .. %v", segs[0].Start, segs[len(segs)-1].End)
+	}
+	for i := 1; i < len(segs); i++ {
+		if !segs[i].Start.Equal(segs[i-1].End) {
+			t.Fatalf("gap between segment %d and %d: %v != %v", i-1, i, segs[i-1].End, segs[i].Start)
+		}
+	}
+	if got := sumSegments(segs); got != 100*time.Millisecond {
+		t.Fatalf("segments sum to %v, want 100ms", got)
+	}
+	// The deepest span on the path appears: merge_download owns [30,50].
+	var mdTime time.Duration
+	for _, seg := range segs {
+		if seg.Phase == "merge_download" {
+			mdTime += seg.Duration()
+		}
+	}
+	if mdTime != 20*time.Millisecond {
+		t.Fatalf("merge_download on path for %v, want 20ms", mdTime)
+	}
+}
+
+func TestCriticalPathGap(t *testing.T) {
+	// Two roots with uncovered time between and before them.
+	spans := []Span{
+		mkSpan("s", 0, "a", "", "upload", 10, 20),
+		mkSpan("s", 0, "b", "", "aggregate", 40, 60),
+	}
+	segs := CriticalPath(spans)
+	var gap time.Duration
+	for _, seg := range segs {
+		if seg.Phase == GapPhase {
+			gap += seg.Duration()
+			if seg.SpanID != "" {
+				t.Fatalf("gap segment carries a span ID: %+v", seg)
+			}
+		}
+	}
+	// [20,40] is untraced; total interval [10,60] = 50ms.
+	if gap != 20*time.Millisecond {
+		t.Fatalf("gap time = %v, want 20ms", gap)
+	}
+	if got := sumSegments(segs); got != 50*time.Millisecond {
+		t.Fatalf("segments sum to %v, want 50ms", got)
+	}
+}
+
+func TestCriticalPathAbsentParentTreatedAsRoot(t *testing.T) {
+	// A span whose parent was never merged in (cross-process trace with a
+	// missing file) must still contribute as a root.
+	spans := []Span{
+		mkSpan("s", 0, "m", "elsewhere", "merge", 0, 30),
+	}
+	segs := CriticalPath(spans)
+	if len(segs) != 1 || segs[0].Phase != "merge" {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestBreakdownPhasesSumToLatency(t *testing.T) {
+	spans := []Span{
+		mkSpan("s", 2, "root", "", "iteration", 0, 100),
+		mkSpan("s", 2, "up", "root", "upload", 5, 30),
+		mkSpan("s", 2, "agg", "root", "aggregate", 20, 90),
+		mkSpan("s", 2, "md", "agg", "merge_download", 30, 50),
+	}
+	spans[3].Bytes = 612
+	b := Breakdown(spans)
+	if b.Session != "s" || b.Iter != 2 || b.Spans != 4 {
+		t.Fatalf("header: %+v", b)
+	}
+	if b.Latency != 100*time.Millisecond {
+		t.Fatalf("latency = %v, want 100ms", b.Latency)
+	}
+	var phaseSum time.Duration
+	var fracSum float64
+	for _, p := range b.Phases {
+		phaseSum += p.Duration
+		fracSum += p.Fraction
+	}
+	if phaseSum != b.Latency {
+		t.Fatalf("phases sum to %v, latency %v", phaseSum, b.Latency)
+	}
+	if fracSum < 0.999 || fracSum > 1.001 {
+		t.Fatalf("fractions sum to %v, want 1", fracSum)
+	}
+	// Sorted by duration descending.
+	for i := 1; i < len(b.Phases); i++ {
+		if b.Phases[i].Duration > b.Phases[i-1].Duration {
+			t.Fatalf("phases not sorted: %v", b.Phases)
+		}
+	}
+	for _, p := range b.Phases {
+		if p.Phase == "merge_download" && p.Bytes != 612 {
+			t.Fatalf("merge_download bytes = %d, want 612", p.Bytes)
+		}
+	}
+}
+
+func TestBreakdownCountsBytesOncePerSpan(t *testing.T) {
+	// agg's own time is split around its child into two segments; its
+	// bytes must still be charged once.
+	spans := []Span{
+		mkSpan("s", 0, "agg", "", "aggregate", 0, 100),
+		mkSpan("s", 0, "md", "agg", "merge_download", 40, 60),
+	}
+	spans[0].Bytes = 1000
+	b := Breakdown(spans)
+	for _, p := range b.Phases {
+		if p.Phase == "aggregate" {
+			if p.Segments != 2 {
+				t.Fatalf("aggregate segments = %d, want 2 (split by child)", p.Segments)
+			}
+			if p.Bytes != 1000 {
+				t.Fatalf("aggregate bytes = %d, want 1000 (counted once)", p.Bytes)
+			}
+		}
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	b := Breakdown(nil)
+	if b.Spans != 0 || b.Latency != 0 || len(b.Phases) != 0 {
+		t.Fatalf("empty breakdown: %+v", b)
+	}
+}
+
+func TestBreakdownTraceGroups(t *testing.T) {
+	spans := []Span{
+		mkSpan("s", 1, "b1", "", "iteration", 0, 10),
+		mkSpan("s", 0, "a1", "", "iteration", 0, 20),
+		mkSpan("t", 0, "c1", "", "iteration", 0, 30),
+	}
+	out := BreakdownTrace(spans)
+	if len(out) != 3 {
+		t.Fatalf("breakdowns = %d, want 3", len(out))
+	}
+	// Sorted by session then iteration.
+	want := []TraceKey{{"s", 0}, {"s", 1}, {"t", 0}}
+	for i, b := range out {
+		if (TraceKey{b.Session, b.Iter}) != want[i] {
+			t.Fatalf("out[%d] = (%s,%d), want %v", i, b.Session, b.Iter, want[i])
+		}
+	}
+	if out[0].Latency != 20*time.Millisecond || out[1].Latency != 10*time.Millisecond {
+		t.Fatalf("latencies: %v, %v", out[0].Latency, out[1].Latency)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 )
 
 // WriteJSON renders a snapshot of the registry as indented JSON — the
@@ -24,8 +27,53 @@ type HandlerConfig struct {
 	// Events, when non-nil, backs /events with a JSON-marshalable value
 	// (typically a recorder's recent trace events).
 	Events func() any
+	// Spans, when non-nil, backs /spans with a JSON-marshalable value
+	// (typically a span collector's recent spans).
+	Spans func() any
 	// Health, when non-nil, backs /healthz; an error answers 503.
 	Health func() error
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints expose heap contents and should
+	// be opted into per process.
+	Pprof bool
+}
+
+// BuildInfo is the /buildinfo payload: enough to pin down exactly which
+// binary produced a metrics snapshot or trace.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Main      string `json:"main,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// ReadBuildInfo collects the running binary's build identity from the
+// embedded module and VCS metadata ("go build" stamps VCS settings for
+// repository builds; test binaries have none, which leaves those fields
+// empty).
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{GoVersion: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Main = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
 }
 
 // NewHandler builds the live-introspection handler:
@@ -33,7 +81,10 @@ type HandlerConfig struct {
 //	/metrics       Prometheus text exposition of the registry
 //	/metrics.json  JSON snapshot of the registry
 //	/events        recent trace events as JSON
+//	/spans         recent spans as JSON
+//	/buildinfo     go version and VCS identity of the binary
 //	/healthz       liveness probe
+//	/debug/pprof/  runtime profiles (only with cfg.Pprof)
 func NewHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
@@ -41,7 +92,10 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "ipls introspection\n\n/metrics\n/metrics.json\n/events\n/healthz\n")
+		fmt.Fprint(w, "ipls introspection\n\n/metrics\n/metrics.json\n/events\n/spans\n/buildinfo\n/healthz\n")
+		if cfg.Pprof {
+			fmt.Fprint(w, "/debug/pprof/\n")
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -67,6 +121,33 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var payload any = []any{}
+		if cfg.Spans != nil {
+			payload = cfg.Spans()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ReadBuildInfo()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		if cfg.Health != nil {
 			if err := cfg.Health(); err != nil {

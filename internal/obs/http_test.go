@@ -66,6 +66,58 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+func TestHandlerSpansAndBuildInfo(t *testing.T) {
+	c := NewSpanCollector(0)
+	c.EmitSpan(mkSpan("s", 0, "a", "", "upload", 0, 10))
+	h := NewHandler(HandlerConfig{Spans: func() any { return c.Spans() }})
+
+	code, body := get(t, h, "/spans")
+	if code != 200 {
+		t.Fatalf("/spans = %d", code)
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "upload" {
+		t.Fatalf("/spans = %v", spans)
+	}
+
+	code, body = get(t, h, "/buildinfo")
+	if code != 200 {
+		t.Fatalf("/buildinfo = %d", code)
+	}
+	var info BuildInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.GoVersion == "" || info.OS == "" || info.Arch == "" {
+		t.Fatalf("/buildinfo missing runtime identity: %+v", info)
+	}
+}
+
+func TestHandlerPprofGated(t *testing.T) {
+	off := NewHandler(HandlerConfig{})
+	if code, _ := get(t, off, "/debug/pprof/"); code != 404 {
+		t.Fatalf("pprof without opt-in = %d, want 404", code)
+	}
+	on := NewHandler(HandlerConfig{Pprof: true})
+	code, body := get(t, on, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "profile") {
+		t.Fatalf("pprof with opt-in = %d %q", code, body)
+	}
+	if code, _ := get(t, on, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
+	// The index page advertises pprof only when mounted.
+	if _, body := get(t, on, "/"); !strings.Contains(body, "/debug/pprof/") {
+		t.Fatalf("index does not list pprof: %q", body)
+	}
+	if _, body := get(t, off, "/"); strings.Contains(body, "/debug/pprof/") {
+		t.Fatalf("index lists pprof while disabled: %q", body)
+	}
+}
+
 func TestHandlerHealthFailure(t *testing.T) {
 	h := NewHandler(HandlerConfig{Health: func() error { return errors.New("directory down") }})
 	code, body := get(t, h, "/healthz")

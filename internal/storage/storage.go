@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"ipls/internal/cid"
 	"ipls/internal/dag"
@@ -83,6 +85,8 @@ type Network struct {
 	remoteFetchCtr  *obs.Counter
 	mergeOps        *obs.Counter
 	mergeBytesSaved *obs.Counter
+
+	spans obs.SpanSink
 }
 
 var _ Client = (*Network)(nil)
@@ -415,11 +419,55 @@ func (n *Network) fetchLocked(c cid.CID) ([]byte, *Node) {
 	return nil, nil
 }
 
+// SetSpans installs the sink that receives storage-side spans: merge
+// operations served with a caller's span context are recorded as "merge"
+// spans under it. Pass nil to disable.
+func (n *Network) SetSpans(sink obs.SpanSink) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.spans = sink
+}
+
 // MergeGet implements merge-and-download: the addressed node decodes the
 // gradient blocks with the given CIDs, sums them in the scalar field and
 // returns one aggregated block. Blocks the node does not hold locally are
 // fetched from peers first (counted in RemoteFetches).
 func (n *Network) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
+	return n.MergeGetSpan(nodeID, cs, obs.SpanContext{})
+}
+
+// MergeGetSpan is MergeGet carrying the caller's span context across the
+// storage boundary: when a span sink is installed and the context is
+// valid, the serving node records the merge as a "merge" span parented
+// under the caller's span — the storage-side half of the causal trace
+// linking an aggregator's download to the pre-aggregation done for it.
+func (n *Network) MergeGetSpan(nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error) {
+	n.mu.Lock()
+	sink := n.spans
+	n.mu.Unlock()
+	if sink == nil || !parent.Valid() {
+		return n.mergeGet(nodeID, cs)
+	}
+	start := time.Now()
+	out, err := n.mergeGet(nodeID, cs)
+	sp := obs.Span{
+		Name:    "merge",
+		Actor:   nodeID,
+		Context: parent.Child(),
+		Start:   start,
+		End:     time.Now(),
+		Attrs:   map[string]string{"blocks": strconv.Itoa(len(cs))},
+	}
+	if err != nil {
+		sp.Attrs["error"] = err.Error()
+	} else {
+		sp.Bytes = int64(len(out))
+	}
+	sink.EmitSpan(sp)
+	return out, err
+}
+
+func (n *Network) mergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	nd, ok := n.nodes[nodeID]

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"testing"
+
+	"ipls/internal/cid"
+	"ipls/internal/core"
+	"ipls/internal/model"
+	"ipls/internal/obs"
+	"ipls/internal/scalar"
+)
+
+// TestMergeSpanPropagatesOverTCP verifies the cross-node half of causal
+// tracing: a span context handed to the client's merge-and-download call
+// crosses the RPC boundary and the storage node's "merge" span comes back
+// parented under it, so merged per-node trace files reconstruct one tree.
+func TestMergeSpanPropagatesOverTCP(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "tcp-span", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, netw, _ := startServer(t, cfg)
+	col := obs.NewSpanCollector(0)
+	netw.SetSpans(col)
+	c := dialClient(t, addr)
+
+	// Two quantized gradient blocks the node can merge in-field.
+	field := scalar.NewField(cfg.Curve.N)
+	quant, err := scalar.NewQuantizer(field, scalar.DefaultShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cids []cid.CID
+	for _, v := range [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}} {
+		b, err := model.Quantize(quant, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := c.Put("s0", data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cids = append(cids, id)
+	}
+
+	parent := obs.SpanContext{Session: "tcp-span", Iter: 4, SpanID: obs.NewSpanID()}
+	out, err := c.MergeGetSpan("s0", cids, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("server emitted %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "merge" || sp.Actor != "s0" {
+		t.Fatalf("span = %s[%s]", sp.Name, sp.Actor)
+	}
+	if sp.Context.Session != "tcp-span" || sp.Context.Iter != 4 {
+		t.Fatalf("trace identity lost over RPC: %+v", sp.Context)
+	}
+	if sp.Context.Parent != parent.SpanID {
+		t.Fatalf("merge span parent = %q, want caller's %q", sp.Context.Parent, parent.SpanID)
+	}
+	if sp.Bytes != int64(len(out)) {
+		t.Fatalf("span bytes = %d, want %d", sp.Bytes, len(out))
+	}
+	if sp.Attrs["blocks"] != "2" {
+		t.Fatalf("span attrs = %v", sp.Attrs)
+	}
+
+	// The client-side tree reconstructs: the server's span is a child of
+	// the caller's context even though they never shared a process.
+	caller := obs.Span{Name: "merge_download", Context: parent, Start: sp.Start, End: sp.End}
+	tree := obs.BuildTree(append(spans, caller), "tcp-span", 4)
+	if tree.Orphans != 0 || len(tree.Roots) != 1 {
+		t.Fatalf("cross-process tree: roots=%d orphans=%d", len(tree.Roots), tree.Orphans)
+	}
+	if len(tree.Roots[0].Children) != 1 || tree.Roots[0].Children[0].Span.Name != "merge" {
+		t.Fatal("merge span not attached under the caller's span")
+	}
+
+	// Plain MergeGet (no context) must not record a span.
+	if _, err := c.MergeGet("s0", cids); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(col.Spans()); got != 1 {
+		t.Fatalf("untraced merge emitted a span: %d total", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"ipls/internal/cid"
 	"ipls/internal/directory"
+	"ipls/internal/obs"
 	"ipls/internal/pedersen"
 	"ipls/internal/storage"
 )
@@ -164,10 +165,14 @@ func (s *StorageService) Fetch(args *GetArgs, reply *GetReply) error {
 	return nil
 }
 
-// MergeArgs carries StorageService.MergeGet.
+// MergeArgs carries StorageService.MergeGet. Span is the caller's span
+// context — the causal envelope that lets the storage node parent its
+// merge span under the aggregator's download span across the process
+// boundary. The zero value means "untraced".
 type MergeArgs struct {
 	Node string
 	CIDs []string
+	Span obs.SpanContext
 }
 
 // MergeGet performs merge-and-download on the addressed node.
@@ -177,7 +182,7 @@ func (s *StorageService) MergeGet(args *MergeArgs, reply *GetReply) error {
 	for i, c := range args.CIDs {
 		cids[i] = cid.CID(c)
 	}
-	data, err := s.net.MergeGet(args.Node, cids)
+	data, err := s.net.MergeGetSpan(args.Node, cids, args.Span)
 	reply.Data = data
 	reply.Err = encodeErr(err)
 	return nil
@@ -545,12 +550,18 @@ func (c *Client) Fetch(id cid.CID) ([]byte, error) {
 
 // MergeGet requests provider-side pre-aggregation.
 func (c *Client) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
+	return c.MergeGetSpan(nodeID, cs, obs.SpanContext{})
+}
+
+// MergeGetSpan is MergeGet carrying the caller's span context over the
+// wire, so the storage node's merge span lands in the caller's trace.
+func (c *Client) MergeGetSpan(nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error) {
 	ids := make([]string, len(cs))
 	for i, x := range cs {
 		ids[i] = string(x)
 	}
 	var reply GetReply
-	if err := c.rpc.Call("Storage.MergeGet", &MergeArgs{Node: nodeID, CIDs: ids}, &reply); err != nil {
+	if err := c.rpc.Call("Storage.MergeGet", &MergeArgs{Node: nodeID, CIDs: ids, Span: parent}, &reply); err != nil {
 		return nil, err
 	}
 	c.metrics.downloaded(nodeID, len(reply.Data))
