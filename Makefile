@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check
+.PHONY: all build vet test race chaos check
 
 all: check
 
@@ -18,4 +18,9 @@ test:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/transport/...
 
-check: build vet test race
+# Fault-injection suite under the race detector: the resilience layer's
+# retry/failover paths plus the netsim link-loss scheduling.
+chaos:
+	$(GO) test -race -timeout 10m ./internal/resilience/... ./internal/netsim/... ./internal/storage/...
+
+check: build vet test race chaos

@@ -366,7 +366,7 @@ func BenchmarkDirectoryPublish(b *testing.B) {
 	dir := directory.New(params, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := dir.Publish(directory.Record{
+		err := dir.Publish(context.Background(), directory.Record{
 			Addr: directory.Addr{
 				Uploader:  fmt.Sprintf("t%d", i),
 				Partition: 0,

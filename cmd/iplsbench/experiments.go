@@ -412,7 +412,7 @@ func faults() error {
 		return err
 	}
 	for _, tr := range cfg2.Trainers {
-		if err := sess2.TrainerUpload(tr, 0, make([]float64, 24)); err != nil {
+		if err := sess2.TrainerUpload(context.Background(), tr, 0, make([]float64, 24)); err != nil {
 			return err
 		}
 	}

@@ -129,7 +129,7 @@ func placement() error {
 			rng.Read(data)
 			// All trainers upload to the same primary (the provider
 			// hotspot scenario).
-			if _, err := net.Put("node-00", data); err != nil {
+			if _, err := net.Put(context.Background(), "node-00", data); err != nil {
 				return err
 			}
 		}

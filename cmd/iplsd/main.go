@@ -139,19 +139,23 @@ func (tf *taskFlags) attachKey(sess *core.Session, id string) {
 // /healthz, /buildinfo and optionally /debug/pprof/) when -metrics-addr
 // is set.
 type introspection struct {
-	reg   *obs.Registry
-	rec   *core.Recorder
-	spans *obs.SpanCollector
-	sink  obs.SpanSink
-	spanW *obs.SpanJSONLWriter
-	spanF *os.File
-	srv   *obs.HTTPServer
+	reg     *obs.Registry
+	rec     *core.Recorder
+	spans   *obs.SpanCollector
+	sink    obs.SpanSink
+	spanW   *obs.SpanJSONLWriter
+	spanF   *os.File
+	sampler *obs.SpanSampler
+	srv     *obs.HTTPServer
 }
 
 // startIntrospection builds the bundle, serving it over HTTP when addr is
 // non-empty. spanOut streams spans to a JSONL file (empty disables);
-// pprof mounts the profiling handlers; health (optional) backs /healthz.
-func startIntrospection(addr, spanOut string, pprof bool, health func() error) (*introspection, error) {
+// spanSample filters the file through a head/tail sampler ("slowest=N,rate=F",
+// seeded for reproducibility) while the in-memory /spans ring keeps
+// everything; pprof mounts the profiling handlers; health (optional) backs
+// /healthz.
+func startIntrospection(addr, spanOut, spanSample string, seed int64, pprof bool, health func() error) (*introspection, error) {
 	in := &introspection{
 		reg:   obs.NewRegistry(),
 		rec:   core.NewRecorder(1024),
@@ -165,7 +169,19 @@ func startIntrospection(addr, spanOut string, pprof bool, health func() error) (
 		}
 		in.spanF = f
 		in.spanW = obs.NewSpanJSONLWriter(f)
-		sinks = append(sinks, in.spanW)
+		var fileSink obs.SpanSink = in.spanW
+		slowest, rate, err := obs.ParseSpanSample(spanSample)
+		if err != nil {
+			in.close()
+			return nil, err
+		}
+		if slowest > 0 || rate < 1 {
+			in.sampler = obs.NewSpanSampler(in.spanW, slowest, rate, seed)
+			fileSink = in.sampler
+		}
+		sinks = append(sinks, fileSink)
+	} else if spanSample != "" {
+		return nil, fmt.Errorf("-span-sample needs -span-out")
 	}
 	in.sink = sinks
 	if addr == "" {
@@ -190,6 +206,11 @@ func startIntrospection(addr, spanOut string, pprof bool, health func() error) (
 func (in *introspection) close() {
 	if in.srv != nil {
 		in.srv.Close()
+	}
+	if in.sampler != nil {
+		in.sampler.Flush()
+		seen, _ := in.sampler.Stats()
+		fmt.Printf("iplsd: span-out kept %d of %d spans\n", in.spanW.Emitted(), seen)
 	}
 	if in.spanW != nil {
 		if err := in.spanW.Flush(); err != nil {
@@ -226,6 +247,7 @@ func serve(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7000", "TCP listen address")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
 	spanOut := fs.String("span-out", "", "write storage-side causal spans to this file as JSON Lines (analyze with iplstrace)")
+	spanSample := fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
 	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
 	snapshotFile := fs.String("snapshot-file", "", "restore the directory from this file if it exists; save on shutdown")
 	tf := registerTaskFlags(fs)
@@ -270,7 +292,7 @@ func serve(args []string) error {
 	if err := srv.RegisterDirectory(dir); err != nil {
 		return err
 	}
-	in, err := startIntrospection(*metricsAddr, *spanOut, *pprofFlag, nil)
+	in, err := startIntrospection(*metricsAddr, *spanOut, *spanSample, tf.seed, *pprofFlag, nil)
 	if err != nil {
 		return err
 	}
@@ -309,6 +331,7 @@ func trainer(args []string) error {
 	index := fs.Int("index", 0, "trainer index in [0, trainers)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
 	spanOut := fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
+	spanSample := fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
 	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -332,7 +355,7 @@ func trainer(args []string) error {
 		return err
 	}
 	tf.attachKey(sess, me)
-	in, err := startIntrospection(*metricsAddr, *spanOut, *pprofFlag, nil)
+	in, err := startIntrospection(*metricsAddr, *spanOut, *spanSample, tf.seed, *pprofFlag, nil)
 	if err != nil {
 		return err
 	}
@@ -354,7 +377,7 @@ func trainer(args []string) error {
 		if err != nil {
 			return fmt.Errorf("round %d: %w", round, err)
 		}
-		if err := sess.TrainerUpload(me, round, delta); err != nil {
+		if err := sess.TrainerUpload(context.Background(), me, round, delta); err != nil {
 			return fmt.Errorf("round %d upload: %w", round, err)
 		}
 		avg, err := sess.TrainerCollect(context.Background(), round)
@@ -381,6 +404,7 @@ func aggregator(args []string) error {
 	slot := fs.Int("slot", 0, "aggregator slot j within the partition")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
 	spanOut := fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
+	spanSample := fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
 	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -407,7 +431,7 @@ func aggregator(args []string) error {
 		return err
 	}
 	tf.attachKey(sess, me)
-	in, err := startIntrospection(*metricsAddr, *spanOut, *pprofFlag, nil)
+	in, err := startIntrospection(*metricsAddr, *spanOut, *spanSample, tf.seed, *pprofFlag, nil)
 	if err != nil {
 		return err
 	}
@@ -434,6 +458,7 @@ func demo(args []string) error {
 	fs := flag.NewFlagSet("iplsd demo", flag.ContinueOnError)
 	metricsAddr := fs.String("metrics-addr", "", "serve the demo server's /metrics, /events and /healthz on this address (empty disables)")
 	spanOut := fs.String("span-out", "", "write the demo server's storage-side spans to this file as JSON Lines")
+	spanSample := fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
 	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -461,7 +486,7 @@ func demo(args []string) error {
 	if err := srv.RegisterDirectory(dir); err != nil {
 		return err
 	}
-	in, err := startIntrospection(*metricsAddr, *spanOut, *pprofFlag, nil)
+	in, err := startIntrospection(*metricsAddr, *spanOut, *spanSample, tf.seed, *pprofFlag, nil)
 	if err != nil {
 		return err
 	}

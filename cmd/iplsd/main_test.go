@@ -127,7 +127,7 @@ func TestDemoEndToEnd(t *testing.T) {
 }
 
 func TestStartIntrospectionServes(t *testing.T) {
-	in, err := startIntrospection("127.0.0.1:0", "", false, nil)
+	in, err := startIntrospection("127.0.0.1:0", "", "", 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestStartIntrospectionServes(t *testing.T) {
 func TestStartIntrospectionSpansAndPprof(t *testing.T) {
 	dir := t.TempDir()
 	spanPath := filepath.Join(dir, "role.spans")
-	in, err := startIntrospection("127.0.0.1:0", spanPath, true, nil)
+	in, err := startIntrospection("127.0.0.1:0", spanPath, "", 0, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestStartIntrospectionSpansAndPprof(t *testing.T) {
 }
 
 func TestStartIntrospectionPprofOffByDefault(t *testing.T) {
-	in, err := startIntrospection("127.0.0.1:0", "", false, nil)
+	in, err := startIntrospection("127.0.0.1:0", "", "", 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestStartIntrospectionPprofOffByDefault(t *testing.T) {
 }
 
 func TestStartIntrospectionDisabled(t *testing.T) {
-	in, err := startIntrospection("", "", false, nil)
+	in, err := startIntrospection("", "", "", 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,9 @@ import (
 	"ipls/internal/core"
 	"ipls/internal/ml"
 	"ipls/internal/obs"
+	"ipls/internal/resilience"
+	"ipls/internal/scalar"
+	"ipls/internal/storage"
 )
 
 func main() {
@@ -35,7 +38,7 @@ func run(args []string) error {
 		trainers    = fs.Int("trainers", 16, "number of trainers")
 		partitions  = fs.Int("partitions", 4, "model partitions")
 		aggregators = fs.Int("aggregators", 2, "aggregators per partition (|A_i|)")
-		storage     = fs.Int("storage-nodes", 8, "storage nodes")
+		storeNodes  = fs.Int("storage-nodes", 8, "storage nodes")
 		providers   = fs.Int("providers", 2, "providers per aggregator (0 = no merge-and-download)")
 		rounds      = fs.Int("rounds", 10, "FL rounds")
 		verifiable  = fs.Bool("verifiable", false, "enable Pedersen-commitment verification")
@@ -46,6 +49,8 @@ func run(args []string) error {
 		seed        = fs.Int64("seed", 42, "dataset seed")
 		cleanup     = fs.Bool("cleanup", false, "garbage-collect each iteration's blocks after the round")
 		screen      = fs.Float64("screen", 0, "drop trainer gradients with L2 norm above this bound (0 = off; incompatible with -verifiable)")
+		faults      = fs.String("faults", "", "fault plan: comma-separated KIND:NODE@iterN events, e.g. crash:ipfs-01@iter2,recover:ipfs-01@iter4,slow:ipfs-00@iter1:50ms,flaky:ipfs-02@iter0:0.3")
+		spanSample  = fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
 		trace       = fs.Bool("trace", false, "print the protocol event timeline of the first round")
 		traceOut    = fs.String("trace-out", "", "write the full protocol event stream to this file as JSON Lines")
 		spanOut     = fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
@@ -71,7 +76,7 @@ func run(args []string) error {
 	for i := range names {
 		names[i] = fmt.Sprintf("trainer-%02d", i)
 	}
-	nodes := make([]string, *storage)
+	nodes := make([]string, *storeNodes)
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("ipfs-%02d", i)
 	}
@@ -93,7 +98,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sess, net, dir, err := core.NewLocalStack(cfg, 2)
+	_, net, dir, err := core.NewLocalStack(cfg, 2)
+	if err != nil {
+		return err
+	}
+	plan, err := storage.ParseFaultPlan(*faults)
+	if err != nil {
+		return err
+	}
+	net.SetFaultSeed(*seed) // flaky-node coin flips reproduce under -seed
+
+	// The session runs over the resilience layer: injected faults are
+	// absorbed by retries, replica failover and degraded merges instead of
+	// failing the round. The jitter seed keeps fault runs reproducible.
+	reg := obs.NewRegistry()
+	pol := resilience.DefaultPolicy()
+	pol.BaseBackoff = 2 * time.Millisecond
+	pol.MaxBackoff = 20 * time.Millisecond
+	pol.Seed = *seed
+	pol.Metrics = reg
+	field := scalar.NewField(cfg.Curve.N)
+	client := resilience.Wrap(net, field, pol)
+	sess, err := core.NewSession(cfg, client.Storage(), resilience.WrapDirectory(dir, pol))
 	if err != nil {
 		return err
 	}
@@ -127,7 +153,6 @@ func run(args []string) error {
 		fmt.Printf("injecting %s on %s\n", b, core.AggregatorID(0, 0))
 	}
 
-	reg := obs.NewRegistry()
 	sess.SetMetrics(reg)
 	net.SetMetrics(reg)
 
@@ -156,6 +181,7 @@ func run(args []string) error {
 		sess.SetTracer(tracers)
 	}
 	var spanSink *obs.SpanJSONLWriter
+	var sampler *obs.SpanSampler
 	if *spanOut != "" {
 		f, err := os.Create(*spanOut)
 		if err != nil {
@@ -163,16 +189,34 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		spanSink = obs.NewSpanJSONLWriter(f)
-		sess.SetSpans(spanSink)
+		var spans obs.SpanSink = spanSink
+		slowest, rate, err := obs.ParseSpanSample(*spanSample)
+		if err != nil {
+			return err
+		}
+		if slowest > 0 || rate < 1 {
+			sampler = obs.NewSpanSampler(spanSink, slowest, rate, *seed)
+			spans = sampler
+		}
+		sess.SetSpans(spans)
 		// The storage network emits the "merge" spans that hang under the
 		// aggregators' merge_download spans.
-		net.SetSpans(spanSink)
+		net.SetSpans(spans)
+	} else if *spanSample != "" {
+		return fmt.Errorf("-span-sample needs -span-out")
 	}
 
 	fmt.Printf("model=%s dim=%d trainers=%d partitions=%d |A_i|=%d verifiable=%v split=%s\n",
 		*modelKind, m.Dim(), *trainers, *partitions, *aggregators, *verifiable, *split)
 	fmt.Printf("%-8s %10s %10s %10s %10s\n", "round", "loss", "accuracy", "applied", "detected")
 	for r := 0; r < *rounds; r++ {
+		applied, err := plan.Apply(net, r)
+		if err != nil {
+			return fmt.Errorf("faults round %d: %w", r, err)
+		}
+		for _, ev := range applied {
+			fmt.Printf("fault before round %d: %s\n", r, ev)
+		}
 		metrics, _, err := task.RunRound(context.Background(), behaviors)
 		if r == 0 && *trace && recorder != nil {
 			fmt.Println("-- round 0 event timeline --")
@@ -189,7 +233,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("%-8d %10.4f %10.3f %10v %10v\n", r, metrics.Loss, acc, metrics.Applied, metrics.Detected)
 		if *cleanup {
-			if _, err := sess.CleanupIteration(r); err != nil {
+			if _, err := sess.CleanupIteration(context.Background(), r); err != nil {
 				return fmt.Errorf("cleanup round %d: %w", r, err)
 			}
 		}
@@ -197,6 +241,16 @@ func run(args []string) error {
 	stats := dir.Stats()
 	fmt.Printf("directory traffic: %d publishes (%d requests), %d lookups, %d verifications, %d rejections\n",
 		stats.Publishes, stats.Requests, stats.Lookups, stats.Verifications, stats.Rejections)
+	if !plan.Empty() {
+		var retries, failovers int64
+		for _, op := range []string{"put", "get", "merge_get", "fetch", "publish", "publish_batch", "lookup", "update"} {
+			retries += reg.Counter("rpc_retries_total", "op", op).Value()
+		}
+		for _, op := range []string{"get", "merge_get"} {
+			failovers += reg.Counter("failovers_total", "op", op).Value()
+		}
+		fmt.Printf("resilience: %d retries, %d failovers under the fault plan\n", retries, failovers)
+	}
 	fmt.Printf("storage footprint after run: %.2f MB across %d nodes\n",
 		float64(net.TotalStoredBytes())/1e6, len(cfg.StorageNodes))
 	if *summary && recorder != nil {
@@ -215,10 +269,19 @@ func run(args []string) error {
 		fmt.Printf("trace: %d events written to %s (%d dropped)\n", sink.Emitted(), *traceOut, sink.Dropped())
 	}
 	if spanSink != nil {
+		if sampler != nil {
+			sampler.Flush() // release the retained slowest spans
+		}
 		if err := spanSink.Close(); err != nil {
 			return fmt.Errorf("span-out: %w", err)
 		}
-		fmt.Printf("spans: %d spans written to %s (%d dropped)\n", spanSink.Emitted(), *spanOut, spanSink.Dropped())
+		if sampler != nil {
+			seen, passed := sampler.Stats()
+			fmt.Printf("spans: %d of %d sampled, %d written to %s (%d dropped)\n",
+				passed, seen, spanSink.Emitted(), *spanOut, spanSink.Dropped())
+		} else {
+			fmt.Printf("spans: %d spans written to %s (%d dropped)\n", spanSink.Emitted(), *spanOut, spanSink.Dropped())
+		}
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

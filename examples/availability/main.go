@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,7 +38,7 @@ func run() error {
 	rng := rand.New(rand.NewSource(1))
 	checkpoint := make([]byte, 300_000)
 	rng.Read(checkpoint)
-	root, err := net.PutDAG("ipfs-0", checkpoint, 64*1024)
+	root, err := net.PutDAG(context.Background(), "ipfs-0", checkpoint, 64*1024)
 	if err != nil {
 		return err
 	}
@@ -61,7 +62,7 @@ func run() error {
 	}
 
 	gradient := []byte("a gradient partition that must stay available")
-	c, err := net.Put("ipfs-1", gradient)
+	c, err := net.Put(context.Background(), "ipfs-1", gradient)
 	if err != nil {
 		return err
 	}
@@ -76,7 +77,7 @@ func run() error {
 	fmt.Printf("opened deals %d (honest holder) and %d (node without the block)\n", honest.ID, flaky.ID)
 
 	for epoch := 1; epoch <= 4; epoch++ {
-		for _, res := range market.AdvanceEpoch() {
+		for _, res := range market.AdvanceEpoch(context.Background()) {
 			verdict := "passed"
 			if !res.Passed {
 				verdict = fmt.Sprintf("FAILED, slashed %d", res.Slashed)
@@ -95,13 +96,13 @@ func run() error {
 	if err := net.Fail("ipfs-1"); err != nil {
 		return err
 	}
-	restored, err := net.GetDAG("ipfs-3", root)
+	restored, err := net.GetDAG(context.Background(), "ipfs-3", root)
 	if err != nil {
 		return fmt.Errorf("checkpoint unrecoverable: %w", err)
 	}
 	fmt.Printf("after failing 2 of 6 nodes the %d-byte checkpoint still reassembles bit-exactly: %v\n",
 		len(restored), string(restored[:8]) == string(checkpoint[:8]) && len(restored) == len(checkpoint))
-	if got, err := net.Fetch(c); err == nil && string(got) == string(gradient) {
+	if got, err := net.Fetch(context.Background(), c); err == nil && string(got) == string(gradient) {
 		fmt.Println("the gradient block is likewise still retrievable via content routing")
 	} else {
 		fmt.Println("the gradient block's replica set was wiped out — with replication factor 2,")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ipls/internal/dag"
@@ -11,13 +12,13 @@ import (
 // SaveCheckpoint stores a global parameter vector in the storage network as
 // a chunked Merkle DAG, so a joining trainer can bootstrap the current
 // model from any replica and verify every chunk against the root CID.
-func SaveCheckpoint(net *storage.Network, nodeID string, params []float64) (dag.Ref, error) {
-	return net.PutDAG(nodeID, model.EncodeFloats(params), 0)
+func SaveCheckpoint(ctx context.Context, net *storage.Network, nodeID string, params []float64) (dag.Ref, error) {
+	return net.PutDAG(ctx, nodeID, model.EncodeFloats(params), 0)
 }
 
 // LoadCheckpoint reassembles and decodes a checkpoint.
-func LoadCheckpoint(net *storage.Network, nodeID string, ref dag.Ref) ([]float64, error) {
-	data, err := net.GetDAG(nodeID, ref)
+func LoadCheckpoint(ctx context.Context, net *storage.Network, nodeID string, ref dag.Ref) ([]float64, error) {
+	data, err := net.GetDAG(ctx, nodeID, ref)
 	if err != nil {
 		return nil, fmt.Errorf("core: load checkpoint: %w", err)
 	}
@@ -25,13 +26,13 @@ func LoadCheckpoint(net *storage.Network, nodeID string, ref dag.Ref) ([]float64
 }
 
 // Checkpoint stores the task's current global model in the storage network.
-func (t *Task) Checkpoint(net *storage.Network, nodeID string) (dag.Ref, error) {
-	return SaveCheckpoint(net, nodeID, t.global)
+func (t *Task) Checkpoint(ctx context.Context, net *storage.Network, nodeID string) (dag.Ref, error) {
+	return SaveCheckpoint(ctx, net, nodeID, t.global)
 }
 
 // Restore replaces the task's global model with a stored checkpoint.
-func (t *Task) Restore(net *storage.Network, nodeID string, ref dag.Ref) error {
-	params, err := LoadCheckpoint(net, nodeID, ref)
+func (t *Task) Restore(ctx context.Context, net *storage.Network, nodeID string, ref dag.Ref) error {
+	params, err := LoadCheckpoint(ctx, net, nodeID, ref)
 	if err != nil {
 		return err
 	}

@@ -13,11 +13,11 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	for i := range params {
 		params[i] = rng.NormFloat64()
 	}
-	ref, err := SaveCheckpoint(net, "s0", params)
+	ref, err := SaveCheckpoint(context.Background(), net, "s0", params)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadCheckpoint(net, "s0", ref)
+	got, err := LoadCheckpoint(context.Background(), net, "s0", ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestTaskCheckpointRestore(t *testing.T) {
 
 	// Reuse the trusty in-memory network from a fresh stack for storage.
 	_, net, _ := testStack(t, nil)
-	ref, err := task.Checkpoint(net, "s0")
+	ref, err := task.Checkpoint(context.Background(), net, "s0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestTaskCheckpointRestore(t *testing.T) {
 	if !changed {
 		t.Fatal("round 3 did not move the model — restore test is vacuous")
 	}
-	if err := task.Restore(net, "s0", ref); err != nil {
+	if err := task.Restore(context.Background(), net, "s0", ref); err != nil {
 		t.Fatal(err)
 	}
 	restored := task.Global()
@@ -75,11 +75,11 @@ func TestTaskCheckpointRestore(t *testing.T) {
 func TestRestoreRejectsWrongDim(t *testing.T) {
 	task, _ := newMLTask(t, false, 1, false)
 	_, net, _ := testStack(t, nil)
-	ref, err := SaveCheckpoint(net, "s0", make([]float64, 3))
+	ref, err := SaveCheckpoint(context.Background(), net, "s0", make([]float64, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := task.Restore(net, "s0", ref); err == nil {
+	if err := task.Restore(context.Background(), net, "s0", ref); err == nil {
 		t.Fatal("expected dimension mismatch error")
 	}
 }

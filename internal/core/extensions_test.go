@@ -20,13 +20,13 @@ func TestLateGradientRejected(t *testing.T) {
 	base := time.Now()
 	dir.SetClock(func() time.Time { return base })
 	dir.SetSchedule(0, base.Add(-time.Second))
-	err := sess.TrainerUpload("t0", 0, make([]float64, 24))
+	err := sess.TrainerUpload(context.Background(), "t0", 0, make([]float64, 24))
 	if !errors.Is(err, directory.ErrTooLate) {
 		t.Fatalf("expected ErrTooLate, got %v", err)
 	}
 	// Future deadline: accepted.
 	dir.SetSchedule(1, base.Add(time.Hour))
-	if err := sess.TrainerUpload("t0", 1, make([]float64, 24)); err != nil {
+	if err := sess.TrainerUpload(context.Background(), "t0", 1, make([]float64, 24)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -44,7 +44,7 @@ func TestRunIterationAnnouncesSchedule(t *testing.T) {
 	}
 	// A straggler trying to publish for iteration 0 after t_train.
 	dir.SetClock(func() time.Time { return time.Now().Add(time.Hour) })
-	err := sess.TrainerUpload("latecomer", 0, make([]float64, 24))
+	err := sess.TrainerUpload(context.Background(), "latecomer", 0, make([]float64, 24))
 	if !errors.Is(err, directory.ErrTooLate) {
 		t.Fatalf("expected straggler rejection, got %v", err)
 	}
@@ -115,7 +115,7 @@ func TestCleanupIteration(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := net.TotalStoredBytes()
-	removed, err := sess.CleanupIteration(0)
+	removed, err := sess.CleanupIteration(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +131,11 @@ func TestCleanupIteration(t *testing.T) {
 		t.Fatalf("updates must remain retrievable after cleanup: %v", err)
 	}
 	// Gradient blocks are gone.
-	recs := dir.GradientsFor(0, 0, "")
+	recs := dir.GradientsFor(context.Background(), 0, 0, "")
 	if len(recs) == 0 {
 		t.Fatal("directory should still list gradient records")
 	}
-	if _, err := net.Fetch(recs[0].CID); !errors.Is(err, storage.ErrNotFound) {
+	if _, err := net.Fetch(context.Background(), recs[0].CID); !errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("gradient block should be gone from the network, got %v", err)
 	}
 }

@@ -40,7 +40,7 @@ func TestUnsignedPublishRejected(t *testing.T) {
 	// A session without keys cannot publish to an authenticated
 	// directory.
 	sess.SetKeyring(nil)
-	err := sess.TrainerUpload("t0", 0, make([]float64, 24))
+	err := sess.TrainerUpload(context.Background(), "t0", 0, make([]float64, 24))
 	if !errors.Is(err, directory.ErrBadSignature) {
 		t.Fatalf("expected ErrBadSignature, got %v", err)
 	}
@@ -52,7 +52,7 @@ func TestImpersonationRejected(t *testing.T) {
 	mallory := identity.NewKeyring()
 	mallory.Add(identity.Deterministic("mallory-keys", "t0")) // wrong key for t0
 	sess.SetKeyring(mallory)
-	err := sess.TrainerUpload("t0", 0, make([]float64, 24))
+	err := sess.TrainerUpload(context.Background(), "t0", 0, make([]float64, 24))
 	if !errors.Is(err, directory.ErrBadSignature) {
 		t.Fatalf("impersonation accepted: %v", err)
 	}
@@ -62,7 +62,7 @@ func TestUnregisteredParticipantRejected(t *testing.T) {
 	sess, ring := signedStack(t)
 	intruder := identity.Deterministic(sess.Config().TaskID, "intruder")
 	ring.Add(intruder)
-	err := sess.TrainerUpload("intruder", 0, make([]float64, 24))
+	err := sess.TrainerUpload(context.Background(), "intruder", 0, make([]float64, 24))
 	if !errors.Is(err, directory.ErrBadSignature) {
 		t.Fatalf("unregistered participant accepted: %v", err)
 	}

@@ -42,14 +42,14 @@ type noPubSubStore struct {
 	net *storage.Network
 }
 
-func (s *noPubSubStore) Put(nodeID string, data []byte) (cid.CID, error) {
-	return s.net.Put(nodeID, data)
+func (s *noPubSubStore) Put(ctx context.Context, nodeID string, data []byte) (cid.CID, error) {
+	return s.net.Put(ctx, nodeID, data)
 }
-func (s *noPubSubStore) Get(nodeID string, c cid.CID) ([]byte, error) {
-	return s.net.Get(nodeID, c)
+func (s *noPubSubStore) Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error) {
+	return s.net.Get(ctx, nodeID, c)
 }
-func (s *noPubSubStore) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
-	return s.net.MergeGet(nodeID, cs)
+func (s *noPubSubStore) MergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]byte, error) {
+	return s.net.MergeGet(ctx, nodeID, cs)
 }
 
 // TestSyncFallsBackToDirectoryWithoutPubSub: a store without pub/sub still
@@ -134,7 +134,7 @@ func TestCleanupForgetsTopics(t *testing.T) {
 	if msgs, _ := net.Listen(topic, 0); len(msgs) == 0 {
 		t.Fatal("expected retained announcements before cleanup")
 	}
-	if _, err := sess.CleanupIteration(0); err != nil {
+	if _, err := sess.CleanupIteration(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if msgs, _ := net.Listen(topic, 0); len(msgs) != 0 {

@@ -19,7 +19,7 @@ func TestBootstrapperRestartMidIteration(t *testing.T) {
 
 	// Phase 1: trainers upload against the original directory.
 	for _, tr := range cfg.Trainers {
-		if err := sess.TrainerUpload(tr, 0, deltas[tr]); err != nil {
+		if err := sess.TrainerUpload(context.Background(), tr, 0, deltas[tr]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -75,7 +75,7 @@ func TestRestartPreservesDetection(t *testing.T) {
 	cfg := sess.Config()
 	deltas, _ := randomDeltas(cfg.Trainers, 24, 91)
 	for _, tr := range cfg.Trainers {
-		if err := sess.TrainerUpload(tr, 0, deltas[tr]); err != nil {
+		if err := sess.TrainerUpload(context.Background(), tr, 0, deltas[tr]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,11 +126,11 @@ func TestRestartPreservesSchedulesAndFinals(t *testing.T) {
 	}
 	// Finals survive.
 	for p := 0; p < cfg.Spec.Partitions; p++ {
-		orig, err := dir.Update(0, p)
+		orig, err := dir.Update(context.Background(), 0, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := restored.Update(0, p)
+		got, err := restored.Update(context.Background(), 0, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func TestRestartPreservesSchedulesAndFinals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sess2.TrainerUpload("t0", 7, make([]float64, 24)); err == nil {
+	if err := sess2.TrainerUpload(context.Background(), "t0", 7, make([]float64, 24)); err == nil {
 		t.Fatal("expired schedule lost in restore")
 	}
 }

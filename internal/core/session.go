@@ -24,14 +24,14 @@ import (
 // and aggregators. *directory.Service implements it in-process; the
 // transport package provides a TCP-backed implementation.
 type Directory interface {
-	Publish(rec directory.Record) error
-	Lookup(addr directory.Addr) (directory.Record, error)
-	GradientsFor(iter, partition int, aggregator string) []directory.Record
-	PartialUpdates(iter, partition int) []directory.Record
-	Update(iter, partition int) (directory.Record, error)
-	PartitionAccumulator(iter, partition int) (pedersen.Commitment, error)
-	AggregatorAccumulator(iter, partition int, aggregator string) (pedersen.Commitment, int, error)
-	VerifyPartialUpdate(iter, partition int, aggregator string, data []byte) (bool, error)
+	Publish(ctx context.Context, rec directory.Record) error
+	Lookup(ctx context.Context, addr directory.Addr) (directory.Record, error)
+	GradientsFor(ctx context.Context, iter, partition int, aggregator string) []directory.Record
+	PartialUpdates(ctx context.Context, iter, partition int) []directory.Record
+	Update(ctx context.Context, iter, partition int) (directory.Record, error)
+	PartitionAccumulator(ctx context.Context, iter, partition int) (pedersen.Commitment, error)
+	AggregatorAccumulator(ctx context.Context, iter, partition int, aggregator string) (pedersen.Commitment, int, error)
+	VerifyPartialUpdate(ctx context.Context, iter, partition int, aggregator string, data []byte) (bool, error)
 }
 
 var _ Directory = (*directory.Service)(nil)
@@ -198,11 +198,11 @@ func (s *Session) poll(ctx context.Context, deadline time.Time, fn func() (bool,
 // the averaging counter appended), stored on the trainer's upload node, and
 // its record — including the Pedersen commitment in verifiable mode — is
 // published to the directory.
-func (s *Session) TrainerUpload(trainer string, iter int, delta []float64) error {
-	return s.trainerUpload(obs.SpanContext{}, trainer, iter, delta)
+func (s *Session) TrainerUpload(ctx context.Context, trainer string, iter int, delta []float64) error {
+	return s.trainerUpload(ctx, obs.SpanContext{}, trainer, iter, delta)
 }
 
-func (s *Session) trainerUpload(parent obs.SpanContext, trainer string, iter int, delta []float64) (err error) {
+func (s *Session) trainerUpload(ctx context.Context, parent obs.SpanContext, trainer string, iter int, delta []float64) (err error) {
 	defer observeSince(s.metrics.phaseUpload, time.Now())
 	sc := s.startSpan("upload", trainer, iter, parent)
 	defer func() { sc.endErr(err) }()
@@ -223,7 +223,7 @@ func (s *Session) trainerUpload(parent obs.SpanContext, trainer string, iter int
 		}
 		put := sc.child("store_put")
 		put.attr("partition", fmt.Sprint(i))
-		c, node, err := s.putWithFallback(s.cfg.UploadNode(i, trainer), data)
+		c, node, err := s.putWithFallback(ctx, s.cfg.UploadNode(i, trainer), data)
 		put.bytes(int64(len(data)))
 		if err == nil {
 			put.attr("node", node)
@@ -258,16 +258,16 @@ func (s *Session) trainerUpload(parent obs.SpanContext, trainer string, iter int
 	// backend supports batching (§VI's load-reduction optimization).
 	pub := sc.child("dir_publish")
 	if batcher, ok := s.dir.(interface {
-		PublishBatch(recs []directory.Record) error
+		PublishBatch(ctx context.Context, recs []directory.Record) error
 	}); ok {
-		err := batcher.PublishBatch(recs)
+		err := batcher.PublishBatch(ctx, recs)
 		pub.endErr(err)
 		if err != nil {
 			return fmt.Errorf("core: trainer %s publish: %w", trainer, err)
 		}
 	} else {
 		for _, rec := range recs {
-			if err := s.dir.Publish(rec); err != nil {
+			if err := s.dir.Publish(ctx, rec); err != nil {
 				pub.endErr(err)
 				return fmt.Errorf("core: trainer %s publish partition %d: %w", trainer, rec.Addr.Partition, err)
 			}
@@ -286,10 +286,10 @@ func (s *Session) trainerUpload(parent obs.SpanContext, trainer string, iter int
 // CID-verifies the blocks, divides by the averaging counter and reassembles
 // the full averaged model delta.
 func (s *Session) TrainerCollect(ctx context.Context, iter int) ([]float64, error) {
-	return s.trainerCollect(obs.SpanContext{}, ctx, iter)
+	return s.trainerCollect(ctx, obs.SpanContext{}, iter)
 }
 
-func (s *Session) trainerCollect(parent obs.SpanContext, ctx context.Context, iter int) (_ []float64, err error) {
+func (s *Session) trainerCollect(ctx context.Context, parent obs.SpanContext, iter int) (_ []float64, err error) {
 	defer observeSince(s.metrics.phaseCollect, time.Now())
 	sc := s.startSpan("collect", "trainer", iter, parent)
 	defer func() { sc.endErr(err) }()
@@ -300,7 +300,7 @@ func (s *Session) trainerCollect(parent obs.SpanContext, ctx context.Context, it
 		wait := sc.child("update_wait")
 		wait.attr("partition", fmt.Sprint(i))
 		err := s.poll(ctx, deadline, func() (bool, error) {
-			r, err := s.dir.Update(iter, i)
+			r, err := s.dir.Update(ctx, iter, i)
 			if errors.Is(err, directory.ErrNotFound) {
 				return false, nil
 			}
@@ -317,14 +317,14 @@ func (s *Session) trainerCollect(parent obs.SpanContext, ctx context.Context, it
 		dl := sc.child("download")
 		dl.attr("partition", fmt.Sprint(i))
 		dl.link(rec.Span)
-		data, err := s.store.Get(rec.Node, rec.CID)
+		data, err := s.store.Get(ctx, rec.Node, rec.CID)
 		if err != nil {
 			// The primary holder may have failed; fall back to any
 			// replica via content routing if the backend supports it.
 			if fetcher, ok := s.store.(interface {
-				Fetch(c cid.CID) ([]byte, error)
+				Fetch(ctx context.Context, c cid.CID) ([]byte, error)
 			}); ok {
-				data, err = fetcher.Fetch(rec.CID)
+				data, err = fetcher.Fetch(ctx, rec.CID)
 			}
 			if err != nil {
 				dl.endErr(err)
@@ -388,10 +388,10 @@ type AggregatorReport struct {
 // taking over for missing or cheating peers), and publish the global
 // update. The behavior parameter injects the malicious deviations of §III-A.
 func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter int, behavior Behavior) (*AggregatorReport, error) {
-	return s.aggregatorRun(obs.SpanContext{}, ctx, agg, partition, iter, behavior)
+	return s.aggregatorRun(ctx, obs.SpanContext{}, agg, partition, iter, behavior)
 }
 
-func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg string, partition, iter int, behavior Behavior) (_ *AggregatorReport, err error) {
+func (s *Session) aggregatorRun(ctx context.Context, parent obs.SpanContext, agg string, partition, iter int, behavior Behavior) (_ *AggregatorReport, err error) {
 	if behavior == 0 {
 		behavior = BehaviorHonest
 	}
@@ -428,7 +428,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 		sc.link(rec.Span)
 	}
 	fetch := sc.child("fetch_gradients")
-	blocks, merges, err := s.collectBlocks(fetch, recs, report)
+	blocks, merges, err := s.collectBlocks(ctx, fetch, recs, report)
 	fetch.endErr(err)
 	if err != nil {
 		return report, err
@@ -450,7 +450,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 	peers := s.cfg.Aggregators[partition]
 	if len(peers) == 1 {
 		// Sole aggregator: the partial is the global update.
-		return report, s.publishGlobal(sc, report, agg, partition, iter, home, partial)
+		return report, s.publishGlobal(ctx, sc, report, agg, partition, iter, home, partial)
 	}
 
 	pp := sc.child("partial_publish")
@@ -460,7 +460,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 		return report, err
 	}
 	pp.bytes(int64(len(partialData)))
-	partialCID, partialNode, err := s.putWithFallback(home, partialData)
+	partialCID, partialNode, err := s.putWithFallback(ctx, home, partialData)
 	if err != nil {
 		pp.endErr(err)
 		return report, fmt.Errorf("core: %s upload partial: %w", agg, err)
@@ -472,7 +472,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 		Span: pp.ctxRef(),
 	}
 	s.signRecord(&partialRec)
-	if err := s.dir.Publish(partialRec); err != nil {
+	if err := s.dir.Publish(ctx, partialRec); err != nil {
 		pp.endErr(err)
 		return report, fmt.Errorf("core: %s publish partial: %w", agg, err)
 	}
@@ -497,7 +497,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 	cursor := 0
 	discoverPartials := func() []directory.Record {
 		if !hasPubSub {
-			return s.dir.PartialUpdates(iter, partition)
+			return s.dir.PartialUpdates(ctx, iter, partition)
 		}
 		msgs, next := announcer.Listen(topic, cursor)
 		cursor = next
@@ -534,7 +534,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 			vs := sync.child("verify")
 			vs.attr("peer", peer)
 			vs.link(rec.Span)
-			data, err := s.store.Get(rec.Node, rec.CID)
+			data, err := s.store.Get(ctx, rec.Node, rec.CID)
 			if err != nil || !cid.Verify(data, rec.CID) {
 				markInvalid(peer, "unretrievable or CID mismatch")
 				vs.attr("verdict", "unretrievable")
@@ -544,7 +544,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 			vs.bytes(int64(len(data)))
 			if s.params != nil {
 				vStart := time.Now()
-				ok, err := s.dir.VerifyPartialUpdate(iter, partition, peer, data)
+				ok, err := s.dir.VerifyPartialUpdate(ctx, iter, partition, peer, data)
 				observeSince(s.metrics.phaseVerify, vStart)
 				if err != nil {
 					vs.endErr(err)
@@ -584,7 +584,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 	// announcement; consult the directory once before declaring anyone
 	// missing.
 	if hasPubSub && len(partials)+len(report.InvalidPartials) < len(peers) {
-		if err := processRecs(s.dir.PartialUpdates(iter, partition)); err != nil {
+		if err := processRecs(s.dir.PartialUpdates(ctx, iter, partition)); err != nil {
 			sync.end()
 			return report, err
 		}
@@ -616,7 +616,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 		for _, rec := range peerRecs {
 			to.link(rec.Span)
 		}
-		peerBlocks, _, err := s.collectBlocks(to, peerRecs, report)
+		peerBlocks, _, err := s.collectBlocks(ctx, to, peerRecs, report)
 		if err != nil {
 			to.endErr(err)
 			return report, fmt.Errorf("core: %s take over %s: %w", agg, peer, err)
@@ -645,7 +645,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 	if err != nil {
 		return report, err
 	}
-	return report, s.publishGlobal(sc, report, agg, partition, iter, home, global)
+	return report, s.publishGlobal(ctx, sc, report, agg, partition, iter, home, global)
 }
 
 // awaitGradients polls the directory until all expected gradient records
@@ -653,7 +653,7 @@ func (s *Session) aggregatorRun(parent obs.SpanContext, ctx context.Context, agg
 func (s *Session) awaitGradients(ctx context.Context, iter, partition int, agg string, want int, deadline time.Time) ([]directory.Record, error) {
 	var recs []directory.Record
 	err := s.poll(ctx, deadline, func() (bool, error) {
-		recs = s.dir.GradientsFor(iter, partition, agg)
+		recs = s.dir.GradientsFor(ctx, iter, partition, agg)
 		return len(recs) >= want, nil
 	})
 	if errors.Is(err, ErrTimeout) && len(recs) > 0 {
@@ -670,13 +670,13 @@ func (s *Session) awaitGradients(ctx context.Context, iter, partition int, agg s
 // collectBlocks retrieves the gradient blocks for records, applying norm
 // screening when configured (which forces individual downloads, since the
 // check needs each gradient separately) and merge-and-download otherwise.
-func (s *Session) collectBlocks(sc *spanScope, recs []directory.Record, report *AggregatorReport) ([]model.Block, int, error) {
+func (s *Session) collectBlocks(ctx context.Context, sc *spanScope, recs []directory.Record, report *AggregatorReport) ([]model.Block, int, error) {
 	if s.cfg.ScreenNorm <= 0 {
-		return s.downloadGradients(sc, recs)
+		return s.downloadGradients(ctx, sc, recs)
 	}
 	var blocks []model.Block
 	for _, rec := range recs {
-		b, err := s.fetchGradient(rec)
+		b, err := s.fetchGradient(ctx, rec)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -711,7 +711,7 @@ func (s *Session) blockNorm(b model.Block) float64 {
 // groups of records stored on the same provider when enabled. Merged blocks
 // are verified against the product of the published per-gradient
 // commitments; on failure the gradients are fetched individually.
-func (s *Session) downloadGradients(sc *spanScope, recs []directory.Record) ([]model.Block, int, error) {
+func (s *Session) downloadGradients(ctx context.Context, sc *spanScope, recs []directory.Record) ([]model.Block, int, error) {
 	merges := 0
 	var blocks []model.Block
 	if s.cfg.MergeAndDownload {
@@ -727,7 +727,7 @@ func (s *Session) downloadGradients(sc *spanScope, recs []directory.Record) ([]m
 		for _, node := range nodeOrder {
 			grp := byNode[node]
 			if len(grp) == 1 {
-				b, err := s.fetchGradient(grp[0])
+				b, err := s.fetchGradient(ctx, grp[0])
 				if err != nil {
 					return nil, merges, err
 				}
@@ -748,9 +748,9 @@ func (s *Session) downloadGradients(sc *spanScope, recs []directory.Record) ([]m
 			var data []byte
 			var err error
 			if spanner, ok := s.store.(mergeSpanner); ok && md.ctx().Valid() {
-				data, err = spanner.MergeGetSpan(node, cids, md.ctx())
+				data, err = spanner.MergeGetSpan(ctx, node, cids, md.ctx())
 			} else {
-				data, err = s.store.MergeGet(node, cids)
+				data, err = s.store.MergeGet(ctx, node, cids)
 			}
 			observeSince(s.metrics.phaseMerge, mStart)
 			md.bytes(int64(len(data)))
@@ -781,7 +781,7 @@ func (s *Session) downloadGradients(sc *spanScope, recs []directory.Record) ([]m
 					// Provider cheated: fall back to individual
 					// CID-verified downloads.
 					for _, rec := range grp {
-						b, err := s.fetchGradient(rec)
+						b, err := s.fetchGradient(ctx, rec)
 						if err != nil {
 							return nil, merges, err
 						}
@@ -799,7 +799,7 @@ func (s *Session) downloadGradients(sc *spanScope, recs []directory.Record) ([]m
 		return blocks, merges, nil
 	}
 	for _, rec := range recs {
-		b, err := s.fetchGradient(rec)
+		b, err := s.fetchGradient(ctx, rec)
 		if err != nil {
 			return nil, merges, err
 		}
@@ -812,8 +812,8 @@ func (s *Session) downloadGradients(sc *spanScope, recs []directory.Record) ([]m
 // other storage nodes if it is unavailable — the availability behaviour the
 // replicated storage network is there to provide (§VI). It returns the CID
 // and the node that actually accepted the block.
-func (s *Session) putWithFallback(preferred string, data []byte) (cid.CID, string, error) {
-	c, err := s.store.Put(preferred, data)
+func (s *Session) putWithFallback(ctx context.Context, preferred string, data []byte) (cid.CID, string, error) {
+	c, err := s.store.Put(ctx, preferred, data)
 	if err == nil {
 		return c, preferred, nil
 	}
@@ -821,7 +821,7 @@ func (s *Session) putWithFallback(preferred string, data []byte) (cid.CID, strin
 		if node == preferred {
 			continue
 		}
-		if c, err2 := s.store.Put(node, data); err2 == nil {
+		if c, err2 := s.store.Put(ctx, node, data); err2 == nil {
 			return c, node, nil
 		}
 	}
@@ -830,13 +830,13 @@ func (s *Session) putWithFallback(preferred string, data []byte) (cid.CID, strin
 
 // fetchGradient downloads one gradient block and verifies its CID, falling
 // back to content routing if the recorded node cannot serve it.
-func (s *Session) fetchGradient(rec directory.Record) (model.Block, error) {
-	data, err := s.store.Get(rec.Node, rec.CID)
+func (s *Session) fetchGradient(ctx context.Context, rec directory.Record) (model.Block, error) {
+	data, err := s.store.Get(ctx, rec.Node, rec.CID)
 	if err != nil {
 		if fetcher, ok := s.store.(interface {
-			Fetch(c cid.CID) ([]byte, error)
+			Fetch(ctx context.Context, c cid.CID) ([]byte, error)
 		}); ok {
-			data, err = fetcher.Fetch(rec.CID)
+			data, err = fetcher.Fetch(ctx, rec.CID)
 		}
 		if err != nil {
 			return model.Block{}, fmt.Errorf("core: fetch gradient %s: %w", rec.CID.Short(), err)
@@ -851,7 +851,7 @@ func (s *Session) fetchGradient(rec directory.Record) (model.Block, error) {
 // publishGlobal uploads and publishes the global update for a partition.
 // In verifiable mode the directory may reject it (caught cheating); only
 // the first valid update wins.
-func (s *Session) publishGlobal(parent *spanScope, report *AggregatorReport, agg string, partition, iter int, home string, global model.Block) (err error) {
+func (s *Session) publishGlobal(ctx context.Context, parent *spanScope, report *AggregatorReport, agg string, partition, iter int, home string, global model.Block) (err error) {
 	defer observeSince(s.metrics.phasePublish, time.Now())
 	gp := parent.child("global_publish")
 	defer func() { gp.endErr(err) }()
@@ -860,7 +860,7 @@ func (s *Session) publishGlobal(parent *spanScope, report *AggregatorReport, agg
 		return err
 	}
 	gp.bytes(int64(len(data)))
-	c, node, err := s.putWithFallback(home, data)
+	c, node, err := s.putWithFallback(ctx, home, data)
 	if err != nil {
 		return fmt.Errorf("core: %s upload global update: %w", agg, err)
 	}
@@ -876,14 +876,18 @@ func (s *Session) publishGlobal(parent *spanScope, report *AggregatorReport, agg
 	// still open (ErrTooEarly); retry until it closes or t_sync expires.
 	deadline := time.Now().Add(s.cfg.TSync)
 	for {
-		err = s.dir.Publish(rec)
+		err = s.dir.Publish(ctx, rec)
 		if !errors.Is(err, directory.ErrTooEarly) {
 			break
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("core: %s publish global update: %w", agg, err)
 		}
-		time.Sleep(s.cfg.PollInterval)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(s.cfg.PollInterval):
+		}
 	}
 	switch {
 	case err == nil:
@@ -915,7 +919,10 @@ func (s *Session) publishGlobal(parent *spanScope, report *AggregatorReport, agg
 //
 // It requires backends that support enumeration and deletion (the
 // in-memory and TCP backends both do); otherwise it reports an error.
-func (s *Session) CleanupIteration(iter int) (int, error) {
+func (s *Session) CleanupIteration(ctx context.Context, iter int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	lister, ok := s.dir.(interface {
 		RecordsForIter(iter int) []directory.Record
 	})
@@ -967,10 +974,10 @@ func (r *IterationResult) Detected() bool {
 // optional per-aggregator behaviors), and the averaged delta is collected.
 // The deltas map provides each trainer's locally computed model delta.
 func (s *Session) RunIteration(ctx context.Context, iter int, deltas map[string][]float64, behaviors map[string]Behavior) (*IterationResult, error) {
-	return s.runIteration(obs.SpanContext{}, ctx, iter, deltas, behaviors)
+	return s.runIteration(ctx, obs.SpanContext{}, iter, deltas, behaviors)
 }
 
-func (s *Session) runIteration(parent obs.SpanContext, ctx context.Context, iter int, deltas map[string][]float64, behaviors map[string]Behavior) (_ *IterationResult, err error) {
+func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter int, deltas map[string][]float64, behaviors map[string]Behavior) (_ *IterationResult, err error) {
 	if len(deltas) != len(s.cfg.Trainers) {
 		return nil, fmt.Errorf("core: got %d deltas for %d trainers", len(deltas), len(s.cfg.Trainers))
 	}
@@ -1002,7 +1009,7 @@ func (s *Session) runIteration(parent obs.SpanContext, ctx context.Context, iter
 		wg.Add(1)
 		go func(tr string, delta []float64) {
 			defer wg.Done()
-			if err := s.trainerUpload(it.ctx(), tr, iter, delta); err != nil {
+			if err := s.trainerUpload(ctx, it.ctx(), tr, iter, delta); err != nil {
 				fail(err)
 			}
 		}(tr, delta)
@@ -1012,7 +1019,7 @@ func (s *Session) runIteration(parent obs.SpanContext, ctx context.Context, iter
 		wg.Add(1)
 		go func(ref AggregatorRef, b Behavior) {
 			defer wg.Done()
-			rep, err := s.aggregatorRun(it.ctx(), ctx, ref.ID, ref.Partition, iter, b)
+			rep, err := s.aggregatorRun(ctx, it.ctx(), ref.ID, ref.Partition, iter, b)
 			mu.Lock()
 			result.Reports[ref.ID] = rep
 			mu.Unlock()
@@ -1027,7 +1034,7 @@ func (s *Session) runIteration(parent obs.SpanContext, ctx context.Context, iter
 	}
 
 	for p := 0; p < s.cfg.Spec.Partitions; p++ {
-		if _, err := s.dir.Update(iter, p); err != nil {
+		if _, err := s.dir.Update(ctx, iter, p); err != nil {
 			result.Incomplete = append(result.Incomplete, p)
 		}
 	}
@@ -1035,7 +1042,7 @@ func (s *Session) runIteration(parent obs.SpanContext, ctx context.Context, iter
 		return result, nil // detected-and-blocked round: no usable update
 	}
 
-	avg, err := s.trainerCollect(it.ctx(), ctx, iter)
+	avg, err := s.trainerCollect(ctx, it.ctx(), iter)
 	if err != nil {
 		return result, err
 	}

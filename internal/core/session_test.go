@@ -309,7 +309,7 @@ func TestStorageNodeFailureWithReplication(t *testing.T) {
 	}
 	deltas, wantAvg := randomDeltas(cfg.Trainers, 12, 9)
 	for _, tr := range cfg.Trainers {
-		if err := sess.TrainerUpload(tr, 0, deltas[tr]); err != nil {
+		if err := sess.TrainerUpload(context.Background(), tr, 0, deltas[tr]); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -53,6 +53,10 @@ type SimConfig struct {
 	// §III-D. Gradients that miss the cutoff are excluded from the
 	// aggregate (and counted in SimResult.MissedGradients).
 	TTrainCutoff time.Duration
+	// LinkLoss schedules capacity-degradation windows on simulated links
+	// (netsim.ParseLossWindow describes the textual form). Node names
+	// follow the simulation's own scheme: trainer-00, agg-p0-0, ipfs-00.
+	LinkLoss []netsim.LossWindow
 	// Metrics, when non-nil, receives the simulated flow counters under
 	// the same names real runs use (bytes_uploaded_total{node=...} etc.),
 	// so snapshots from simulated and emulated experiments line up.
@@ -156,6 +160,11 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	var stores []*netsim.Node
 	for i := 0; i < cfg.StorageNodes; i++ {
 		stores = append(stores, env.AddNode(fmt.Sprintf("ipfs-%02d", i), storeBw, storeBw))
+	}
+	for _, w := range cfg.LinkLoss {
+		if err := env.ScheduleLinkLoss(w); err != nil {
+			return nil, err
+		}
 	}
 
 	// assignment: trainer t's aggregator index for every partition.

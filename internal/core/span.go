@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"ipls/internal/cid"
@@ -134,5 +135,5 @@ func (sc *spanScope) endErr(err error) {
 // context with a merge-and-download request (storage.Network and
 // transport.Client both implement it).
 type mergeSpanner interface {
-	MergeGetSpan(nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error)
+	MergeGetSpan(ctx context.Context, nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error)
 }

@@ -133,7 +133,7 @@ func TestRoleSpansRootPerRole(t *testing.T) {
 	deltas, _ := randomDeltas(sess.Config().Trainers, 24, 5)
 
 	for _, tr := range sess.Config().Trainers {
-		if err := sess.TrainerUpload(tr, 0, deltas[tr]); err != nil {
+		if err := sess.TrainerUpload(context.Background(), tr, 0, deltas[tr]); err != nil {
 			t.Fatal(err)
 		}
 	}

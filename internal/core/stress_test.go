@@ -75,7 +75,7 @@ func TestPaperScaleIterations(t *testing.T) {
 			t.Fatalf("iter %d: merge-and-download unused", iter)
 		}
 		// Garbage-collect and confirm storage stays bounded.
-		if _, err := sess.CleanupIteration(iter); err != nil {
+		if _, err := sess.CleanupIteration(context.Background(), iter); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -95,7 +95,7 @@ func TestPaperScaleIterations(t *testing.T) {
 	updates := make(map[string]bool)
 	for iter := 0; iter < 3; iter++ {
 		for p := 0; p < 4; p++ {
-			rec, err := dir.Update(iter, p)
+			rec, err := dir.Update(context.Background(), iter, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -129,7 +129,7 @@ func TestManyIterationsSequential(t *testing.T) {
 			t.Fatalf("iter %d off by %v", iter, diff)
 		}
 		if iter%3 == 0 {
-			if _, err := sess.CleanupIteration(iter); err != nil {
+			if _, err := sess.CleanupIteration(context.Background(), iter); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -11,6 +11,7 @@
 package deals
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -23,7 +24,7 @@ import (
 // Retriever is the market's view of the storage network: enough to audit
 // that a node can still produce a block.
 type Retriever interface {
-	Get(nodeID string, c cid.CID) ([]byte, error)
+	Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error)
 }
 
 // Config sets the market's economic parameters.
@@ -217,7 +218,7 @@ func (m *Market) ActiveDeals() []Deal {
 // node must produce bytes matching the CID), failed audits slash the
 // node's collateral to the client, and expired deals release their
 // collateral back to the node.
-func (m *Market) AdvanceEpoch() []AuditResult {
+func (m *Market) AdvanceEpoch(ctx context.Context) []AuditResult {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.epoch++
@@ -238,7 +239,7 @@ func (m *Market) AdvanceEpoch() []AuditResult {
 		// Random retrieval audit.
 		if m.rng.Float64() < m.cfg.AuditProbability {
 			res := AuditResult{DealID: id, Node: d.Node, CID: d.CID, Passed: true}
-			data, err := m.store.Get(d.Node, d.CID)
+			data, err := m.store.Get(ctx, d.Node, d.CID)
 			if err != nil || !cid.Verify(data, d.CID) {
 				res.Passed = false
 				res.Slashed = m.cfg.Collateral

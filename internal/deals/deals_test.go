@@ -1,6 +1,7 @@
 package deals
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -16,7 +17,7 @@ func marketFixture(t *testing.T, cfg Config) (*Market, *storage.Network, cid.CID
 	net := storage.NewNetwork(field, 1)
 	net.AddNode("node-a")
 	net.AddNode("node-b")
-	c, err := net.Put("node-a", []byte("gradient block under deal"))
+	c, err := net.Put(context.Background(), "node-a", []byte("gradient block under deal"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestHonestDealPaysNode(t *testing.T) {
 		t.Fatalf("escrow = %d, want 150", got)
 	}
 	for e := 0; e < 5; e++ {
-		for _, res := range m.AdvanceEpoch() {
+		for _, res := range m.AdvanceEpoch(context.Background()) {
 			if !res.Passed {
 				t.Fatalf("honest audit failed at epoch %d", e)
 			}
@@ -78,14 +79,14 @@ func TestLostBlockIsSlashed(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The node drops the block after one epoch.
-	results := m.AdvanceEpoch()
+	results := m.AdvanceEpoch(context.Background())
 	if len(results) != 1 || !results[0].Passed {
 		t.Fatalf("epoch 1 audit: %+v", results)
 	}
 	if err := net.Delete("node-a", c); err != nil {
 		t.Fatal(err)
 	}
-	results = m.AdvanceEpoch()
+	results = m.AdvanceEpoch(context.Background())
 	if len(results) != 1 || results[0].Passed {
 		t.Fatalf("expected failed audit, got %+v", results)
 	}
@@ -117,7 +118,7 @@ func TestCorruptedBlockIsSlashed(t *testing.T) {
 	if err := net.Corrupt("node-a", c); err != nil {
 		t.Fatal(err)
 	}
-	results := m.AdvanceEpoch()
+	results := m.AdvanceEpoch(context.Background())
 	if len(results) != 1 || results[0].Passed {
 		t.Fatal("corrupted data must fail the audit")
 	}
@@ -131,7 +132,7 @@ func TestDownNodeIsSlashed(t *testing.T) {
 	if err := net.Fail("node-a"); err != nil {
 		t.Fatal(err)
 	}
-	results := m.AdvanceEpoch()
+	results := m.AdvanceEpoch(context.Background())
 	if len(results) != 1 || results[0].Passed {
 		t.Fatal("unreachable node must fail the audit")
 	}
@@ -148,7 +149,7 @@ func TestTokenConservation(t *testing.T) {
 		return a + b + d + m.TotalEscrow()
 	}
 	start := total()
-	c2, err := net.Put("node-b", []byte("second block"))
+	c2, err := net.Put(context.Background(), "node-b", []byte("second block"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestTokenConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for e := 0; e < 6; e++ {
-		m.AdvanceEpoch()
+		m.AdvanceEpoch(context.Background())
 		if got := total(); got != start {
 			t.Fatalf("epoch %d: tokens not conserved: %d != %d", e, got, start)
 		}

@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ func TestPublishBatchRecordsAll(t *testing.T) {
 	recs := make([]Record, 4)
 	for i := range recs {
 		data := []byte{byte(i), 1, 2}
-		c, err := f.store.Put("ipfs-0", data)
+		c, err := f.store.Put(context.Background(), "ipfs-0", data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -23,11 +24,11 @@ func TestPublishBatchRecordsAll(t *testing.T) {
 			CID:  c, Node: "ipfs-0",
 		}
 	}
-	if err := f.dir.PublishBatch(recs); err != nil {
+	if err := f.dir.PublishBatch(context.Background(), recs); err != nil {
 		t.Fatal(err)
 	}
 	for i := range recs {
-		if _, err := f.dir.Lookup(recs[i].Addr); err != nil {
+		if _, err := f.dir.Lookup(context.Background(), recs[i].Addr); err != nil {
 			t.Fatalf("record %d missing after batch publish: %v", i, err)
 		}
 	}
@@ -47,7 +48,7 @@ func TestPublishBatchAbortsOnError(t *testing.T) {
 		{Addr: Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: TypeGradient}, CID: c, Node: "ipfs-0"},
 		{Addr: Addr{Uploader: "t0", Partition: 1, Iter: 0, Type: TypeGradient}, CID: c, Node: "ipfs-0"},
 	}
-	err := f.dir.PublishBatch(recs)
+	err := f.dir.PublishBatch(context.Background(), recs)
 	if !errors.Is(err, ErrMissingCommitment) {
 		t.Fatalf("expected wrapped ErrMissingCommitment, got %v", err)
 	}
@@ -58,7 +59,7 @@ func TestScheduleRejectionCountsAsRejection(t *testing.T) {
 	base := time.Now()
 	f.dir.SetClock(func() time.Time { return base })
 	f.dir.SetSchedule(5, base.Add(-time.Second))
-	err := f.dir.Publish(Record{
+	err := f.dir.Publish(context.Background(), Record{
 		Addr: Addr{Uploader: "t0", Partition: 0, Iter: 5, Type: TypeGradient},
 		CID:  cid.Sum([]byte("late")), Node: "ipfs-0",
 	})
@@ -69,7 +70,7 @@ func TestScheduleRejectionCountsAsRejection(t *testing.T) {
 		t.Fatal("late publish not counted as rejection")
 	}
 	// Updates and partials are not gated by t_train.
-	err = f.dir.Publish(Record{
+	err = f.dir.Publish(context.Background(), Record{
 		Addr: Addr{Uploader: "agg", Partition: 0, Iter: 5, Type: TypePartialUpdate},
 		CID:  cid.Sum([]byte("partial")), Node: "ipfs-0",
 	})

@@ -14,6 +14,7 @@
 package directory
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -143,7 +144,7 @@ var (
 // BlockFetcher is the directory's minimal view of the storage network, used
 // to retrieve updates for verification.
 type BlockFetcher interface {
-	Get(nodeID string, c cid.CID) ([]byte, error)
+	Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error)
 }
 
 type iterPart struct {
@@ -283,30 +284,36 @@ func (s *Service) TrainersFor(partition int, aggregator string) []string {
 // partition and per-aggregator accumulators. For global updates in
 // verifiable mode the directory fetches the block and verifies it against
 // the accumulated partition commitment before accepting it.
-func (s *Service) Publish(rec Record) error {
+func (s *Service) Publish(ctx context.Context, rec Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Requests++
-	return s.publishLocked(rec)
+	return s.publishLocked(ctx, rec)
 }
 
 // PublishBatch records several uploads in one request — the §VI
 // optimization that lets a trainer announce all of its partitions' CIDs in
 // a single directory round trip. Records are applied in order; the first
 // failure aborts the remainder.
-func (s *Service) PublishBatch(recs []Record) error {
+func (s *Service) PublishBatch(ctx context.Context, recs []Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Requests++
 	for i, rec := range recs {
-		if err := s.publishLocked(rec); err != nil {
+		if err := s.publishLocked(ctx, rec); err != nil {
 			return fmt.Errorf("directory: batch record %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-func (s *Service) publishLocked(rec Record) error {
+func (s *Service) publishLocked(ctx context.Context, rec Record) error {
 	s.stats.Publishes++
 	if s.registry != nil {
 		pub, err := s.registry.Lookup(rec.Addr.Uploader)
@@ -334,7 +341,7 @@ func (s *Service) publishLocked(rec Record) error {
 		s.records[rec.Addr] = rec
 		return nil
 	case TypeUpdate:
-		return s.publishUpdateLocked(rec)
+		return s.publishUpdateLocked(ctx, rec)
 	default:
 		return fmt.Errorf("directory: unknown block type %v", rec.Addr.Type)
 	}
@@ -384,7 +391,7 @@ func (s *Service) publishGradientLocked(rec Record) error {
 	return nil
 }
 
-func (s *Service) publishUpdateLocked(rec Record) error {
+func (s *Service) publishUpdateLocked(ctx context.Context, rec Record) error {
 	key := iterPart{rec.Addr.Iter, rec.Addr.Partition}
 	if _, done := s.finalUpdate[key]; done {
 		return fmt.Errorf("%w: iter %d partition %d", ErrAlreadyFinal, rec.Addr.Iter, rec.Addr.Partition)
@@ -407,7 +414,7 @@ func (s *Service) publishUpdateLocked(rec Record) error {
 		}
 	}
 	if s.params != nil {
-		ok, err := s.verifyAgainstLocked(rec, s.accPartition[key])
+		ok, err := s.verifyAgainstLocked(ctx, rec, s.accPartition[key])
 		if err != nil {
 			return err
 		}
@@ -435,7 +442,7 @@ func (s *Service) expectedTrainersLocked(partition int) int {
 
 // verifyAgainstLocked fetches the published block and checks it is a
 // pre-image of the expected accumulated commitment.
-func (s *Service) verifyAgainstLocked(rec Record, want pedersen.Commitment) (bool, error) {
+func (s *Service) verifyAgainstLocked(ctx context.Context, rec Record, want pedersen.Commitment) (bool, error) {
 	if s.fetcher == nil {
 		return false, errors.New("directory: verifiable mode requires a block fetcher")
 	}
@@ -443,7 +450,7 @@ func (s *Service) verifyAgainstLocked(rec Record, want pedersen.Commitment) (boo
 		return false, fmt.Errorf("directory: no accumulated commitment for %+v", rec.Addr)
 	}
 	s.stats.Verifications++
-	data, err := s.fetcher.Get(rec.Node, rec.CID)
+	data, err := s.fetcher.Get(ctx, rec.Node, rec.CID)
 	if err != nil {
 		return false, fmt.Errorf("directory: fetch update for verification: %w", err)
 	}
@@ -462,7 +469,10 @@ func (s *Service) verifyAgainstLocked(rec Record, want pedersen.Commitment) (boo
 }
 
 // Lookup returns the record for an exact address.
-func (s *Service) Lookup(addr Addr) (Record, error) {
+func (s *Service) Lookup(ctx context.Context, addr Addr) (Record, error) {
+	if err := ctx.Err(); err != nil {
+		return Record{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Lookups++
@@ -476,7 +486,8 @@ func (s *Service) Lookup(addr Addr) (Record, error) {
 // GradientsFor returns the gradients published so far for (iter, partition)
 // by trainers assigned to the given aggregator, in publication order. With
 // an empty aggregator it returns all gradients for the partition.
-func (s *Service) GradientsFor(iter, partition int, aggregator string) []Record {
+func (s *Service) GradientsFor(ctx context.Context, iter, partition int, aggregator string) []Record {
+	_ = ctx
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Lookups++
@@ -494,7 +505,8 @@ func (s *Service) GradientsFor(iter, partition int, aggregator string) []Record 
 
 // PartialUpdates returns the partial updates published for (iter,
 // partition), sorted by uploader for determinism.
-func (s *Service) PartialUpdates(iter, partition int) []Record {
+func (s *Service) PartialUpdates(ctx context.Context, iter, partition int) []Record {
+	_ = ctx
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Lookups++
@@ -509,7 +521,10 @@ func (s *Service) PartialUpdates(iter, partition int) []Record {
 }
 
 // Update returns the accepted global update for (iter, partition), if any.
-func (s *Service) Update(iter, partition int) (Record, error) {
+func (s *Service) Update(ctx context.Context, iter, partition int) (Record, error) {
+	if err := ctx.Err(); err != nil {
+		return Record{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Lookups++
@@ -522,7 +537,10 @@ func (s *Service) Update(iter, partition int) (Record, error) {
 
 // PartitionAccumulator returns the accumulated commitment C_i over all
 // gradients published for (iter, partition).
-func (s *Service) PartitionAccumulator(iter, partition int) (pedersen.Commitment, error) {
+func (s *Service) PartitionAccumulator(ctx context.Context, iter, partition int) (pedersen.Commitment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.params == nil {
@@ -538,7 +556,10 @@ func (s *Service) PartitionAccumulator(iter, partition int) (pedersen.Commitment
 // AggregatorAccumulator returns the accumulated commitment ∏ C_ik over the
 // gradients published by trainers in T_ij, plus how many have been folded
 // in. Peer aggregators use this to verify partial updates (§IV-B).
-func (s *Service) AggregatorAccumulator(iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
+func (s *Service) AggregatorAccumulator(ctx context.Context, iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.params == nil {
@@ -555,7 +576,10 @@ func (s *Service) AggregatorAccumulator(iter, partition int, aggregator string) 
 // VerifyPartialUpdate checks that serialized block data matches the
 // per-aggregator accumulated commitment — the check a peer aggregator runs
 // before folding another aggregator's partial update into the global one.
-func (s *Service) VerifyPartialUpdate(iter, partition int, aggregator string, data []byte) (bool, error) {
+func (s *Service) VerifyPartialUpdate(ctx context.Context, iter, partition int, aggregator string, data []byte) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	s.mu.Lock()
 	acc, ok := s.accAggregator[iterPartAgg{iter, partition, aggregator}]
 	params := s.params

@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -65,7 +66,7 @@ func (f *fixture) uploadGradient(t *testing.T, trainer string, iter, partition, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := f.store.Put("ipfs-0", data)
+	c, err := f.store.Put(context.Background(), "ipfs-0", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func (f *fixture) uploadGradient(t *testing.T, trainer string, iter, partition, 
 		}
 		rec.Commitment = com
 	}
-	if err := f.dir.Publish(rec); err != nil {
+	if err := f.dir.Publish(context.Background(), rec); err != nil {
 		t.Fatal(err)
 	}
 	return block
@@ -95,11 +96,11 @@ func (f *fixture) publishUpdate(t *testing.T, agg string, iter, partition int, b
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := f.store.Put("ipfs-1", data)
+	c, err := f.store.Put(context.Background(), "ipfs-1", data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return f.dir.Publish(Record{
+	return f.dir.Publish(context.Background(), Record{
 		Addr: Addr{Uploader: agg, Partition: partition, Iter: iter, Type: TypeUpdate},
 		CID:  c,
 		Node: "ipfs-1",
@@ -110,14 +111,14 @@ func TestPublishLookupRoundTrip(t *testing.T) {
 	f := newFixture(t, false)
 	block := f.uploadGradient(t, "trainer-0", 1, 0, 4)
 	_ = block
-	rec, err := f.dir.Lookup(Addr{Uploader: "trainer-0", Partition: 0, Iter: 1, Type: TypeGradient})
+	rec, err := f.dir.Lookup(context.Background(), Addr{Uploader: "trainer-0", Partition: 0, Iter: 1, Type: TypeGradient})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rec.Node != "ipfs-0" {
 		t.Fatalf("wrong node %q", rec.Node)
 	}
-	if _, err := f.dir.Lookup(Addr{Uploader: "ghost", Type: TypeGradient}); !errors.Is(err, ErrNotFound) {
+	if _, err := f.dir.Lookup(context.Background(), Addr{Uploader: "ghost", Type: TypeGradient}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound, got %v", err)
 	}
 }
@@ -125,18 +126,18 @@ func TestPublishLookupRoundTrip(t *testing.T) {
 func TestRepublishIdempotentConflictRejected(t *testing.T) {
 	f := newFixture(t, false)
 	data := []byte("block")
-	c, _ := f.store.Put("ipfs-0", data)
+	c, _ := f.store.Put(context.Background(), "ipfs-0", data)
 	addr := Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: TypeGradient}
 	rec := Record{Addr: addr, CID: c, Node: "ipfs-0"}
-	if err := f.dir.Publish(rec); err != nil {
+	if err := f.dir.Publish(context.Background(), rec); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.dir.Publish(rec); err != nil {
+	if err := f.dir.Publish(context.Background(), rec); err != nil {
 		t.Fatalf("idempotent republish should succeed: %v", err)
 	}
 	other := rec
 	other.CID = cid.Sum([]byte("different"))
-	if err := f.dir.Publish(other); !errors.Is(err, ErrConflict) {
+	if err := f.dir.Publish(context.Background(), other); !errors.Is(err, ErrConflict) {
 		t.Fatalf("expected ErrConflict, got %v", err)
 	}
 }
@@ -144,15 +145,15 @@ func TestRepublishIdempotentConflictRejected(t *testing.T) {
 func TestGradientRequiresCommitmentInVerifiableMode(t *testing.T) {
 	f := newFixture(t, true)
 	data := []byte("gradient")
-	c, _ := f.store.Put("ipfs-0", data)
-	err := f.dir.Publish(Record{
+	c, _ := f.store.Put(context.Background(), "ipfs-0", data)
+	err := f.dir.Publish(context.Background(), Record{
 		Addr: Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: TypeGradient},
 		CID:  c, Node: "ipfs-0",
 	})
 	if !errors.Is(err, ErrMissingCommitment) {
 		t.Fatalf("expected ErrMissingCommitment, got %v", err)
 	}
-	err = f.dir.Publish(Record{
+	err = f.dir.Publish(context.Background(), Record{
 		Addr:       Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: TypeGradient},
 		CID:        c,
 		Node:       "ipfs-0",
@@ -169,7 +170,7 @@ func TestPartitionAccumulatorMatchesCombine(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		blocks = append(blocks, f.uploadGradient(t, fmt.Sprintf("t%d", i), 0, 0, 5))
 	}
-	acc, err := f.dir.PartitionAccumulator(0, 0)
+	acc, err := f.dir.PartitionAccumulator(context.Background(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestHonestUpdateAccepted(t *testing.T) {
 	if err := f.publishUpdate(t, "agg-0", 2, 1, sum); err != nil {
 		t.Fatalf("honest update rejected: %v", err)
 	}
-	rec, err := f.dir.Update(2, 1)
+	rec, err := f.dir.Update(context.Background(), 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestDroppedGradientDetected(t *testing.T) {
 	if !errors.Is(err, ErrVerificationFailed) {
 		t.Fatalf("expected ErrVerificationFailed, got %v", err)
 	}
-	if _, err := f.dir.Update(0, 0); !errors.Is(err, ErrNotFound) {
+	if _, err := f.dir.Update(context.Background(), 0, 0); !errors.Is(err, ErrNotFound) {
 		t.Fatal("rejected update must not be recorded")
 	}
 	if f.dir.Stats().Rejections != 1 {
@@ -277,11 +278,11 @@ func TestGradientsForFiltersByAssignment(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		f.uploadGradient(t, fmt.Sprintf("t%d", i), 0, 0, 4)
 	}
-	recsA := f.dir.GradientsFor(0, 0, "agg-a")
+	recsA := f.dir.GradientsFor(context.Background(), 0, 0, "agg-a")
 	if len(recsA) != 2 {
 		t.Fatalf("agg-a should see 2 gradients, got %d", len(recsA))
 	}
-	recsAll := f.dir.GradientsFor(0, 0, "")
+	recsAll := f.dir.GradientsFor(context.Background(), 0, 0, "")
 	if len(recsAll) != 3 {
 		t.Fatalf("expected 3 total gradients, got %d", len(recsAll))
 	}
@@ -302,7 +303,7 @@ func TestAggregatorAccumulatorAndPartialVerify(t *testing.T) {
 			aBlocks = append(aBlocks, b)
 		}
 	}
-	acc, count, err := f.dir.AggregatorAccumulator(0, 0, "agg-a")
+	acc, count, err := f.dir.AggregatorAccumulator(context.Background(), 0, 0, "agg-a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,20 +317,20 @@ func TestAggregatorAccumulatorAndPartialVerify(t *testing.T) {
 	}
 	// A correct partial update verifies; a tampered one does not.
 	data, _ := sum.Encode()
-	ok, err := f.dir.VerifyPartialUpdate(0, 0, "agg-a", data)
+	ok, err := f.dir.VerifyPartialUpdate(context.Background(), 0, 0, "agg-a", data)
 	if err != nil || !ok {
 		t.Fatalf("honest partial update rejected: ok=%v err=%v", ok, err)
 	}
 	sum.Values[0] = f.quant.Field().Add(sum.Values[0], sum.Values[1])
 	bad, _ := sum.Encode()
-	ok, err = f.dir.VerifyPartialUpdate(0, 0, "agg-a", bad)
+	ok, err = f.dir.VerifyPartialUpdate(context.Background(), 0, 0, "agg-a", bad)
 	if err != nil || ok {
 		t.Fatalf("tampered partial update accepted: ok=%v err=%v", ok, err)
 	}
-	if ok, _ := f.dir.VerifyPartialUpdate(0, 0, "agg-a", []byte("junk")); ok {
+	if ok, _ := f.dir.VerifyPartialUpdate(context.Background(), 0, 0, "agg-a", []byte("junk")); ok {
 		t.Fatal("garbage accepted as partial update")
 	}
-	if _, _, err := f.dir.AggregatorAccumulator(0, 0, "ghost"); !errors.Is(err, ErrNotFound) {
+	if _, _, err := f.dir.AggregatorAccumulator(context.Background(), 0, 0, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound for unknown aggregator, got %v", err)
 	}
 }
@@ -338,11 +339,11 @@ func TestCorruptedStorageBytesFailVerification(t *testing.T) {
 	f := newFixture(t, true)
 	b := f.uploadGradient(t, "t0", 0, 0, 4)
 	data, _ := b.Encode()
-	c, _ := f.store.Put("ipfs-1", data)
+	c, _ := f.store.Put(context.Background(), "ipfs-1", data)
 	if err := f.store.Corrupt("ipfs-1", c); err != nil {
 		t.Fatal(err)
 	}
-	err := f.dir.Publish(Record{
+	err := f.dir.Publish(context.Background(), Record{
 		Addr: Addr{Uploader: "agg-0", Partition: 0, Iter: 0, Type: TypeUpdate},
 		CID:  c, Node: "ipfs-1",
 	})
@@ -353,13 +354,13 @@ func TestCorruptedStorageBytesFailVerification(t *testing.T) {
 
 func TestNonVerifiableAccumulatorErrors(t *testing.T) {
 	f := newFixture(t, false)
-	if _, err := f.dir.PartitionAccumulator(0, 0); err == nil {
+	if _, err := f.dir.PartitionAccumulator(context.Background(), 0, 0); err == nil {
 		t.Fatal("expected error in non-verifiable mode")
 	}
-	if _, _, err := f.dir.AggregatorAccumulator(0, 0, "a"); err == nil {
+	if _, _, err := f.dir.AggregatorAccumulator(context.Background(), 0, 0, "a"); err == nil {
 		t.Fatal("expected error in non-verifiable mode")
 	}
-	if _, err := f.dir.VerifyPartialUpdate(0, 0, "a", nil); err == nil {
+	if _, err := f.dir.VerifyPartialUpdate(context.Background(), 0, 0, "a", nil); err == nil {
 		t.Fatal("expected error in non-verifiable mode")
 	}
 	if f.dir.Verifiable() {
@@ -371,8 +372,8 @@ func TestPartialUpdatesSorted(t *testing.T) {
 	f := newFixture(t, false)
 	for _, agg := range []string{"agg-b", "agg-a", "agg-c"} {
 		data := []byte("partial-" + agg)
-		c, _ := f.store.Put("ipfs-0", data)
-		err := f.dir.Publish(Record{
+		c, _ := f.store.Put(context.Background(), "ipfs-0", data)
+		err := f.dir.Publish(context.Background(), Record{
 			Addr: Addr{Uploader: agg, Partition: 3, Iter: 1, Type: TypePartialUpdate},
 			CID:  c, Node: "ipfs-0",
 		})
@@ -380,7 +381,7 @@ func TestPartialUpdatesSorted(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	recs := f.dir.PartialUpdates(1, 3)
+	recs := f.dir.PartialUpdates(context.Background(), 1, 3)
 	if len(recs) != 3 {
 		t.Fatalf("expected 3 partials, got %d", len(recs))
 	}
@@ -400,7 +401,7 @@ func TestTypeString(t *testing.T) {
 	if Type(9).String() != "type(9)" {
 		t.Fatal("unknown type formatting wrong")
 	}
-	if err := (&Service{records: map[Addr]Record{}}).Publish(Record{Addr: Addr{Type: Type(9)}}); err == nil {
+	if err := (&Service{records: map[Addr]Record{}}).Publish(context.Background(), Record{Addr: Addr{Type: Type(9)}}); err == nil {
 		t.Fatal("unknown type should be rejected")
 	}
 }
@@ -408,8 +409,8 @@ func TestTypeString(t *testing.T) {
 func TestStatsCounting(t *testing.T) {
 	f := newFixture(t, false)
 	f.uploadGradient(t, "t0", 0, 0, 4)
-	f.dir.GradientsFor(0, 0, "")
-	if _, err := f.dir.Lookup(Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: TypeGradient}); err != nil {
+	f.dir.GradientsFor(context.Background(), 0, 0, "")
+	if _, err := f.dir.Lookup(context.Background(), Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: TypeGradient}); err != nil {
 		t.Fatal(err)
 	}
 	s := f.dir.Stats()

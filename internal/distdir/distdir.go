@@ -13,6 +13,7 @@
 package distdir
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -66,13 +67,13 @@ func (s *Sharded) TrainersFor(partition int, aggregator string) []string {
 }
 
 // Publish records an uploaded block on the partition's shard.
-func (s *Sharded) Publish(rec directory.Record) error {
-	return s.shardFor(rec.Addr.Partition).Publish(rec)
+func (s *Sharded) Publish(ctx context.Context, rec directory.Record) error {
+	return s.shardFor(rec.Addr.Partition).Publish(ctx, rec)
 }
 
 // PublishBatch routes each record to its partition's shard. One client
 // round trip fans out to at most Shards() shard requests.
-func (s *Sharded) PublishBatch(recs []directory.Record) error {
+func (s *Sharded) PublishBatch(ctx context.Context, recs []directory.Record) error {
 	byShard := make(map[*directory.Service][]directory.Record)
 	for _, rec := range recs {
 		shard := s.shardFor(rec.Addr.Partition)
@@ -80,7 +81,7 @@ func (s *Sharded) PublishBatch(recs []directory.Record) error {
 	}
 	for _, shard := range s.shards { // deterministic order
 		if batch, ok := byShard[shard]; ok {
-			if err := shard.PublishBatch(batch); err != nil {
+			if err := shard.PublishBatch(ctx, batch); err != nil {
 				return err
 			}
 		}
@@ -89,38 +90,38 @@ func (s *Sharded) PublishBatch(recs []directory.Record) error {
 }
 
 // Lookup resolves an exact address.
-func (s *Sharded) Lookup(addr directory.Addr) (directory.Record, error) {
-	return s.shardFor(addr.Partition).Lookup(addr)
+func (s *Sharded) Lookup(ctx context.Context, addr directory.Addr) (directory.Record, error) {
+	return s.shardFor(addr.Partition).Lookup(ctx, addr)
 }
 
 // GradientsFor lists gradient records for an aggregator.
-func (s *Sharded) GradientsFor(iter, partition int, aggregator string) []directory.Record {
-	return s.shardFor(partition).GradientsFor(iter, partition, aggregator)
+func (s *Sharded) GradientsFor(ctx context.Context, iter, partition int, aggregator string) []directory.Record {
+	return s.shardFor(partition).GradientsFor(ctx, iter, partition, aggregator)
 }
 
 // PartialUpdates lists the published partial updates.
-func (s *Sharded) PartialUpdates(iter, partition int) []directory.Record {
-	return s.shardFor(partition).PartialUpdates(iter, partition)
+func (s *Sharded) PartialUpdates(ctx context.Context, iter, partition int) []directory.Record {
+	return s.shardFor(partition).PartialUpdates(ctx, iter, partition)
 }
 
 // Update returns the accepted global update.
-func (s *Sharded) Update(iter, partition int) (directory.Record, error) {
-	return s.shardFor(partition).Update(iter, partition)
+func (s *Sharded) Update(ctx context.Context, iter, partition int) (directory.Record, error) {
+	return s.shardFor(partition).Update(ctx, iter, partition)
 }
 
 // PartitionAccumulator returns the accumulated partition commitment.
-func (s *Sharded) PartitionAccumulator(iter, partition int) (pedersen.Commitment, error) {
-	return s.shardFor(partition).PartitionAccumulator(iter, partition)
+func (s *Sharded) PartitionAccumulator(ctx context.Context, iter, partition int) (pedersen.Commitment, error) {
+	return s.shardFor(partition).PartitionAccumulator(ctx, iter, partition)
 }
 
 // AggregatorAccumulator returns an aggregator's accumulated commitment.
-func (s *Sharded) AggregatorAccumulator(iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
-	return s.shardFor(partition).AggregatorAccumulator(iter, partition, aggregator)
+func (s *Sharded) AggregatorAccumulator(ctx context.Context, iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
+	return s.shardFor(partition).AggregatorAccumulator(ctx, iter, partition, aggregator)
 }
 
 // VerifyPartialUpdate checks a partial update against the accumulator.
-func (s *Sharded) VerifyPartialUpdate(iter, partition int, aggregator string, data []byte) (bool, error) {
-	return s.shardFor(partition).VerifyPartialUpdate(iter, partition, aggregator, data)
+func (s *Sharded) VerifyPartialUpdate(ctx context.Context, iter, partition int, aggregator string, data []byte) (bool, error) {
+	return s.shardFor(partition).VerifyPartialUpdate(ctx, iter, partition, aggregator, data)
 }
 
 // SetSchedule announces an iteration's t_train deadline on every shard.

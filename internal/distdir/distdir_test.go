@@ -153,7 +153,7 @@ func TestShardedSchedule(t *testing.T) {
 		sharded.shards[i].SetClock(func() time.Time { return base })
 	}
 	sharded.SetSchedule(0, base.Add(-time.Minute))
-	if err := sess.TrainerUpload("t0", 0, make([]float64, 48)); err == nil {
+	if err := sess.TrainerUpload(context.Background(), "t0", 0, make([]float64, 48)); err == nil {
 		t.Fatal("late gradient accepted by sharded directory")
 	}
 }
@@ -167,7 +167,7 @@ func TestShardedRecordsForIter(t *testing.T) {
 		t.Fatalf("expected 24 records, got %d", len(recs))
 	}
 	// Cleanup also works through the sharded directory.
-	removed, err := sess.CleanupIteration(0)
+	removed, err := sess.CleanupIteration(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +196,11 @@ func TestShardedSnapshotRestore(t *testing.T) {
 		t.Fatalf("restored %d shards", restored.Shards())
 	}
 	for p := 0; p < cfg.Spec.Partitions; p++ {
-		orig, err := sharded.Update(0, p)
+		orig, err := sharded.Update(context.Background(), 0, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := restored.Update(0, p)
+		got, err := restored.Update(context.Background(), 0, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,11 +222,11 @@ func TestShardedRegistry(t *testing.T) {
 	ring, reg := identity.DeterministicSetup(cfg.TaskID, cfg.ParticipantIDs())
 	sharded.SetRegistry(reg)
 	// Unsigned publishes fail on every shard.
-	if err := sess.TrainerUpload("t0", 0, make([]float64, cfg.Spec.Dim)); !errors.Is(err, directory.ErrBadSignature) {
+	if err := sess.TrainerUpload(context.Background(), "t0", 0, make([]float64, cfg.Spec.Dim)); !errors.Is(err, directory.ErrBadSignature) {
 		t.Fatalf("unsigned publish accepted by sharded directory: %v", err)
 	}
 	sess.SetKeyring(ring)
-	if err := sess.TrainerUpload("t0", 0, make([]float64, cfg.Spec.Dim)); err != nil {
+	if err := sess.TrainerUpload(context.Background(), "t0", 0, make([]float64, cfg.Spec.Dim)); err != nil {
 		t.Fatalf("signed publish rejected: %v", err)
 	}
 }
@@ -243,10 +243,10 @@ func TestShardedMisc(t *testing.T) {
 	if got := sharded.TrainersFor(0, core.AggregatorID(0, 0)); len(got) != 4 {
 		t.Fatalf("TrainersFor = %v", got)
 	}
-	if _, err := sharded.Lookup(directory.Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: directory.TypeGradient}); err != nil {
+	if _, err := sharded.Lookup(context.Background(), directory.Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: directory.TypeGradient}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sharded.Update(0, 3); err != nil {
+	if _, err := sharded.Update(context.Background(), 0, 3); err != nil {
 		t.Fatal(err)
 	}
 }

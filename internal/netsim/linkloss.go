@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// LossWindow describes a scheduled degradation of one node's links: during
+// the virtual-time window [From, To) both the uplink and downlink run at
+// Factor times their configured capacity. Factor 0 severs the node's links
+// completely — in-flight transfers stall and resume when the window ends.
+type LossWindow struct {
+	Node     string
+	From, To time.Duration
+	Factor   float64
+}
+
+// ScheduleLinkLoss registers a loss window, to be enacted by a watcher
+// process over the virtual clock: at From the node's capacities are scaled
+// and every active flow's fair-share rate is recomputed, at To they are
+// restored. Must be called before Run. Windows for the same node must not
+// overlap (each watcher restores the capacities it saw at its start).
+func (e *Env) ScheduleLinkLoss(w LossWindow) error {
+	n, ok := e.nodes[w.Node]
+	if !ok {
+		return fmt.Errorf("netsim: link loss for unknown node %q", w.Node)
+	}
+	if w.From < 0 || w.To <= w.From {
+		return fmt.Errorf("netsim: link loss window [%v, %v) is empty", w.From, w.To)
+	}
+	if w.Factor < 0 || w.Factor >= 1 {
+		return fmt.Errorf("netsim: link loss factor %v outside [0, 1)", w.Factor)
+	}
+	e.Go(fmt.Sprintf("linkloss:%s", w.Node), func() {
+		e.Sleep(w.From)
+		up, down := n.UpBps, n.DownBps
+		n.UpBps, n.DownBps = up*w.Factor, down*w.Factor
+		e.recomputeRates()
+		e.Sleep(w.To - w.From)
+		n.UpBps, n.DownBps = up, down
+		e.recomputeRates()
+	})
+	return nil
+}
+
+// ParseLossWindow parses a textual loss window of the form
+// "NODE@FROM-TO:FACTOR" with durations in Go syntax, e.g.
+// "trainer-00@2s-6s:0.1" (one tenth capacity between virtual seconds 2
+// and 6) or "ipfs-01@1s-3s:0" (links severed). The node's existence is
+// checked at ScheduleLinkLoss time, not here.
+func ParseLossWindow(s string) (LossWindow, error) {
+	node, rest, ok := strings.Cut(s, "@")
+	if !ok || node == "" {
+		return LossWindow{}, fmt.Errorf("netsim: loss window %q: want NODE@FROM-TO:FACTOR", s)
+	}
+	span, factorStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return LossWindow{}, fmt.Errorf("netsim: loss window %q: missing :FACTOR", s)
+	}
+	fromStr, toStr, ok := strings.Cut(span, "-")
+	if !ok {
+		return LossWindow{}, fmt.Errorf("netsim: loss window %q: want FROM-TO durations", s)
+	}
+	from, err := time.ParseDuration(fromStr)
+	if err != nil {
+		return LossWindow{}, fmt.Errorf("netsim: loss window %q: bad start: %v", s, err)
+	}
+	to, err := time.ParseDuration(toStr)
+	if err != nil {
+		return LossWindow{}, fmt.Errorf("netsim: loss window %q: bad end: %v", s, err)
+	}
+	var factor float64
+	if _, err := fmt.Sscanf(factorStr, "%g", &factor); err != nil {
+		return LossWindow{}, fmt.Errorf("netsim: loss window %q: bad factor %q", s, factorStr)
+	}
+	w := LossWindow{Node: node, From: from, To: to, Factor: factor}
+	if w.From < 0 || w.To <= w.From {
+		return LossWindow{}, fmt.Errorf("netsim: loss window %q is empty", s)
+	}
+	if w.Factor < 0 || w.Factor >= 1 {
+		return LossWindow{}, fmt.Errorf("netsim: loss window %q: factor outside [0, 1)", s)
+	}
+	return w, nil
+}

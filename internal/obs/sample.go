@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SpanSampler is a SpanSink decorator that forwards only a sample of the
+// span stream to the wrapped sink, for long runs where full traces are too
+// heavy. Two complementary selections compose:
+//
+//   - head sampling: a seeded random fraction (rate) of spans passes
+//     through immediately, preserving an unbiased cross-section;
+//   - tail sampling: the slowest N spans seen so far are retained and
+//     emitted on Flush, so the outliers that explain a slow run always
+//     survive — exactly the spans random sampling is most likely to miss.
+//
+// A span picked by both rules is emitted once. Flush must be called at the
+// end of the run to release the tail.
+type SpanSampler struct {
+	mu      sync.Mutex
+	inner   SpanSink
+	rate    float64
+	slowest int
+	rng     *rand.Rand
+	tail    spanHeap
+	seen    int
+	passed  int
+}
+
+var _ SpanSink = (*SpanSampler)(nil)
+
+// NewSpanSampler builds a sampler forwarding to inner. slowest <= 0
+// disables tail sampling; rate <= 0 disables head sampling (rate >= 1
+// forwards everything). The seed makes the random selection reproducible
+// (0 uses a fixed default, still deterministic).
+func NewSpanSampler(inner SpanSink, slowest int, rate float64, seed int64) *SpanSampler {
+	if seed == 0 {
+		seed = 1
+	}
+	return &SpanSampler{
+		inner:   inner,
+		rate:    rate,
+		slowest: slowest,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// EmitSpan applies both sampling rules to the span.
+func (s *SpanSampler) EmitSpan(sp Span) {
+	s.mu.Lock()
+	s.seen++
+	pass := s.rate > 0 && (s.rate >= 1 || s.rng.Float64() < s.rate)
+	if pass {
+		s.passed++
+	}
+	if s.slowest > 0 {
+		entry := tailEntry{span: sp, forwarded: pass}
+		if len(s.tail) < s.slowest {
+			heap.Push(&s.tail, entry)
+		} else if sp.Duration() > s.tail[0].span.Duration() {
+			s.tail[0] = entry
+			heap.Fix(&s.tail, 0)
+		}
+	}
+	s.mu.Unlock()
+	if pass {
+		s.inner.EmitSpan(sp)
+	}
+}
+
+// Flush emits the retained slowest spans that the random fraction did not
+// already forward, slowest last. The tail is cleared, so a sampler can be
+// flushed once per run segment.
+func (s *SpanSampler) Flush() {
+	s.mu.Lock()
+	entries := make([]tailEntry, 0, len(s.tail))
+	for len(s.tail) > 0 {
+		entries = append(entries, heap.Pop(&s.tail).(tailEntry))
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		if !e.forwarded {
+			s.inner.EmitSpan(e.span)
+		}
+	}
+}
+
+// Stats reports how many spans were seen and how many passed the head
+// sample so far (the tail adds up to `slowest` more at Flush).
+func (s *SpanSampler) Stats() (seen, passed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen, s.passed
+}
+
+// tailEntry is one retained slow span; forwarded records whether head
+// sampling already emitted it.
+type tailEntry struct {
+	span      Span
+	forwarded bool
+}
+
+// spanHeap is a min-heap by duration, so the root is the cheapest retained
+// span — the one to evict when a slower span arrives.
+type spanHeap []tailEntry
+
+func (h spanHeap) Len() int            { return len(h) }
+func (h spanHeap) Less(i, j int) bool  { return h[i].span.Duration() < h[j].span.Duration() }
+func (h spanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *spanHeap) Push(x interface{}) { *h = append(*h, x.(tailEntry)) }
+func (h *spanHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ParseSpanSample parses a -span-sample flag value of the form
+// "slowest=N,rate=F". Either part may be omitted: "slowest=20" keeps only
+// the 20 slowest spans, "rate=0.1" only a random tenth, and combining
+// them keeps both selections. "off" or an empty string disables sampling
+// entirely, returning slowest=0 and rate=1 (forward everything); callers
+// should skip the sampler in that case.
+func ParseSpanSample(s string) (slowest int, rate float64, err error) {
+	if s == "" || s == "off" {
+		return 0, 1, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("obs: span sample %q: want key=value, got %q", s, part)
+		}
+		switch key {
+		case "slowest":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return 0, 0, fmt.Errorf("obs: span sample %q: slowest needs a non-negative integer, got %q", s, val)
+			}
+			slowest = n
+		case "rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return 0, 0, fmt.Errorf("obs: span sample %q: rate needs a fraction in [0,1], got %q", s, val)
+			}
+			rate = f
+		default:
+			return 0, 0, fmt.Errorf("obs: span sample %q: unknown key %q", s, key)
+		}
+	}
+	return slowest, rate, nil
+}

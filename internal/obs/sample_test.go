@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func sampleSpan(i int, d time.Duration) Span {
+	start := time.Unix(0, int64(i)*int64(time.Second))
+	return Span{
+		Name:    fmt.Sprintf("span-%d", i),
+		Context: SpanContext{Session: "s", SpanID: fmt.Sprintf("id-%d", i)},
+		Start:   start,
+		End:     start.Add(d),
+	}
+}
+
+func TestSpanSamplerKeepsSlowest(t *testing.T) {
+	var sink SpanCollector
+	s := NewSpanSampler(&sink, 3, 0, 1)
+	// Durations 1ms..100ms in a scrambled order.
+	for i := 0; i < 100; i++ {
+		d := time.Duration((i*37)%100+1) * time.Millisecond
+		s.EmitSpan(sampleSpan(i, d))
+	}
+	if got := len(sink.Spans()); got != 0 {
+		t.Fatalf("tail sampling leaked %d spans before Flush", got)
+	}
+	s.Flush()
+	spans := sink.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Duration() < 98*time.Millisecond {
+			t.Fatalf("span %s (%v) is not among the slowest three", sp.Name, sp.Duration())
+		}
+	}
+	// Flush drained the tail; a second flush emits nothing.
+	s.Flush()
+	if got := len(sink.Spans()); got != 3 {
+		t.Fatalf("second Flush re-emitted spans: %d", got)
+	}
+}
+
+func TestSpanSamplerRandomFractionIsSeeded(t *testing.T) {
+	run := func(seed int64) []string {
+		var sink SpanCollector
+		s := NewSpanSampler(&sink, 0, 0.2, seed)
+		for i := 0; i < 200; i++ {
+			s.EmitSpan(sampleSpan(i, time.Millisecond))
+		}
+		var names []string
+		for _, sp := range sink.Spans() {
+			names = append(names, sp.Name)
+		}
+		return names
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("rate 0.2 passed %d of 200 spans", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed passed %d vs %d spans", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// Roughly a fifth should pass (binomial, wide tolerance).
+	if len(a) < 20 || len(a) > 80 {
+		t.Fatalf("rate 0.2 passed %d of 200 spans, far from expectation", len(a))
+	}
+}
+
+func TestSpanSamplerDoesNotDoubleEmit(t *testing.T) {
+	var sink SpanCollector
+	s := NewSpanSampler(&sink, 5, 1, 1) // rate 1: everything head-sampled
+	for i := 0; i < 20; i++ {
+		s.EmitSpan(sampleSpan(i, time.Duration(i+1)*time.Millisecond))
+	}
+	s.Flush()
+	if got := len(sink.Spans()); got != 20 {
+		t.Fatalf("got %d spans, want 20 (no duplicates from the tail)", got)
+	}
+	seen, passed := s.Stats()
+	if seen != 20 || passed != 20 {
+		t.Fatalf("stats = (%d, %d), want (20, 20)", seen, passed)
+	}
+}
+
+func TestParseSpanSample(t *testing.T) {
+	cases := []struct {
+		in      string
+		slowest int
+		rate    float64
+		wantErr bool
+	}{
+		{"", 0, 1, false},
+		{"off", 0, 1, false},
+		{"slowest=20", 20, 0, false},
+		{"rate=0.25", 0, 0.25, false},
+		{"slowest=5,rate=0.1", 5, 0.1, false},
+		{"rate=1", 0, 1, false},
+		{"slowest=-1", 0, 0, true},
+		{"rate=1.5", 0, 0, true},
+		{"rate=x", 0, 0, true},
+		{"bogus", 0, 0, true},
+		{"depth=3", 0, 0, true},
+	}
+	for _, tc := range cases {
+		slowest, rate, err := ParseSpanSample(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpanSample(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpanSample(%q): %v", tc.in, err)
+			continue
+		}
+		if slowest != tc.slowest || rate != tc.rate {
+			t.Errorf("ParseSpanSample(%q) = (%d, %v), want (%d, %v)", tc.in, slowest, rate, tc.slowest, tc.rate)
+		}
+	}
+}

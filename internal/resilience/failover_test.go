@@ -1,0 +1,192 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"ipls/internal/cid"
+	"ipls/internal/core"
+	"ipls/internal/model"
+	"ipls/internal/obs"
+	"ipls/internal/resilience"
+	"ipls/internal/scalar"
+	"ipls/internal/storage"
+)
+
+// The resilient adapter must plug into every socket the session probes.
+var _ storage.Client = resilience.Wrap(nil, nil, nil).Storage()
+
+func fastPolicy(reg *obs.Registry) *resilience.Policy {
+	return &resilience.Policy{MaxAttempts: 2, Metrics: reg, Sleep: noSleep}
+}
+
+func testNetwork(t *testing.T, replicas int, nodes ...string) (*storage.Network, *scalar.Field) {
+	t.Helper()
+	field := scalar.NewField(big.NewInt(2147483647)) // 2^31-1, prime
+	n := storage.NewNetwork(field, replicas)
+	for _, id := range nodes {
+		n.AddNode(id)
+	}
+	return n, field
+}
+
+func TestGetFailsOverToReplica(t *testing.T) {
+	netw, _ := testNetwork(t, 2, "s0", "s1", "s2")
+	reg := obs.NewRegistry()
+	c := resilience.Wrap(netw, nil, fastPolicy(reg))
+
+	data := []byte("replicated block")
+	id, err := c.Put(context.Background(), storage.PutRequest{Node: "s0", Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netw.Fail("s0"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(context.Background(), storage.GetRequest{Node: "s0", CID: id})
+	if err != nil {
+		t.Fatalf("Get with crashed holder: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("failover returned %q", got)
+	}
+	if v := reg.Counter("failovers_total", "op", "get").Value(); v != 1 {
+		t.Fatalf("failovers_total{op=get} = %d, want 1", v)
+	}
+	if v := reg.Counter("rpc_retries_total", "op", "get").Value(); v != 1 {
+		t.Fatalf("rpc_retries_total{op=get} = %d, want 1", v)
+	}
+}
+
+func TestGetFailoverExhaustedWhenNoReplicaSurvives(t *testing.T) {
+	netw, _ := testNetwork(t, 1, "s0", "s1") // replication off: the block has one home
+	c := resilience.Wrap(netw, nil, fastPolicy(nil))
+
+	id, err := c.Put(context.Background(), storage.PutRequest{Node: "s0", Data: []byte("lonely")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netw.Fail("s0"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Get(context.Background(), storage.GetRequest{Node: "s0", CID: id})
+	if !errors.Is(err, storage.ErrNodeDown) {
+		t.Fatalf("got %v, want the holder's ErrNodeDown", err)
+	}
+}
+
+func encodeBlocks(t *testing.T, c *resilience.Client, node string, vals ...int64) ([]cid.CID, model.Block) {
+	t.Helper()
+	field := scalar.NewField(big.NewInt(2147483647))
+	var cids []cid.CID
+	var blocks []model.Block
+	for _, v := range vals {
+		b := model.Block{Values: []*big.Int{big.NewInt(v), big.NewInt(1)}}
+		data, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := c.Put(context.Background(), storage.PutRequest{Node: node, Data: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cids = append(cids, id)
+		blocks = append(blocks, b)
+	}
+	sum, err := model.Sum(field, blocks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cids, sum
+}
+
+func TestMergeGetDegradesToLocalFold(t *testing.T) {
+	netw, field := testNetwork(t, 2, "s0", "s1", "s2")
+	reg := obs.NewRegistry()
+	c := resilience.Wrap(netw, field, fastPolicy(reg))
+
+	cids, want := encodeBlocks(t, c, "s0", 3, 5, 7)
+	if err := netw.Fail("s0"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.MergeGet(context.Background(), storage.MergeRequest{Node: "s0", CIDs: cids})
+	if err != nil {
+		t.Fatalf("MergeGet with crashed provider: %v", err)
+	}
+	got, err := model.DecodeBlock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantData, _ := want.Encode()
+	if string(data) != string(wantData) {
+		t.Fatalf("degraded merge = %v, want %v", got.Values, want.Values)
+	}
+	if v := reg.Counter("failovers_total", "op", "merge_get").Value(); v != 1 {
+		t.Fatalf("failovers_total{op=merge_get} = %d, want 1", v)
+	}
+}
+
+func TestMergeGetWithoutFieldSurfacesProviderError(t *testing.T) {
+	netw, _ := testNetwork(t, 2, "s0", "s1")
+	c := resilience.Wrap(netw, nil, fastPolicy(nil)) // no field: degradation off
+
+	cids, _ := encodeBlocks(t, c, "s0", 1, 2)
+	if err := netw.Fail("s0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MergeGet(context.Background(), storage.MergeRequest{Node: "s0", CIDs: cids}); !errors.Is(err, storage.ErrNodeDown) {
+		t.Fatalf("got %v, want ErrNodeDown", err)
+	}
+}
+
+func TestStorageViewKeepsPubSubCapabilityTruthful(t *testing.T) {
+	netw, field := testNetwork(t, 1, "s0")
+	withPS := resilience.Wrap(netw, field, nil).Storage()
+	if _, ok := withPS.(core.Announcer); !ok {
+		t.Fatal("pub/sub-capable inner lost Announcer through the wrapper")
+	}
+	withPS.(core.Announcer).Announce("topic", "s0", []byte("hello"))
+	if msgs, _ := withPS.(core.Announcer).Listen("topic", 0); len(msgs) != 1 {
+		t.Fatalf("announcement did not round-trip: %d messages", len(msgs))
+	}
+
+	plain := resilience.Wrap(&flakyStore{}, field, nil).Storage()
+	if _, ok := plain.(core.Announcer); ok {
+		t.Fatal("wrapper advertised pub/sub over an inner client without it")
+	}
+}
+
+func TestSlowNodeRecoveredByAttemptTimeout(t *testing.T) {
+	netw, _ := testNetwork(t, 2, "s0", "s1")
+	reg := obs.NewRegistry()
+	pol := &resilience.Policy{MaxAttempts: 2, RPCTimeout: 20 * time.Millisecond, Metrics: reg, Sleep: noSleep}
+	c := resilience.Wrap(netw, nil, pol)
+
+	id, err := c.Put(context.Background(), storage.PutRequest{Node: "s0", Data: []byte("slow block")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The holder is pathologically slow; each attempt times out, then the
+	// content-routed failover — which skips the slow node's service delay
+	// only if another replica holds the block — saves the read.
+	if err := netw.Slow("s0", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got, err := c.Get(context.Background(), storage.GetRequest{Node: "s0", CID: id})
+	if err != nil {
+		t.Fatalf("Get from slow holder: %v", err)
+	}
+	if string(got) != "slow block" {
+		t.Fatalf("got %q", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("read took %v despite 20ms attempt timeouts", elapsed)
+	}
+	if v := reg.Counter("failovers_total", "op", "get").Value(); v != 1 {
+		t.Fatalf("failovers_total{op=get} = %d, want 1", v)
+	}
+}

@@ -1,0 +1,218 @@
+// Package resilience wraps the storage and directory clients with the
+// self-healing behaviour a long-lived FL deployment needs: per-RPC
+// timeouts, bounded retries with exponential backoff and jitter, and
+// replica failover. The paper's protocol already tolerates slow trainers
+// through t_train deadlines (§III-D); this layer extends the same spirit
+// to the substrate, exploiting the storage network's replication (§IV) the
+// way IPFS exploits multiple providers — a block is not lost because the
+// node first asked for it is.
+//
+// The wrappers are policy-driven and observable: every retry bumps
+// rpc_retries_total{op=...}, every failover bumps failovers_total{op=...},
+// and an optional span sink records the recovery cost in the causal trace.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"ipls/internal/directory"
+	"ipls/internal/obs"
+	"ipls/internal/storage"
+)
+
+// IsRetryable classifies an error from a storage or directory client.
+// Retryable errors are transient infrastructure failures — retrying the
+// same call may succeed, and a replica may be able to serve it:
+//
+//   - storage.ErrNodeDown (crashed, flaky, or unreachable node)
+//   - context.DeadlineExceeded (a per-attempt timeout elapsed)
+//   - directory.ErrTooEarly (the gradient set has not closed yet)
+//   - network transport failures (net.Error, rpc.ErrShutdown)
+//
+// Everything else is terminal: protocol verdicts such as
+// directory.ErrConflict, ErrAlreadyFinal, ErrVerificationFailed,
+// ErrTooLate and ErrBadSignature will not change on retry, addressing
+// errors (storage.ErrUnknownNode) are caller bugs, storage.ErrNotFound
+// means no replica holds the block, and context.Canceled means the caller
+// gave up.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, storage.ErrNodeDown) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, directory.ErrTooEarly) ||
+		errors.Is(err, rpc.ErrShutdown) {
+		return true
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr)
+}
+
+// Policy configures the resilience wrappers. The zero value is usable and
+// means "no retries, no timeouts": every knob opts in.
+type Policy struct {
+	// MaxAttempts bounds how many times an operation is tried (minimum 1).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles each
+	// retry up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = uncapped).
+	MaxBackoff time.Duration
+	// Jitter spreads each backoff uniformly over ±Jitter fraction of
+	// itself (0..1), decorrelating retry storms across clients.
+	Jitter float64
+	// RPCTimeout bounds each individual attempt (0 = only the caller's
+	// context limits it). The caller's deadline always applies on top.
+	RPCTimeout time.Duration
+	// Seed makes the jitter sequence reproducible (0 = fixed default
+	// seed, still deterministic).
+	Seed int64
+
+	// Metrics receives rpc_retries_total and failovers_total counters
+	// (nil discards them).
+	Metrics *obs.Registry
+	// Spans, when set, receives one span per retry wait and per failover,
+	// so traces show what recovery cost.
+	Spans obs.SpanSink
+
+	// Sleep replaces the backoff wait, for deterministic tests. It must
+	// honor the context. Nil uses a timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// DefaultPolicy is a sensible starting point: four attempts, 25ms base
+// backoff doubling to 400ms, 20% jitter, one-second per-attempt timeout.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		MaxAttempts: 4,
+		BaseBackoff: 25 * time.Millisecond,
+		MaxBackoff:  400 * time.Millisecond,
+		Jitter:      0.2,
+		RPCTimeout:  time.Second,
+	}
+}
+
+// attempts returns the effective attempt bound.
+func (p *Policy) attempts() int {
+	if p == nil || p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the jittered delay before retry number attempt (0-based).
+func (p *Policy) backoff(attempt int) time.Duration {
+	if p == nil || p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 0; i < attempt && (p.MaxBackoff <= 0 || d < p.MaxBackoff); i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		p.mu.Lock()
+		if p.rng == nil {
+			seed := p.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			p.rng = rand.New(rand.NewSource(seed))
+		}
+		f := 1 + p.Jitter*(2*p.rng.Float64()-1)
+		p.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// wait sleeps for the backoff duration, honoring the context.
+func (p *Policy) wait(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if p != nil && p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attemptCtx derives the per-attempt context from the caller's.
+func (p *Policy) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p == nil || p.RPCTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, p.RPCTimeout)
+}
+
+// run executes fn under the policy: per-attempt timeout, bounded retries
+// on retryable errors, backoff between attempts. The op label tags the
+// rpc_retries_total counter.
+func (p *Policy) run(ctx context.Context, op string, fn func(ctx context.Context) error) error {
+	attempts := p.attempts()
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		actx, cancel := p.attemptCtx(ctx)
+		err = fn(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's own deadline/cancellation, not the attempt's:
+			// surface it rather than retrying for a dead caller.
+			return ctx.Err()
+		}
+		if !IsRetryable(err) || attempt == attempts-1 {
+			return err
+		}
+		if p != nil {
+			p.Metrics.Counter("rpc_retries_total", "op", op).Inc()
+		}
+		if werr := p.wait(ctx, p.backoff(attempt)); werr != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// emitSpan records a recovery event (retry or failover) in the trace.
+func (p *Policy) emitSpan(name, op string, start time.Time, err error) {
+	if p == nil || p.Spans == nil {
+		return
+	}
+	sp := obs.Span{
+		Name:    name,
+		Actor:   "resilience",
+		Context: obs.SpanContext{Session: "resilience", SpanID: obs.NewSpanID()},
+		Start:   start,
+		End:     time.Now(),
+		Attrs:   map[string]string{"op": op},
+	}
+	if err != nil {
+		sp.Attrs["error"] = err.Error()
+	}
+	p.Spans.EmitSpan(sp)
+}

@@ -1,0 +1,252 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/rpc"
+	"testing"
+	"time"
+
+	"ipls/internal/cid"
+	"ipls/internal/directory"
+	"ipls/internal/obs"
+	"ipls/internal/resilience"
+	"ipls/internal/storage"
+)
+
+func TestIsRetryable(t *testing.T) {
+	retryable := []error{
+		storage.ErrNodeDown,
+		fmt.Errorf("wrapped: %w", storage.ErrNodeDown),
+		context.DeadlineExceeded,
+		directory.ErrTooEarly,
+		rpc.ErrShutdown,
+	}
+	for _, err := range retryable {
+		if !resilience.IsRetryable(err) {
+			t.Errorf("IsRetryable(%v) = false, want true", err)
+		}
+	}
+	terminal := []error{
+		nil,
+		context.Canceled,
+		storage.ErrNotFound,
+		storage.ErrUnknownNode,
+		directory.ErrConflict,
+		directory.ErrAlreadyFinal,
+		directory.ErrVerificationFailed,
+		directory.ErrMissingCommitment,
+		directory.ErrTooLate,
+		directory.ErrBadSignature,
+		errors.New("some application error"),
+	}
+	for _, err := range terminal {
+		if resilience.IsRetryable(err) {
+			t.Errorf("IsRetryable(%v) = true, want false", err)
+		}
+	}
+}
+
+// flakyStore fails the first failures calls of each operation with a
+// transient error, then delegates to nothing (returns canned data).
+type flakyStore struct {
+	failures int
+	puts     int
+	gets     int
+	merges   int
+	err      error
+}
+
+func (f *flakyStore) transient() error {
+	if f.err != nil {
+		return f.err
+	}
+	return storage.ErrNodeDown
+}
+
+func (f *flakyStore) Put(ctx context.Context, nodeID string, data []byte) (cid.CID, error) {
+	f.puts++
+	if f.puts <= f.failures {
+		return "", f.transient()
+	}
+	return cid.Sum(data), nil
+}
+
+func (f *flakyStore) Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error) {
+	f.gets++
+	if f.gets <= f.failures {
+		return nil, f.transient()
+	}
+	return []byte("block"), nil
+}
+
+func (f *flakyStore) MergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]byte, error) {
+	f.merges++
+	if f.merges <= f.failures {
+		return nil, f.transient()
+	}
+	return []byte("merged"), nil
+}
+
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func TestRetryUntilSuccess(t *testing.T) {
+	reg := obs.NewRegistry()
+	pol := &resilience.Policy{MaxAttempts: 4, BaseBackoff: time.Millisecond, Metrics: reg, Sleep: noSleep}
+	inner := &flakyStore{failures: 2}
+	c := resilience.Wrap(inner, nil, pol)
+
+	id, err := c.Put(context.Background(), storage.PutRequest{Node: "s0", Data: []byte("x")})
+	if err != nil {
+		t.Fatalf("Put after transient failures: %v", err)
+	}
+	if !(cid.Sum([]byte("x")) == id) {
+		t.Fatal("Put returned wrong CID")
+	}
+	if inner.puts != 3 {
+		t.Fatalf("put attempts = %d, want 3 (two failures, one success)", inner.puts)
+	}
+	if got := reg.Counter("rpc_retries_total", "op", "put").Value(); got != 2 {
+		t.Fatalf("rpc_retries_total{op=put} = %d, want 2", got)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	reg := obs.NewRegistry()
+	pol := &resilience.Policy{MaxAttempts: 3, Metrics: reg, Sleep: noSleep}
+	inner := &flakyStore{failures: 100}
+	c := resilience.Wrap(inner, nil, pol)
+
+	_, err := c.Put(context.Background(), storage.PutRequest{Node: "s0", Data: []byte("x")})
+	if !errors.Is(err, storage.ErrNodeDown) {
+		t.Fatalf("exhausted retries should surface the inner error, got %v", err)
+	}
+	if inner.puts != 3 {
+		t.Fatalf("put attempts = %d, want 3", inner.puts)
+	}
+	if got := reg.Counter("rpc_retries_total", "op", "put").Value(); got != 2 {
+		t.Fatalf("rpc_retries_total{op=put} = %d, want 2", got)
+	}
+}
+
+func TestTerminalErrorNotRetried(t *testing.T) {
+	pol := &resilience.Policy{MaxAttempts: 5, Sleep: noSleep}
+	inner := &flakyStore{failures: 100, err: directory.ErrConflict}
+	c := resilience.Wrap(inner, nil, pol)
+
+	_, err := c.Put(context.Background(), storage.PutRequest{Node: "s0", Data: []byte("x")})
+	if !errors.Is(err, directory.ErrConflict) {
+		t.Fatalf("got %v, want ErrConflict", err)
+	}
+	if inner.puts != 1 {
+		t.Fatalf("terminal error retried: %d attempts", inner.puts)
+	}
+}
+
+func TestCallerCancellationStopsRetries(t *testing.T) {
+	pol := &resilience.Policy{MaxAttempts: 10, BaseBackoff: time.Millisecond}
+	inner := &flakyStore{failures: 100}
+	c := resilience.Wrap(inner, nil, pol)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pol.Sleep = func(sctx context.Context, d time.Duration) error {
+		cancel() // the caller gives up while the client is backing off
+		return sctx.Err()
+	}
+	_, err := c.Put(ctx, storage.PutRequest{Node: "s0", Data: []byte("x")})
+	if err == nil {
+		t.Fatal("expected an error after cancellation")
+	}
+	if inner.puts != 1 {
+		t.Fatalf("retried %d times for a cancelled caller", inner.puts-1)
+	}
+}
+
+func TestBackoffJitterIsDeterministicUnderSeed(t *testing.T) {
+	record := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		pol := &resilience.Policy{
+			MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond,
+			Jitter: 0.5, Seed: seed,
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				delays = append(delays, d)
+				return nil
+			},
+		}
+		inner := &flakyStore{failures: 100}
+		c := resilience.Wrap(inner, nil, pol)
+		_, _ = c.Put(context.Background(), storage.PutRequest{Node: "s0", Data: []byte("x")})
+		return delays
+	}
+
+	a, b := record(42), record(42)
+	if len(a) != 4 {
+		t.Fatalf("recorded %d backoffs, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at backoff %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other := record(43)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	// Exponential shape survives the jitter: each delay stays within
+	// ±50% of base<<attempt (capped at 80ms).
+	want := []time.Duration{10, 20, 40, 80}
+	for i, d := range a {
+		base := want[i] * time.Millisecond
+		lo, hi := base/2, base+base/2
+		if d < lo || d > hi {
+			t.Fatalf("backoff %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestPerAttemptTimeout(t *testing.T) {
+	pol := &resilience.Policy{MaxAttempts: 2, RPCTimeout: 10 * time.Millisecond, Sleep: noSleep}
+	calls := 0
+	inner := &hangingStore{onGet: func(ctx context.Context) ([]byte, error) {
+		calls++
+		<-ctx.Done() // simulate a hung RPC; only the attempt timeout frees us
+		return nil, ctx.Err()
+	}}
+	c := resilience.Wrap(inner, nil, pol)
+
+	start := time.Now()
+	_, err := c.Get(context.Background(), storage.GetRequest{Node: "s0", CID: "deadbeef"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if calls != 2 {
+		t.Fatalf("hung RPC attempted %d times, want 2", calls)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("two 10ms attempts took %v", elapsed)
+	}
+}
+
+// hangingStore lets a test control Get directly.
+type hangingStore struct {
+	onGet func(ctx context.Context) ([]byte, error)
+}
+
+func (h *hangingStore) Put(ctx context.Context, nodeID string, data []byte) (cid.CID, error) {
+	return cid.Sum(data), nil
+}
+
+func (h *hangingStore) Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error) {
+	return h.onGet(ctx)
+}
+
+func (h *hangingStore) MergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]byte, error) {
+	return nil, storage.ErrNotFound
+}

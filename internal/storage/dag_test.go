@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -13,14 +14,14 @@ func TestPutGetDAGRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(50))
 	data := make([]byte, 50_000)
 	rng.Read(data)
-	root, err := n.PutDAG("node-00", data, 4096)
+	root, err := n.PutDAG(context.Background(), "node-00", data, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if root.Size != 50_000 {
 		t.Fatalf("root size %d", root.Size)
 	}
-	got, err := n.GetDAG("node-00", root)
+	got, err := n.GetDAG(context.Background(), "node-00", root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestGetDAGSurvivesNodeFailureWithReplication(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	data := make([]byte, 20_000)
 	rng.Read(data)
-	root, err := n.PutDAG("node-00", data, 1024)
+	root, err := n.PutDAG(context.Background(), "node-00", data, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestGetDAGSurvivesNodeFailureWithReplication(t *testing.T) {
 	}
 	// Fetching "from" the dead node falls back to content routing across
 	// the replicas.
-	got, err := n.GetDAG("node-01", root)
+	got, err := n.GetDAG(context.Background(), "node-01", root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestGetDAGDetectsCorruption(t *testing.T) {
 	rng := rand.New(rand.NewSource(52))
 	data := make([]byte, 10_000)
 	rng.Read(data)
-	root, err := n.PutDAG("node-00", data, 1024)
+	root, err := n.PutDAG(context.Background(), "node-00", data, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestGetDAGDetectsCorruption(t *testing.T) {
 	if err := n.Corrupt("node-00", cids[len(cids)/2]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.GetDAG("node-00", root); err == nil {
+	if _, err := n.GetDAG(context.Background(), "node-00", root); err == nil {
 		t.Fatal("corrupted DAG block not detected")
 	}
 }
@@ -78,7 +79,7 @@ func TestPutDAGBlockCount(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
 	data := make([]byte, 10_000)
 	rng.Read(data)
-	if _, err := n.PutDAG("node-00", data, 1000); err != nil {
+	if _, err := n.PutDAG(context.Background(), "node-00", data, 1000); err != nil {
 		t.Fatal(err)
 	}
 	nd, _ := n.Node("node-00")

@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault injection for the storage network. The paper assumes an
+// honest-but-unreliable substrate (§III-A): nodes crash, recover, respond
+// slowly, or fail intermittently. These controls make every failure mode
+// reproducible so the resilience layer's retries and failovers can be
+// exercised deterministically ("iplssim -faults crash:node1@iter2").
+
+// Slow makes every operation served by the node take at least d. The delay
+// honors the caller's context, so a deadline that expires mid-wait cancels
+// the operation. d <= 0 clears the fault.
+func (n *Network) Slow(id string, d time.Duration) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if d < 0 {
+		d = 0
+	}
+	nd.slow = d
+	return nil
+}
+
+// Flaky makes the node fail each operation independently with probability
+// p (0 clears the fault), reporting a transient ErrNodeDown. Failures draw
+// from the network's seeded fault source (SetFaultSeed), so runs replay.
+func (n *Network) Flaky(id string, p float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	nd.flaky = p
+	return nil
+}
+
+// SetFaultSeed seeds the random source behind flaky-node coin flips so
+// fault scenarios reproduce exactly.
+func (n *Network) SetFaultSeed(seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faultRand = rand.New(rand.NewSource(seed))
+}
+
+// gate admits one operation against a node: it rejects immediately when
+// the context is done or the node is down/unknown, serves the node's
+// injected slowness (context-aware, without holding the network lock), and
+// applies the flaky coin flip. A nil error means the operation may proceed.
+func (n *Network) gate(ctx context.Context, nodeID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	nd, ok := n.nodes[nodeID]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
+	}
+	if nd.down {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNodeDown, nodeID)
+	}
+	slow := nd.slow
+	flake := false
+	if nd.flaky > 0 {
+		if n.faultRand == nil {
+			n.faultRand = rand.New(rand.NewSource(1))
+		}
+		flake = n.faultRand.Float64() < nd.flaky
+	}
+	n.mu.Unlock()
+	if slow > 0 {
+		t := time.NewTimer(slow)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	if flake {
+		return fmt.Errorf("%w: %q (transient)", ErrNodeDown, nodeID)
+	}
+	return nil
+}
+
+// FaultKind names a scheduled fault action.
+type FaultKind string
+
+// Fault actions a plan can schedule.
+const (
+	FaultCrash   FaultKind = "crash"
+	FaultRecover FaultKind = "recover"
+	FaultSlow    FaultKind = "slow"
+	FaultFlaky   FaultKind = "flaky"
+)
+
+// FaultEvent is one scheduled fault: apply Kind to Node at iteration Iter.
+type FaultEvent struct {
+	Kind FaultKind
+	Node string
+	Iter int
+	// Delay parameterizes slow faults; Prob parameterizes flaky faults.
+	Delay time.Duration
+	Prob  float64
+}
+
+// FaultPlan is an iteration-indexed fault schedule.
+type FaultPlan struct {
+	events []FaultEvent
+}
+
+// ParseFaultPlan parses a comma-separated fault scenario, e.g.
+//
+//	crash:node1@iter2,recover:node1@iter4,slow:node0@iter1:50ms,flaky:node2@iter0:0.3
+//
+// Grammar per event: KIND:NODE@iterN[:ARG] where KIND is crash, recover,
+// slow (ARG = duration) or flaky (ARG = probability in [0,1]).
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	plan := &FaultPlan{}
+	if strings.TrimSpace(s) == "" {
+		return plan, nil
+	}
+	for _, raw := range strings.Split(s, ",") {
+		ev, err := parseFaultEvent(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, err
+		}
+		plan.events = append(plan.events, ev)
+	}
+	sort.SliceStable(plan.events, func(i, j int) bool { return plan.events[i].Iter < plan.events[j].Iter })
+	return plan, nil
+}
+
+func parseFaultEvent(s string) (FaultEvent, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 {
+		return FaultEvent{}, fmt.Errorf("storage: fault %q: want KIND:NODE@iterN[:ARG]", s)
+	}
+	kind := FaultKind(parts[0])
+	at := strings.Split(parts[1], "@")
+	if len(at) != 2 || !strings.HasPrefix(at[1], "iter") {
+		return FaultEvent{}, fmt.Errorf("storage: fault %q: want NODE@iterN after kind", s)
+	}
+	iter, err := strconv.Atoi(strings.TrimPrefix(at[1], "iter"))
+	if err != nil || iter < 0 {
+		return FaultEvent{}, fmt.Errorf("storage: fault %q: bad iteration %q", s, at[1])
+	}
+	ev := FaultEvent{Kind: kind, Node: at[0], Iter: iter}
+	arg := ""
+	if len(parts) > 2 {
+		arg = strings.Join(parts[2:], ":")
+	}
+	switch kind {
+	case FaultCrash, FaultRecover:
+		if arg != "" {
+			return FaultEvent{}, fmt.Errorf("storage: fault %q: %s takes no argument", s, kind)
+		}
+	case FaultSlow:
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return FaultEvent{}, fmt.Errorf("storage: fault %q: slow needs a positive duration, got %q", s, arg)
+		}
+		ev.Delay = d
+	case FaultFlaky:
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil || p < 0 || p > 1 {
+			return FaultEvent{}, fmt.Errorf("storage: fault %q: flaky needs a probability in [0,1], got %q", s, arg)
+		}
+		ev.Prob = p
+	default:
+		return FaultEvent{}, fmt.Errorf("storage: fault %q: unknown kind %q", s, kind)
+	}
+	return ev, nil
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.events) == 0 }
+
+// Events returns the plan's schedule, ordered by iteration.
+func (p *FaultPlan) Events() []FaultEvent {
+	if p == nil {
+		return nil
+	}
+	out := make([]FaultEvent, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Apply injects every fault scheduled for the given iteration into the
+// network, returning human-readable descriptions of what it did. Call it
+// at the top of each protocol iteration.
+func (p *FaultPlan) Apply(n *Network, iter int) ([]string, error) {
+	if p == nil {
+		return nil, nil
+	}
+	var applied []string
+	for _, ev := range p.events {
+		if ev.Iter != iter {
+			continue
+		}
+		var err error
+		switch ev.Kind {
+		case FaultCrash:
+			err = n.Fail(ev.Node)
+			applied = append(applied, fmt.Sprintf("crash %s", ev.Node))
+		case FaultRecover:
+			err = n.Recover(ev.Node)
+			applied = append(applied, fmt.Sprintf("recover %s", ev.Node))
+		case FaultSlow:
+			err = n.Slow(ev.Node, ev.Delay)
+			applied = append(applied, fmt.Sprintf("slow %s by %s", ev.Node, ev.Delay))
+		case FaultFlaky:
+			err = n.Flaky(ev.Node, ev.Prob)
+			applied = append(applied, fmt.Sprintf("flaky %s p=%v", ev.Node, ev.Prob))
+		}
+		if err != nil {
+			return applied, fmt.Errorf("storage: apply fault at iter %d: %w", iter, err)
+		}
+	}
+	return applied, nil
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"math/big"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func encodeBlock(t *testing.T, vals ...int64) []byte {
 func TestPutGetCountsBytes(t *testing.T) {
 	net, reg := metricsNetwork(t, 1)
 	data := []byte("hello metrics")
-	c, err := net.Put("s0", data)
+	c, err := net.Put(context.Background(), "s0", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,10 +50,10 @@ func TestPutGetCountsBytes(t *testing.T) {
 	if got := reg.Counter("blocks_stored_total", "node", "s0").Value(); got != 1 {
 		t.Fatalf("blocks_stored_total = %d, want 1", got)
 	}
-	if _, err := net.Get("s0", c); err != nil {
+	if _, err := net.Get(context.Background(), "s0", c); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := net.Fetch(c); err != nil {
+	if _, err := net.Fetch(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Counter("bytes_downloaded_total", "node", "s0").Value(); got != 2*int64(len(data)) {
@@ -62,7 +63,7 @@ func TestPutGetCountsBytes(t *testing.T) {
 
 func TestReplicationCountsReplicas(t *testing.T) {
 	net, reg := metricsNetwork(t, 3)
-	if _, err := net.Put("s0", []byte("replicated")); err != nil {
+	if _, err := net.Put(context.Background(), "s0", []byte("replicated")); err != nil {
 		t.Fatal(err)
 	}
 	replicated := reg.Counter("blocks_replicated_total", "node", "s1").Value() +
@@ -80,15 +81,15 @@ func TestMergeGetSavesBytesAndCountsRemoteFetches(t *testing.T) {
 	net, reg := metricsNetwork(t, 1)
 	b1 := encodeBlock(t, 1, 2)
 	b2 := encodeBlock(t, 3, 4)
-	c1, err := net.Put("s0", b1)
+	c1, err := net.Put(context.Background(), "s0", b1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := net.Put("s1", b2) // not on s0: forces a remote fetch
+	c2, err := net.Put(context.Background(), "s1", b2) // not on s0: forces a remote fetch
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := net.MergeGet("s0", []cid.CID{c1, c2})
+	out, err := net.MergeGet(context.Background(), "s0", []cid.CID{c1, c2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestDefaultRegistryWorksWithoutSetMetrics(t *testing.T) {
 	field := scalar.NewField(big.NewInt(7919))
 	net := NewNetwork(field, 1)
 	net.AddNode("s0")
-	if _, err := net.Put("s0", []byte("x")); err != nil {
+	if _, err := net.Put(context.Background(), "s0", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	if net.Metrics() == nil {

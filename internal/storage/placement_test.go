@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ func TestRingPlacementHotspots(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		data := make([]byte, 16)
 		rng.Read(data)
-		if _, err := n.Put("node-00", data); err != nil {
+		if _, err := n.Put(context.Background(), "node-00", data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -34,7 +35,7 @@ func TestRendezvousPlacementUniform(t *testing.T) {
 	for i := 0; i < blocks; i++ {
 		data := make([]byte, 16)
 		rng.Read(data)
-		if _, err := n.Put("node-00", data); err != nil {
+		if _, err := n.Put(context.Background(), "node-00", data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -58,11 +59,11 @@ func TestRendezvousPlacementDeterministic(t *testing.T) {
 	}
 	n1, n2 := build(), build()
 	data := []byte("deterministic placement probe")
-	c1, err := n1.Put("node-02", data)
+	c1, err := n1.Put(context.Background(), "node-02", data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n2.Put("node-02", data); err != nil {
+	if _, err := n2.Put(context.Background(), "node-02", data); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
@@ -83,13 +84,13 @@ func TestRendezvousSkipsDownNodes(t *testing.T) {
 	if err := n.Fail("node-02"); err != nil {
 		t.Fatal(err)
 	}
-	c, err := n.Put("node-00", []byte("replicated"))
+	c, err := n.Put(context.Background(), "node-00", []byte("replicated"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Replicas must be on node-01 and node-03 (the only live candidates).
 	for _, id := range []string{"node-01", "node-03"} {
-		if _, err := n.Get(id, c); err != nil {
+		if _, err := n.Get(context.Background(), id, c); err != nil {
 			t.Fatalf("replica missing on %s: %v", id, err)
 		}
 	}
@@ -99,13 +100,13 @@ func TestReplicaTargetsCount(t *testing.T) {
 	n, _ := newTestNetwork(t, 6, 4)
 	for _, p := range []Placement{PlacementRing, PlacementRendezvous} {
 		n.SetPlacement(p)
-		c, err := n.Put("node-00", []byte(fmt.Sprintf("count-%d", p)))
+		c, err := n.Put(context.Background(), "node-00", []byte(fmt.Sprintf("count-%d", p)))
 		if err != nil {
 			t.Fatal(err)
 		}
 		holders := 0
 		for i := 0; i < 6; i++ {
-			if _, err := n.Get(fmt.Sprintf("node-%02d", i), c); err == nil {
+			if _, err := n.Get(context.Background(), fmt.Sprintf("node-%02d", i), c); err == nil {
 				holders++
 			}
 		}

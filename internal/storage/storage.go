@@ -12,11 +12,13 @@
 package storage
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/big"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -43,15 +45,49 @@ var (
 
 // Client is the view protocol participants have of the storage network:
 // enough to upload gradients, download blocks, and request pre-aggregation.
+// Every method takes a context first: cancellation and deadlines flow from
+// the caller down to the serving node (and, for the TCP backend, across
+// the wire).
 type Client interface {
 	// Put stores data on the addressed node (plus replicas) and returns
 	// its content ID.
-	Put(nodeID string, data []byte) (cid.CID, error)
+	Put(ctx context.Context, nodeID string, data []byte) (cid.CID, error)
 	// Get retrieves a block from the addressed node.
-	Get(nodeID string, c cid.CID) ([]byte, error)
+	Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error)
 	// MergeGet asks the addressed node to pre-aggregate the gradient
 	// blocks with the given CIDs and returns the serialized sum block.
-	MergeGet(nodeID string, cs []cid.CID) ([]byte, error)
+	MergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]byte, error)
+}
+
+// PutRequest addresses one block upload for the request-struct call style
+// used by the resilience layer (resilience.Client.Put).
+type PutRequest struct {
+	// Node is the preferred primary; replicas follow the network's
+	// placement policy.
+	Node string
+	// Data is the block payload.
+	Data []byte
+}
+
+// GetRequest addresses one block download.
+type GetRequest struct {
+	// Node is the recorded holder; resilient clients fall back to other
+	// replicas when it cannot serve the block.
+	Node string
+	// CID is the content ID the returned bytes must hash to.
+	CID cid.CID
+}
+
+// MergeRequest addresses one merge-and-download (provider-side
+// pre-aggregation of the listed gradient blocks).
+type MergeRequest struct {
+	// Node is the provider asked to pre-aggregate.
+	Node string
+	// CIDs are the gradient blocks to fold.
+	CIDs []cid.CID
+	// Span, when valid, parents the provider-side merge span — the causal
+	// envelope that crosses the storage boundary.
+	Span obs.SpanContext
 }
 
 // Placement selects how replicas are assigned to nodes.
@@ -87,6 +123,10 @@ type Network struct {
 	mergeBytesSaved *obs.Counter
 
 	spans obs.SpanSink
+
+	// faultRand drives flaky-node coin flips; seeded via SetFaultSeed so
+	// fault-injection runs are reproducible.
+	faultRand *rand.Rand
 }
 
 var _ Client = (*Network)(nil)
@@ -142,6 +182,8 @@ type Node struct {
 	blocks      map[cid.CID][]byte
 	down        bool
 	cheatMerges bool
+	slow        time.Duration // fault injection: per-operation service delay
+	flaky       float64       // fault injection: transient-failure probability
 	metrics     nodeMetrics
 
 	// MergeOps counts merge-and-download requests served, and
@@ -295,7 +337,10 @@ func (n *Network) DeleteAll(c cid.CID) {
 // Put stores data on the addressed node and on replicas-1 successor nodes
 // in ring order, returning the block's CID. Successors that are down are
 // skipped; the primary must be up.
-func (n *Network) Put(nodeID string, data []byte) (cid.CID, error) {
+func (n *Network) Put(ctx context.Context, nodeID string, data []byte) (cid.CID, error) {
+	if err := n.gate(ctx, nodeID); err != nil {
+		return "", err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	nd, ok := n.nodes[nodeID]
@@ -374,7 +419,10 @@ func rendezvousScore(c cid.CID, nodeID string) uint64 {
 
 // Get retrieves a block from the addressed node. The caller is responsible
 // for verifying the returned bytes against the CID.
-func (n *Network) Get(nodeID string, c cid.CID) ([]byte, error) {
+func (n *Network) Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error) {
+	if err := n.gate(ctx, nodeID); err != nil {
+		return nil, err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	nd, ok := n.nodes[nodeID]
@@ -393,7 +441,10 @@ func (n *Network) Get(nodeID string, c cid.CID) ([]byte, error) {
 }
 
 // Fetch retrieves a block from any live node (content routing).
-func (n *Network) Fetch(c cid.CID) ([]byte, error) {
+func (n *Network) Fetch(ctx context.Context, c cid.CID) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	data, holder := n.fetchLocked(c)
@@ -431,9 +482,9 @@ func (n *Network) SetSpans(sink obs.SpanSink) {
 // MergeGet implements merge-and-download: the addressed node decodes the
 // gradient blocks with the given CIDs, sums them in the scalar field and
 // returns one aggregated block. Blocks the node does not hold locally are
-// fetched from peers first (counted in RemoteFetches).
-func (n *Network) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
-	return n.MergeGetSpan(nodeID, cs, obs.SpanContext{})
+// fetched from peers first (counted in remote_fetches_total).
+func (n *Network) MergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]byte, error) {
+	return n.MergeGetSpan(ctx, nodeID, cs, obs.SpanContext{})
 }
 
 // MergeGetSpan is MergeGet carrying the caller's span context across the
@@ -441,15 +492,15 @@ func (n *Network) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
 // valid, the serving node records the merge as a "merge" span parented
 // under the caller's span — the storage-side half of the causal trace
 // linking an aggregator's download to the pre-aggregation done for it.
-func (n *Network) MergeGetSpan(nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error) {
+func (n *Network) MergeGetSpan(ctx context.Context, nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error) {
 	n.mu.Lock()
 	sink := n.spans
 	n.mu.Unlock()
 	if sink == nil || !parent.Valid() {
-		return n.mergeGet(nodeID, cs)
+		return n.mergeGet(ctx, nodeID, cs)
 	}
 	start := time.Now()
-	out, err := n.mergeGet(nodeID, cs)
+	out, err := n.mergeGet(ctx, nodeID, cs)
 	sp := obs.Span{
 		Name:    "merge",
 		Actor:   nodeID,
@@ -467,7 +518,10 @@ func (n *Network) MergeGetSpan(nodeID string, cs []cid.CID, parent obs.SpanConte
 	return out, err
 }
 
-func (n *Network) mergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
+func (n *Network) mergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]byte, error) {
+	if err := n.gate(ctx, nodeID); err != nil {
+		return nil, err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	nd, ok := n.nodes[nodeID]
@@ -483,6 +537,11 @@ func (n *Network) mergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
 	blocks := make([]model.Block, 0, len(cs))
 	var inputBytes int64
 	for _, c := range cs {
+		// A cancelled caller stops the merge between blocks: the deadline
+		// that arrived with the request bounds server-side work too.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		data, ok := nd.blocks[c]
 		if !ok {
 			remote, holder := n.fetchLocked(c)
@@ -526,7 +585,7 @@ func (n *Network) mergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
 // the addressed node (with the network's replication policy applied per
 // block). It returns the root reference. chunkSize <= 0 uses the IPFS
 // default of 256 KiB.
-func (n *Network) PutDAG(nodeID string, data []byte, chunkSize int) (dag.Ref, error) {
+func (n *Network) PutDAG(ctx context.Context, nodeID string, data []byte, chunkSize int) (dag.Ref, error) {
 	root, blocks, err := dag.Build(data, chunkSize)
 	if err != nil {
 		return dag.Ref{}, err
@@ -538,7 +597,7 @@ func (n *Network) PutDAG(nodeID string, data []byte, chunkSize int) (dag.Ref, er
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, c := range ids {
-		stored, err := n.Put(nodeID, blocks[c])
+		stored, err := n.Put(ctx, nodeID, blocks[c])
 		if err != nil {
 			return dag.Ref{}, err
 		}
@@ -552,11 +611,11 @@ func (n *Network) PutDAG(nodeID string, data []byte, chunkSize int) (dag.Ref, er
 // GetDAG reassembles an object from its root reference, fetching blocks
 // from the addressed node with content-routing fallback and verifying
 // every block against its CID.
-func (n *Network) GetDAG(nodeID string, root dag.Ref) ([]byte, error) {
+func (n *Network) GetDAG(ctx context.Context, nodeID string, root dag.Ref) ([]byte, error) {
 	return dag.Assemble(root, func(c cid.CID) ([]byte, error) {
-		data, err := n.Get(nodeID, c)
+		data, err := n.Get(ctx, nodeID, c)
 		if err != nil {
-			return n.Fetch(c)
+			return n.Fetch(ctx, c)
 		}
 		return data, nil
 	})

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -29,14 +30,14 @@ func newTestNetwork(t *testing.T, nodes, replicas int) (*Network, *scalar.Quanti
 func TestPutGetRoundTrip(t *testing.T) {
 	n, _ := newTestNetwork(t, 3, 1)
 	data := []byte("gradient bytes")
-	c, err := n.Put("node-00", data)
+	c, err := n.Put(context.Background(), "node-00", data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !cid.Verify(data, c) {
 		t.Fatal("returned CID does not match data")
 	}
-	got, err := n.Get("node-00", c)
+	got, err := n.Get(context.Background(), "node-00", c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 		t.Fatal("data mismatch")
 	}
 	// Unreplicated: other nodes do not hold the block.
-	if _, err := n.Get("node-01", c); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(context.Background(), "node-01", c); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound from non-holder, got %v", err)
 	}
 }
@@ -52,19 +53,19 @@ func TestPutGetRoundTrip(t *testing.T) {
 func TestReplicationAndFetch(t *testing.T) {
 	n, _ := newTestNetwork(t, 4, 2)
 	data := []byte("replicated block")
-	c, err := n.Put("node-01", data)
+	c, err := n.Put(context.Background(), "node-01", data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Ring successor node-02 should also hold it.
-	if _, err := n.Get("node-02", c); err != nil {
+	if _, err := n.Get(context.Background(), "node-02", c); err != nil {
 		t.Fatalf("replica missing: %v", err)
 	}
 	// Primary fails; content routing still finds the replica.
 	if err := n.Fail("node-01"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Fetch(c)
+	got, err := n.Fetch(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,38 +79,38 @@ func TestReplicationSkipsDownNodes(t *testing.T) {
 	if err := n.Fail("node-02"); err != nil {
 		t.Fatal(err)
 	}
-	c, err := n.Put("node-01", []byte("x"))
+	c, err := n.Put(context.Background(), "node-01", []byte("x"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Replica skipped the down node and landed on node-03.
-	if _, err := n.Get("node-03", c); err != nil {
+	if _, err := n.Get(context.Background(), "node-03", c); err != nil {
 		t.Fatalf("replica should be on node-03: %v", err)
 	}
 }
 
 func TestFailRecover(t *testing.T) {
 	n, _ := newTestNetwork(t, 2, 1)
-	c, err := n.Put("node-00", []byte("y"))
+	c, err := n.Put(context.Background(), "node-00", []byte("y"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := n.Fail("node-00"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get("node-00", c); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Get(context.Background(), "node-00", c); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("expected ErrNodeDown, got %v", err)
 	}
-	if _, err := n.Put("node-00", []byte("z")); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Put(context.Background(), "node-00", []byte("z")); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("expected ErrNodeDown on put, got %v", err)
 	}
-	if _, err := n.Fetch(c); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Fetch(context.Background(), c); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound when sole holder is down, got %v", err)
 	}
 	if err := n.Recover("node-00"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get("node-00", c); err != nil {
+	if _, err := n.Get(context.Background(), "node-00", c); err != nil {
 		t.Fatalf("node should serve blocks after recovery: %v", err)
 	}
 }
@@ -137,14 +138,14 @@ func TestMergeGetEqualsSequentialSum(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := n.Put("node-00", data)
+		c, err := n.Put(context.Background(), "node-00", data)
 		if err != nil {
 			t.Fatal(err)
 		}
 		cids = append(cids, c)
 		blocks = append(blocks, b)
 	}
-	merged, err := n.MergeGet("node-00", cids)
+	merged, err := n.MergeGet(context.Background(), "node-00", cids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,40 +174,40 @@ func TestMergeGetFetchesMissingFromPeers(t *testing.T) {
 	b2, _ := model.Quantize(q, []float64{3, 4})
 	d1, _ := b1.Encode()
 	d2, _ := b2.Encode()
-	c1, err := n.Put("node-00", d1)
+	c1, err := n.Put(context.Background(), "node-00", d1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := n.Put("node-01", d2) // lives on the other node
+	c2, err := n.Put(context.Background(), "node-01", d2) // lives on the other node
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.MergeGet("node-00", []cid.CID{c1, c2}); err != nil {
+	if _, err := n.MergeGet(context.Background(), "node-00", []cid.CID{c1, c2}); err != nil {
 		t.Fatal(err)
 	}
-	if n.RemoteFetches() != 1 {
-		t.Fatalf("expected 1 remote fetch, got %d", n.RemoteFetches())
+	if got := n.Metrics().Counter("remote_fetches_total").Value(); got != 1 {
+		t.Fatalf("expected 1 remote fetch, got %d", got)
 	}
 }
 
 func TestMergeGetErrors(t *testing.T) {
 	n, q := newTestNetwork(t, 2, 1)
-	if _, err := n.MergeGet("node-00", nil); err == nil {
+	if _, err := n.MergeGet(context.Background(), "node-00", nil); err == nil {
 		t.Fatal("expected error for empty merge")
 	}
-	if _, err := n.MergeGet("nope", nil); !errors.Is(err, ErrUnknownNode) {
+	if _, err := n.MergeGet(context.Background(), "nope", nil); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("expected ErrUnknownNode, got %v", err)
 	}
 	missing := cid.Sum([]byte("missing"))
-	if _, err := n.MergeGet("node-00", []cid.CID{missing}); !errors.Is(err, ErrNotFound) {
+	if _, err := n.MergeGet(context.Background(), "node-00", []cid.CID{missing}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expected ErrNotFound, got %v", err)
 	}
 	// Non-block data cannot be merged.
-	c, err := n.Put("node-00", []byte("not a block"))
+	c, err := n.Put(context.Background(), "node-00", []byte("not a block"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.MergeGet("node-00", []cid.CID{c}); err == nil {
+	if _, err := n.MergeGet(context.Background(), "node-00", []cid.CID{c}); err == nil {
 		t.Fatal("expected decode error merging garbage")
 	}
 	// Mismatched dimensions cannot be merged.
@@ -214,9 +215,9 @@ func TestMergeGetErrors(t *testing.T) {
 	b2, _ := model.Quantize(q, []float64{1, 2})
 	d1, _ := b1.Encode()
 	d2, _ := b2.Encode()
-	c1, _ := n.Put("node-00", d1)
-	c2, _ := n.Put("node-00", d2)
-	if _, err := n.MergeGet("node-00", []cid.CID{c1, c2}); err == nil {
+	c1, _ := n.Put(context.Background(), "node-00", d1)
+	c2, _ := n.Put(context.Background(), "node-00", d2)
+	if _, err := n.MergeGet(context.Background(), "node-00", []cid.CID{c1, c2}); err == nil {
 		t.Fatal("expected dimension mismatch error")
 	}
 }
@@ -224,14 +225,14 @@ func TestMergeGetErrors(t *testing.T) {
 func TestCorruptDetectableByCID(t *testing.T) {
 	n, _ := newTestNetwork(t, 1, 1)
 	data := []byte("authentic gradient data")
-	c, err := n.Put("node-00", data)
+	c, err := n.Put(context.Background(), "node-00", data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := n.Corrupt("node-00", c); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Get("node-00", c)
+	got, err := n.Get(context.Background(), "node-00", c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,10 +243,10 @@ func TestCorruptDetectableByCID(t *testing.T) {
 
 func TestUnknownNodeErrors(t *testing.T) {
 	n, _ := newTestNetwork(t, 1, 1)
-	if _, err := n.Put("ghost", []byte("x")); !errors.Is(err, ErrUnknownNode) {
+	if _, err := n.Put(context.Background(), "ghost", []byte("x")); !errors.Is(err, ErrUnknownNode) {
 		t.Fatal("Put should reject unknown node")
 	}
-	if _, err := n.Get("ghost", cid.Sum([]byte("x"))); !errors.Is(err, ErrUnknownNode) {
+	if _, err := n.Get(context.Background(), "ghost", cid.Sum([]byte("x"))); !errors.Is(err, ErrUnknownNode) {
 		t.Fatal("Get should reject unknown node")
 	}
 	if err := n.Fail("ghost"); !errors.Is(err, ErrUnknownNode) {
@@ -265,7 +266,7 @@ func TestUnknownNodeErrors(t *testing.T) {
 func TestAccounting(t *testing.T) {
 	n, _ := newTestNetwork(t, 2, 2)
 	data := []byte("0123456789")
-	if _, err := n.Put("node-00", data); err != nil {
+	if _, err := n.Put(context.Background(), "node-00", data); err != nil {
 		t.Fatal(err)
 	}
 	// Two replicas of 10 bytes.

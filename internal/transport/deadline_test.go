@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"ipls/internal/cid"
+	"ipls/internal/core"
+	"ipls/internal/model"
+	"ipls/internal/scalar"
+	"ipls/internal/storage"
+)
+
+func mergeFixture(t *testing.T) (*storage.Network, []cid.CID) {
+	t.Helper()
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "deadline", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := scalar.NewField(cfg.Curve.N)
+	netw := storage.NewNetwork(field, 1)
+	netw.AddNode("s0")
+	var cids []cid.CID
+	for i := 0; i < 4; i++ {
+		block := model.Block{Values: []*big.Int{big.NewInt(int64(i + 1)), big.NewInt(1)}}
+		data, err := block.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := netw.Put(context.Background(), "s0", data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cids = append(cids, c)
+	}
+	return netw, cids
+}
+
+// The client's context deadline crosses the wire and cancels the merge on
+// the server: the handler, invoked exactly as net/rpc would invoke it,
+// reports deadline_exceeded instead of running the slow merge to the end.
+func TestDeadlineCancelsServerSideMerge(t *testing.T) {
+	netw, cids := mergeFixture(t)
+	// Serving the merge takes 60ms on the slow node — more than the 15ms
+	// the caller is willing to wait, so the deadline that rode the wire
+	// must cancel the work server-side.
+	if err := netw.Slow("s0", 60*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	svc := &StorageService{net: netw, obs: &serverObs{}}
+
+	ids := make([]string, len(cids))
+	for i, c := range cids {
+		ids[i] = string(c)
+	}
+	args := &MergeArgs{Node: "s0", CIDs: ids, Deadline: time.Now().Add(15 * time.Millisecond).UnixNano()}
+	var reply GetReply
+	start := time.Now()
+	if err := svc.MergeGet(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("server kept merging for %v after the deadline", elapsed)
+	}
+	if err := decodeErr(reply.Err); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("server-side merge error = %v, want deadline exceeded", err)
+	}
+
+	// An already-expired deadline fails without serving any block.
+	args = &MergeArgs{Node: "s0", CIDs: ids, Deadline: time.Now().Add(-time.Second).UnixNano()}
+	reply = GetReply{}
+	if err := svc.MergeGet(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeErr(reply.Err); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline merge error = %v, want deadline exceeded", err)
+	}
+}
+
+// End to end over TCP: the client call returns promptly with the context
+// error instead of blocking for the full server-side merge.
+func TestClientDeadlineOverTCP(t *testing.T) {
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "deadline-tcp", ModelDim: 8, Partitions: 1,
+		Trainers: []string{"t0"}, AggregatorsPerPartition: 1,
+		StorageNodes: []string{"s0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, netw, _ := startServer(t, cfg)
+	c := dialClient(t, addr)
+
+	id, err := c.Put(context.Background(), "s0", []byte("block"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netw.Slow("s0", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Get(ctx, "s0", id)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Get over TCP = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("client blocked %v despite a 30ms deadline", elapsed)
+	}
+
+	// A cancelled context fails before any network round trip.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := c.Get(done, "s0", id); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get with cancelled ctx = %v, want canceled", err)
+	}
+}

@@ -22,9 +22,9 @@ func TestPublishBatchOverTCP(t *testing.T) {
 	}
 	addr, _, dir := startServer(t, cfg)
 	c := dialClient(t, addr)
-	id1, _ := c.Put("s0", []byte("a"))
-	id2, _ := c.Put("s0", []byte("b"))
-	err = c.PublishBatch([]directory.Record{
+	id1, _ := c.Put(context.Background(), "s0", []byte("a"))
+	id2, _ := c.Put(context.Background(), "s0", []byte("b"))
+	err = c.PublishBatch(context.Background(), []directory.Record{
 		{Addr: directory.Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: directory.TypeGradient}, CID: id1, Node: "s0"},
 		{Addr: directory.Addr{Uploader: "t0", Partition: 1, Iter: 0, Type: directory.TypeGradient}, CID: id2, Node: "s0"},
 	})
@@ -54,8 +54,8 @@ func TestScheduleOverTCP(t *testing.T) {
 	base := time.Now()
 	dir.SetClock(func() time.Time { return base })
 	c.SetSchedule(7, base.Add(-time.Minute))
-	id, _ := c.Put("s0", []byte("late gradient"))
-	err = c.Publish(directory.Record{
+	id, _ := c.Put(context.Background(), "s0", []byte("late gradient"))
+	err = c.Publish(context.Background(), directory.Record{
 		Addr: directory.Addr{Uploader: "t0", Partition: 0, Iter: 7, Type: directory.TypeGradient},
 		CID:  id, Node: "s0",
 	})
@@ -86,7 +86,7 @@ func TestCleanupOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := netw.TotalStoredBytes()
-	removed, err := sess.CleanupIteration(0)
+	removed, err := sess.CleanupIteration(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,12 +153,12 @@ func TestConcurrentClientsStress(t *testing.T) {
 			defer c.Close()
 			for j := 0; j < putsEach; j++ {
 				data := []byte{byte(i), byte(j), 0xaa}
-				id, err := c.Put("s0", data)
+				id, err := c.Put(context.Background(), "s0", data)
 				if err != nil {
 					errs <- err
 					return
 				}
-				got, err := c.Get("s0", id)
+				got, err := c.Get(context.Background(), "s0", id)
 				if err != nil || string(got) != string(data) {
 					errs <- err
 					return
@@ -196,12 +196,12 @@ func TestStorageDeleteAllOverTCP(t *testing.T) {
 	}
 	addr, _, _ := startServer(t, cfg)
 	c := dialClient(t, addr)
-	id, err := c.Put("s0", []byte("ephemeral"))
+	id, err := c.Put(context.Background(), "s0", []byte("ephemeral"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.DeleteAll(id)
-	if _, err := c.Fetch(id); !errors.Is(err, storage.ErrNotFound) {
+	if _, err := c.Fetch(context.Background(), id); !errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("block should be gone everywhere: %v", err)
 	}
 }

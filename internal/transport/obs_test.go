@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"testing"
 
 	"ipls/internal/core"
@@ -51,14 +52,14 @@ func TestServerAndClientObservability(t *testing.T) {
 	c.SetMetrics(clientReg)
 
 	data := []byte("observable gradient block")
-	id, err := c.Put("s0", data)
+	id, err := c.Put(context.Background(), "s0", data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("s0", id); err != nil {
+	if _, err := c.Get(context.Background(), "s0", id); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Publish(directory.Record{
+	if err := c.Publish(context.Background(), directory.Record{
 		Addr: directory.Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: directory.TypeGradient},
 		CID:  id,
 		Node: "s0",
@@ -99,7 +100,7 @@ func TestUninstrumentedServerAndClientAreNoOps(t *testing.T) {
 	}
 	addr, _, _ := startServer(t, cfg)
 	c := dialClient(t, addr)
-	if _, err := c.Put("s0", []byte("no registry attached")); err != nil {
+	if _, err := c.Put(context.Background(), "s0", []byte("no registry attached")); err != nil {
 		t.Fatal(err)
 	}
 }

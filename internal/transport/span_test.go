@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"testing"
 
 	"ipls/internal/cid"
@@ -44,7 +45,7 @@ func TestMergeSpanPropagatesOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		id, err := c.Put("s0", data)
+		id, err := c.Put(context.Background(), "s0", data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func TestMergeSpanPropagatesOverTCP(t *testing.T) {
 	}
 
 	parent := obs.SpanContext{Session: "tcp-span", Iter: 4, SpanID: obs.NewSpanID()}
-	out, err := c.MergeGetSpan("s0", cids, parent)
+	out, err := c.MergeGetSpan(context.Background(), "s0", cids, parent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestMergeSpanPropagatesOverTCP(t *testing.T) {
 	}
 
 	// Plain MergeGet (no context) must not record a span.
-	if _, err := c.MergeGet("s0", cids); err != nil {
+	if _, err := c.MergeGet(context.Background(), "s0", cids); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(col.Spans()); got != 1 {

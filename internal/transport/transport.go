@@ -10,6 +10,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -39,6 +40,8 @@ const (
 	codeTooLate            = "too_late"
 	codeTooEarly           = "too_early"
 	codeBadSignature       = "bad_signature"
+	codeDeadlineExceeded   = "deadline_exceeded"
+	codeCanceled           = "canceled"
 	codeOther              = "other:"
 )
 
@@ -69,6 +72,10 @@ func encodeErr(err error) string {
 		return codeTooEarly
 	case errors.Is(err, directory.ErrBadSignature):
 		return codeBadSignature
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return codeCanceled
 	default:
 		return codeOther + err.Error()
 	}
@@ -101,6 +108,10 @@ func decodeErr(code string) error {
 		return directory.ErrTooEarly
 	case codeBadSignature:
 		return directory.ErrBadSignature
+	case codeDeadlineExceeded:
+		return context.DeadlineExceeded
+	case codeCanceled:
+		return context.Canceled
 	default:
 		return errors.New(strings.TrimPrefix(code, codeOther))
 	}
@@ -119,6 +130,9 @@ type (
 	PutArgs struct {
 		Node string
 		Data []byte
+		// Deadline is the caller's context deadline in UnixNano (0 = none);
+		// the server resumes it so cancellation crosses the wire.
+		Deadline int64
 	}
 	PutReply struct {
 		CID string
@@ -129,7 +143,9 @@ type (
 // Put stores a block.
 func (s *StorageService) Put(args *PutArgs, reply *PutReply) error {
 	s.obs.count("Storage.Put")
-	c, err := s.net.Put(args.Node, args.Data)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	c, err := s.net.Put(ctx, args.Node, args.Data)
 	reply.CID = string(c)
 	reply.Err = encodeErr(err)
 	return nil
@@ -138,8 +154,9 @@ func (s *StorageService) Put(args *PutArgs, reply *PutReply) error {
 // GetArgs/GetReply carry StorageService.Get and Fetch.
 type (
 	GetArgs struct {
-		Node string
-		CID  string
+		Node     string
+		CID      string
+		Deadline int64
 	}
 	GetReply struct {
 		Data []byte
@@ -150,7 +167,9 @@ type (
 // Get retrieves a block from a specific node.
 func (s *StorageService) Get(args *GetArgs, reply *GetReply) error {
 	s.obs.count("Storage.Get")
-	data, err := s.net.Get(args.Node, cid.CID(args.CID))
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	data, err := s.net.Get(ctx, args.Node, cid.CID(args.CID))
 	reply.Data = data
 	reply.Err = encodeErr(err)
 	return nil
@@ -159,7 +178,9 @@ func (s *StorageService) Get(args *GetArgs, reply *GetReply) error {
 // Fetch retrieves a block from any live node (content routing).
 func (s *StorageService) Fetch(args *GetArgs, reply *GetReply) error {
 	s.obs.count("Storage.Fetch")
-	data, err := s.net.Fetch(cid.CID(args.CID))
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	data, err := s.net.Fetch(ctx, cid.CID(args.CID))
 	reply.Data = data
 	reply.Err = encodeErr(err)
 	return nil
@@ -170,9 +191,10 @@ func (s *StorageService) Fetch(args *GetArgs, reply *GetReply) error {
 // merge span under the aggregator's download span across the process
 // boundary. The zero value means "untraced".
 type MergeArgs struct {
-	Node string
-	CIDs []string
-	Span obs.SpanContext
+	Node     string
+	CIDs     []string
+	Span     obs.SpanContext
+	Deadline int64
 }
 
 // MergeGet performs merge-and-download on the addressed node.
@@ -182,7 +204,9 @@ func (s *StorageService) MergeGet(args *MergeArgs, reply *GetReply) error {
 	for i, c := range args.CIDs {
 		cids[i] = cid.CID(c)
 	}
-	data, err := s.net.MergeGetSpan(args.Node, cids, args.Span)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	data, err := s.net.MergeGetSpan(ctx, args.Node, cids, args.Span)
 	reply.Data = data
 	reply.Err = encodeErr(err)
 	return nil
@@ -257,12 +281,20 @@ type ErrReply struct {
 	Err string
 }
 
+// PublishArgs carries one record plus the caller's deadline.
+type PublishArgs struct {
+	Rec      directory.Record
+	Deadline int64
+}
+
 // Publish records an uploaded block.
-func (d *DirectoryService) Publish(rec *directory.Record, reply *ErrReply) error {
+func (d *DirectoryService) Publish(args *PublishArgs, reply *ErrReply) error {
 	d.obs.count("Directory.Publish")
-	err := d.svc.Publish(*rec)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	err := d.svc.Publish(ctx, args.Rec)
 	if err == nil {
-		d.obs.recordPublished(*rec)
+		d.obs.recordPublished(args.Rec)
 	}
 	reply.Err = encodeErr(err)
 	return nil
@@ -270,13 +302,16 @@ func (d *DirectoryService) Publish(rec *directory.Record, reply *ErrReply) error
 
 // BatchArgs carries several records for one publish round trip.
 type BatchArgs struct {
-	Recs []directory.Record
+	Recs     []directory.Record
+	Deadline int64
 }
 
 // PublishBatch records several uploads in one request.
 func (d *DirectoryService) PublishBatch(args *BatchArgs, reply *ErrReply) error {
 	d.obs.count("Directory.PublishBatch")
-	err := d.svc.PublishBatch(args.Recs)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	err := d.svc.PublishBatch(ctx, args.Recs)
 	if err == nil {
 		for _, rec := range args.Recs {
 			d.obs.recordPublished(rec)
@@ -292,9 +327,17 @@ type RecordReply struct {
 	Err string
 }
 
+// LookupArgs carries an address lookup plus the caller's deadline.
+type LookupArgs struct {
+	Addr     directory.Addr
+	Deadline int64
+}
+
 // Lookup resolves an exact address.
-func (d *DirectoryService) Lookup(addr *directory.Addr, reply *RecordReply) error {
-	rec, err := d.svc.Lookup(*addr)
+func (d *DirectoryService) Lookup(args *LookupArgs, reply *RecordReply) error {
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	rec, err := d.svc.Lookup(ctx, args.Addr)
 	reply.Rec = rec
 	reply.Err = encodeErr(err)
 	return nil
@@ -305,6 +348,7 @@ type QueryArgs struct {
 	Iter       int
 	Partition  int
 	Aggregator string
+	Deadline   int64
 }
 
 // RecordsReply carries a record list.
@@ -314,19 +358,25 @@ type RecordsReply struct {
 
 // GradientsFor lists gradients visible for an aggregator.
 func (d *DirectoryService) GradientsFor(args *QueryArgs, reply *RecordsReply) error {
-	reply.Recs = d.svc.GradientsFor(args.Iter, args.Partition, args.Aggregator)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	reply.Recs = d.svc.GradientsFor(ctx, args.Iter, args.Partition, args.Aggregator)
 	return nil
 }
 
 // PartialUpdates lists the published partial updates.
 func (d *DirectoryService) PartialUpdates(args *QueryArgs, reply *RecordsReply) error {
-	reply.Recs = d.svc.PartialUpdates(args.Iter, args.Partition)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	reply.Recs = d.svc.PartialUpdates(ctx, args.Iter, args.Partition)
 	return nil
 }
 
 // Update returns the accepted global update.
 func (d *DirectoryService) Update(args *QueryArgs, reply *RecordReply) error {
-	rec, err := d.svc.Update(args.Iter, args.Partition)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	rec, err := d.svc.Update(ctx, args.Iter, args.Partition)
 	reply.Rec = rec
 	reply.Err = encodeErr(err)
 	return nil
@@ -341,7 +391,9 @@ type CommitmentReply struct {
 
 // PartitionAccumulator returns the partition's accumulated commitment.
 func (d *DirectoryService) PartitionAccumulator(args *QueryArgs, reply *CommitmentReply) error {
-	acc, err := d.svc.PartitionAccumulator(args.Iter, args.Partition)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	acc, err := d.svc.PartitionAccumulator(ctx, args.Iter, args.Partition)
 	reply.Commitment = acc
 	reply.Err = encodeErr(err)
 	return nil
@@ -349,7 +401,9 @@ func (d *DirectoryService) PartitionAccumulator(args *QueryArgs, reply *Commitme
 
 // AggregatorAccumulator returns an aggregator's accumulated commitment.
 func (d *DirectoryService) AggregatorAccumulator(args *QueryArgs, reply *CommitmentReply) error {
-	acc, n, err := d.svc.AggregatorAccumulator(args.Iter, args.Partition, args.Aggregator)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	acc, n, err := d.svc.AggregatorAccumulator(ctx, args.Iter, args.Partition, args.Aggregator)
 	reply.Commitment = acc
 	reply.Count = n
 	reply.Err = encodeErr(err)
@@ -362,6 +416,7 @@ type VerifyArgs struct {
 	Partition  int
 	Aggregator string
 	Data       []byte
+	Deadline   int64
 }
 
 // BoolReply carries a verification verdict.
@@ -396,7 +451,9 @@ func (d *DirectoryService) SetSchedule(args *ScheduleArgs, reply *ErrReply) erro
 
 // VerifyPartialUpdate checks a partial update against the accumulator.
 func (d *DirectoryService) VerifyPartialUpdate(args *VerifyArgs, reply *BoolReply) error {
-	ok, err := d.svc.VerifyPartialUpdate(args.Iter, args.Partition, args.Aggregator, args.Data)
+	ctx, cancel := serverCtx(args.Deadline)
+	defer cancel()
+	ok, err := d.svc.VerifyPartialUpdate(ctx, args.Iter, args.Partition, args.Aggregator, args.Data)
 	reply.OK = ok
 	reply.Err = encodeErr(err)
 	return nil
@@ -493,6 +550,26 @@ func (s *Server) Close() error {
 	return err
 }
 
+// serverCtx resumes a caller's context on the server side of an RPC: a
+// non-zero deadline (UnixNano) becomes a context deadline, so work started
+// on behalf of a caller whose deadline already expired fails immediately
+// instead of running to completion for nobody.
+func serverCtx(deadline int64) (context.Context, context.CancelFunc) {
+	if deadline == 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithDeadline(context.Background(), time.Unix(0, deadline))
+}
+
+// wireDeadline flattens a context's deadline for an RPC args struct
+// (0 = no deadline).
+func wireDeadline(ctx context.Context) int64 {
+	if d, ok := ctx.Deadline(); ok {
+		return d.UnixNano()
+	}
+	return 0
+}
+
 // --- Clients ---------------------------------------------------------------
 
 // Client is a TCP connection to a transport server, usable as both a
@@ -516,10 +593,27 @@ func Dial(addr string) (*Client, error) {
 // Close tears down the connection.
 func (c *Client) Close() error { return c.rpc.Close() }
 
+// call issues an RPC honoring the caller's context: cancellation or an
+// expired deadline abandons the wait (the reply, if it ever arrives, is
+// discarded by net/rpc). The deadline also rides the args when the struct
+// carries one, so the server stops working too.
+func (c *Client) call(ctx context.Context, method string, args, reply any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := c.rpc.Go(method, args, reply, make(chan *rpc.Call, 1)).Done
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case call := <-done:
+		return call.Error
+	}
+}
+
 // Put stores a block on the addressed node.
-func (c *Client) Put(nodeID string, data []byte) (cid.CID, error) {
+func (c *Client) Put(ctx context.Context, nodeID string, data []byte) (cid.CID, error) {
 	var reply PutReply
-	if err := c.rpc.Call("Storage.Put", &PutArgs{Node: nodeID, Data: data}, &reply); err != nil {
+	if err := c.call(ctx, "Storage.Put", &PutArgs{Node: nodeID, Data: data, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return "", err
 	}
 	if reply.Err == codeNone {
@@ -529,9 +623,9 @@ func (c *Client) Put(nodeID string, data []byte) (cid.CID, error) {
 }
 
 // Get retrieves a block from the addressed node.
-func (c *Client) Get(nodeID string, id cid.CID) ([]byte, error) {
+func (c *Client) Get(ctx context.Context, nodeID string, id cid.CID) ([]byte, error) {
 	var reply GetReply
-	if err := c.rpc.Call("Storage.Get", &GetArgs{Node: nodeID, CID: string(id)}, &reply); err != nil {
+	if err := c.call(ctx, "Storage.Get", &GetArgs{Node: nodeID, CID: string(id), Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	c.metrics.downloaded(nodeID, len(reply.Data))
@@ -539,9 +633,9 @@ func (c *Client) Get(nodeID string, id cid.CID) ([]byte, error) {
 }
 
 // Fetch retrieves a block from any live node.
-func (c *Client) Fetch(id cid.CID) ([]byte, error) {
+func (c *Client) Fetch(ctx context.Context, id cid.CID) ([]byte, error) {
 	var reply GetReply
-	if err := c.rpc.Call("Storage.Fetch", &GetArgs{CID: string(id)}, &reply); err != nil {
+	if err := c.call(ctx, "Storage.Fetch", &GetArgs{CID: string(id), Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	c.metrics.downloaded("*", len(reply.Data))
@@ -549,19 +643,19 @@ func (c *Client) Fetch(id cid.CID) ([]byte, error) {
 }
 
 // MergeGet requests provider-side pre-aggregation.
-func (c *Client) MergeGet(nodeID string, cs []cid.CID) ([]byte, error) {
-	return c.MergeGetSpan(nodeID, cs, obs.SpanContext{})
+func (c *Client) MergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]byte, error) {
+	return c.MergeGetSpan(ctx, nodeID, cs, obs.SpanContext{})
 }
 
 // MergeGetSpan is MergeGet carrying the caller's span context over the
 // wire, so the storage node's merge span lands in the caller's trace.
-func (c *Client) MergeGetSpan(nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error) {
+func (c *Client) MergeGetSpan(ctx context.Context, nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error) {
 	ids := make([]string, len(cs))
 	for i, x := range cs {
 		ids[i] = string(x)
 	}
 	var reply GetReply
-	if err := c.rpc.Call("Storage.MergeGet", &MergeArgs{Node: nodeID, CIDs: ids, Span: parent}, &reply); err != nil {
+	if err := c.call(ctx, "Storage.MergeGet", &MergeArgs{Node: nodeID, CIDs: ids, Span: parent, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	c.metrics.downloaded(nodeID, len(reply.Data))
@@ -569,27 +663,27 @@ func (c *Client) MergeGetSpan(nodeID string, cs []cid.CID, parent obs.SpanContex
 }
 
 // Publish records an uploaded block with the directory.
-func (c *Client) Publish(rec directory.Record) error {
+func (c *Client) Publish(ctx context.Context, rec directory.Record) error {
 	var reply ErrReply
-	if err := c.rpc.Call("Directory.Publish", &rec, &reply); err != nil {
+	if err := c.call(ctx, "Directory.Publish", &PublishArgs{Rec: rec, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return err
 	}
 	return decodeErr(reply.Err)
 }
 
 // PublishBatch records several uploads in one round trip.
-func (c *Client) PublishBatch(recs []directory.Record) error {
+func (c *Client) PublishBatch(ctx context.Context, recs []directory.Record) error {
 	var reply ErrReply
-	if err := c.rpc.Call("Directory.PublishBatch", &BatchArgs{Recs: recs}, &reply); err != nil {
+	if err := c.call(ctx, "Directory.PublishBatch", &BatchArgs{Recs: recs, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return err
 	}
 	return decodeErr(reply.Err)
 }
 
 // Lookup resolves an exact address.
-func (c *Client) Lookup(addr directory.Addr) (directory.Record, error) {
+func (c *Client) Lookup(ctx context.Context, addr directory.Addr) (directory.Record, error) {
 	var reply RecordReply
-	if err := c.rpc.Call("Directory.Lookup", &addr, &reply); err != nil {
+	if err := c.call(ctx, "Directory.Lookup", &LookupArgs{Addr: addr, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return directory.Record{}, err
 	}
 	return reply.Rec, decodeErr(reply.Err)
@@ -597,50 +691,50 @@ func (c *Client) Lookup(addr directory.Addr) (directory.Record, error) {
 
 // GradientsFor lists gradient records for an aggregator. RPC failures
 // surface as an empty list, which the protocol treats as "nothing yet".
-func (c *Client) GradientsFor(iter, partition int, aggregator string) []directory.Record {
+func (c *Client) GradientsFor(ctx context.Context, iter, partition int, aggregator string) []directory.Record {
 	var reply RecordsReply
-	if err := c.rpc.Call("Directory.GradientsFor",
-		&QueryArgs{Iter: iter, Partition: partition, Aggregator: aggregator}, &reply); err != nil {
+	if err := c.call(ctx, "Directory.GradientsFor",
+		&QueryArgs{Iter: iter, Partition: partition, Aggregator: aggregator, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return nil
 	}
 	return reply.Recs
 }
 
 // PartialUpdates lists published partial updates.
-func (c *Client) PartialUpdates(iter, partition int) []directory.Record {
+func (c *Client) PartialUpdates(ctx context.Context, iter, partition int) []directory.Record {
 	var reply RecordsReply
-	if err := c.rpc.Call("Directory.PartialUpdates",
-		&QueryArgs{Iter: iter, Partition: partition}, &reply); err != nil {
+	if err := c.call(ctx, "Directory.PartialUpdates",
+		&QueryArgs{Iter: iter, Partition: partition, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return nil
 	}
 	return reply.Recs
 }
 
 // Update returns the accepted global update.
-func (c *Client) Update(iter, partition int) (directory.Record, error) {
+func (c *Client) Update(ctx context.Context, iter, partition int) (directory.Record, error) {
 	var reply RecordReply
-	if err := c.rpc.Call("Directory.Update",
-		&QueryArgs{Iter: iter, Partition: partition}, &reply); err != nil {
+	if err := c.call(ctx, "Directory.Update",
+		&QueryArgs{Iter: iter, Partition: partition, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return directory.Record{}, err
 	}
 	return reply.Rec, decodeErr(reply.Err)
 }
 
 // PartitionAccumulator returns the accumulated partition commitment.
-func (c *Client) PartitionAccumulator(iter, partition int) (pedersen.Commitment, error) {
+func (c *Client) PartitionAccumulator(ctx context.Context, iter, partition int) (pedersen.Commitment, error) {
 	var reply CommitmentReply
-	if err := c.rpc.Call("Directory.PartitionAccumulator",
-		&QueryArgs{Iter: iter, Partition: partition}, &reply); err != nil {
+	if err := c.call(ctx, "Directory.PartitionAccumulator",
+		&QueryArgs{Iter: iter, Partition: partition, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	return pedersen.Commitment(reply.Commitment), decodeErr(reply.Err)
 }
 
 // AggregatorAccumulator returns an aggregator's accumulated commitment.
-func (c *Client) AggregatorAccumulator(iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
+func (c *Client) AggregatorAccumulator(ctx context.Context, iter, partition int, aggregator string) (pedersen.Commitment, int, error) {
 	var reply CommitmentReply
-	if err := c.rpc.Call("Directory.AggregatorAccumulator",
-		&QueryArgs{Iter: iter, Partition: partition, Aggregator: aggregator}, &reply); err != nil {
+	if err := c.call(ctx, "Directory.AggregatorAccumulator",
+		&QueryArgs{Iter: iter, Partition: partition, Aggregator: aggregator, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return nil, 0, err
 	}
 	return pedersen.Commitment(reply.Commitment), reply.Count, decodeErr(reply.Err)
@@ -694,10 +788,10 @@ func (c *Client) SetSchedule(iter int, tTrain time.Time) {
 }
 
 // VerifyPartialUpdate checks a partial update against the accumulator.
-func (c *Client) VerifyPartialUpdate(iter, partition int, aggregator string, data []byte) (bool, error) {
+func (c *Client) VerifyPartialUpdate(ctx context.Context, iter, partition int, aggregator string, data []byte) (bool, error) {
 	var reply BoolReply
-	if err := c.rpc.Call("Directory.VerifyPartialUpdate",
-		&VerifyArgs{Iter: iter, Partition: partition, Aggregator: aggregator, Data: data}, &reply); err != nil {
+	if err := c.call(ctx, "Directory.VerifyPartialUpdate",
+		&VerifyArgs{Iter: iter, Partition: partition, Aggregator: aggregator, Data: data, Deadline: wireDeadline(ctx)}, &reply); err != nil {
 		return false, err
 	}
 	return reply.OK, decodeErr(reply.Err)

@@ -71,25 +71,25 @@ func TestStorageRoundTripOverTCP(t *testing.T) {
 	c := dialClient(t, addr)
 
 	data := []byte("tcp gradient block")
-	id, err := c.Put("s0", data)
+	id, err := c.Put(context.Background(), "s0", data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !cid.Verify(data, id) {
 		t.Fatal("CID mismatch over TCP")
 	}
-	got, err := c.Get("s0", id)
+	got, err := c.Get(context.Background(), "s0", id)
 	if err != nil || string(got) != string(data) {
 		t.Fatalf("Get: %v %q", err, got)
 	}
-	fetched, err := c.Fetch(id)
+	fetched, err := c.Fetch(context.Background(), id)
 	if err != nil || string(fetched) != string(data) {
 		t.Fatalf("Fetch: %v", err)
 	}
-	if _, err := c.Get("s1", id); !errors.Is(err, storage.ErrNotFound) {
+	if _, err := c.Get(context.Background(), "s1", id); !errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("error identity lost over TCP: %v", err)
 	}
-	if _, err := c.Get("ghost", id); !errors.Is(err, storage.ErrUnknownNode) {
+	if _, err := c.Get(context.Background(), "ghost", id); !errors.Is(err, storage.ErrUnknownNode) {
 		t.Fatalf("unknown-node identity lost: %v", err)
 	}
 }
@@ -106,17 +106,17 @@ func TestDirectoryErrorsSurviveTCP(t *testing.T) {
 	addr, _, _ := startServer(t, cfg)
 	c := dialClient(t, addr)
 
-	if _, err := c.Update(0, 0); !errors.Is(err, directory.ErrNotFound) {
+	if _, err := c.Update(context.Background(), 0, 0); !errors.Is(err, directory.ErrNotFound) {
 		t.Fatalf("ErrNotFound lost: %v", err)
 	}
-	if _, err := c.Lookup(directory.Addr{Uploader: "x", Type: directory.TypeGradient}); !errors.Is(err, directory.ErrNotFound) {
+	if _, err := c.Lookup(context.Background(), directory.Addr{Uploader: "x", Type: directory.TypeGradient}); !errors.Is(err, directory.ErrNotFound) {
 		t.Fatalf("Lookup ErrNotFound lost: %v", err)
 	}
-	id, err := c.Put("s0", []byte("gradient"))
+	id, err := c.Put(context.Background(), "s0", []byte("gradient"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c.Publish(directory.Record{
+	err = c.Publish(context.Background(), directory.Record{
 		Addr: directory.Addr{Uploader: "t0", Partition: 0, Iter: 0, Type: directory.TypeGradient},
 		CID:  id, Node: "s0",
 	})

@@ -2,6 +2,7 @@ package ipls_test
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -221,5 +222,57 @@ func TestFacadeShardedDirectory(t *testing.T) {
 	deltas := map[string][]float64{"t0": make([]float64, 12), "t1": make([]float64, 12)}
 	if _, err := sess.RunIteration(context.Background(), 0, deltas, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeResilience runs a full iteration through the public resilience
+// wrappers with a storage replica crashed mid-task, and checks the
+// IsRetryable export agrees with the transport's wire-mapped sentinels.
+func TestFacadeResilience(t *testing.T) {
+	cfg, err := ipls.NewConfig(ipls.TaskSpec{
+		TaskID:                  "facade-resilience",
+		ModelDim:                12,
+		Partitions:              2,
+		Trainers:                []string{"t0", "t1"},
+		AggregatorsPerPartition: 1,
+		StorageNodes:            []string{"s0", "s1", "s2"},
+		ProvidersPerAggregator:  1,
+		TTrain:                  2 * time.Second,
+		TSync:                   2 * time.Second,
+		PollInterval:            time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, net, dir, err := ipls.NewLocalStack(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := ipls.DefaultRetryPolicy()
+	pol.BaseBackoff = time.Millisecond
+	pol.MaxBackoff = 4 * time.Millisecond
+	client := ipls.WithResilience(net, cfg, pol)
+	sess, err := ipls.NewSession(cfg, client.Storage(), ipls.WithDirectoryResilience(dir, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ipls.ParseFaultPlan("crash:s1@iter1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := map[string][]float64{"t0": make([]float64, 12), "t1": make([]float64, 12)}
+	for iter := 0; iter < 3; iter++ {
+		if _, err := plan.Apply(net, iter); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.RunIteration(context.Background(), iter, deltas, nil); err != nil {
+			t.Fatalf("iteration %d with s1 down: %v", iter, err)
+		}
+	}
+	if !ipls.IsRetryable(fmt.Errorf("wrapped: %w", context.DeadlineExceeded)) {
+		t.Error("deadline exceeded should be retryable")
+	}
+	if ipls.IsRetryable(context.Canceled) {
+		t.Error("caller cancellation must not be retried")
 	}
 }
