@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos check
+.PHONY: all build vet test race chaos bench-gate check
 
 all: check
 
@@ -23,4 +23,11 @@ race:
 chaos:
 	$(GO) test -race -timeout 10m ./internal/resilience/... ./internal/netsim/... ./internal/storage/...
 
-check: build vet test race chaos
+# Per-phase benchmark regression gate: deterministic virtual-clock
+# scenarios checked against the committed baselines at zero tolerance.
+# Re-record after a deliberate perf change with:
+#   go run ./cmd/iplsbench -baseline-out cmd/iplsbench/testdata/baselines/sim.json gate
+bench-gate:
+	$(GO) run -race ./cmd/iplsbench -baseline cmd/iplsbench/testdata/baselines/sim.json gate
+
+check: build vet test race chaos bench-gate

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipls/internal/obs"
+)
+
+const committedBaseline = "testdata/baselines/sim.json"
+
+// TestGateRecordIsDeterministic: the virtual clock makes baselines exact,
+// so recording twice yields byte-identical JSON.
+func TestGateRecordIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	var out bytes.Buffer
+	if err := runGate(&out, gateOptions{baselineOut: a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGate(&out, gateOptions{baselineOut: b}); err != nil {
+		t.Fatal(err)
+	}
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("two records differ:\n%s\nvs\n%s", ab, bb)
+	}
+}
+
+// TestGateRecordCheckRoundTrip: `-baseline-out` then `-baseline` on the
+// same tree passes with zero delta at zero tolerance — the acceptance
+// contract of the gate.
+func TestGateRecordCheckRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out bytes.Buffer
+	if err := runGate(&out, gateOptions{baselineOut: path}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runGate(&out, gateOptions{baseline: path, tolerance: 0}); err != nil {
+		t.Fatalf("fresh record did not pass its own check: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") || strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("expected all-PASS report:\n%s", out.String())
+	}
+}
+
+// TestGateCommittedBaselinePasses is the repo-level golden test: the
+// committed baselines under testdata/baselines must match what the
+// current simulator produces, exactly. If a deliberate change moves a
+// phase budget, re-record with:
+//
+//	go run ./cmd/iplsbench -baseline-out cmd/iplsbench/testdata/baselines/sim.json gate
+func TestGateCommittedBaselinePasses(t *testing.T) {
+	var out bytes.Buffer
+	if err := runGate(&out, gateOptions{baseline: committedBaseline, tolerance: 0}); err != nil {
+		t.Fatalf("committed baseline check failed: %v\n%s", err, out.String())
+	}
+	// Every committed scenario shows up in the report.
+	for _, sc := range gateScenarios {
+		if !strings.Contains(out.String(), "scenario "+sc.name+": PASS") {
+			t.Fatalf("scenario %s missing or failing:\n%s", sc.name, out.String())
+		}
+	}
+}
+
+// TestGateTamperedBaselineFails: tightening any single phase budget below
+// the measured value makes check mode fail, and the error names the
+// phase. Covers the per-phase half of the acceptance criteria.
+func TestGateTamperedBaselineFails(t *testing.T) {
+	f, err := os.Open(committedBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := obs.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := func(t *testing.T, scenario, phase string, mutate func(*obs.PhaseBudget)) {
+		t.Helper()
+		sc, ok := base.Scenarios[scenario]
+		if !ok {
+			t.Fatalf("no scenario %s in committed baseline", scenario)
+		}
+		phases := make(map[string]obs.PhaseBudget, len(sc.Phases))
+		for k, v := range sc.Phases {
+			phases[k] = v
+		}
+		pb, ok := phases[phase]
+		if !ok {
+			t.Fatalf("no phase %s in scenario %s", phase, scenario)
+		}
+		mutate(&pb)
+		phases[phase] = pb
+		mutated := base
+		mutated.Scenarios = map[string]obs.ScenarioBudget{}
+		for k, v := range base.Scenarios {
+			mutated.Scenarios[k] = v
+		}
+		sc.Phases = phases
+		mutated.Scenarios[scenario] = sc
+
+		path := filepath.Join(t.TempDir(), "tampered.json")
+		out, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteBaseline(out, mutated); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		var report bytes.Buffer
+		checkErr := runGate(&report, gateOptions{baseline: path, tolerance: 0})
+		if checkErr == nil {
+			t.Fatalf("tightened %s/%s budget passed the check:\n%s", scenario, phase, report.String())
+		}
+		if !strings.Contains(checkErr.Error(), phase) {
+			t.Fatalf("error does not name phase %s: %v", phase, checkErr)
+		}
+		if !strings.Contains(checkErr.Error(), scenario) {
+			t.Fatalf("error does not name scenario %s: %v", scenario, checkErr)
+		}
+		if !strings.Contains(report.String(), "FAIL") {
+			t.Fatalf("report does not FAIL:\n%s", report.String())
+		}
+	}
+
+	t.Run("merge_download max", func(t *testing.T) {
+		tamper(t, "fig1-merge-p4", "merge_download", func(pb *obs.PhaseBudget) { pb.Max /= 2 })
+	})
+	t.Run("sync_wait p50", func(t *testing.T) {
+		tamper(t, "fig2-sync-a2", "sync_wait", func(pb *obs.PhaseBudget) { pb.P50 /= 2 })
+	})
+	t.Run("upload_wait bytes", func(t *testing.T) {
+		// A zero-byte budget that the run exceeds: force bytes negative-
+		// proof by tightening the download phase's bytes instead.
+		tamper(t, "fig2-sync-a2", "download", func(pb *obs.PhaseBudget) { pb.Bytes /= 2 })
+	})
+}
+
+// TestGateToleranceAbsorbsRegression: a tightened budget within the
+// tolerance passes; beyond it fails.
+func TestGateToleranceAbsorbsRegression(t *testing.T) {
+	f, err := os.Open(committedBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := obs.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := base.Scenarios["fig1-merge-p4"]
+	md := sc.Phases["merge_download"]
+	md.Max = md.Max * 95 / 100 // run exceeds the budget by ~5.3%
+	md.P50 = md.P50 * 95 / 100
+	sc.Phases["merge_download"] = md
+	base.Scenarios["fig1-merge-p4"] = sc
+	path := filepath.Join(t.TempDir(), "tight.json")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteBaseline(out, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runGate(&buf, gateOptions{baseline: path, tolerance: 0.10}); err != nil {
+		t.Fatalf("10%% tolerance should absorb a ~5%% regression: %v", err)
+	}
+	buf.Reset()
+	if err := runGate(&buf, gateOptions{baseline: path, tolerance: 0.01}); err == nil {
+		t.Fatalf("1%% tolerance should not absorb a ~5%% regression:\n%s", buf.String())
+	}
+}
+
+func TestGateSpanOutDump(t *testing.T) {
+	dir := t.TempDir()
+	spanPath := filepath.Join(dir, "gate.spans")
+	var out bytes.Buffer
+	if err := runGate(&out, gateOptions{baselineOut: filepath.Join(dir, "b.json"), spanOut: spanPath}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(spanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpanJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans dumped")
+	}
+	// Traces are re-sessioned per scenario so the dump keeps them apart.
+	sessions := map[string]bool{}
+	for _, s := range spans {
+		sessions[s.Context.Session] = true
+	}
+	for _, sc := range gateScenarios {
+		if !sessions[sc.name] {
+			t.Fatalf("no spans for scenario %s in dump (sessions: %v)", sc.name, sessions)
+		}
+	}
+}
+
+func TestGateCLIWiring(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cli.json")
+	// Flags without an experiment name imply the gate.
+	if err := run([]string{"-baseline-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", out, "-tolerance", "0", "gate"}); err != nil {
+		t.Fatal(err)
+	}
+	// The gate without either flag is an error, as are gate flags on a
+	// normal experiment.
+	if err := run([]string{"gate"}); err == nil {
+		t.Fatal("gate without -baseline/-baseline-out must fail")
+	}
+	if err := run([]string{"-baseline", out, "fig1"}); err == nil {
+		t.Fatal("-baseline with a non-gate experiment must fail")
+	}
+	if err := run([]string{"-baseline", out, "-tolerance", "-1", "gate"}); err == nil {
+		t.Fatal("negative tolerance must fail")
+	}
+	if err := run([]string{"-baseline", filepath.Join(dir, "missing.json"), "gate"}); err == nil {
+		t.Fatal("missing baseline file must fail")
+	}
+}

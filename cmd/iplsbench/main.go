@@ -15,6 +15,16 @@
 //	iplsbench dirload    directory load reduction: batching + sharding (§VI)
 //	iplsbench hash       proof-friendly MiMC hash vs SHA-256 (§VI)
 //	iplsbench all        everything above
+//
+// The per-phase regression gate runs deterministic virtual-clock
+// scenarios and records or checks per-phase latency budgets:
+//
+//	iplsbench -baseline-out testdata/baselines/sim.json gate   # record
+//	iplsbench -baseline testdata/baselines/sim.json gate       # check
+//	iplsbench -baseline sim.json -tolerance 0.05 gate          # 5% slack
+//
+// Check mode prints a per-phase delta table per scenario and exits
+// non-zero naming every phase that exceeds its budget.
 package main
 
 import (
@@ -38,16 +48,32 @@ func run(args []string) error {
 	maxParams := fs.Int("max-params", 100_000, "largest model size for fig3")
 	rounds := fs.Int("rounds", 10, "FL rounds for converge/baseline experiments")
 	metricsOut := fs.String("metrics-out", "", "write the run's datapoints and per-experiment wall time to this file as JSON")
+	baseline := fs.String("baseline", "", "gate: check the run's per-phase budgets against this baseline JSON, exiting non-zero on regression")
+	baselineOut := fs.String("baseline-out", "", "gate: record the run's per-phase budgets to this baseline JSON")
+	tolerance := fs.Float64("tolerance", 0, "gate: allowed relative regression per phase metric (0.05 = 5%; the virtual clock is exact, so 0 works)")
+	spanOut := fs.String("span-out", "", "gate: also dump the scenarios' causal spans to this file as JSON Lines (analyze with iplstrace)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|dirload|hash|all>")
+		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|dirload|hash|gate|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	gateOpts := gateOptions{baseline: *baseline, baselineOut: *baselineOut, tolerance: *tolerance, spanOut: *spanOut}
+	// The gate is its own mode: `iplsbench gate` with at least one of
+	// -baseline/-baseline-out, or just the flags with no experiment name.
+	if fs.NArg() == 0 && (gateOpts.baseline != "" || gateOpts.baselineOut != "") {
+		return runGate(os.Stdout, gateOpts)
+	}
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment expected")
+	}
+	if fs.Arg(0) == "gate" {
+		return runGate(os.Stdout, gateOpts)
+	}
+	if gateOpts.baseline != "" || gateOpts.baselineOut != "" || gateOpts.spanOut != "" {
+		return fmt.Errorf("-baseline/-baseline-out/-span-out only apply to the gate experiment")
 	}
 	experiments := map[string]func() error{
 		"fig1":      fig1,

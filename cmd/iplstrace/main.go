@@ -11,6 +11,13 @@
 //	iplstrace -json run.spans
 //	iplstrace -chrome trace.json run.spans
 //	iplstrace -tree run.spans
+//
+// With -baseline the folded breakdowns are compared against a scenario
+// budget recorded by `iplsbench -baseline-out` instead of printed,
+// exiting non-zero with a per-phase delta table on regression:
+//
+//	iplstrace -baseline sim.json -scenario fig1-merge-p4 run.spans
+//	iplstrace -baseline sim.json -tolerance 0.05 run.spans
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,9 +43,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("iplstrace", flag.ContinueOnError)
 	var (
-		jsonOut = fs.Bool("json", false, "emit the per-iteration breakdowns as JSON instead of a table")
-		chrome  = fs.String("chrome", "", "write the spans in Chrome trace-event format to this file (open in Perfetto)")
-		tree    = fs.Bool("tree", false, "print each iteration's span tree instead of the breakdown")
+		jsonOut   = fs.Bool("json", false, "emit the per-iteration breakdowns as JSON instead of a table")
+		chrome    = fs.String("chrome", "", "write the spans in Chrome trace-event format to this file (open in Perfetto)")
+		tree      = fs.Bool("tree", false, "print each iteration's span tree instead of the breakdown")
+		baseline  = fs.String("baseline", "", "compare the folded breakdowns against this baseline JSON (from iplsbench -baseline-out), exiting non-zero on regression")
+		scenario  = fs.String("scenario", "", "scenario name inside -baseline to compare against (optional when the baseline has exactly one)")
+		tolerance = fs.Float64("tolerance", 0, "allowed relative regression per phase metric when checking -baseline (0.05 = 5%)")
 	)
 	fs.SetOutput(out)
 	fs.Usage = func() {
@@ -50,6 +61,12 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return fmt.Errorf("no span files given")
+	}
+	if *baseline != "" && (*jsonOut || *tree) {
+		return fmt.Errorf("-baseline is incompatible with -json/-tree")
+	}
+	if *baseline == "" && (*scenario != "" || *tolerance != 0) {
+		return fmt.Errorf("-scenario/-tolerance only apply with -baseline")
 	}
 
 	var spans []obs.Span
@@ -90,12 +107,57 @@ func run(args []string, out io.Writer) error {
 	}
 
 	breakdowns := obs.BreakdownTrace(spans)
+	if *baseline != "" {
+		return checkBaseline(out, breakdowns, *baseline, *scenario, *tolerance)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(breakdowns)
 	}
 	printBreakdowns(out, breakdowns)
+	return nil
+}
+
+// checkBaseline folds the breakdowns into a scenario budget and compares
+// it against one scenario of a recorded baseline, reusing the same
+// comparator and delta-table renderer as the iplsbench gate.
+func checkBaseline(out io.Writer, breakdowns []obs.IterationBreakdown, path, scenario string, tolerance float64) error {
+	if tolerance < 0 {
+		return fmt.Errorf("-tolerance must be non-negative, got %v", tolerance)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	base, err := obs.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if scenario == "" {
+		if len(base.Scenarios) != 1 {
+			names := make([]string, 0, len(base.Scenarios))
+			for name := range base.Scenarios {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("baseline has %d scenarios (%s): pick one with -scenario",
+				len(base.Scenarios), strings.Join(names, ", "))
+		}
+		for name := range base.Scenarios {
+			scenario = name
+		}
+	}
+	budget, ok := base.Scenarios[scenario]
+	if !ok {
+		return fmt.Errorf("baseline has no scenario %q", scenario)
+	}
+	report := obs.CompareBudget(scenario, budget, obs.NewScenarioBudget(breakdowns), tolerance)
+	obs.WriteBudgetReport(out, report)
+	if v := report.Violations(); len(v) > 0 {
+		return fmt.Errorf("%d budget violation(s): %s", len(v), strings.Join(v, "; "))
+	}
 	return nil
 }
 

@@ -171,3 +171,121 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("empty span stream must error")
 	}
 }
+
+// writeBaselineFile folds the fixture span files into a baseline with the
+// given scenario names so the -baseline path has something real to check
+// against.
+func writeBaselineFile(t *testing.T, dir string, spans []obs.Span, scenarios ...string) string {
+	t.Helper()
+	budget := obs.NewScenarioBudget(obs.BreakdownTrace(spans))
+	base := obs.Baseline{Version: obs.BaselineVersion, Scenarios: map[string]obs.ScenarioBudget{}}
+	for _, name := range scenarios {
+		base.Scenarios[name] = budget
+	}
+	path := filepath.Join(dir, "base.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteBaseline(f, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readSpans(t *testing.T, paths ...string) []obs.Span {
+	t.Helper()
+	var spans []obs.Span
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := obs.ReadSpanJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, part...)
+	}
+	return spans
+}
+
+func TestRunBaselineCheck(t *testing.T) {
+	dir := t.TempDir()
+	aggFile, storeFile := writeSpanFiles(t, dir)
+	spans := readSpans(t, aggFile, storeFile)
+
+	t.Run("single scenario inferred", func(t *testing.T) {
+		base := writeBaselineFile(t, t.TempDir(), spans, "run")
+		var out bytes.Buffer
+		if err := run([]string{"-baseline", base, aggFile, storeFile}, &out); err != nil {
+			t.Fatalf("self-check failed: %v\n%s", err, out.String())
+		}
+		if !strings.Contains(out.String(), "scenario run: PASS") {
+			t.Fatalf("missing PASS line:\n%s", out.String())
+		}
+	})
+	t.Run("multi scenario needs -scenario", func(t *testing.T) {
+		base := writeBaselineFile(t, t.TempDir(), spans, "a", "b")
+		err := run([]string{"-baseline", base, aggFile, storeFile}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "-scenario") {
+			t.Fatalf("want pick-a-scenario error, got %v", err)
+		}
+		var out bytes.Buffer
+		if err := run([]string{"-baseline", base, "-scenario", "b", aggFile, storeFile}, &out); err != nil {
+			t.Fatalf("named-scenario check failed: %v\n%s", err, out.String())
+		}
+	})
+	t.Run("unknown scenario", func(t *testing.T) {
+		base := writeBaselineFile(t, t.TempDir(), spans, "run")
+		err := run([]string{"-baseline", base, "-scenario", "nope", aggFile, storeFile}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "nope") {
+			t.Fatalf("want unknown-scenario error, got %v", err)
+		}
+	})
+	t.Run("regression fails naming phase", func(t *testing.T) {
+		budget := obs.NewScenarioBudget(obs.BreakdownTrace(spans))
+		merge := budget.Phases["merge"]
+		merge.Max /= 2
+		budget.Phases["merge"] = merge
+		base := obs.Baseline{Version: obs.BaselineVersion, Scenarios: map[string]obs.ScenarioBudget{"run": budget}}
+		path := filepath.Join(t.TempDir(), "tight.json")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteBaseline(f, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		checkErr := run([]string{"-baseline", path, aggFile, storeFile}, &out)
+		if checkErr == nil || !strings.Contains(checkErr.Error(), "merge") {
+			t.Fatalf("want merge violation, got %v\n%s", checkErr, out.String())
+		}
+		if !strings.Contains(out.String(), "FAIL") {
+			t.Fatalf("report should FAIL:\n%s", out.String())
+		}
+	})
+	t.Run("flag conflicts", func(t *testing.T) {
+		base := writeBaselineFile(t, t.TempDir(), spans, "run")
+		if err := run([]string{"-baseline", base, "-json", aggFile}, &bytes.Buffer{}); err == nil {
+			t.Fatal("-baseline with -json must fail")
+		}
+		if err := run([]string{"-baseline", base, "-tree", aggFile}, &bytes.Buffer{}); err == nil {
+			t.Fatal("-baseline with -tree must fail")
+		}
+		if err := run([]string{"-scenario", "run", aggFile}, &bytes.Buffer{}); err == nil {
+			t.Fatal("-scenario without -baseline must fail")
+		}
+		if err := run([]string{"-baseline", base, "-tolerance", "-0.1", aggFile}, &bytes.Buffer{}); err == nil {
+			t.Fatal("negative tolerance must fail")
+		}
+	})
+}

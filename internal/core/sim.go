@@ -318,10 +318,16 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 				fetchCtx := aggCtx.Child()
 				fetchStart := simClock()
 				// Phase 1: obtain all of T_ij's gradients (or those that
-				// made the t_train cutoff).
+				// made the t_train cutoff). The arrival wait is spanned
+				// separately (upload_wait) from the transfer that follows,
+				// so the critical-path breakdown splits the upload-bound
+				// stretch from the download itself — the axes of Figs. 5-7.
 				if cfg.Direct {
 					ctr := directArrived[[2]int{p, j}]
-					if !waitArrival(ctr) {
+					waitStart := simClock()
+					ok := waitArrival(ctr)
+					emitSpan("upload_wait", agg.Name, fetchCtx.Child(), waitStart, 0)
+					if !ok {
 						missed += len(trainersOf[j]) - ctr.Count()
 					}
 				} else if merge {
@@ -343,7 +349,10 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 							mdCtx := fetchCtx.Child()
 							mdStart := simClock()
 							ctr := arrived[slotKey{p, j, node}]
-							if !waitArrival(ctr) {
+							waitStart := simClock()
+							ok := waitArrival(ctr)
+							emitSpan("upload_wait", stores[node].Name, mdCtx.Child(), waitStart, 0)
+							if !ok {
 								missed += expected[slotKey{p, j, node}] - ctr.Count()
 							}
 							if ctr.Count() > 0 {
@@ -365,8 +374,13 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 						t := t
 						node := providerOf(p, j, t)
 						env.Go(fmt.Sprintf("dl-p%d-%d-t%d", p, j, t), func() {
-							if waitArrival(gradArrived[[2]int{p, t}]) {
+							dlCtx := fetchCtx.Child()
+							dlStart := simClock()
+							ok := waitArrival(gradArrived[[2]int{p, t}])
+							emitSpan("upload_wait", trainers[t].Name, dlCtx.Child(), dlStart, 0)
+							if ok {
 								env.Transfer(stores[node], agg, cfg.PartitionBytes)
+								emitSpan("download", stores[node].Name, dlCtx, dlStart, cfg.PartitionBytes)
 							} else {
 								missed++
 							}

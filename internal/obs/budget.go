@@ -1,0 +1,375 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Per-phase benchmark budgets: the regression-gate half of the span
+// substrate. The paper's headline results (Figs. 5-8) are *per-phase*
+// transfer-bound delays — upload, merge-and-download, sync wait — not just
+// end-to-end wall time, so a benchmark that gates only on total latency
+// lets a regression in one phase hide behind an improvement in another.
+// This file turns Breakdown's proven invariant (phase durations sum
+// exactly to iteration latency) into an enforced contract: fold a span
+// stream into a ScenarioBudget, record it as a JSON baseline, and compare
+// later runs phase by phase under an explicit tolerance. Under the netsim
+// virtual clock the fold is exact, so baselines admit zero-tolerance
+// comparison.
+
+// TotalPhase is the pseudo-phase naming the end-to-end latency row in a
+// budget comparison, so the old whole-iteration gate survives alongside
+// the per-phase ones.
+const TotalPhase = "(total)"
+
+// PhaseBudget is one phase's allowance within a scenario: the median and
+// worst critical-path time charged to the phase across the scenario's
+// traces, and the largest byte volume its spans moved.
+type PhaseBudget struct {
+	P50   time.Duration `json:"p50_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Bytes int64         `json:"bytes,omitempty"`
+}
+
+// ScenarioBudget is the per-phase budget of one benchmark scenario,
+// folded from the per-trace breakdowns of its span stream.
+type ScenarioBudget struct {
+	// Traces is how many (session, iter) traces the budget was folded
+	// from.
+	Traces int `json:"traces"`
+	// Latency is the end-to-end budget (the pre-existing gate signal).
+	Latency PhaseBudget `json:"latency"`
+	// Phases maps phase name (span name, or GapPhase) to its budget.
+	Phases map[string]PhaseBudget `json:"phases"`
+}
+
+// Baseline is the committed form of a benchmark run: one ScenarioBudget
+// per named scenario. It round-trips through JSON with sorted keys, so a
+// deterministic run re-records byte-identical baselines.
+type Baseline struct {
+	Version   int                       `json:"version"`
+	Scenarios map[string]ScenarioBudget `json:"scenarios"`
+}
+
+// BaselineVersion is the current baseline schema version.
+const BaselineVersion = 1
+
+// NewScenarioBudget folds per-trace breakdowns into a scenario budget.
+// A phase absent from some traces contributes zeros for them, so p50 is
+// taken over all traces, not just the ones where the phase appeared.
+func NewScenarioBudget(breakdowns []IterationBreakdown) ScenarioBudget {
+	b := ScenarioBudget{Traces: len(breakdowns), Phases: make(map[string]PhaseBudget)}
+	if len(breakdowns) == 0 {
+		return b
+	}
+	latencies := make([]time.Duration, 0, len(breakdowns))
+	totalBytes := make([]int64, 0, len(breakdowns))
+	durs := make(map[string][]time.Duration)
+	bytes := make(map[string][]int64)
+	for _, bd := range breakdowns {
+		latencies = append(latencies, bd.Latency)
+		var tb int64
+		for _, p := range bd.Phases {
+			durs[p.Phase] = append(durs[p.Phase], p.Duration)
+			bytes[p.Phase] = append(bytes[p.Phase], p.Bytes)
+			tb += p.Bytes
+		}
+		totalBytes = append(totalBytes, tb)
+	}
+	b.Latency = PhaseBudget{P50: p50Duration(latencies), Max: maxDuration(latencies), Bytes: maxInt64(totalBytes)}
+	for phase, ds := range durs {
+		// Pad with zeros for traces the phase did not appear in, so the
+		// median reflects the whole scenario.
+		for len(ds) < len(breakdowns) {
+			ds = append(ds, 0)
+		}
+		b.Phases[phase] = PhaseBudget{P50: p50Duration(ds), Max: maxDuration(ds), Bytes: maxInt64(bytes[phase])}
+	}
+	return b
+}
+
+// p50Duration is the lower median of vs (exact for deterministic runs).
+func p50Duration(vs []time.Duration) time.Duration {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+func maxDuration(vs []time.Duration) time.Duration {
+	var m time.Duration
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxInt64(vs []int64) int64 {
+	var m int64
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// WriteBaseline serializes the baseline as indented JSON (map keys sort,
+// so the output is deterministic).
+func WriteBaseline(w io.Writer, b Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return b, fmt.Errorf("obs: baseline: %w", err)
+	}
+	if b.Version != BaselineVersion {
+		return b, fmt.Errorf("obs: baseline version %d, want %d", b.Version, BaselineVersion)
+	}
+	if len(b.Scenarios) == 0 {
+		return b, fmt.Errorf("obs: baseline has no scenarios")
+	}
+	return b, nil
+}
+
+// MetricDelta is one (phase, metric) comparison row. Base and Got are in
+// nanoseconds for duration metrics and bytes for the bytes metric.
+type MetricDelta struct {
+	Metric string `json:"metric"` // "p50" | "max" | "bytes"
+	Base   int64  `json:"base"`
+	Got    int64  `json:"got"`
+	// Violation is set when Got exceeds Base beyond the tolerance.
+	Violation bool `json:"violation,omitempty"`
+}
+
+// Pct is the relative delta in percent (+inf encoded as +100 per zero
+// base convention: a zero budget that grew is reported as +100%).
+func (d MetricDelta) Pct() float64 {
+	if d.Base == 0 {
+		if d.Got == 0 {
+			return 0
+		}
+		return 100
+	}
+	return float64(d.Got-d.Base) / float64(d.Base) * 100
+}
+
+// PhaseDelta compares one phase of a scenario against its budget.
+type PhaseDelta struct {
+	Phase string `json:"phase"`
+	// InBase/InRun report presence on each side; when either is false
+	// Metrics is empty and Problem explains the mismatch.
+	InBase  bool          `json:"in_base"`
+	InRun   bool          `json:"in_run"`
+	Metrics []MetricDelta `json:"metrics,omitempty"`
+	Problem string        `json:"problem,omitempty"`
+}
+
+// BudgetReport is the outcome of checking one scenario against its
+// baseline budget.
+type BudgetReport struct {
+	Scenario  string       `json:"scenario"`
+	Tolerance float64      `json:"tolerance"`
+	Deltas    []PhaseDelta `json:"deltas,omitempty"`
+	// Problems records scenario-level failures (e.g. the scenario is
+	// missing from the run or the baseline entirely).
+	Problems []string `json:"problems,omitempty"`
+}
+
+// OK reports whether the scenario stayed within budget: no metric
+// violations, no phase-set mismatches, no scenario-level problems.
+func (r BudgetReport) OK() bool {
+	if len(r.Problems) > 0 {
+		return false
+	}
+	for _, d := range r.Deltas {
+		if d.Problem != "" {
+			return false
+		}
+		for _, m := range d.Metrics {
+			if m.Violation {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Violations lists every failure as "scenario/phase: reason" strings,
+// suitable for an error message naming the regressed phases.
+func (r BudgetReport) Violations() []string {
+	var out []string
+	for _, p := range r.Problems {
+		out = append(out, fmt.Sprintf("%s: %s", r.Scenario, p))
+	}
+	for _, d := range r.Deltas {
+		if d.Problem != "" {
+			out = append(out, fmt.Sprintf("%s/%s: %s", r.Scenario, d.Phase, d.Problem))
+			continue
+		}
+		for _, m := range d.Metrics {
+			if m.Violation {
+				out = append(out, fmt.Sprintf("%s/%s: %s %s exceeds budget %s by %+.1f%% (tolerance %.1f%%)",
+					r.Scenario, d.Phase, m.Metric, formatMetric(m.Metric, m.Got),
+					formatMetric(m.Metric, m.Base), m.Pct(), r.Tolerance*100))
+			}
+		}
+	}
+	return out
+}
+
+// allowed is the budget ceiling for a base value under the tolerance.
+func allowed(base int64, tol float64) int64 {
+	if tol <= 0 {
+		return base
+	}
+	return base + int64(tol*float64(base))
+}
+
+// compareMetric builds one row, flagging got > base*(1+tol). Improvements
+// (got < base) always pass; they surface as negative deltas in the table.
+func compareMetric(name string, base, got int64, tol float64) MetricDelta {
+	return MetricDelta{Metric: name, Base: base, Got: got, Violation: got > allowed(base, tol)}
+}
+
+func comparePhase(phase string, base, got PhaseBudget, tol float64) PhaseDelta {
+	return PhaseDelta{
+		Phase: phase, InBase: true, InRun: true,
+		Metrics: []MetricDelta{
+			compareMetric("p50", int64(base.P50), int64(got.P50), tol),
+			compareMetric("max", int64(base.Max), int64(got.Max), tol),
+			compareMetric("bytes", base.Bytes, got.Bytes, tol),
+		},
+	}
+}
+
+// CompareBudget checks one scenario's folded budget against its baseline.
+// Every phase of the union is compared: a phase budgeted but absent from
+// the run fails (the instrumentation regressed or the phase vanished —
+// either way the budget cannot be verified), and a phase present in the
+// run but absent from the baseline fails (unbudgeted critical-path work).
+// The end-to-end latency is compared first under the TotalPhase row.
+func CompareBudget(scenario string, base, got ScenarioBudget, tol float64) BudgetReport {
+	r := BudgetReport{Scenario: scenario, Tolerance: tol}
+	r.Deltas = append(r.Deltas, comparePhase(TotalPhase, base.Latency, got.Latency, tol))
+	names := make(map[string]bool, len(base.Phases)+len(got.Phases))
+	for n := range base.Phases {
+		names[n] = true
+	}
+	for n := range got.Phases {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, n := range ordered {
+		b, inBase := base.Phases[n]
+		g, inRun := got.Phases[n]
+		switch {
+		case inBase && inRun:
+			r.Deltas = append(r.Deltas, comparePhase(n, b, g, tol))
+		case inBase:
+			r.Deltas = append(r.Deltas, PhaseDelta{
+				Phase: n, InBase: true,
+				Problem: "budgeted phase missing from the run",
+			})
+		default:
+			r.Deltas = append(r.Deltas, PhaseDelta{
+				Phase: n, InRun: true,
+				Problem: "phase not in the baseline (record a new baseline to budget it)",
+			})
+		}
+	}
+	return r
+}
+
+// CompareBaselines checks a freshly folded baseline against the committed
+// one, scenario by scenario, in sorted order. Scenario-set mismatches
+// fail on the affected scenario's report.
+func CompareBaselines(base, got Baseline, tol float64) []BudgetReport {
+	names := make(map[string]bool, len(base.Scenarios)+len(got.Scenarios))
+	for n := range base.Scenarios {
+		names[n] = true
+	}
+	for n := range got.Scenarios {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	var out []BudgetReport
+	for _, n := range ordered {
+		b, inBase := base.Scenarios[n]
+		g, inRun := got.Scenarios[n]
+		switch {
+		case inBase && inRun:
+			out = append(out, CompareBudget(n, b, g, tol))
+		case inBase:
+			out = append(out, BudgetReport{Scenario: n, Tolerance: tol,
+				Problems: []string{"baselined scenario missing from the run"}})
+		default:
+			out = append(out, BudgetReport{Scenario: n, Tolerance: tol,
+				Problems: []string{"scenario not in the baseline (re-record to budget it)"}})
+		}
+	}
+	return out
+}
+
+// formatMetric renders a metric value: durations rounded to the
+// microsecond, bytes as plain integers.
+func formatMetric(metric string, v int64) string {
+	if metric == "bytes" {
+		return fmt.Sprintf("%dB", v)
+	}
+	return time.Duration(v).Round(time.Microsecond).String()
+}
+
+// WriteBudgetReport renders the per-phase delta table for one scenario —
+// the shared renderer behind `iplsbench -baseline` and
+// `iplstrace -baseline`. Violating rows are marked with '!', and every
+// violation is restated on its own line after the table.
+func WriteBudgetReport(w io.Writer, r BudgetReport) {
+	status := "PASS"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "scenario %s: %s (tolerance %.1f%%)\n", r.Scenario, status, r.Tolerance*100)
+	if len(r.Deltas) > 0 {
+		fmt.Fprintf(w, "  %-20s %-6s %14s %14s %9s\n", "phase", "metric", "base", "run", "delta")
+	}
+	for _, d := range r.Deltas {
+		if d.Problem != "" {
+			fmt.Fprintf(w, "  ! %-18s %s\n", d.Phase, d.Problem)
+			continue
+		}
+		for _, m := range d.Metrics {
+			mark := " "
+			if m.Violation {
+				mark = "!"
+			}
+			fmt.Fprintf(w, "%s %-20s %-6s %14s %14s %+8.1f%%\n",
+				mark, d.Phase, m.Metric, formatMetric(m.Metric, m.Base), formatMetric(m.Metric, m.Got), m.Pct())
+		}
+	}
+	for _, v := range r.Violations() {
+		fmt.Fprintf(w, "  violation: %s\n", v)
+	}
+}

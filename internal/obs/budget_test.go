@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files instead of comparing")
+
+func ms(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// budgetSpans builds a three-trace stream with upload/aggregate/
+// merge_download phases whose per-trace critical-path durations are easy
+// to compute by hand.
+func budgetSpans() []Span {
+	var spans []Span
+	for iter := 0; iter < 3; iter++ {
+		// Iteration latency 100/110/120 ms; merge_download grows with iter.
+		// The root keeps [30,35] for itself so the "iteration" phase shows
+		// up in the fold.
+		stretch := int64(iter * 10)
+		root := mkSpan("bench", iter, "root", "", "iteration", 0, 100+stretch)
+		up := mkSpan("bench", iter, "up", "root", "upload", 0, 30)
+		agg := mkSpan("bench", iter, "agg", "root", "aggregate", 35, 100+stretch)
+		md := mkSpan("bench", iter, "md", "agg", "merge_download", 40, 60+stretch)
+		md.Bytes = 1000 + int64(iter)
+		spans = append(spans, root, up, agg, md)
+	}
+	return spans
+}
+
+func TestNewScenarioBudgetFoldsPerPhase(t *testing.T) {
+	b := NewScenarioBudget(BreakdownTrace(budgetSpans()))
+	if b.Traces != 3 {
+		t.Fatalf("traces = %d, want 3", b.Traces)
+	}
+	if b.Latency.P50 != ms(110) || b.Latency.Max != ms(120) {
+		t.Fatalf("latency budget = %+v, want p50=110ms max=120ms", b.Latency)
+	}
+	// merge_download durations: 20, 30, 40 ms.
+	md, ok := b.Phases["merge_download"]
+	if !ok {
+		t.Fatalf("no merge_download budget: %v", b.Phases)
+	}
+	if md.P50 != ms(30) || md.Max != ms(40) {
+		t.Fatalf("merge_download budget = %+v, want p50=30ms max=40ms", md)
+	}
+	if md.Bytes != 1002 {
+		t.Fatalf("merge_download bytes = %d, want 1002 (max across traces)", md.Bytes)
+	}
+	// upload is on the path only for [0,30]: constant 30ms per trace.
+	up := b.Phases["upload"]
+	if up.P50 != ms(30) || up.Max != ms(30) {
+		t.Fatalf("upload budget = %+v", up)
+	}
+	// Per-trace phase durations sum to the latency, so the budget's
+	// phases at p50 cannot exceed the p50 latency by construction of any
+	// single trace; sanity-check the fold kept every phase.
+	want := []string{"aggregate", "iteration", "merge_download", "upload"}
+	for _, phase := range want {
+		if _, ok := b.Phases[phase]; !ok {
+			t.Fatalf("missing phase %q in %v", phase, b.Phases)
+		}
+	}
+}
+
+func TestNewScenarioBudgetEmpty(t *testing.T) {
+	b := NewScenarioBudget(nil)
+	if b.Traces != 0 || len(b.Phases) != 0 || b.Latency != (PhaseBudget{}) {
+		t.Fatalf("empty budget: %+v", b)
+	}
+}
+
+func TestNewScenarioBudgetPadsAbsentPhases(t *testing.T) {
+	// Phase "extra" appears in one of three traces, ending after every
+	// other span so it owns critical-path time there: the median over
+	// (0, 0, >0) must be 0, the max positive.
+	spans := budgetSpans()
+	extra := mkSpan("bench", 2, "ex", "root", "extra", 60, 130)
+	spans = append(spans, extra)
+	b := NewScenarioBudget(BreakdownTrace(spans))
+	got := b.Phases["extra"]
+	if got.P50 != 0 {
+		t.Fatalf("extra p50 = %v, want 0 (absent from 2 of 3 traces)", got.P50)
+	}
+	if got.Max == 0 {
+		t.Fatalf("extra max = 0, want > 0")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := Baseline{Version: BaselineVersion, Scenarios: map[string]ScenarioBudget{
+		"s1": NewScenarioBudget(BreakdownTrace(budgetSpans())),
+	}}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != b.Version || len(got.Scenarios) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Scenarios["s1"].Latency != b.Scenarios["s1"].Latency {
+		t.Fatalf("latency budget changed: %+v vs %+v", got.Scenarios["s1"].Latency, b.Scenarios["s1"].Latency)
+	}
+	for phase, pb := range b.Scenarios["s1"].Phases {
+		if got.Scenarios["s1"].Phases[phase] != pb {
+			t.Fatalf("phase %q changed: %+v vs %+v", phase, got.Scenarios["s1"].Phases[phase], pb)
+		}
+	}
+	// Serialization is deterministic: a second write is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteBaseline(&buf2, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteBaseline is not deterministic")
+	}
+}
+
+func TestReadBaselineRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"version": 99, "scenarios": {"s": {"traces": 1, "latency": {"p50_ns": 1, "max_ns": 1}, "phases": {}}}}`,
+		"no scenarios":  `{"version": 1, "scenarios": {}}`,
+		"unknown field": `{"version": 1, "scenarios": {}, "surprise": true}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadBaseline(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func budget(p50, max time.Duration, b int64) PhaseBudget {
+	return PhaseBudget{P50: p50, Max: max, Bytes: b}
+}
+
+func scenario(phases map[string]PhaseBudget, latency PhaseBudget) ScenarioBudget {
+	return ScenarioBudget{Traces: 1, Latency: latency, Phases: phases}
+}
+
+// TestCompareBudgetTable is the table-driven edge-case matrix: exact
+// match, regression beyond tolerance, regression absorbed by tolerance,
+// improvement, byte growth, missing phase, new phase.
+func TestCompareBudgetTable(t *testing.T) {
+	base := scenario(map[string]PhaseBudget{
+		"upload":         budget(ms(100), ms(120), 5000),
+		"merge_download": budget(ms(40), ms(50), 2600),
+	}, budget(ms(200), ms(220), 7600))
+
+	cases := []struct {
+		name    string
+		got     ScenarioBudget
+		tol     float64
+		ok      bool
+		failing []string // phases expected to carry a violation or problem
+	}{
+		{
+			name: "exact match zero tolerance",
+			got:  base, tol: 0, ok: true,
+		},
+		{
+			name: "p50 regression beyond tolerance",
+			got: scenario(map[string]PhaseBudget{
+				"upload":         budget(ms(120), ms(120), 5000),
+				"merge_download": budget(ms(40), ms(50), 2600),
+			}, budget(ms(200), ms(220), 7600)),
+			tol: 0.1, ok: false, failing: []string{"upload"},
+		},
+		{
+			name: "regression absorbed by tolerance",
+			got: scenario(map[string]PhaseBudget{
+				"upload":         budget(ms(104), ms(125), 5000),
+				"merge_download": budget(ms(40), ms(50), 2600),
+			}, budget(ms(208), ms(228), 7600)),
+			tol: 0.05, ok: true,
+		},
+		{
+			name: "improvement always passes",
+			got: scenario(map[string]PhaseBudget{
+				"upload":         budget(ms(50), ms(60), 2000),
+				"merge_download": budget(ms(10), ms(20), 100),
+			}, budget(ms(80), ms(90), 2100)),
+			tol: 0, ok: true,
+		},
+		{
+			name: "byte growth is a regression",
+			got: scenario(map[string]PhaseBudget{
+				"upload":         budget(ms(100), ms(120), 9000),
+				"merge_download": budget(ms(40), ms(50), 2600),
+			}, budget(ms(200), ms(220), 7600)),
+			tol: 0.05, ok: false, failing: []string{"upload"},
+		},
+		{
+			name: "budgeted phase missing from run",
+			got: scenario(map[string]PhaseBudget{
+				"upload": budget(ms(100), ms(120), 5000),
+			}, budget(ms(200), ms(220), 7600)),
+			tol: 0.5, ok: false, failing: []string{"merge_download"},
+		},
+		{
+			name: "new phase not in baseline",
+			got: scenario(map[string]PhaseBudget{
+				"upload":         budget(ms(100), ms(120), 5000),
+				"merge_download": budget(ms(40), ms(50), 2600),
+				"(untraced)":     budget(ms(5), ms(5), 0),
+			}, budget(ms(200), ms(220), 7600)),
+			tol: 0.5, ok: false, failing: []string{"(untraced)"},
+		},
+		{
+			name: "total latency regression caught even when phases shift",
+			got: scenario(map[string]PhaseBudget{
+				"upload":         budget(ms(100), ms(120), 5000),
+				"merge_download": budget(ms(40), ms(50), 2600),
+			}, budget(ms(260), ms(280), 7600)),
+			tol: 0.1, ok: false, failing: []string{TotalPhase},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := CompareBudget("sc", base, tc.got, tc.tol)
+			if r.OK() != tc.ok {
+				t.Fatalf("OK() = %v, want %v; violations: %v", r.OK(), tc.ok, r.Violations())
+			}
+			for _, phase := range tc.failing {
+				found := false
+				for _, d := range r.Deltas {
+					if d.Phase != phase {
+						continue
+					}
+					if d.Problem != "" {
+						found = true
+					}
+					for _, m := range d.Metrics {
+						if m.Violation {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("expected phase %q to fail; report: %+v", phase, r)
+				}
+			}
+			// The error surface names every failing phase.
+			for _, phase := range tc.failing {
+				hit := false
+				for _, v := range r.Violations() {
+					if strings.Contains(v, phase) {
+						hit = true
+					}
+				}
+				if !hit {
+					t.Fatalf("Violations() does not name %q: %v", phase, r.Violations())
+				}
+			}
+		})
+	}
+}
+
+func TestCompareBaselinesScenarioSets(t *testing.T) {
+	sc := scenario(map[string]PhaseBudget{"upload": budget(ms(10), ms(10), 0)}, budget(ms(10), ms(10), 0))
+	base := Baseline{Version: 1, Scenarios: map[string]ScenarioBudget{"a": sc, "b": sc}}
+	got := Baseline{Version: 1, Scenarios: map[string]ScenarioBudget{"b": sc, "c": sc}}
+	reports := CompareBaselines(base, got, 0)
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3 (union of scenarios)", len(reports))
+	}
+	byName := map[string]BudgetReport{}
+	for _, r := range reports {
+		byName[r.Scenario] = r
+	}
+	if byName["a"].OK() {
+		t.Fatal("scenario a missing from run must fail")
+	}
+	if !byName["b"].OK() {
+		t.Fatalf("scenario b identical must pass: %v", byName["b"].Violations())
+	}
+	if byName["c"].OK() {
+		t.Fatal("scenario c not in baseline must fail")
+	}
+}
+
+// TestBudgetReportGolden locks the delta table rendering — the report CI
+// publishes — against a golden file. Regenerate with -update-golden.
+func TestBudgetReportGolden(t *testing.T) {
+	base := scenario(map[string]PhaseBudget{
+		"upload":         budget(ms(100), ms(120), 5200000),
+		"merge_download": budget(ms(40), ms(50), 2600000),
+		"sync_wait":      budget(ms(25), ms(30), 0),
+	}, budget(ms(200), ms(220), 7800000))
+	got := scenario(map[string]PhaseBudget{
+		"upload":         budget(ms(130), ms(150), 5200000),
+		"merge_download": budget(ms(38), ms(50), 2600000),
+		"(untraced)":     budget(ms(2), ms(3), 0),
+	}, budget(ms(230), ms(250), 7800000))
+	r := CompareBudget("fig1-merge-p4", base, got, 0.05)
+
+	var buf bytes.Buffer
+	WriteBudgetReport(&buf, r)
+	golden := filepath.Join("testdata", "budget_report.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run TestBudgetReportGolden -update-golden` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRecordCheckRoundTrip is the end-to-end contract at the obs level: a
+// budget folded from a span stream, written as a baseline, re-read and
+// compared against a re-fold of the same stream passes with zero delta;
+// shrinking any single phase budget makes the check fail naming that
+// phase.
+func TestRecordCheckRoundTrip(t *testing.T) {
+	spans := budgetSpans()
+	record := Baseline{Version: BaselineVersion, Scenarios: map[string]ScenarioBudget{
+		"sim": NewScenarioBudget(BreakdownTrace(spans)),
+	}}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, record); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := Baseline{Version: BaselineVersion, Scenarios: map[string]ScenarioBudget{
+		"sim": NewScenarioBudget(BreakdownTrace(spans)),
+	}}
+	for _, r := range CompareBaselines(loaded, check, 0) {
+		if !r.OK() {
+			t.Fatalf("round trip not zero-delta: %v", r.Violations())
+		}
+		for _, d := range r.Deltas {
+			for _, m := range d.Metrics {
+				if m.Base != m.Got {
+					t.Fatalf("delta on %s/%s: %d vs %d", d.Phase, m.Metric, m.Base, m.Got)
+				}
+			}
+		}
+	}
+
+	// Tighten one phase's max below the measured value: the check must
+	// fail and the violation must name the phase.
+	tight := loaded
+	md := tight.Scenarios["sim"].Phases["merge_download"]
+	md.Max = md.Max / 2
+	tight.Scenarios["sim"].Phases["merge_download"] = md
+	failed := false
+	for _, r := range CompareBaselines(tight, check, 0) {
+		if !r.OK() {
+			failed = true
+			named := false
+			for _, v := range r.Violations() {
+				if strings.Contains(v, "merge_download") {
+					named = true
+				}
+			}
+			if !named {
+				t.Fatalf("violations do not name merge_download: %v", r.Violations())
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("tightened budget did not fail the check")
+	}
+}

@@ -97,10 +97,23 @@ func CriticalPath(spans []Span) []PathSegment {
 		t1 = t0
 	}
 
+	// Ties on End break on stable span fields (Start, Name, Actor) before
+	// the randomly minted span ID, so two runs of the same deterministic
+	// simulation — which agree on every timestamp but mint different IDs —
+	// attribute exact ties identically. Budget baselines rely on this.
 	byEndDesc := func(ss []Span) {
 		sort.Slice(ss, func(i, j int) bool {
 			if !ss[i].End.Equal(ss[j].End) {
 				return ss[i].End.After(ss[j].End)
+			}
+			if !ss[i].Start.Equal(ss[j].Start) {
+				return ss[i].Start.After(ss[j].Start)
+			}
+			if ss[i].Name != ss[j].Name {
+				return ss[i].Name < ss[j].Name
+			}
+			if ss[i].Actor != ss[j].Actor {
+				return ss[i].Actor < ss[j].Actor
 			}
 			return ss[i].Context.SpanID < ss[j].Context.SpanID
 		})

@@ -1,43 +1,66 @@
 package obs
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
+	"hash/fnv"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // SpanSampler is a SpanSink decorator that forwards only a sample of the
 // span stream to the wrapped sink, for long runs where full traces are too
-// heavy. Two complementary selections compose:
+// heavy. Sampling is trace-coherent: a trace (session, iter) is kept or
+// dropped whole, never split, so anything downstream that folds spans into
+// per-trace breakdowns (BreakdownTrace, iplstrace, the bench gate) sees
+// complete traces only — a partially sampled trace would silently produce
+// a wrong critical path. Two complementary selections compose:
 //
-//   - head sampling: a seeded random fraction (rate) of spans passes
-//     through immediately, preserving an unbiased cross-section;
-//   - tail sampling: the slowest N spans seen so far are retained and
-//     emitted on Flush, so the outliers that explain a slow run always
-//     survive — exactly the spans random sampling is most likely to miss.
+//   - head sampling: a seeded hash of the trace key admits a fraction
+//     (rate) of traces up front, preserving an unbiased cross-section.
+//     The decision is a pure function of (key, seed), so per-node
+//     samplers of a distributed run configured with the same seed agree
+//     on which traces pass even though each sees different spans;
+//   - tail sampling: the slowest N traces seen so far — ranked by their
+//     slowest span — are buffered and emitted whole on Flush, so the
+//     outliers that explain a slow run always survive, exactly the traces
+//     random sampling is most likely to miss.
 //
-// A span picked by both rules is emitted once. Flush must be called at the
-// end of the run to release the tail.
+// A trace admitted by the head is never buffered again by the tail, so
+// nothing is emitted twice. Flush must be called at the end of the run to
+// release the tail; a trace evicted from the tail buffer is excluded
+// permanently (a late span cannot resurrect it — its early spans are
+// already gone, and emitting the remainder would be a partial trace).
 type SpanSampler struct {
 	mu      sync.Mutex
 	inner   SpanSink
 	rate    float64
 	slowest int
-	rng     *rand.Rand
-	tail    spanHeap
+	seed    int64
 	seen    int
 	passed  int
+	// tail buffers candidate slow traces whole; dropped records traces
+	// evicted from (or never admitted to) the buffer, permanently.
+	tail    map[TraceKey]*tailTrace
+	dropped map[TraceKey]bool
+}
+
+// tailTrace is one buffered candidate: all its spans in arrival order and
+// the slowest span duration seen, which ranks the trace.
+type tailTrace struct {
+	spans []Span
+	max   time.Duration
 }
 
 var _ SpanSink = (*SpanSampler)(nil)
 
 // NewSpanSampler builds a sampler forwarding to inner. slowest <= 0
 // disables tail sampling; rate <= 0 disables head sampling (rate >= 1
-// forwards everything). The seed makes the random selection reproducible
-// (0 uses a fixed default, still deterministic).
+// forwards everything). The seed makes the head selection reproducible
+// and coherent across samplers (0 uses a fixed default, still
+// deterministic).
 func NewSpanSampler(inner SpanSink, slowest int, rate float64, seed int64) *SpanSampler {
 	if seed == 0 {
 		seed = 1
@@ -46,87 +69,131 @@ func NewSpanSampler(inner SpanSink, slowest int, rate float64, seed int64) *Span
 		inner:   inner,
 		rate:    rate,
 		slowest: slowest,
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		tail:    make(map[TraceKey]*tailTrace),
+		dropped: make(map[TraceKey]bool),
 	}
 }
 
-// EmitSpan applies both sampling rules to the span.
+// headPass decides whether the trace passes head sampling — a pure
+// function of (key, seed), identical across processes.
+func (s *SpanSampler) headPass(key TraceKey) bool {
+	if s.rate >= 1 {
+		return true
+	}
+	if s.rate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%d", s.seed, key.Session, key.Iter)
+	// FNV mixes short sequential keys poorly, so finish with a
+	// splitmix64-style avalanche before mapping to [0, 1).
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53)
+	return u < s.rate
+}
+
+// EmitSpan applies both sampling rules to the span's trace.
 func (s *SpanSampler) EmitSpan(sp Span) {
+	key := TraceKey{Session: sp.Context.Session, Iter: sp.Context.Iter}
 	s.mu.Lock()
 	s.seen++
-	pass := s.rate > 0 && (s.rate >= 1 || s.rng.Float64() < s.rate)
-	if pass {
+	if s.headPass(key) {
 		s.passed++
-	}
-	if s.slowest > 0 {
-		entry := tailEntry{span: sp, forwarded: pass}
-		if len(s.tail) < s.slowest {
-			heap.Push(&s.tail, entry)
-		} else if sp.Duration() > s.tail[0].span.Duration() {
-			s.tail[0] = entry
-			heap.Fix(&s.tail, 0)
-		}
-	}
-	s.mu.Unlock()
-	if pass {
+		s.mu.Unlock()
 		s.inner.EmitSpan(sp)
+		return
 	}
+	if s.slowest <= 0 || s.dropped[key] {
+		s.mu.Unlock()
+		return
+	}
+	if t, ok := s.tail[key]; ok {
+		t.spans = append(t.spans, sp)
+		if d := sp.Duration(); d > t.max {
+			t.max = d
+		}
+		s.mu.Unlock()
+		return
+	}
+	// New candidate trace. If the buffer is full, it competes with the
+	// cheapest buffered trace; the loser is excluded permanently.
+	if len(s.tail) >= s.slowest {
+		var victim TraceKey
+		first := true
+		for k, t := range s.tail {
+			if first || t.max < s.tail[victim].max ||
+				(t.max == s.tail[victim].max && less(k, victim)) {
+				victim, first = k, false
+			}
+		}
+		if sp.Duration() <= s.tail[victim].max {
+			s.dropped[key] = true
+			s.mu.Unlock()
+			return
+		}
+		delete(s.tail, victim)
+		s.dropped[victim] = true
+	}
+	s.tail[key] = &tailTrace{spans: []Span{sp}, max: sp.Duration()}
+	s.mu.Unlock()
 }
 
-// Flush emits the retained slowest spans that the random fraction did not
-// already forward, slowest last. The tail is cleared, so a sampler can be
-// flushed once per run segment.
+// less orders trace keys for deterministic victim selection on ties.
+func less(a, b TraceKey) bool {
+	if a.Session != b.Session {
+		return a.Session < b.Session
+	}
+	return a.Iter < b.Iter
+}
+
+// Flush emits the buffered slow traces whole, slowest trace last, spans in
+// arrival order within each trace. The buffer is cleared, so a sampler can
+// be flushed once per run segment; spans arriving after Flush for an
+// already-emitted trace start a fresh buffer, so Flush belongs at the end
+// of the run.
 func (s *SpanSampler) Flush() {
 	s.mu.Lock()
-	entries := make([]tailEntry, 0, len(s.tail))
-	for len(s.tail) > 0 {
-		entries = append(entries, heap.Pop(&s.tail).(tailEntry))
+	traces := make([]*tailTrace, 0, len(s.tail))
+	for _, t := range s.tail {
+		traces = append(traces, t)
 	}
+	s.tail = make(map[TraceKey]*tailTrace)
 	s.mu.Unlock()
-	for _, e := range entries {
-		if !e.forwarded {
-			s.inner.EmitSpan(e.span)
+	sort.SliceStable(traces, func(i, j int) bool {
+		if traces[i].max != traces[j].max {
+			return traces[i].max < traces[j].max
+		}
+		ki := TraceKey{Session: traces[i].spans[0].Context.Session, Iter: traces[i].spans[0].Context.Iter}
+		kj := TraceKey{Session: traces[j].spans[0].Context.Session, Iter: traces[j].spans[0].Context.Iter}
+		return less(ki, kj)
+	})
+	for _, t := range traces {
+		for _, sp := range t.spans {
+			s.inner.EmitSpan(sp)
 		}
 	}
 }
 
 // Stats reports how many spans were seen and how many passed the head
-// sample so far (the tail adds up to `slowest` more at Flush).
+// sample so far (the tail adds whole traces on top at Flush).
 func (s *SpanSampler) Stats() (seen, passed int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.seen, s.passed
 }
 
-// tailEntry is one retained slow span; forwarded records whether head
-// sampling already emitted it.
-type tailEntry struct {
-	span      Span
-	forwarded bool
-}
-
-// spanHeap is a min-heap by duration, so the root is the cheapest retained
-// span — the one to evict when a slower span arrives.
-type spanHeap []tailEntry
-
-func (h spanHeap) Len() int            { return len(h) }
-func (h spanHeap) Less(i, j int) bool  { return h[i].span.Duration() < h[j].span.Duration() }
-func (h spanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *spanHeap) Push(x interface{}) { *h = append(*h, x.(tailEntry)) }
-func (h *spanHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // ParseSpanSample parses a -span-sample flag value of the form
 // "slowest=N,rate=F". Either part may be omitted: "slowest=20" keeps only
-// the 20 slowest spans, "rate=0.1" only a random tenth, and combining
-// them keeps both selections. "off" or an empty string disables sampling
-// entirely, returning slowest=0 and rate=1 (forward everything); callers
-// should skip the sampler in that case.
+// the 20 slowest traces, "rate=0.1" only a hash-selected tenth of traces,
+// and combining them keeps both selections. "off" or an empty string
+// disables sampling entirely, returning slowest=0 and rate=1 (forward
+// everything); callers should skip the sampler in that case.
 func ParseSpanSample(s string) (slowest int, rate float64, err error) {
 	if s == "" || s == "off" {
 		return 0, 1, nil

@@ -6,88 +6,240 @@ import (
 	"time"
 )
 
-func sampleSpan(i int, d time.Duration) Span {
-	start := time.Unix(0, int64(i)*int64(time.Second))
-	return Span{
-		Name:    fmt.Sprintf("span-%d", i),
-		Context: SpanContext{Session: "s", SpanID: fmt.Sprintf("id-%d", i)},
-		Start:   start,
-		End:     start.Add(d),
+// traceSpans builds one small trace (root + child + grandchild) whose
+// slowest span is d. Iter distinguishes traces within a session.
+func traceSpans(session string, iter int, d time.Duration) []Span {
+	base := time.Unix(int64(iter), 0).UTC()
+	id := func(n string) string { return fmt.Sprintf("%s-%d-%s", session, iter, n) }
+	mk := func(n, parent string, start time.Time, dur time.Duration) Span {
+		return Span{
+			Name: n,
+			Context: SpanContext{
+				Session: session, Iter: iter,
+				SpanID: id(n), Parent: parent,
+			},
+			Start: start,
+			End:   start.Add(dur),
+		}
+	}
+	return []Span{
+		mk("iteration", "", base, d),
+		mk("upload", id("iteration"), base, d/2),
+		mk("aggregate", id("upload"), base, d/4),
 	}
 }
 
-func TestSpanSamplerKeepsSlowest(t *testing.T) {
+func TestSpanSamplerKeepsSlowestTracesWhole(t *testing.T) {
 	var sink SpanCollector
 	s := NewSpanSampler(&sink, 3, 0, 1)
-	// Durations 1ms..100ms in a scrambled order.
-	for i := 0; i < 100; i++ {
-		d := time.Duration((i*37)%100+1) * time.Millisecond
-		s.EmitSpan(sampleSpan(i, d))
+	// Ten traces with scrambled root durations 10ms..100ms, spans
+	// interleaved across traces the way concurrent actors emit them.
+	var all [][]Span
+	for i := 0; i < 10; i++ {
+		d := time.Duration((i*7)%10+1) * 10 * time.Millisecond
+		all = append(all, traceSpans("run", i, d))
+	}
+	for level := 0; level < 3; level++ {
+		for _, tr := range all {
+			s.EmitSpan(tr[level])
+		}
 	}
 	if got := len(sink.Spans()); got != 0 {
 		t.Fatalf("tail sampling leaked %d spans before Flush", got)
 	}
 	s.Flush()
 	spans := sink.Spans()
-	if len(spans) != 3 {
-		t.Fatalf("retained %d spans, want 3", len(spans))
+	if len(spans) != 9 {
+		t.Fatalf("retained %d spans, want 9 (3 whole traces of 3)", len(spans))
 	}
+	// Each retained trace is complete, and only slowest traces survive.
+	byIter := map[int]int{}
 	for _, sp := range spans {
-		if sp.Duration() < 98*time.Millisecond {
-			t.Fatalf("span %s (%v) is not among the slowest three", sp.Name, sp.Duration())
+		byIter[sp.Context.Iter]++
+	}
+	for iter, n := range byIter {
+		if n != 3 {
+			t.Fatalf("trace iter %d retained with %d of 3 spans (partial trace)", iter, n)
 		}
+		d := all[iter][0].Duration()
+		if d < 80*time.Millisecond {
+			t.Fatalf("trace iter %d (slowest span %v) is not among the slowest three", iter, d)
+		}
+	}
+	// Slowest trace last — tail ordering mirrors "most interesting at the end".
+	last := spans[len(spans)-1]
+	if all[last.Context.Iter][0].Duration() != 100*time.Millisecond {
+		t.Fatalf("last flushed trace is iter %d, want the 100ms one", last.Context.Iter)
 	}
 	// Flush drained the tail; a second flush emits nothing.
 	s.Flush()
-	if got := len(sink.Spans()); got != 3 {
+	if got := len(sink.Spans()); got != 9 {
 		t.Fatalf("second Flush re-emitted spans: %d", got)
 	}
 }
 
-func TestSpanSamplerRandomFractionIsSeeded(t *testing.T) {
-	run := func(seed int64) []string {
+func TestSpanSamplerHeadIsTraceCoherent(t *testing.T) {
+	const traces = 200
+	run := func(seed int64) map[int]int {
 		var sink SpanCollector
 		s := NewSpanSampler(&sink, 0, 0.2, seed)
-		for i := 0; i < 200; i++ {
-			s.EmitSpan(sampleSpan(i, time.Millisecond))
+		for i := 0; i < traces; i++ {
+			for _, sp := range traceSpans("run", i, 10*time.Millisecond) {
+				s.EmitSpan(sp)
+			}
 		}
-		var names []string
+		got := map[int]int{}
 		for _, sp := range sink.Spans() {
-			names = append(names, sp.Name)
+			got[sp.Context.Iter]++
 		}
-		return names
+		return got
 	}
 	a, b := run(7), run(7)
-	if len(a) == 0 || len(a) == 200 {
-		t.Fatalf("rate 0.2 passed %d of 200 spans", len(a))
+	if len(a) == 0 || len(a) == traces {
+		t.Fatalf("rate 0.2 passed %d of %d traces", len(a), traces)
 	}
-	if len(a) != len(b) {
-		t.Fatalf("same seed passed %d vs %d spans", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+	// Coherent: a passing trace passes with all its spans.
+	for iter, n := range a {
+		if n != 3 {
+			t.Fatalf("trace %d passed with %d of 3 spans (partial trace)", iter, n)
 		}
 	}
-	// Roughly a fifth should pass (binomial, wide tolerance).
+	// Deterministic: same seed, same trace set.
+	if len(a) != len(b) {
+		t.Fatalf("same seed passed %d vs %d traces", len(a), len(b))
+	}
+	for iter := range a {
+		if _, ok := b[iter]; !ok {
+			t.Fatalf("same seed diverged on trace %d", iter)
+		}
+	}
+	// Roughly a fifth should pass (hash-uniform, wide tolerance).
 	if len(a) < 20 || len(a) > 80 {
-		t.Fatalf("rate 0.2 passed %d of 200 spans, far from expectation", len(a))
+		t.Fatalf("rate 0.2 passed %d of %d traces, far from expectation", len(a), traces)
+	}
+	// A different seed picks a different set (overwhelmingly likely).
+	c := run(1234)
+	same := 0
+	for iter := range a {
+		if _, ok := c[iter]; ok {
+			same++
+		}
+	}
+	if same == len(a) && len(a) == len(c) {
+		t.Fatal("different seeds selected the identical trace set")
+	}
+}
+
+// TestSpanSamplerCrossProcessAgreement: two samplers with the same seed,
+// each seeing a different slice of the same traces (per-node span files of
+// a distributed run), admit the same traces — so the merged sampled stream
+// still has whole traces only.
+func TestSpanSamplerCrossProcessAgreement(t *testing.T) {
+	var sinkA, sinkB SpanCollector
+	a := NewSpanSampler(&sinkA, 0, 0.3, 42)
+	b := NewSpanSampler(&sinkB, 0, 0.3, 42)
+	for i := 0; i < 100; i++ {
+		tr := traceSpans("run", i, 10*time.Millisecond)
+		a.EmitSpan(tr[0]) // node A records the root...
+		b.EmitSpan(tr[1]) // ...node B the children
+		b.EmitSpan(tr[2])
+	}
+	passedA := map[int]bool{}
+	for _, sp := range sinkA.Spans() {
+		passedA[sp.Context.Iter] = true
+	}
+	passedB := map[int]bool{}
+	for _, sp := range sinkB.Spans() {
+		passedB[sp.Context.Iter] = true
+	}
+	if len(passedA) == 0 {
+		t.Fatal("no traces passed")
+	}
+	for iter := range passedA {
+		if !passedB[iter] {
+			t.Fatalf("node A passed trace %d but node B did not", iter)
+		}
+	}
+	for iter := range passedB {
+		if !passedA[iter] {
+			t.Fatalf("node B passed trace %d but node A did not", iter)
+		}
 	}
 }
 
 func TestSpanSamplerDoesNotDoubleEmit(t *testing.T) {
 	var sink SpanCollector
-	s := NewSpanSampler(&sink, 5, 1, 1) // rate 1: everything head-sampled
+	s := NewSpanSampler(&sink, 5, 1, 1) // rate 1: every trace head-sampled
 	for i := 0; i < 20; i++ {
-		s.EmitSpan(sampleSpan(i, time.Duration(i+1)*time.Millisecond))
+		for _, sp := range traceSpans("run", i, time.Duration(i+1)*time.Millisecond) {
+			s.EmitSpan(sp)
+		}
 	}
 	s.Flush()
-	if got := len(sink.Spans()); got != 20 {
-		t.Fatalf("got %d spans, want 20 (no duplicates from the tail)", got)
+	if got := len(sink.Spans()); got != 60 {
+		t.Fatalf("got %d spans, want 60 (no duplicates from the tail)", got)
 	}
 	seen, passed := s.Stats()
-	if seen != 20 || passed != 20 {
-		t.Fatalf("stats = (%d, %d), want (20, 20)", seen, passed)
+	if seen != 60 || passed != 60 {
+		t.Fatalf("stats = (%d, %d), want (60, 60)", seen, passed)
+	}
+}
+
+// TestSpanSamplerBreakdownsAreComplete is the contract the bench gate and
+// iplstrace rely on: folding a sampled stream through BreakdownTrace
+// yields only complete per-trace breakdowns — every surviving trace has
+// all its spans, so phase durations still sum to the latency.
+func TestSpanSamplerBreakdownsAreComplete(t *testing.T) {
+	var sink SpanCollector
+	s := NewSpanSampler(&sink, 2, 0.5, 9)
+	want := map[int]int{}
+	for i := 0; i < 40; i++ {
+		tr := traceSpans("run", i, time.Duration((i*13)%40+1)*time.Millisecond)
+		want[i] = len(tr)
+		for _, sp := range tr {
+			s.EmitSpan(sp)
+		}
+	}
+	s.Flush()
+	breakdowns := BreakdownTrace(sink.Spans())
+	if len(breakdowns) == 0 {
+		t.Fatal("nothing sampled")
+	}
+	for _, b := range breakdowns {
+		if b.Spans != want[b.Iter] {
+			t.Fatalf("trace %d folded from %d of %d spans (partial trace)", b.Iter, b.Spans, want[b.Iter])
+		}
+		var sum time.Duration
+		for _, p := range b.Phases {
+			sum += p.Duration
+		}
+		if sum != b.Latency {
+			t.Fatalf("trace %d: phase sum %v != latency %v", b.Iter, sum, b.Latency)
+		}
+	}
+}
+
+// TestSpanSamplerEvictedTraceStaysExcluded: a trace evicted from the tail
+// buffer cannot re-enter with a later span — that would emit it partially.
+func TestSpanSamplerEvictedTraceStaysExcluded(t *testing.T) {
+	var sink SpanCollector
+	s := NewSpanSampler(&sink, 1, 0, 1)
+	fast := traceSpans("run", 0, 10*time.Millisecond)
+	slow := traceSpans("run", 1, 100*time.Millisecond)
+	s.EmitSpan(fast[0]) // fast trace admitted first...
+	s.EmitSpan(slow[0]) // ...evicted by the slow one
+	s.EmitSpan(fast[1]) // late span of the evicted trace: dropped
+	s.EmitSpan(slow[1])
+	s.EmitSpan(slow[2])
+	s.Flush()
+	spans := sink.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("flushed %d spans, want 3 (the slow trace whole)", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Context.Iter != 1 {
+			t.Fatalf("evicted trace leaked span %s", sp.Name)
+		}
 	}
 }
 

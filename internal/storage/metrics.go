@@ -26,8 +26,8 @@ func resolveNodeMetrics(reg *obs.Registry, id string) nodeMetrics {
 
 // SetMetrics points the network's instrumentation at a registry. The
 // network always has one (NewNetwork creates a private registry so
-// counters like RemoteFetches work with no setup); passing nil resets to
-// a fresh private registry. Counter values do not carry over.
+// counters like remote_fetches_total work with no setup); passing nil
+// resets to a fresh private registry. Counter values do not carry over.
 func (n *Network) SetMetrics(reg *obs.Registry) {
 	n.mu.Lock()
 	defer n.mu.Unlock()

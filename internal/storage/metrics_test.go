@@ -96,9 +96,6 @@ func TestMergeGetSavesBytesAndCountsRemoteFetches(t *testing.T) {
 	if got := reg.Counter("remote_fetches_total").Value(); got != 1 {
 		t.Fatalf("remote_fetches_total = %d, want 1", got)
 	}
-	if net.RemoteFetches() != 1 {
-		t.Fatalf("RemoteFetches() = %d, want 1 (compat wrapper)", net.RemoteFetches())
-	}
 	if got := reg.Counter("merge_ops_total").Value(); got != 1 {
 		t.Fatalf("merge_ops_total = %d, want 1", got)
 	}

@@ -621,19 +621,6 @@ func (n *Network) GetDAG(ctx context.Context, nodeID string, root dag.Ref) ([]by
 	})
 }
 
-// RemoteFetches reports how many merge inputs had to be pulled from peer
-// nodes rather than served locally.
-//
-// Deprecated: this is a thin wrapper over the remote_fetches_total counter
-// in the network's metrics registry (see SetMetrics / Metrics); read it
-// from there instead. Note the count resets when SetMetrics swaps the
-// registry.
-func (n *Network) RemoteFetches() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return int(n.remoteFetchCtr.Value())
-}
-
 // TotalStoredBytes sums stored bytes across all nodes (replicas included),
 // used by the blockchain-baseline comparison.
 func (n *Network) TotalStoredBytes() int64 {
