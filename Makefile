@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench-gate check
+.PHONY: all build vet test race chaos chaos-tests chaos-churn bench-gate check
 
 all: check
 
@@ -19,9 +19,21 @@ race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/transport/...
 
 # Fault-injection suite under the race detector: the resilience layer's
-# retry/failover paths plus the netsim link-loss scheduling.
-chaos:
+# retry/failover paths, the netsim link-loss scheduling, and the
+# membership-churn scenario.
+chaos: chaos-tests chaos-churn
+
+chaos-tests:
 	$(GO) test -race -timeout 10m ./internal/resilience/... ./internal/netsim/... ./internal/storage/...
+
+# Membership-churn scenario under the race detector: the ChurnRunner
+# tests (standby takeover, checkpoint bootstrap, repair) plus one full
+# end-to-end run — storage departure, aggregator crash with failover,
+# trainer crash and checkpoint-bootstrapped rejoin.
+chaos-churn:
+	$(GO) test -race -timeout 10m -run 'Churn|Absent|Standby' ./internal/core
+	$(GO) run -race ./cmd/iplssim -rounds 4 -trainers 8 -partitions 2 -aggregators 1 -storage-nodes 6 \
+		-churn "depart:ipfs-03@iter1,crash:agg-p0-0@iter1,crash:trainer-05@iter1,rejoin:trainer-05@iter2,rejoin:agg-p0-0@iter3"
 
 # Per-phase benchmark regression gate: deterministic virtual-clock
 # scenarios checked against the committed baselines at zero tolerance.

@@ -13,7 +13,9 @@ import (
 	"ipls/internal/gossip"
 	"ipls/internal/group"
 	"ipls/internal/ml"
+	"ipls/internal/obs"
 	"ipls/internal/scalar"
+	"ipls/internal/storage"
 )
 
 // multiExp ablates the multi-exponentiation strategies: the paper's naive
@@ -478,3 +480,85 @@ func buildMLTask(nonIID bool) (*core.Task, *ml.Dataset, error) {
 }
 
 func mb(b int64) float64 { return float64(b) / 1e6 }
+
+// churnExperiment drives an ML task through a churn plan — storage
+// departures, aggregator crashes and trainer crash/rejoin — and reports
+// convergence together with the repair and failover counters. The default
+// plan exercises every event kind; -churn substitutes another.
+func churnExperiment(planText string, rounds int) error {
+	fmt.Println("== Churn-tolerant training ==")
+	plan, err := storage.ParseChurnPlan(planText)
+	if err != nil {
+		return err
+	}
+	const trainers = 8
+	m := ml.NewLogistic(4, 4)
+	data := ml.Blobs(480, 4, 4, 0.8, 77)
+	names := make([]string, trainers)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	stores := make([]string, 6)
+	for i := range stores {
+		stores[i] = fmt.Sprintf("ipfs-%02d", i)
+	}
+	cfg, err := core.NewConfig(core.TaskSpec{
+		TaskID: "churn-bench", ModelDim: m.Dim(), Partitions: 2,
+		Trainers: names, AggregatorsPerPartition: 1,
+		StorageNodes: stores,
+		TTrain:       400 * time.Millisecond, TSync: 5 * time.Second,
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	sess, net, _, err := core.NewLocalStack(cfg, 2)
+	if err != nil {
+		return err
+	}
+	net.SetPlacement(storage.PlacementRendezvous)
+	reg := obs.NewRegistry()
+	sess.SetMetrics(reg)
+	net.SetMetrics(reg)
+	splits, err := data.SplitIID(trainers, 78)
+	if err != nil {
+		return err
+	}
+	locals := make(map[string]*ml.Dataset, trainers)
+	for i, name := range names {
+		locals[name] = splits[i]
+	}
+	task, err := core.NewTask(sess, m, locals,
+		ml.SGDConfig{LearningRate: 0.3, Epochs: 2, BatchSize: 16}, m.Params())
+	if err != nil {
+		return err
+	}
+	runner := core.NewChurnRunner(task, net, plan)
+	runner.SetMetrics(reg)
+	fmt.Printf("plan: %d events over %d rounds\n", len(plan.Events()), rounds)
+	fmt.Printf("%-8s %10s %10s %10s  %s\n", "round", "loss", "accuracy", "applied", "churn")
+	for r := 0; r < rounds; r++ {
+		metrics, _, applied, err := runner.RunRound(context.Background())
+		if err != nil {
+			return fmt.Errorf("round %d: %w", r, err)
+		}
+		acc, _, err := task.Evaluate(data)
+		if err != nil {
+			return err
+		}
+		churned := "-"
+		if len(applied) > 0 {
+			churned = fmt.Sprint(applied)
+		}
+		fmt.Printf("%-8d %10.4f %10.3f %10v  %s\n", r, metrics.Loss, acc, metrics.Applied, churned)
+	}
+	underRepl := int64(reg.Gauge("under_replicated_blocks").Value())
+	fmt.Printf("repair: %d blocks re-replicated, %d under-replicated after final scan\n",
+		reg.Counter("repair_blocks_total").Value(), underRepl)
+	fmt.Printf("failover: %d standby takeovers, %d trainer bootstraps\n",
+		reg.Counter("standby_takeover_total").Value(),
+		reg.Counter("trainer_bootstraps_total").Value())
+	recordGauge("churn_under_replicated_final", float64(underRepl))
+	recordGauge("churn_repaired_blocks", float64(reg.Counter("repair_blocks_total").Value()))
+	return nil
+}

@@ -5,9 +5,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"ipls/internal/core"
 	"ipls/internal/obs"
+	"ipls/internal/storage"
 )
 
 // The per-phase benchmark gate: each scenario below runs one protocol
@@ -69,6 +71,29 @@ var gateScenarios = []struct {
 			PartitionBytes:          1_300_000,
 			BandwidthMbps:           10,
 			Direct:                  true,
+		},
+	},
+	{
+		// Membership churn: a storage departure remaps placement, a
+		// crashed aggregator is executed by a standby after the failover
+		// timeout, a crashed trainer misses the iteration and a rejoining
+		// one bootstraps the checkpoint first. Exercises the bootstrap and
+		// takeover phases on top of upload/sync.
+		name: "churn",
+		cfg: core.SimConfig{
+			Trainers:                16,
+			Partitions:              2,
+			AggregatorsPerPartition: 2,
+			PartitionBytes:          1_100_000,
+			StorageNodes:            8,
+			BandwidthMbps:           20,
+			FailoverTimeout:         2 * time.Second,
+			Churn: []storage.ChurnEvent{
+				{Kind: storage.ChurnDepart, Node: "ipfs-03"},
+				{Kind: storage.ChurnCrash, Node: "agg-p0-0"},
+				{Kind: storage.ChurnCrash, Node: "trainer-06"},
+				{Kind: storage.ChurnRejoin, Node: "trainer-07"},
+			},
 		},
 	},
 }

@@ -12,6 +12,7 @@
 //	iplsbench converge   decentralized vs centralized FedAvg convergence
 //	iplsbench verify     malicious-aggregator detection matrix
 //	iplsbench faults     dropout / storage-failure recovery
+//	iplsbench churn      membership churn: departures, failover, repair (-churn)
 //	iplsbench dirload    directory load reduction: batching + sharding (§VI)
 //	iplsbench hash       proof-friendly MiMC hash vs SHA-256 (§VI)
 //	iplsbench all        everything above
@@ -47,13 +48,16 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("iplsbench", flag.ContinueOnError)
 	maxParams := fs.Int("max-params", 100_000, "largest model size for fig3")
 	rounds := fs.Int("rounds", 10, "FL rounds for converge/baseline experiments")
+	churn := fs.String("churn",
+		"depart:ipfs-03@iter1,crash:agg-p0-0@iter1,crash:t5@iter1,rejoin:t5@iter2,rejoin:agg-p0-0@iter3",
+		"churn experiment: plan of KIND:NAME@iterN events (depart|crash|rejoin)")
 	metricsOut := fs.String("metrics-out", "", "write the run's datapoints and per-experiment wall time to this file as JSON")
 	baseline := fs.String("baseline", "", "gate: check the run's per-phase budgets against this baseline JSON, exiting non-zero on regression")
 	baselineOut := fs.String("baseline-out", "", "gate: record the run's per-phase budgets to this baseline JSON")
 	tolerance := fs.Float64("tolerance", 0, "gate: allowed relative regression per phase metric (0.05 = 5%; the virtual clock is exact, so 0 works)")
 	spanOut := fs.String("span-out", "", "gate: also dump the scenarios' causal spans to this file as JSON Lines (analyze with iplstrace)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|dirload|hash|gate|all>")
+		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|churn|dirload|hash|gate|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +89,7 @@ func run(args []string) error {
 		"converge":  func() error { return converge(*rounds) },
 		"verify":    verifyMatrix,
 		"faults":    faults,
+		"churn":     func() error { return churnExperiment(*churn, 4) },
 		"dirload":   dirLoad,
 		"hash":      hashCost,
 		"placement": placement,
@@ -104,7 +109,7 @@ func run(args []string) error {
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "dirload", "hash", "placement", "straggler", "gossip", "quant"} {
+		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "churn", "dirload", "hash", "placement", "straggler", "gossip", "quant"} {
 			if err := timed(key, experiments[key]); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}

@@ -50,6 +50,7 @@ func run(args []string) error {
 		cleanup     = fs.Bool("cleanup", false, "garbage-collect each iteration's blocks after the round")
 		screen      = fs.Float64("screen", 0, "drop trainer gradients with L2 norm above this bound (0 = off; incompatible with -verifiable)")
 		faults      = fs.String("faults", "", "fault plan: comma-separated KIND:NODE@iterN events, e.g. crash:ipfs-01@iter2,recover:ipfs-01@iter4,slow:ipfs-00@iter1:50ms,flaky:ipfs-02@iter0:0.3")
+		churn       = fs.String("churn", "", "churn plan: comma-separated KIND:NAME@iterN events (depart|crash|rejoin), e.g. depart:ipfs-03@iter2,crash:agg-p0-0@iter1,crash:trainer-05@iter1,rejoin:trainer-05@iter3")
 		spanSample  = fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
 		trace       = fs.Bool("trace", false, "print the protocol event timeline of the first round")
 		traceOut    = fs.String("trace-out", "", "write the full protocol event stream to this file as JSON Lines")
@@ -59,6 +60,13 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	churnPlan, err := storage.ParseChurnPlan(*churn)
+	if err != nil {
+		return err
+	}
+	if !churnPlan.Empty() && *malicious != "" {
+		return fmt.Errorf("-churn drives aggregator behaviors itself; drop -malicious")
 	}
 
 	data := ml.Blobs(60**trainers, 8, 4, 1.2, *seed)
@@ -80,6 +88,13 @@ func run(args []string) error {
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("ipfs-%02d", i)
 	}
+	// Under churn the schedule deadlines do real work: crashed trainers
+	// cost a full t_train wait, and standby failover adds another, so the
+	// generous no-churn t_train would stall crash rounds for minutes.
+	tTrain, tSync := time.Minute, 2*time.Second
+	if !churnPlan.Empty() {
+		tTrain, tSync = 2*time.Second, 10*time.Second
+	}
 	cfg, err := core.NewConfig(core.TaskSpec{
 		TaskID:                  "iplssim",
 		ModelDim:                m.Dim(),
@@ -91,8 +106,8 @@ func run(args []string) error {
 		Verifiable:              *verifiable,
 		Curve:                   *curve,
 		ScreenNorm:              *screen,
-		TTrain:                  time.Minute,
-		TSync:                   2 * time.Second,
+		TTrain:                  tTrain,
+		TSync:                   tSync,
 		PollInterval:            time.Millisecond,
 	})
 	if err != nil {
@@ -141,6 +156,12 @@ func run(args []string) error {
 		ml.SGDConfig{LearningRate: 0.2, Epochs: 2, BatchSize: 32}, m.Params())
 	if err != nil {
 		return err
+	}
+
+	var runner *core.ChurnRunner
+	if !churnPlan.Empty() {
+		runner = core.NewChurnRunner(task, net, churnPlan)
+		runner.SetMetrics(reg)
 	}
 
 	var behaviors map[string]core.Behavior
@@ -217,7 +238,16 @@ func run(args []string) error {
 		for _, ev := range applied {
 			fmt.Printf("fault before round %d: %s\n", r, ev)
 		}
-		metrics, _, err := task.RunRound(context.Background(), behaviors)
+		var metrics core.RoundMetrics
+		if runner != nil {
+			var churned []string
+			metrics, _, churned, err = runner.RunRound(context.Background())
+			for _, ev := range churned {
+				fmt.Printf("churn round %d: %s\n", r, ev)
+			}
+		} else {
+			metrics, _, err = task.RunRound(context.Background(), behaviors)
+		}
 		if r == 0 && *trace && recorder != nil {
 			fmt.Println("-- round 0 event timeline --")
 			for _, e := range recorder.Events() {
@@ -250,6 +280,14 @@ func run(args []string) error {
 			failovers += reg.Counter("failovers_total", "op", op).Value()
 		}
 		fmt.Printf("resilience: %d retries, %d failovers under the fault plan\n", retries, failovers)
+	}
+	if runner != nil {
+		fmt.Printf("churn: %d events, %d standby takeovers, %d trainer bootstraps, %d blocks repaired, %d under-replicated\n",
+			reg.Counter("churn_events_total").Value(),
+			reg.Counter("standby_takeover_total").Value(),
+			reg.Counter("trainer_bootstraps_total").Value(),
+			reg.Counter("repair_blocks_total").Value(),
+			int64(reg.Gauge("under_replicated_blocks").Value()))
 	}
 	fmt.Printf("storage footprint after run: %.2f MB across %d nodes\n",
 		float64(net.TotalStoredBytes())/1e6, len(cfg.StorageNodes))

@@ -4,7 +4,8 @@
 //   - rendezvous-hash replica placement (uniform, collusion-resistant),
 //   - Filecoin-style storage deals with retrieval audits and slashing,
 //   - content routing around failed nodes,
-//   - Merkle-DAG chunking for large objects.
+//   - Merkle-DAG chunking for large objects,
+//   - anti-entropy repair after a permanent departure (Depart + RepairScan).
 package main
 
 import (
@@ -108,5 +109,39 @@ func run() error {
 		fmt.Println("the gradient block's replica set was wiped out — with replication factor 2,")
 		fmt.Println("losing both holders loses the block (raise the factor or add storage deals)")
 	}
+
+	// Permanent membership change: the crashed nodes come back, but ipfs-5
+	// leaves for good. A departure silently erodes the replication factor
+	// of every block it held — until an anti-entropy RepairScan copies the
+	// survivors' replicas onto fresh live nodes.
+	if err := net.Recover("ipfs-0"); err != nil {
+		return err
+	}
+	if err := net.Recover("ipfs-1"); err != nil {
+		return err
+	}
+	if err := net.Depart("ipfs-5"); err != nil {
+		return err
+	}
+	eroded := len(net.UnderReplicated())
+	fmt.Printf("ipfs-5 departed permanently, leaving %d blocks below replication factor\n", eroded)
+	rep, err := net.RepairScan(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repair scan: %d blocks scanned, %d under-replicated, %d replica copies created, %d lost\n",
+		rep.Scanned, rep.UnderReplicated, rep.Repaired, rep.Lost)
+	if rep.Remaining != 0 {
+		return fmt.Errorf("repair left %d blocks under-replicated", rep.Remaining)
+	}
+	if remaining := len(net.UnderReplicated()); remaining != 0 {
+		return fmt.Errorf("under-replicated census disagrees with the repair report: %d blocks", remaining)
+	}
+	restored, err = net.GetDAG(context.Background(), "ipfs-3", root)
+	if err != nil {
+		return fmt.Errorf("checkpoint unreadable after repair: %w", err)
+	}
+	fmt.Printf("replication factor restored on the 5 remaining nodes; the checkpoint still reassembles bit-exactly: %v\n",
+		len(restored) == len(checkpoint))
 	return nil
 }

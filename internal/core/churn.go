@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ipls/internal/dag"
+	"ipls/internal/obs"
+	"ipls/internal/storage"
+)
+
+// ChurnRunner drives a Task across rounds under a storage.ChurnPlan,
+// turning scheduled membership change into concrete protocol reactions:
+//
+//   - storage-node events (depart/crash/rejoin) are applied to the
+//     storage network directly;
+//   - a crashed aggregator becomes a dropout, and when every aggregator
+//     of a partition is down, a live peer from another partition stands
+//     by and takes the partition over (§III-D);
+//   - a crashed trainer sits out its rounds; on rejoin it bootstraps
+//     from the latest checkpoint DAG instead of iteration 0;
+//   - after every round the advanced global model is checkpointed to a
+//     live storage node and a RepairScan restores the replication factor
+//     eroded by departures.
+type ChurnRunner struct {
+	task *Task
+	net  *storage.Network
+	plan *storage.ChurnPlan
+
+	crashedAggs     map[string]bool
+	crashedTrainers map[string]bool
+	checkpoint      dag.Ref
+	hasCheckpoint   bool
+
+	churnEvents *obs.Counter
+	bootstraps  *obs.Counter
+}
+
+// NewChurnRunner wires a runner over a task, its storage network and a
+// parsed churn plan. net may be nil (direct backends); storage-node
+// events then fail as unknown participants.
+func NewChurnRunner(task *Task, net *storage.Network, plan *storage.ChurnPlan) *ChurnRunner {
+	return &ChurnRunner{
+		task:            task,
+		net:             net,
+		plan:            plan,
+		crashedAggs:     make(map[string]bool),
+		crashedTrainers: make(map[string]bool),
+	}
+}
+
+// SetMetrics points the runner's instrumentation at a registry (nil
+// detaches).
+func (r *ChurnRunner) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		r.churnEvents = nil
+		r.bootstraps = nil
+		return
+	}
+	r.churnEvents = reg.Counter("churn_events_total")
+	r.bootstraps = reg.Counter("trainer_bootstraps_total")
+}
+
+// Checkpoint returns the latest checkpoint reference and whether one has
+// been taken.
+func (r *ChurnRunner) Checkpoint() (dag.Ref, bool) { return r.checkpoint, r.hasCheckpoint }
+
+// RunRound applies the plan's events for the task's current round, runs
+// the round with the induced absences and standbys, checkpoints the
+// global model onto a live storage node and repairs replication. It
+// returns the round's metrics and result plus human-readable
+// descriptions of the churn applied.
+func (r *ChurnRunner) RunRound(ctx context.Context) (RoundMetrics, *IterationResult, []string, error) {
+	round := r.task.Round()
+	applied, rest, err := r.plan.ApplyStorage(r.net, round)
+	if err != nil {
+		return RoundMetrics{}, nil, applied, err
+	}
+	for _, ev := range rest {
+		desc, err := r.applyRoleEvent(ctx, round, ev)
+		if err != nil {
+			return RoundMetrics{}, nil, applied, err
+		}
+		applied = append(applied, desc)
+	}
+	r.churnEvents.Add(int64(len(applied)))
+
+	var behaviors map[string]Behavior
+	if len(r.crashedAggs) > 0 {
+		behaviors = make(map[string]Behavior, len(r.crashedAggs))
+		for agg := range r.crashedAggs {
+			behaviors[agg] = BehaviorDropout
+		}
+	}
+	standbys, err := r.standbys()
+	if err != nil {
+		return RoundMetrics{}, nil, applied, err
+	}
+	metrics, res, err := r.task.RunRoundOpts(ctx, RoundOptions{
+		Behaviors: behaviors,
+		Absent:    r.crashedTrainers,
+		Standbys:  standbys,
+	})
+	if err != nil {
+		return metrics, res, applied, err
+	}
+	if r.net != nil {
+		if node := r.liveStorageNode(); node != "" {
+			ref, err := r.task.Checkpoint(ctx, r.net, node)
+			if err != nil {
+				return metrics, res, applied, fmt.Errorf("core: churn checkpoint round %d: %w", round, err)
+			}
+			r.checkpoint = ref
+			r.hasCheckpoint = true
+		}
+		if _, err := r.net.RepairScan(ctx); err != nil {
+			return metrics, res, applied, fmt.Errorf("core: churn repair round %d: %w", round, err)
+		}
+	}
+	return metrics, res, applied, nil
+}
+
+// applyRoleEvent handles a churn event naming a protocol role rather
+// than a storage node.
+func (r *ChurnRunner) applyRoleEvent(ctx context.Context, round int, ev storage.ChurnEvent) (string, error) {
+	cfg := r.task.session.cfg
+	switch ev.Kind {
+	case storage.ChurnCrash:
+		if p, ok := aggregatorPartition(cfg, ev.Node); ok {
+			r.crashedAggs[ev.Node] = true
+			return fmt.Sprintf("crash %s (partition %d aggregator)", ev.Node, p), nil
+		}
+		if isTrainer(cfg, ev.Node) {
+			r.crashedTrainers[ev.Node] = true
+			return fmt.Sprintf("crash %s (trainer)", ev.Node), nil
+		}
+	case storage.ChurnRejoin:
+		if r.crashedAggs[ev.Node] {
+			delete(r.crashedAggs, ev.Node)
+			return fmt.Sprintf("rejoin %s (aggregator back in rotation)", ev.Node), nil
+		}
+		if r.crashedTrainers[ev.Node] {
+			delete(r.crashedTrainers, ev.Node)
+			return r.bootstrapTrainer(ctx, round, ev.Node)
+		}
+		if isTrainer(cfg, ev.Node) {
+			return "", fmt.Errorf("core: churn rejoin %q at iter %d: trainer never crashed", ev.Node, ev.Iter)
+		}
+	case storage.ChurnDepart:
+		return "", fmt.Errorf("core: churn depart %q: depart targets a storage node", ev.Node)
+	}
+	return "", fmt.Errorf("core: churn %s %q: unknown participant", ev.Kind, ev.Node)
+}
+
+// bootstrapTrainer brings a rejoining trainer up to date from the latest
+// checkpoint DAG — the §VI joining-party path — instead of replaying
+// from iteration 0. The loaded parameters are CID-verified per chunk by
+// the DAG layer and must match the task's model dimension.
+func (r *ChurnRunner) bootstrapTrainer(ctx context.Context, round int, trainer string) (string, error) {
+	if r.net == nil || !r.hasCheckpoint {
+		return fmt.Sprintf("rejoin %s (trainer, no checkpoint yet)", trainer), nil
+	}
+	node := r.liveStorageNode()
+	if node == "" {
+		return "", fmt.Errorf("core: churn rejoin %s: no live storage node to bootstrap from", trainer)
+	}
+	params, err := LoadCheckpoint(ctx, r.net, node, r.checkpoint)
+	if err != nil {
+		return "", fmt.Errorf("core: churn rejoin %s: %w", trainer, err)
+	}
+	if len(params) != r.task.session.cfg.Spec.Dim {
+		return "", fmt.Errorf("core: churn rejoin %s: checkpoint has %d params, model wants %d",
+			trainer, len(params), r.task.session.cfg.Spec.Dim)
+	}
+	r.bootstraps.Inc()
+	r.task.session.emit(EventTrainerRejoin, trainer, round, -1,
+		"bootstrapped %d params from checkpoint %s", len(params), r.checkpoint.CID.Short())
+	return fmt.Sprintf("rejoin %s (trainer, bootstrapped %d params from checkpoint %s)",
+		trainer, len(params), r.checkpoint.CID.Short()), nil
+}
+
+// standbys picks, for every partition whose entire aggregator set is
+// crashed, a live aggregator from another partition to stand by for it.
+// Partitions with at least one live aggregator need none: the surviving
+// peer's phase-4 takeover already covers crashed peers.
+func (r *ChurnRunner) standbys() (map[int]string, error) {
+	cfg := r.task.session.cfg
+	var out map[int]string
+	for p := 0; p < cfg.Spec.Partitions; p++ {
+		allCrashed := true
+		for _, agg := range cfg.Aggregators[p] {
+			if !r.crashedAggs[agg] {
+				allCrashed = false
+				break
+			}
+		}
+		if !allCrashed {
+			continue
+		}
+		standby := ""
+		for _, ref := range cfg.AllAggregators() {
+			if ref.Partition != p && !r.crashedAggs[ref.ID] {
+				standby = ref.ID
+				break
+			}
+		}
+		if standby == "" {
+			return nil, fmt.Errorf("core: churn: no live aggregator left to stand by for partition %d", p)
+		}
+		if out == nil {
+			out = make(map[int]string)
+		}
+		out[p] = standby
+	}
+	return out, nil
+}
+
+// liveStorageNode returns a live storage node for checkpoints, or "".
+func (r *ChurnRunner) liveStorageNode() string {
+	if r.net == nil {
+		return ""
+	}
+	if live := r.net.LiveNodes(); len(live) > 0 {
+		return live[0]
+	}
+	return ""
+}
+
+// aggregatorPartition resolves an aggregator ID to its partition.
+func aggregatorPartition(cfg *Config, id string) (int, bool) {
+	for _, ref := range cfg.AllAggregators() {
+		if ref.ID == id {
+			return ref.Partition, true
+		}
+	}
+	return 0, false
+}
+
+// isTrainer reports whether id is one of the task's trainers.
+func isTrainer(cfg *Config, id string) bool {
+	for _, tr := range cfg.Trainers {
+		if tr == id {
+			return true
+		}
+	}
+	return false
+}

@@ -30,6 +30,7 @@ type sessionMetrics struct {
 	verifyPass        *obs.Counter
 	verifyFail        *obs.Counter
 	takeovers         *obs.Counter
+	standbyTakeovers  *obs.Counter
 	screenedOut       *obs.Counter
 	globalsPublished  *obs.Counter
 	globalsRejected   *obs.Counter
@@ -60,6 +61,7 @@ func (s *Session) SetMetrics(reg *obs.Registry) {
 		verifyPass:         reg.Counter("verification_pass_total"),
 		verifyFail:         reg.Counter("verification_fail_total"),
 		takeovers:          reg.Counter("takeover_total"),
+		standbyTakeovers:   reg.Counter("standby_takeover_total"),
 		screenedOut:        reg.Counter("screened_out_total"),
 		globalsPublished:   reg.Counter("globals_published_total"),
 		globalsRejected:    reg.Counter("globals_rejected_total"),

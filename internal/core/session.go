@@ -357,6 +357,9 @@ type AggregatorReport struct {
 	Partition int
 	Iter      int
 	Behavior  Behavior
+	// ExecutedBy names the standby peer that actually executed this role
+	// after a crash-driven failover (empty when the aggregator itself ran).
+	ExecutedBy string
 
 	// GradientsAggregated counts trainer gradients folded into the
 	// partial update; MergeDownloads counts merge-and-download requests.
@@ -646,6 +649,61 @@ func (s *Session) aggregatorRun(ctx context.Context, parent obs.SpanContext, agg
 		return report, err
 	}
 	return report, s.publishGlobal(ctx, sc, report, agg, partition, iter, home, global)
+}
+
+// standbyWatch runs a standby peer aggregator for a partition: it polls
+// for signs of life from the partition's own aggregators — a pub/sub
+// announcement on the iteration topic or an accepted global update in
+// the directory — until a failover deadline (t_train after the watch
+// starts). If none appear, the partition's aggregators crashed outright
+// (a dropout never announces a partial, §III-D) and the standby executes
+// the partition's lead aggregator role itself, using the directory
+// records the crashed role would have used. The returned report, when
+// non-nil, is the takeover's; a healthy partition returns (nil, nil).
+func (s *Session) standbyWatch(ctx context.Context, parent obs.SpanContext, standby string, partition, iter int) (*AggregatorReport, error) {
+	deadline := time.Now().Add(s.cfg.TTrain)
+	topic := storage.Topic(s.cfg.TaskID, iter, partition)
+	announcer, hasPubSub := s.store.(Announcer)
+	cursor := 0
+	alive := false
+	err := s.poll(ctx, deadline, func() (bool, error) {
+		if _, err := s.dir.Update(ctx, iter, partition); err == nil {
+			alive = true
+			return true, nil
+		}
+		if hasPubSub {
+			msgs, next := announcer.Listen(topic, cursor)
+			cursor = next
+			if len(msgs) > 0 {
+				alive = true
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+	if alive {
+		return nil, nil
+	}
+	if err != nil && !errors.Is(err, ErrTimeout) {
+		return nil, err
+	}
+	lead := s.cfg.Aggregators[partition][0]
+	s.metrics.standbyTakeovers.Inc()
+	s.emit(EventStandbyTakeover, standby, iter, partition,
+		"no life signs from partition %d aggregators by failover deadline; %s executing %s", partition, standby, lead)
+	rep, err := s.aggregatorRun(ctx, parent, lead, partition, iter, BehaviorHonest)
+	if rep != nil {
+		rep.ExecutedBy = standby
+	}
+	if err != nil {
+		// The watch can race a slow-but-alive aggregator; if the partition
+		// completed anyway, the takeover losing that race is not a failure.
+		if _, uerr := s.dir.Update(ctx, iter, partition); uerr == nil {
+			return rep, nil
+		}
+		return rep, fmt.Errorf("core: standby %s takeover of partition %d: %w", standby, partition, err)
+	}
+	return rep, nil
 }
 
 // awaitGradients polls the directory until all expected gradient records
@@ -953,6 +1011,10 @@ type IterationResult struct {
 	AvgDelta []float64
 	// Reports holds one report per aggregator role (including dropouts).
 	Reports map[string]*AggregatorReport
+	// Takeovers holds, per partition, the report of a standby-executed
+	// aggregation after a crash-driven failover (see IterationOptions).
+	// Keyed by partition so a dropout's own report in Reports survives.
+	Takeovers map[int]*AggregatorReport
 	// Incomplete lists partitions for which no global update was
 	// accepted (e.g. a sole malicious aggregator in verifiable mode).
 	Incomplete []int
@@ -969,16 +1031,35 @@ func (r *IterationResult) Detected() bool {
 	return false
 }
 
+// IterationOptions extends RunIteration for churn scenarios.
+type IterationOptions struct {
+	// AllowAbsent permits running with deltas for only a subset of the
+	// configured trainers: crashed trainers publish nothing and their
+	// aggregators proceed on the partial gradient set at t_train.
+	AllowAbsent bool
+	// Standbys maps partition -> a peer aggregator that watches the
+	// partition's aggregators for signs of life (pub/sub announcements or
+	// an accepted global update) and, when none appear before the
+	// failover deadline, executes the partition's aggregation itself —
+	// the §III-D takeover generalized across partitions.
+	Standbys map[int]string
+}
+
 // RunIteration executes one complete FL iteration: all trainers upload
 // their deltas concurrently, all aggregators run concurrently (with
 // optional per-aggregator behaviors), and the averaged delta is collected.
 // The deltas map provides each trainer's locally computed model delta.
 func (s *Session) RunIteration(ctx context.Context, iter int, deltas map[string][]float64, behaviors map[string]Behavior) (*IterationResult, error) {
-	return s.runIteration(ctx, obs.SpanContext{}, iter, deltas, behaviors)
+	return s.runIteration(ctx, obs.SpanContext{}, iter, deltas, behaviors, IterationOptions{})
 }
 
-func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter int, deltas map[string][]float64, behaviors map[string]Behavior) (_ *IterationResult, err error) {
-	if len(deltas) != len(s.cfg.Trainers) {
+// RunIterationOpts is RunIteration with churn options.
+func (s *Session) RunIterationOpts(ctx context.Context, iter int, deltas map[string][]float64, behaviors map[string]Behavior, opts IterationOptions) (*IterationResult, error) {
+	return s.runIteration(ctx, obs.SpanContext{}, iter, deltas, behaviors, opts)
+}
+
+func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter int, deltas map[string][]float64, behaviors map[string]Behavior, opts IterationOptions) (_ *IterationResult, err error) {
+	if !opts.AllowAbsent && len(deltas) != len(s.cfg.Trainers) {
 		return nil, fmt.Errorf("core: got %d deltas for %d trainers", len(deltas), len(s.cfg.Trainers))
 	}
 	// The iteration span roots the trace: every role span below runs as a
@@ -1004,6 +1085,9 @@ func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter
 	for _, tr := range s.cfg.Trainers {
 		delta, ok := deltas[tr]
 		if !ok {
+			if opts.AllowAbsent {
+				continue // crashed trainer: uploads nothing this iteration
+			}
 			return nil, fmt.Errorf("core: missing delta for trainer %s", tr)
 		}
 		wg.Add(1)
@@ -1027,6 +1111,24 @@ func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter
 				fail(err)
 			}
 		}(ref, behavior)
+	}
+	for partition, standby := range opts.Standbys {
+		wg.Add(1)
+		go func(partition int, standby string) {
+			defer wg.Done()
+			rep, err := s.standbyWatch(ctx, it.ctx(), standby, partition, iter)
+			if rep != nil {
+				mu.Lock()
+				if result.Takeovers == nil {
+					result.Takeovers = make(map[int]*AggregatorReport)
+				}
+				result.Takeovers[partition] = rep
+				mu.Unlock()
+			}
+			if err != nil {
+				fail(err)
+			}
+		}(partition, standby)
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -7,6 +7,7 @@ import (
 
 	"ipls/internal/netsim"
 	"ipls/internal/obs"
+	"ipls/internal/storage"
 )
 
 // SimConfig parameterizes a virtual-time protocol run over the netsim
@@ -57,6 +58,18 @@ type SimConfig struct {
 	// (netsim.ParseLossWindow describes the textual form). Node names
 	// follow the simulation's own scheme: trainer-00, agg-p0-0, ipfs-00.
 	LinkLoss []netsim.LossWindow
+	// Churn applies membership events to the single simulated iteration
+	// (event iteration numbers are ignored). Departed or crashed storage
+	// nodes drop out of placement for the whole run, a crashed
+	// aggregator's role is executed by a live standby after
+	// FailoverTimeout, crashed trainers miss the iteration (their
+	// gradients count as missed), and a rejoining trainer first
+	// downloads the model checkpoint from storage before uploading.
+	// Node names follow the simulation's scheme above.
+	Churn []storage.ChurnEvent
+	// FailoverTimeout is how long (virtual time) a standby waits for a
+	// crashed aggregator before taking over; zero defaults to 1s.
+	FailoverTimeout time.Duration
 	// Metrics, when non-nil, receives the simulated flow counters under
 	// the same names real runs use (bytes_uploaded_total{node=...} etc.),
 	// so snapshots from simulated and emulated experiments line up.
@@ -120,14 +133,26 @@ type SimResult struct {
 	// MergeDownloads counts merge-and-download requests issued.
 	MergeDownloads int
 	// MissedGradients counts gradients excluded because they missed the
-	// t_train cutoff.
+	// t_train cutoff (including those of churn-crashed trainers).
 	MissedGradients int
+	// Takeovers counts crashed aggregator roles executed by a standby;
+	// Bootstraps counts rejoining trainers that downloaded the checkpoint.
+	Takeovers  int
+	Bootstraps int
 }
 
 // Simulate runs one protocol iteration in virtual time and measures it.
 func Simulate(cfg SimConfig) (*SimResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	churn, err := newSimChurn(cfg)
+	if err != nil {
+		return nil, err
+	}
+	failover := cfg.FailoverTimeout
+	if failover <= 0 {
+		failover = time.Second
 	}
 	env := netsim.NewEnv()
 	if cfg.Metrics != nil {
@@ -166,6 +191,24 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 			return nil, err
 		}
 	}
+	var liveStores []int
+	for i := 0; i < cfg.StorageNodes; i++ {
+		if !churn.downStores[i] {
+			liveStores = append(liveStores, i)
+		}
+	}
+	if !cfg.Direct && len(liveStores) == 0 {
+		return nil, fmt.Errorf("core: sim churn: every storage node is down")
+	}
+	// place deterministically redirects a placement choice away from
+	// down storage nodes — the sim analogue of replicaTargets skipping
+	// departed members.
+	place := func(n int) int {
+		if !churn.downStores[n] {
+			return n
+		}
+		return liveStores[n%len(liveStores)]
+	}
 
 	// assignment: trainer t's aggregator index for every partition.
 	aggOf := func(t int) int { return t % cfg.AggregatorsPerPartition }
@@ -190,9 +233,22 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 					break
 				}
 			}
-			return (base + slot%cfg.ProvidersPerAggregator) % cfg.StorageNodes
+			return place((base + slot%cfg.ProvidersPerAggregator) % cfg.StorageNodes)
 		}
-		return (t + p) % cfg.StorageNodes
+		return place((t + p) % cfg.StorageNodes)
+	}
+	// liveOf is trainersOf[j] minus the trainers the churn plan crashed.
+	liveOf := func(j int) []int {
+		if len(churn.crashedTrainers) == 0 {
+			return trainersOf[j]
+		}
+		var live []int
+		for _, t := range trainersOf[j] {
+			if !churn.crashedTrainers[t] {
+				live = append(live, t)
+			}
+		}
+		return live
 	}
 
 	var (
@@ -203,6 +259,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		totalDone       time.Duration
 		mergeDownloads  int
 		aggregatorBytes int64
+		takeovers       int
+		bootstraps      int
 	)
 
 	// Arrival trackers: one per-gradient counter (so naive downloads can
@@ -219,10 +277,10 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		}
 		for j := 0; j < cfg.AggregatorsPerPartition; j++ {
 			if cfg.Direct {
-				directArrived[[2]int{p, j}] = env.NewCounter(len(trainersOf[j]))
+				directArrived[[2]int{p, j}] = env.NewCounter(len(liveOf(j)))
 				continue
 			}
-			for _, t := range trainersOf[j] {
+			for _, t := range liveOf(j) {
 				k := slotKey{p, j, providerOf(p, j, t)}
 				expected[k]++
 			}
@@ -258,7 +316,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	}
 
 	cutoff := cfg.TTrainCutoff
-	missed := 0
+	// Crashed trainers' gradients are missed by definition.
+	missed := cfg.Partitions * len(churn.crashedTrainers)
 	// waitArrival waits for a counter, honoring the t_train cutoff, and
 	// reports whether the target was reached.
 	waitArrival := func(c *netsim.Counter) bool {
@@ -277,10 +336,25 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		}
 	}
 
-	// Trainer processes: upload every partition's gradient.
+	// Trainer processes: upload every partition's gradient. Crashed
+	// trainers never start; rejoining trainers bootstrap the checkpoint
+	// (the full model, one partition block per partition) from storage
+	// before their first upload — the §VI joining-party path.
 	for t := 0; t < cfg.Trainers; t++ {
+		if churn.crashedTrainers[t] {
+			continue
+		}
 		t := t
 		env.Go(fmt.Sprintf("trainer-%d", t), func() {
+			if churn.rejoinTrainers[t] {
+				bCtx := simRoot()
+				bStart := simClock()
+				ckBytes := cfg.PartitionBytes * int64(cfg.Partitions)
+				env.Transfer(stores[place(t%cfg.StorageNodes)], trainers[t], ckBytes)
+				bootstraps++
+				emitEvent(EventTrainerRejoin, trainers[t].Name, -1, ckBytes, "simulated checkpoint bootstrap")
+				emitSpan("bootstrap", trainers[t].Name, bCtx, bStart, ckBytes)
+			}
 			upCtx := simRoot()
 			upStart := simClock()
 			for p := 0; p < cfg.Partitions; p++ {
@@ -307,9 +381,13 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		})
 	}
 
-	// Aggregator processes.
+	// Aggregator processes. Crashed aggregators never start; a standby
+	// covers them below.
 	for p := 0; p < cfg.Partitions; p++ {
 		for j := 0; j < cfg.AggregatorsPerPartition; j++ {
+			if churn.crashedAggs[[2]int{p, j}] {
+				continue
+			}
 			p, j := p, j
 			agg := aggs[p][j]
 			env.Go(agg.Name, func() {
@@ -328,14 +406,14 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 					ok := waitArrival(ctr)
 					emitSpan("upload_wait", agg.Name, fetchCtx.Child(), waitStart, 0)
 					if !ok {
-						missed += len(trainersOf[j]) - ctr.Count()
+						missed += len(liveOf(j)) - ctr.Count()
 					}
 				} else if merge {
 					// One concurrent merge-download per provider group,
 					// in deterministic node order.
 					seen := make(map[int]bool)
 					var groups []int
-					for _, t := range trainersOf[j] {
+					for _, t := range liveOf(j) {
 						n := providerOf(p, j, t)
 						if !seen[n] {
 							seen[n] = true
@@ -369,8 +447,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 					done.Wait()
 				} else {
 					// Download each gradient individually as it lands.
-					done := env.NewCounter(len(trainersOf[j]))
-					for _, t := range trainersOf[j] {
+					done := env.NewCounter(len(liveOf(j)))
+					for _, t := range liveOf(j) {
 						t := t
 						node := providerOf(p, j, t)
 						env.Go(fmt.Sprintf("dl-p%d-%d-t%d", p, j, t), func() {
@@ -397,7 +475,7 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 				// Phase 2: multi-aggregator sync via the storage network.
 				if cfg.AggregatorsPerPartition > 1 && !cfg.Direct {
 					syncStart := simClock()
-					home := stores[(p*cfg.AggregatorsPerPartition+j)%len(stores)]
+					home := stores[place((p*cfg.AggregatorsPerPartition+j)%len(stores))]
 					env.Transfer(agg, home, cfg.PartitionBytes)
 					emitEvent(EventPartialPublished, agg.Name, p, cfg.PartitionBytes, "simulated partial upload")
 					partialReady[[2]int{p, j}].Fire()
@@ -409,7 +487,7 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 						k := k
 						env.Go(fmt.Sprintf("sync-p%d-%d-from%d", p, j, k), func() {
 							partialReady[[2]int{p, k}].Wait()
-							peerHome := stores[(p*cfg.AggregatorsPerPartition+k)%len(stores)]
+							peerHome := stores[place((p*cfg.AggregatorsPerPartition+k)%len(stores))]
 							env.Transfer(peerHome, agg, cfg.PartitionBytes)
 							done.Add()
 						})
@@ -429,11 +507,113 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		}
 	}
 
+	// Standby processes: one per crashed aggregator. The standby (a live
+	// aggregator from elsewhere) waits out the failover timeout, then
+	// executes the crashed role — gradient downloads over its own link,
+	// partial publish and peer sync — the §III-D takeover generalized
+	// across partitions.
+	standbyFor := func(p int) (*netsim.Node, bool) {
+		var fallback *netsim.Node
+		for pp := 0; pp < cfg.Partitions; pp++ {
+			for jj := 0; jj < cfg.AggregatorsPerPartition; jj++ {
+				if churn.crashedAggs[[2]int{pp, jj}] {
+					continue
+				}
+				if pp != p {
+					return aggs[pp][jj], true
+				}
+				if fallback == nil {
+					fallback = aggs[pp][jj]
+				}
+			}
+		}
+		return fallback, fallback != nil
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		for j := 0; j < cfg.AggregatorsPerPartition; j++ {
+			if !churn.crashedAggs[[2]int{p, j}] {
+				continue
+			}
+			standby, ok := standbyFor(p)
+			if !ok {
+				return nil, fmt.Errorf("core: sim churn: no live aggregator left to take over agg-p%d-%d", p, j)
+			}
+			p, j := p, j
+			env.Go(fmt.Sprintf("standby-p%d-%d", p, j), func() {
+				env.Sleep(failover)
+				toCtx := simRoot()
+				toStart := simClock()
+				var got int64
+				if cfg.Direct {
+					for _, t := range liveOf(j) {
+						env.Transfer(trainers[t], standby, cfg.PartitionBytes)
+						got += cfg.PartitionBytes
+					}
+				} else if merge {
+					seen := make(map[int]bool)
+					for _, t := range liveOf(j) {
+						node := providerOf(p, j, t)
+						if seen[node] {
+							continue
+						}
+						seen[node] = true
+						ctr := arrived[slotKey{p, j, node}]
+						waitArrival(ctr)
+						if ctr.Count() > 0 {
+							env.Transfer(stores[node], standby, cfg.PartitionBytes)
+							mergeDownloads++
+							got += cfg.PartitionBytes
+						}
+					}
+				} else {
+					for _, t := range liveOf(j) {
+						if waitArrival(gradArrived[[2]int{p, t}]) {
+							env.Transfer(stores[providerOf(p, j, t)], standby, cfg.PartitionBytes)
+							got += cfg.PartitionBytes
+						}
+					}
+				}
+				if env.Now() > gradDone {
+					gradDone = env.Now()
+				}
+				if cfg.AggregatorsPerPartition > 1 && !cfg.Direct {
+					home := stores[place((p*cfg.AggregatorsPerPartition+j)%len(stores))]
+					env.Transfer(standby, home, cfg.PartitionBytes)
+					emitEvent(EventPartialPublished, standby.Name, p, cfg.PartitionBytes, "simulated takeover partial")
+					partialReady[[2]int{p, j}].Fire()
+					for k := 0; k < cfg.AggregatorsPerPartition; k++ {
+						if k == j {
+							continue
+						}
+						partialReady[[2]int{p, k}].Wait()
+						peerHome := stores[place((p*cfg.AggregatorsPerPartition+k)%len(stores))]
+						env.Transfer(peerHome, standby, cfg.PartitionBytes)
+						got += cfg.PartitionBytes
+					}
+				}
+				takeovers++
+				if env.Now() > syncDone {
+					syncDone = env.Now()
+				}
+				if env.Now() > totalDone {
+					totalDone = env.Now()
+				}
+				emitEvent(EventStandbyTakeover, standby.Name, p,
+					got, fmt.Sprintf("executed agg-p%d-%d after %v failover timeout", p, j, failover))
+				emitEvent(EventGlobalPublished, standby.Name, p, cfg.PartitionBytes, "simulated takeover global update")
+				emitSpan("takeover", standby.Name, toCtx, toStart, got)
+			})
+		}
+	}
+
 	if err := env.Run(); err != nil {
 		return nil, err
 	}
 
-	res := &SimResult{FirstPublish: firstPublish, MergeDownloads: mergeDownloads, MissedGradients: missed}
+	res := &SimResult{
+		FirstPublish: firstPublish, MergeDownloads: mergeDownloads, MissedGradients: missed,
+		Takeovers: takeovers, Bootstraps: bootstraps,
+	}
 	var sum time.Duration
 	for _, d := range uploadDone {
 		sum += d

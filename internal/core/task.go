@@ -67,9 +67,20 @@ func (t *Task) Round() int { return t.round }
 // given round from the current global model. Exposed so experiments can
 // compare against the centralized FedAvg reference.
 func (t *Task) LocalDeltas(round int) (map[string][]float64, float64, error) {
+	return t.localDeltas(round, nil)
+}
+
+// localDeltas is LocalDeltas minus the absent trainers. Seeds stay keyed
+// by each trainer's configured index, so the trainers that do run produce
+// the same deltas they would in a full round.
+func (t *Task) localDeltas(round int, absent map[string]bool) (map[string][]float64, float64, error) {
 	deltas := make(map[string][]float64, len(t.session.cfg.Trainers))
 	var totalLoss float64
+	trained := 0
 	for idx, tr := range t.session.cfg.Trainers {
+		if absent[tr] {
+			continue
+		}
 		cfg := t.sgd
 		cfg.Seed = ml.ParticipantSeed(int64(round), idx)
 		delta, loss, err := ml.LocalDelta(t.model, t.locals[tr], t.global, cfg)
@@ -78,22 +89,44 @@ func (t *Task) LocalDeltas(round int) (map[string][]float64, float64, error) {
 		}
 		deltas[tr] = delta
 		totalLoss += loss
+		trained++
 	}
-	return deltas, totalLoss / float64(len(t.session.cfg.Trainers)), nil
+	if trained == 0 {
+		return nil, 0, fmt.Errorf("core: every trainer is absent in round %d", round)
+	}
+	return deltas, totalLoss / float64(trained), nil
+}
+
+// RoundOptions extends RunRound for churn scenarios.
+type RoundOptions struct {
+	// Behaviors injects per-aggregator deviations (nil for all-honest).
+	Behaviors map[string]Behavior
+	// Absent lists trainers crashed this round: they neither train nor
+	// upload, and aggregation proceeds on the partial set at t_train.
+	Absent map[string]bool
+	// Standbys maps partition -> standby aggregator (IterationOptions).
+	Standbys map[int]string
 }
 
 // RunRound executes one FL round with the given per-aggregator behaviors
 // (nil for all-honest). If the protocol blocks a malicious round, the
 // global model is left unchanged and Applied is false.
 func (t *Task) RunRound(ctx context.Context, behaviors map[string]Behavior) (RoundMetrics, *IterationResult, error) {
+	return t.RunRoundOpts(ctx, RoundOptions{Behaviors: behaviors})
+}
+
+// RunRoundOpts is RunRound under churn: absent trainers skip the round
+// entirely and standby aggregators watch their assigned partitions.
+func (t *Task) RunRoundOpts(ctx context.Context, opts RoundOptions) (RoundMetrics, *IterationResult, error) {
 	round := t.round
 	train := t.session.startSpan("train", "trainers", round, obs.SpanContext{})
-	deltas, loss, err := t.LocalDeltas(round)
+	deltas, loss, err := t.localDeltas(round, opts.Absent)
 	train.endErr(err)
 	if err != nil {
 		return RoundMetrics{}, nil, err
 	}
-	res, err := t.session.RunIteration(ctx, round, deltas, behaviors)
+	res, err := t.session.runIteration(ctx, obs.SpanContext{}, round, deltas, opts.Behaviors,
+		IterationOptions{AllowAbsent: len(opts.Absent) > 0, Standbys: opts.Standbys})
 	if err != nil {
 		return RoundMetrics{}, res, err
 	}

@@ -25,6 +25,8 @@ const (
 	EventGlobalRejected
 	EventUpdateCollected
 	EventScreenedOut
+	EventStandbyTakeover
+	EventTrainerRejoin
 )
 
 var eventKindNames = map[EventKind]string{
@@ -39,6 +41,8 @@ var eventKindNames = map[EventKind]string{
 	EventGlobalRejected:     "global-rejected",
 	EventUpdateCollected:    "update-collected",
 	EventScreenedOut:        "screened-out",
+	EventStandbyTakeover:    "standby-takeover",
+	EventTrainerRejoin:      "trainer-rejoin",
 }
 
 // String names the event kind.

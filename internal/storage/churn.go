@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Churn schedules. Where a FaultPlan injects transient storage faults
+// (crash/recover/slow/flaky), a ChurnPlan scripts *membership* change
+// across a multi-iteration run: permanent storage-node departures, role
+// crashes (aggregators, trainers), and rejoins. The grammar is the
+// FaultPlan's: comma-separated KIND:NAME@iterN events, e.g.
+//
+//	depart:ipfs-03@iter2,crash:agg-p0-0@iter1,rejoin:trainer-05@iter3
+//
+// Names are resolved at apply time: events naming nodes of the attached
+// storage network are applied there (depart, crash→Fail, rejoin→
+// Rejoin/Recover); the rest name protocol roles and are returned to the
+// caller — core.ChurnRunner turns them into aggregator failovers and
+// trainer rejoin bootstraps.
+
+// ChurnKind names a scheduled membership action.
+type ChurnKind string
+
+// Churn actions a plan can schedule.
+const (
+	// ChurnDepart permanently removes a storage node (blocks lost).
+	ChurnDepart ChurnKind = "depart"
+	// ChurnCrash takes a node or role offline: a storage node goes down
+	// (transient), an aggregator misses its deadline, a trainer stops
+	// publishing gradients.
+	ChurnCrash ChurnKind = "crash"
+	// ChurnRejoin brings a crashed or departed participant back: a
+	// departed storage node rejoins empty, a crashed one recovers with its
+	// datastore, a trainer bootstraps from the latest checkpoint.
+	ChurnRejoin ChurnKind = "rejoin"
+)
+
+// ChurnEvent is one scheduled membership change: apply Kind to Node at
+// iteration Iter.
+type ChurnEvent struct {
+	Kind ChurnKind
+	Node string
+	Iter int
+}
+
+// String renders the event in the plan grammar.
+func (ev ChurnEvent) String() string {
+	return fmt.Sprintf("%s:%s@iter%d", ev.Kind, ev.Node, ev.Iter)
+}
+
+// ChurnPlan is an iteration-indexed membership-change schedule.
+type ChurnPlan struct {
+	events []ChurnEvent
+}
+
+// ParseChurnPlan parses a comma-separated churn scenario, e.g.
+//
+//	depart:ipfs-03@iter2,crash:agg-p0-0@iter1,rejoin:trainer-05@iter3
+//
+// Grammar per event: KIND:NAME@iterN where KIND is depart, crash or
+// rejoin. An empty string parses to an empty plan.
+func ParseChurnPlan(s string) (*ChurnPlan, error) {
+	plan := &ChurnPlan{}
+	if strings.TrimSpace(s) == "" {
+		return plan, nil
+	}
+	for _, raw := range strings.Split(s, ",") {
+		ev, err := parseChurnEvent(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, err
+		}
+		plan.events = append(plan.events, ev)
+	}
+	sort.SliceStable(plan.events, func(i, j int) bool { return plan.events[i].Iter < plan.events[j].Iter })
+	return plan, nil
+}
+
+func parseChurnEvent(s string) (ChurnEvent, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return ChurnEvent{}, fmt.Errorf("storage: churn %q: want KIND:NAME@iterN", s)
+	}
+	kind := ChurnKind(parts[0])
+	switch kind {
+	case ChurnDepart, ChurnCrash, ChurnRejoin:
+	default:
+		return ChurnEvent{}, fmt.Errorf("storage: churn %q: unknown kind %q", s, kind)
+	}
+	at := strings.Split(parts[1], "@")
+	if len(at) != 2 || at[0] == "" || !strings.HasPrefix(at[1], "iter") {
+		return ChurnEvent{}, fmt.Errorf("storage: churn %q: want NAME@iterN after kind", s)
+	}
+	iter, err := strconv.Atoi(strings.TrimPrefix(at[1], "iter"))
+	if err != nil || iter < 0 {
+		return ChurnEvent{}, fmt.Errorf("storage: churn %q: bad iteration %q", s, at[1])
+	}
+	return ChurnEvent{Kind: kind, Node: at[0], Iter: iter}, nil
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *ChurnPlan) Empty() bool { return p == nil || len(p.events) == 0 }
+
+// Events returns the plan's schedule, ordered by iteration.
+func (p *ChurnPlan) Events() []ChurnEvent {
+	if p == nil {
+		return nil
+	}
+	out := make([]ChurnEvent, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// EventsAt returns the events scheduled for one iteration.
+func (p *ChurnPlan) EventsAt(iter int) []ChurnEvent {
+	if p == nil {
+		return nil
+	}
+	var out []ChurnEvent
+	for _, ev := range p.events {
+		if ev.Iter == iter {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ApplyStorage applies the iteration's events that name nodes of the
+// attached storage network — depart→Depart, crash→Fail, rejoin→Rejoin
+// (or Recover, when the node only crashed) — returning human-readable
+// descriptions of what it did plus the events naming unknown (role)
+// participants, which the protocol layer must act on. A nil network
+// passes every event through.
+func (p *ChurnPlan) ApplyStorage(n *Network, iter int) (applied []string, rest []ChurnEvent, err error) {
+	if p == nil {
+		return nil, nil, nil
+	}
+	for _, ev := range p.events {
+		if ev.Iter != iter {
+			continue
+		}
+		if n == nil || !n.hasNode(ev.Node) {
+			rest = append(rest, ev)
+			continue
+		}
+		switch ev.Kind {
+		case ChurnDepart:
+			err = n.Depart(ev.Node)
+			applied = append(applied, fmt.Sprintf("depart %s (blocks lost)", ev.Node))
+		case ChurnCrash:
+			err = n.Fail(ev.Node)
+			applied = append(applied, fmt.Sprintf("crash %s", ev.Node))
+		case ChurnRejoin:
+			if n.hasDeparted(ev.Node) {
+				err = n.Rejoin(ev.Node)
+				applied = append(applied, fmt.Sprintf("rejoin %s (empty datastore)", ev.Node))
+			} else {
+				err = n.Recover(ev.Node)
+				applied = append(applied, fmt.Sprintf("rejoin %s (datastore intact)", ev.Node))
+			}
+		}
+		if err != nil {
+			return applied, rest, fmt.Errorf("storage: apply churn at iter %d: %w", iter, err)
+		}
+	}
+	return applied, rest, nil
+}
+
+// hasNode reports whether id is a storage node of this network.
+func (n *Network) hasNode(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.nodes[id]
+	return ok
+}
+
+// hasDeparted reports whether id is a departed storage node.
+func (n *Network) hasDeparted(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	return ok && nd.departed
+}

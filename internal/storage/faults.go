@@ -75,9 +75,9 @@ func (n *Network) gate(ctx context.Context, nodeID string) error {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
 	}
-	if nd.down {
+	if err := nd.availErr(); err != nil {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrNodeDown, nodeID)
+		return err
 	}
 	slow := nd.slow
 	flake := false

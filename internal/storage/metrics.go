@@ -45,6 +45,11 @@ func (n *Network) setMetricsLocked(reg *obs.Registry) {
 	// did NOT download because the provider pre-aggregated the blocks
 	// (sum of merged input sizes minus the single output size).
 	n.mergeBytesSaved = reg.Counter("merge_bytes_saved_total")
+	// repair_blocks_total counts replica copies created by RepairScan;
+	// under_replicated_blocks is the scan's closing census of blocks still
+	// below target (0 means the replication factor is fully restored).
+	n.repairCtr = reg.Counter("repair_blocks_total")
+	n.underRepl = reg.Gauge("under_replicated_blocks")
 	for _, nd := range n.nodes {
 		nd.metrics = resolveNodeMetrics(reg, nd.id)
 	}

@@ -39,6 +39,10 @@ var (
 	ErrNotFound = errors.New("storage: block not found")
 	// ErrNodeDown indicates the addressed node is unavailable.
 	ErrNodeDown = errors.New("storage: node is down")
+	// ErrNodeDeparted indicates the addressed node has permanently left the
+	// network (its blocks are gone). Unlike ErrNodeDown this is not
+	// retryable — only replica failover can serve the data.
+	ErrNodeDeparted = errors.New("storage: node has departed")
 	// ErrUnknownNode indicates the node ID is not part of the network.
 	ErrUnknownNode = errors.New("storage: unknown node")
 )
@@ -117,12 +121,23 @@ type Network struct {
 	order     []string
 	pubsub    *PubSub
 
+	// providers is the advertised placement: per CID, the set of nodes
+	// that have announced they hold the block (the stand-in for IPFS DHT
+	// provider records). Repair reads it instead of scanning datastores,
+	// and withdrawal on Depart/Delete keeps placement from going stale.
+	providers map[cid.CID]map[string]bool
+
 	reg             *obs.Registry
 	remoteFetchCtr  *obs.Counter
 	mergeOps        *obs.Counter
 	mergeBytesSaved *obs.Counter
+	repairCtr       *obs.Counter
+	underRepl       *obs.Gauge
 
 	spans obs.SpanSink
+	// repairSeq numbers RepairScan passes so each scan's "repair" span
+	// lands in its own (session, iter) trace.
+	repairSeq int
 
 	// faultRand drives flaky-node coin flips; seeded via SetFaultSeed so
 	// fault-injection runs are reproducible.
@@ -143,6 +158,7 @@ func NewNetwork(field *scalar.Field, replicas int) *Network {
 		replicas:  replicas,
 		placement: PlacementRing,
 		nodes:     make(map[string]*Node),
+		providers: make(map[cid.CID]map[string]bool),
 		pubsub:    NewPubSub(),
 	}
 	n.setMetricsLocked(nil) // private registry until SetMetrics is called
@@ -181,6 +197,7 @@ type Node struct {
 	id          string
 	blocks      map[cid.CID][]byte
 	down        bool
+	departed    bool
 	cheatMerges bool
 	slow        time.Duration // fault injection: per-operation service delay
 	flaky       float64       // fault injection: transient-failure probability
@@ -194,6 +211,17 @@ type Node struct {
 
 // ID returns the node's identifier.
 func (nd *Node) ID() string { return nd.id }
+
+// availErr reports why the node cannot serve requests (nil when it can).
+func (nd *Node) availErr() error {
+	if nd.departed {
+		return fmt.Errorf("%w: %q", ErrNodeDeparted, nd.id)
+	}
+	if nd.down {
+		return fmt.Errorf("%w: %q", ErrNodeDown, nd.id)
+	}
+	return nil
+}
 
 // StoredBlocks returns how many distinct blocks the node holds.
 func (nd *Node) StoredBlocks() int { return len(nd.blocks) }
@@ -231,6 +259,22 @@ func (n *Network) AddNode(id string) *Node {
 	return nd
 }
 
+// LiveNodes returns the IDs of nodes currently able to serve requests
+// (neither down nor departed), in deterministic order.
+func (n *Network) LiveNodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.order))
+	for _, id := range n.order {
+		nd := n.nodes[id]
+		if nd.down || nd.departed {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
 // NodeIDs returns all node identifiers in deterministic order.
 func (n *Network) NodeIDs() []string {
 	n.mu.Lock()
@@ -251,7 +295,9 @@ func (n *Network) Node(id string) (*Node, error) {
 	return nd, nil
 }
 
-// Fail marks a node as unavailable.
+// Fail marks a node as unavailable (transient: its blocks survive and
+// Recover brings it back). Failing a departed node is an error — departure
+// is permanent.
 func (n *Network) Fail(id string) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -259,12 +305,18 @@ func (n *Network) Fail(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
 	}
+	if nd.departed {
+		return fmt.Errorf("%w: %q", ErrNodeDeparted, id)
+	}
 	nd.down = true
 	return nil
 }
 
 // Recover brings a failed node back (its blocks survive, as an IPFS node's
-// datastore would).
+// datastore would) and re-announces every block it holds to the provider
+// sets — the IPFS re-provide step — so placement that went stale while the
+// node was down (e.g. a RepairScan withdrew its records) is restored.
+// Departed nodes cannot Recover; they must Rejoin, empty.
 func (n *Network) Recover(id string) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -272,8 +324,112 @@ func (n *Network) Recover(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
 	}
+	if nd.departed {
+		return fmt.Errorf("%w: %q", ErrNodeDeparted, id)
+	}
+	nd.down = false
+	for c := range nd.blocks {
+		n.announceLocked(id, c)
+	}
+	return nil
+}
+
+// Depart permanently removes a node from service: unlike Fail, its blocks
+// are lost and its provider records withdrawn — the "nodes may go offline
+// at any time" case (§III-A) where the datastore leaves with the node.
+// Only RepairScan re-replicating from surviving replicas restores the
+// replication factor afterwards.
+func (n *Network) Depart(id string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if nd.departed {
+		return fmt.Errorf("%w: %q (already departed)", ErrNodeDeparted, id)
+	}
+	nd.departed = true
+	nd.down = true
+	for c := range nd.blocks {
+		n.withdrawLocked(id, c)
+	}
+	nd.blocks = make(map[cid.CID][]byte)
+	return nil
+}
+
+// Rejoin brings a departed node back into service with an empty datastore
+// (a fresh join under the old identity). The node is immediately eligible
+// as a replica target and repair destination.
+func (n *Network) Rejoin(id string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if !nd.departed {
+		return fmt.Errorf("storage: rejoin %q: node has not departed", id)
+	}
+	nd.departed = false
 	nd.down = false
 	return nil
+}
+
+// announceLocked records id as a provider of c. Callers hold n.mu.
+func (n *Network) announceLocked(id string, c cid.CID) {
+	set, ok := n.providers[c]
+	if !ok {
+		set = make(map[string]bool)
+		n.providers[c] = set
+	}
+	set[id] = true
+}
+
+// withdrawLocked removes id's provider record for c. Callers hold n.mu.
+func (n *Network) withdrawLocked(id string, c cid.CID) {
+	set, ok := n.providers[c]
+	if !ok {
+		return
+	}
+	delete(set, id)
+	if len(set) == 0 {
+		delete(n.providers, c)
+	}
+}
+
+// Providers returns the nodes currently advertising c, in sorted order
+// (records may be stale until the next RepairScan prunes them).
+func (n *Network) Providers(c cid.CID) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.providers[c]))
+	for id := range n.providers[c] {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReplicaCount returns how many live nodes actually hold c — the block's
+// effective replication factor right now.
+func (n *Network) ReplicaCount(c cid.CID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.liveReplicasLocked(c)
+}
+
+func (n *Network) liveReplicasLocked(c cid.CID) int {
+	count := 0
+	for _, nd := range n.nodes {
+		if nd.down || nd.departed {
+			continue
+		}
+		if _, ok := nd.blocks[c]; ok {
+			count++
+		}
+	}
+	return count
 }
 
 // Corrupt flips a byte of the stored block on one node — a test hook for
@@ -319,6 +475,7 @@ func (n *Network) Delete(nodeID string, c cid.CID) error {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
 	}
 	delete(nd.blocks, c)
+	n.withdrawLocked(nodeID, c)
 	return nil
 }
 
@@ -332,6 +489,7 @@ func (n *Network) DeleteAll(c cid.CID) {
 	for _, nd := range n.nodes {
 		delete(nd.blocks, c)
 	}
+	delete(n.providers, c)
 }
 
 // Put stores data on the addressed node and on replicas-1 successor nodes
@@ -347,18 +505,20 @@ func (n *Network) Put(ctx context.Context, nodeID string, data []byte) (cid.CID,
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
 	}
-	if nd.down {
-		return "", fmt.Errorf("%w: %q", ErrNodeDown, nodeID)
+	if err := nd.availErr(); err != nil {
+		return "", err
 	}
 	c := cid.Sum(data)
 	stored := append([]byte(nil), data...)
 	nd.blocks[c] = stored
+	n.announceLocked(nodeID, c)
 	nd.metrics.blocksStored.Inc()
 	nd.metrics.bytesUploaded.Add(int64(len(stored)))
 	if n.replicas > 1 {
 		for _, id := range n.replicaTargets(nodeID, c) {
 			replica := n.nodes[id]
 			replica.blocks[c] = stored
+			n.announceLocked(id, c)
 			replica.metrics.blocksReplicated.Inc()
 		}
 	}
@@ -380,7 +540,7 @@ func (n *Network) replicaTargets(primary string, c cid.CID) []string {
 		}
 		cands := make([]scored, 0, len(n.order))
 		for _, id := range n.order {
-			if id == primary || n.nodes[id].down {
+			if id == primary || n.nodes[id].down || n.nodes[id].departed {
 				continue
 			}
 			cands = append(cands, scored{id: id, score: rendezvousScore(c, id)})
@@ -398,7 +558,7 @@ func (n *Network) replicaTargets(primary string, c cid.CID) []string {
 		idx := sort.SearchStrings(n.order, primary)
 		for step := 1; step < len(n.order) && len(out) < want; step++ {
 			id := n.order[(idx+step)%len(n.order)]
-			if n.nodes[id].down {
+			if n.nodes[id].down || n.nodes[id].departed {
 				continue
 			}
 			out = append(out, id)
@@ -429,8 +589,8 @@ func (n *Network) Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, er
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
 	}
-	if nd.down {
-		return nil, fmt.Errorf("%w: %q", ErrNodeDown, nodeID)
+	if err := nd.availErr(); err != nil {
+		return nil, err
 	}
 	data, ok := nd.blocks[c]
 	if !ok {
@@ -528,8 +688,8 @@ func (n *Network) mergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
 	}
-	if nd.down {
-		return nil, fmt.Errorf("%w: %q", ErrNodeDown, nodeID)
+	if err := nd.availErr(); err != nil {
+		return nil, err
 	}
 	if len(cs) == 0 {
 		return nil, errors.New("storage: merge of zero blocks")
@@ -550,6 +710,7 @@ func (n *Network) mergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]
 			}
 			n.remoteFetchCtr.Inc()
 			nd.blocks[c] = remote
+			n.announceLocked(nodeID, c)
 			data = remote
 		}
 		inputBytes += int64(len(data))

@@ -239,6 +239,47 @@ type FaultPlan = storage.FaultPlan
 // iplssim's -faults flag.
 func ParseFaultPlan(s string) (*FaultPlan, error) { return storage.ParseFaultPlan(s) }
 
+// ChurnPlan is a deterministic schedule of membership change: permanent
+// storage-node departures, crashes of storage nodes / aggregators /
+// trainers, and rejoins — keyed by iteration. Storage events apply to a
+// StorageNetwork directly (ApplyStorage); role events are interpreted by
+// a ChurnRunner. ChurnEvent/ChurnKind are its building blocks.
+type (
+	ChurnPlan  = storage.ChurnPlan
+	ChurnEvent = storage.ChurnEvent
+	ChurnKind  = storage.ChurnKind
+)
+
+// Churn event kinds.
+const (
+	ChurnDepart = storage.ChurnDepart
+	ChurnCrash  = storage.ChurnCrash
+	ChurnRejoin = storage.ChurnRejoin
+)
+
+// ParseChurnPlan parses the comma-separated churn-event syntax used by
+// the -churn flags, e.g. "depart:ipfs-03@iter2,crash:agg-p0-0@iter1,
+// rejoin:t5@iter3".
+func ParseChurnPlan(s string) (*ChurnPlan, error) { return storage.ParseChurnPlan(s) }
+
+// RepairReport summarizes one StorageNetwork.RepairScan — the
+// anti-entropy pass that re-replicates blocks whose live replica count
+// was eroded by departures and crashes.
+type RepairReport = storage.RepairReport
+
+// ChurnRunner drives a Task across rounds under a ChurnPlan: storage
+// events hit the network, crashed aggregators become dropouts (with
+// standby takeover when a whole partition is down), crashed trainers sit
+// out and bootstrap from the latest checkpoint DAG on rejoin, and every
+// round ends with a checkpoint plus a replication repair scan.
+type ChurnRunner = core.ChurnRunner
+
+// NewChurnRunner wires a churn runner over a task, its storage network
+// and a parsed plan.
+func NewChurnRunner(task *Task, net *StorageNetwork, plan *ChurnPlan) *ChurnRunner {
+	return core.NewChurnRunner(task, net, plan)
+}
+
 // Placement selects the replica placement policy.
 type Placement = storage.Placement
 
