@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-tests chaos-churn bench-gate check
+.PHONY: all build vet test race chaos chaos-tests chaos-churn bench-gate profile check
 
 all: check
 
@@ -41,5 +41,12 @@ chaos-churn:
 #   go run ./cmd/iplsbench -baseline-out cmd/iplsbench/testdata/baselines/sim.json gate
 bench-gate:
 	$(GO) run -race ./cmd/iplsbench -baseline cmd/iplsbench/testdata/baselines/sim.json gate
+
+# Phase-labeled CPU and heap profiles of the commitment bench (the
+# paper's dominant cost). Slice by phase with:
+#   go tool pprof -tags cpu.pprof
+#   go tool pprof -tag_focus=phase=pedersen_commit cpu.pprof
+profile:
+	$(GO) run ./cmd/iplsbench -cpuprofile cpu.pprof -memprofile mem.pprof profile
 
 check: build vet test race chaos bench-gate

@@ -15,6 +15,7 @@
 //	iplsbench churn      membership churn: departures, failover, repair (-churn)
 //	iplsbench dirload    directory load reduction: batching + sharding (§VI)
 //	iplsbench hash       proof-friendly MiMC hash vs SHA-256 (§VI)
+//	iplsbench profile    commitment bench under the resource meter (-cpuprofile/-memprofile)
 //	iplsbench all        everything above
 //
 // The per-phase regression gate runs deterministic virtual-clock
@@ -56,13 +57,24 @@ func run(args []string) error {
 	baselineOut := fs.String("baseline-out", "", "gate: record the run's per-phase budgets to this baseline JSON")
 	tolerance := fs.Float64("tolerance", 0, "gate: allowed relative regression per phase metric (0.05 = 5%; the virtual clock is exact, so 0 works)")
 	spanOut := fs.String("span-out", "", "gate: also dump the scenarios' causal spans to this file as JSON Lines (analyze with iplstrace)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (phase-labeled; inspect with `go tool pprof -tags`)")
+	memProfile := fs.String("memprofile", "", "write a heap profile of the run to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|churn|dirload|hash|gate|all>")
+		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|churn|dirload|hash|profile|gate|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finishProfiles, err := profileOutputs(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := finishProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "iplsbench:", perr)
+		}
+	}()
 	gateOpts := gateOptions{baseline: *baseline, baselineOut: *baselineOut, tolerance: *tolerance, spanOut: *spanOut}
 	// The gate is its own mode: `iplsbench gate` with at least one of
 	// -baseline/-baseline-out, or just the flags with no experiment name.
@@ -96,6 +108,7 @@ func run(args []string) error {
 		"straggler": straggler,
 		"gossip":    func() error { return gossipVsFL(*rounds) },
 		"quant":     quantAblation,
+		"profile":   func() error { return profileExperiment(*maxParams) },
 	}
 	// Each run exports exactly one snapshot, so start from a fresh registry.
 	benchReg = obs.NewRegistry()
@@ -109,7 +122,7 @@ func run(args []string) error {
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "churn", "dirload", "hash", "placement", "straggler", "gossip", "quant"} {
+		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "churn", "dirload", "hash", "placement", "straggler", "gossip", "quant", "profile"} {
 			if err := timed(key, experiments[key]); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ipls/internal/obs"
+	"ipls/internal/pedersen"
+)
+
+// TestInjectedAllocRegressionTripsGate is the acceptance test for the
+// gate's resource dimensions: record a commit budget, inject an
+// allocation regression into the pedersen commit path, re-measure, and
+// the comparison must fail on the commit phase's alloc row. The
+// injection is sized relative to the measured base (3x plus a fixed
+// margin) and the tolerance is generous (100%), so real-process noise
+// in the runtime meter cannot flake the verdict either way.
+func TestInjectedAllocRegressionTripsGate(t *testing.T) {
+	const n, reps = 256, 3
+	base, err := commitBudget(n, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, ok := base.Phases["pedersen_commit"]
+	if !ok {
+		t.Fatalf("budget has no pedersen_commit phase: %+v", base)
+	}
+	if phase.Alloc <= 0 {
+		t.Fatalf("base alloc not measured (%d); runtime/metrics unavailable?", phase.Alloc)
+	}
+
+	pedersen.InjectCommitAlloc(3*phase.Alloc + 1<<20)
+	defer pedersen.InjectCommitAlloc(0)
+	regressed, err := commitBudget(n, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := obs.CompareBudget("commit-bench", base, regressed, 1.0)
+	if r.OK() {
+		t.Fatalf("injected alloc regression passed the gate:\nbase %+v\nregressed %+v",
+			phase, regressed.Phases["pedersen_commit"])
+	}
+	named := false
+	for _, v := range r.Violations() {
+		if strings.Contains(v, "pedersen_commit") && strings.Contains(v, "alloc") {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatalf("violations do not name pedersen_commit/alloc: %v", r.Violations())
+	}
+}
+
+// TestCommitBudgetWithoutInjectionPasses guards the flip side: at the
+// same generous tolerance, two clean measurements stay within budget on
+// the alloc dimension (wall/cpu rows are noise-exempted by comparing
+// alloc only).
+func TestCommitBudgetWithoutInjectionPasses(t *testing.T) {
+	const n, reps = 256, 3
+	base, err := commitBudget(n, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := commitBudget(n, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base.Phases["pedersen_commit"].Alloc
+	g := again.Phases["pedersen_commit"].Alloc
+	if b <= 0 || g <= 0 {
+		t.Fatalf("alloc not measured: base=%d again=%d", b, g)
+	}
+	// Allocation per commit is near-deterministic; 2x covers GC-assist
+	// variation without admitting the 3x injection above.
+	if g > 2*b {
+		t.Fatalf("clean re-measurement drifted: base=%d again=%d", b, g)
+	}
+}
+
+func TestProfileExperimentRuns(t *testing.T) {
+	benchReg = obs.NewRegistry()
+	if err := profileExperiment(1000); err != nil {
+		t.Fatal(err)
+	}
+	snap := benchReg.Snapshot()
+	if snap.Counters[`crypto_ops_total{op="pedersen_commit"}`] == 0 {
+		t.Fatalf("accounting hook did not count commits: %v", snap.Counters)
+	}
+	found := false
+	for k := range snap.Gauges {
+		if strings.HasPrefix(k, "bench_commit_cpu_seconds") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("profile experiment published no cpu gauges: %v", snap.Gauges)
+	}
+}

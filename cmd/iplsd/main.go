@@ -191,15 +191,20 @@ func startIntrospection(addr, spanOut, spanSample string, seed int64, pprof bool
 		Registry: in.reg,
 		Events:   func() any { return in.rec.Events() },
 		Spans:    func() any { return in.spans.Spans() },
-		Health:   health,
-		Pprof:    pprof,
+		// One process usually carries one node, but the scoreboard shape
+		// is the same either way: split the registry by node label and
+		// roll up. A cluster-wide board comes from merging several
+		// processes' /metrics.json scrapes the same way.
+		Scoreboard: func() any { return obs.MergeSnapshots(obs.SplitByLabel(in.reg.Snapshot(), "node"), 5) },
+		Health:     health,
+		Pprof:      pprof,
 	})
 	if err != nil {
 		in.close()
 		return nil, fmt.Errorf("metrics endpoint: %w", err)
 	}
 	in.srv = srv
-	fmt.Printf("iplsd: introspection on http://%s/metrics (/events, /spans, /buildinfo, /healthz)\n", srv.Addr)
+	fmt.Printf("iplsd: introspection on http://%s/metrics (/events, /spans, /scoreboard, /buildinfo, /healthz)\n", srv.Addr)
 	return in, nil
 }
 
@@ -363,6 +368,8 @@ func trainer(args []string) error {
 	sess.SetMetrics(in.reg)
 	sess.SetTracer(in.rec)
 	sess.SetSpans(in.sink)
+	// Real processes meter actual CPU/alloc; spans carry the deltas.
+	sess.SetResourceMeter(obs.RuntimeMeter{})
 	client.SetMetrics(in.reg)
 	local, err := tf.localData(*index)
 	if err != nil {
@@ -439,6 +446,8 @@ func aggregator(args []string) error {
 	sess.SetMetrics(in.reg)
 	sess.SetTracer(in.rec)
 	sess.SetSpans(in.sink)
+	// Real processes meter actual CPU/alloc; spans carry the deltas.
+	sess.SetResourceMeter(obs.RuntimeMeter{})
 	client.SetMetrics(in.reg)
 	fmt.Printf("iplsd: aggregator %s starting (%d rounds)\n", me, tf.rounds)
 	for round := 0; round < tf.rounds; round++ {

@@ -57,6 +57,7 @@ func run(args []string) error {
 		spanOut     = fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
 		metricsOut  = fs.String("metrics-out", "", "write the final metrics registry snapshot to this file as JSON")
 		summary     = fs.Bool("summary", false, "print per-iteration latency/byte summaries folded from the trace")
+		scoreboard  = fs.Bool("scoreboard", false, "print the cluster scoreboard after the run: per-node metrics rolled up into percentiles and top-K outliers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -320,6 +321,10 @@ func run(args []string) error {
 		} else {
 			fmt.Printf("spans: %d spans written to %s (%d dropped)\n", spanSink.Emitted(), *spanOut, spanSink.Dropped())
 		}
+	}
+	if *scoreboard {
+		fmt.Println("-- cluster scoreboard --")
+		obs.WriteScoreboard(os.Stdout, obs.MergeSnapshots(obs.SplitByLabel(reg.Snapshot(), "node"), 5))
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -11,6 +11,8 @@
 //	iplstrace -json run.spans
 //	iplstrace -chrome trace.json run.spans
 //	iplstrace -tree run.spans
+//	iplstrace -resources run.spans          per-phase cpu/alloc + actor outliers
+//	iplstrace -resources -top 10 run.spans
 //
 // With -baseline the folded breakdowns are compared against a scenario
 // budget recorded by `iplsbench -baseline-out` instead of printed,
@@ -46,6 +48,8 @@ func run(args []string, out io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit the per-iteration breakdowns as JSON instead of a table")
 		chrome    = fs.String("chrome", "", "write the spans in Chrome trace-event format to this file (open in Perfetto)")
 		tree      = fs.Bool("tree", false, "print each iteration's span tree instead of the breakdown")
+		resources = fs.Bool("resources", false, "print per-phase CPU/alloc attribution and per-actor hottest/slowest tables instead of the latency breakdown")
+		top       = fs.Int("top", 5, "number of actors in the -resources hottest/slowest tables")
 		baseline  = fs.String("baseline", "", "compare the folded breakdowns against this baseline JSON (from iplsbench -baseline-out), exiting non-zero on regression")
 		scenario  = fs.String("scenario", "", "scenario name inside -baseline to compare against (optional when the baseline has exactly one)")
 		tolerance = fs.Float64("tolerance", 0, "allowed relative regression per phase metric when checking -baseline (0.05 = 5%)")
@@ -62,8 +66,8 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("no span files given")
 	}
-	if *baseline != "" && (*jsonOut || *tree) {
-		return fmt.Errorf("-baseline is incompatible with -json/-tree")
+	if *baseline != "" && (*jsonOut || *tree || *resources) {
+		return fmt.Errorf("-baseline is incompatible with -json/-tree/-resources")
 	}
 	if *baseline == "" && (*scenario != "" || *tolerance != 0) {
 		return fmt.Errorf("-scenario/-tolerance only apply with -baseline")
@@ -107,6 +111,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	breakdowns := obs.BreakdownTrace(spans)
+	if *resources {
+		printResources(out, spans, breakdowns, *top)
+		return nil
+	}
 	if *baseline != "" {
 		return checkBaseline(out, breakdowns, *baseline, *scenario, *tolerance)
 	}
@@ -177,6 +185,78 @@ func printBreakdowns(out io.Writer, breakdowns []obs.IterationBreakdown) {
 				p.Phase, p.Duration.Round(time.Microsecond), p.Fraction*100, p.Segments, p.Bytes)
 		}
 	}
+}
+
+// printResources renders the resource-attribution view: per-iteration
+// phase tables with the cpu/alloc columns, then cross-trace per-actor
+// roll-ups — the hottest actors by CPU charged to their spans and the
+// slowest by span time. This is the single-file cousin of the cluster
+// scoreboard: same question ("where do cycles and bytes go, and who is
+// the outlier"), answered from a recorded span stream.
+func printResources(out io.Writer, spans []obs.Span, breakdowns []obs.IterationBreakdown, top int) {
+	for i, b := range breakdowns {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "%s iter %d: %d spans, latency %s\n",
+			orUnnamed(b.Session), b.Iter, b.Spans, b.Latency.Round(time.Microsecond))
+		fmt.Fprintf(out, "  %-18s %12s %7s %12s %12s\n", "phase", "time", "frac", "cpu", "alloc")
+		for _, p := range b.Phases {
+			fmt.Fprintf(out, "  %-18s %12s %6.1f%% %12s %11dB\n",
+				p.Phase, p.Duration.Round(time.Microsecond), p.Fraction*100,
+				time.Duration(p.CPUNanos).Round(time.Microsecond), p.AllocBytes)
+		}
+	}
+
+	type actorAgg struct {
+		cpu   int64
+		alloc int64
+		busy  time.Duration
+	}
+	actors := make(map[string]*actorAgg)
+	for _, s := range spans {
+		name := s.Actor
+		if name == "" {
+			name = "(unattributed)"
+		}
+		a := actors[name]
+		if a == nil {
+			a = &actorAgg{}
+			actors[name] = a
+		}
+		a.cpu += s.CPUNanos
+		a.alloc += s.AllocBytes
+		a.busy += s.Duration()
+	}
+	names := make([]string, 0, len(actors))
+	for n := range actors {
+		names = append(names, n)
+	}
+	table := func(title, valueHeader string, value func(a *actorAgg) int64, render func(a *actorAgg) string) {
+		sort.Slice(names, func(i, j int) bool {
+			vi, vj := value(actors[names[i]]), value(actors[names[j]])
+			if vi != vj {
+				return vi > vj
+			}
+			return names[i] < names[j]
+		})
+		fmt.Fprintf(out, "\n%s\n  %-24s %14s\n", title, "actor", valueHeader)
+		for i, n := range names {
+			if top > 0 && i >= top {
+				break
+			}
+			fmt.Fprintf(out, "  %-24s %14s\n", n, render(actors[n]))
+		}
+	}
+	table(fmt.Sprintf("hottest actors (top %d by span CPU)", top), "cpu",
+		func(a *actorAgg) int64 { return a.cpu },
+		func(a *actorAgg) string { return time.Duration(a.cpu).Round(time.Microsecond).String() })
+	table(fmt.Sprintf("slowest actors (top %d by span time)", top), "busy",
+		func(a *actorAgg) int64 { return int64(a.busy) },
+		func(a *actorAgg) string { return a.busy.Round(time.Microsecond).String() })
+	table(fmt.Sprintf("heaviest actors (top %d by span alloc)", top), "alloc",
+		func(a *actorAgg) int64 { return a.alloc },
+		func(a *actorAgg) string { return fmt.Sprintf("%dB", a.alloc) })
 }
 
 // printTrees renders each trace's span forest with indentation.

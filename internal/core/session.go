@@ -73,6 +73,7 @@ type Session struct {
 	tracer  Tracer
 	spans   obs.SpanSink
 	clock   func() time.Time
+	meter   obs.ResourceMeter
 	metrics sessionMetrics
 	keyring *identity.Keyring
 }

@@ -306,9 +306,14 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		if cfg.Spans == nil || !ctx.Valid() {
 			return
 		}
+		// Simulated spans charge the deterministic resource model rather
+		// than sampling the host process, so the cpu/alloc budget
+		// dimensions gate byte-identically run after run.
+		cpu, alloc := netsim.ModelCost(bytes)
 		cfg.Spans.EmitSpan(obs.Span{
 			Name: name, Actor: actor, Context: ctx,
 			Start: start, End: simClock(), Bytes: bytes,
+			CPUNanos: cpu, AllocBytes: alloc,
 		})
 	}
 	simRoot := func() obs.SpanContext {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"ipls/internal/cid"
@@ -28,6 +30,14 @@ func (s *Session) SetSpans(sink obs.SpanSink) { s.spans = sink }
 // virtual-time harness (netsim) can produce traces in its own timeline.
 func (s *Session) SetClock(fn func() time.Time) { s.clock = fn }
 
+// SetResourceMeter attaches the meter sampled at span open/close so
+// emitted spans carry CPU-time and allocation deltas (nil disables,
+// the default). Real processes pass obs.RuntimeMeter{}; deterministic
+// harnesses either leave it off or supply a virtual meter, since
+// process-wide readings would break byte-identical baselines. Like
+// SetSpans it must be called before the session runs roles.
+func (s *Session) SetResourceMeter(m obs.ResourceMeter) { s.meter = m }
+
 // now is the session's observability clock.
 func (s *Session) now() time.Time {
 	if s.clock != nil {
@@ -42,6 +52,31 @@ func (s *Session) now() time.Time {
 type spanScope struct {
 	s    *Session
 	span obs.Span
+	// res is the meter reading at open; end() subtracts it to charge
+	// the span its CPU/alloc delta.
+	res obs.ResourceSample
+	// labelCtx carries this scope's pprof labels; parentCtx restores
+	// the enclosing labels when the scope ends. Label propagation rides
+	// the scope's goroutine-ownership contract.
+	labelCtx  context.Context
+	parentCtx context.Context
+}
+
+// open stamps the scope's start-of-span state: pprof goroutine labels
+// (phase/role/trace, so CPU profiles slice by FL phase) and the opening
+// resource sample.
+func (sc *spanScope) open(parent context.Context) *spanScope {
+	sc.parentCtx = parent
+	sc.labelCtx = pprof.WithLabels(parent, pprof.Labels(
+		"phase", sc.span.Name,
+		"role", sc.span.Actor,
+		"trace", fmt.Sprintf("%s/%d", sc.span.Context.Session, sc.span.Context.Iter),
+	))
+	pprof.SetGoroutineLabels(sc.labelCtx)
+	if sc.s.meter != nil {
+		sc.res = sc.s.meter.Sample()
+	}
+	return sc
 }
 
 // startSpan opens a span. With a valid parent the span joins the
@@ -57,17 +92,20 @@ func (s *Session) startSpan(name, actor string, iter int, parent obs.SpanContext
 	} else {
 		ctx = obs.SpanContext{Session: s.cfg.TaskID, Iter: iter, SpanID: obs.NewSpanID()}
 	}
-	return &spanScope{s: s, span: obs.Span{Name: name, Actor: actor, Context: ctx, Start: s.now()}}
+	sc := &spanScope{s: s, span: obs.Span{Name: name, Actor: actor, Context: ctx, Start: s.now()}}
+	return sc.open(context.Background())
 }
 
-// child opens a sub-span of sc with the same actor.
+// child opens a sub-span of sc with the same actor, nesting its pprof
+// labels under the parent's.
 func (sc *spanScope) child(name string) *spanScope {
 	if sc == nil {
 		return nil
 	}
-	return &spanScope{s: sc.s, span: obs.Span{
+	c := &spanScope{s: sc.s, span: obs.Span{
 		Name: name, Actor: sc.span.Actor, Context: sc.span.Context.Child(), Start: sc.s.now(),
 	}}
+	return c.open(sc.labelCtx)
 }
 
 // ctx returns the scope's span context (zero when spans are disabled).
@@ -114,12 +152,19 @@ func (sc *spanScope) link(c *obs.SpanContext) {
 	sc.span.Links = append(sc.span.Links, *c)
 }
 
-// end closes the span and emits it.
+// end closes the span and emits it, charging the metered resource
+// delta and restoring the enclosing pprof labels.
 func (sc *spanScope) end() {
 	if sc == nil {
 		return
 	}
 	sc.span.End = sc.s.now()
+	if sc.s.meter != nil {
+		d := sc.s.meter.Sample().Sub(sc.res)
+		sc.span.CPUNanos += d.CPUNanos
+		sc.span.AllocBytes += d.AllocBytes
+	}
+	pprof.SetGoroutineLabels(sc.parentCtx)
 	sc.s.spans.EmitSpan(sc.span)
 }
 

@@ -1,0 +1,45 @@
+package group
+
+import "sync/atomic"
+
+// Explicit accounting hooks for the crypto hot path. The group package
+// sits below the observability substrate (obs imports nothing from this
+// module, and group must not import obs), so attribution is inverted:
+// an interested caller installs an AccountFunc and the multiexp entry
+// points bracket their work with it. cmd binaries wire this to the
+// metrics registry; tests wire it to plain slices.
+
+// AccountFunc is called at the start of an accounted operation with the
+// operation name (e.g. "multiexp_pippenger") and its input size; the
+// returned func is called when the operation completes. Either may be
+// nil. Implementations must be safe for concurrent use.
+type AccountFunc func(op string, n int) func()
+
+// account holds the installed hook; the extra indirection lets an
+// atomic pointer swap a func value.
+var account atomic.Pointer[AccountFunc]
+
+// SetAccount installs the accounting hook called around every
+// multi-scalar multiplication (nil removes it). Safe to call
+// concurrently with operations in flight.
+func SetAccount(fn AccountFunc) {
+	if fn == nil {
+		account.Store(nil)
+		return
+	}
+	account.Store(&fn)
+}
+
+// accountOp brackets one operation with the installed hook, returning
+// the completion func (never nil).
+func accountOp(op string, n int) func() {
+	fn := account.Load()
+	if fn == nil {
+		return func() {}
+	}
+	done := (*fn)(op, n)
+	if done == nil {
+		return func() {}
+	}
+	return done
+}

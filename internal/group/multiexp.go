@@ -1,9 +1,11 @@
 package group
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
+	"runtime/pprof"
 )
 
 // MultiExpStrategy selects the multi-scalar-multiplication algorithm used to
@@ -61,16 +63,29 @@ func (c *Curve) MultiScalarMult(points []Point, scalars []*big.Int, strategy Mul
 			strategy = StrategyPippenger
 		}
 	}
-	switch strategy {
-	case StrategyNaive:
-		return c.multiExpNaive(points, scalars), nil
-	case StrategyWindowed:
-		return c.multiExpWindowed(points, scalars), nil
-	case StrategyPippenger:
-		return c.multiExpPippenger(points, scalars), nil
-	default:
-		return Point{}, fmt.Errorf("group: unknown strategy %v", strategy)
+	defer accountOp("multiexp_"+strategy.String(), len(points))()
+	var pt Point
+	err := fmt.Errorf("group: unknown strategy %v", strategy)
+	// pprof.Do labels the CPU samples of the dominant cost (Fig. 3:
+	// commitment computation) so profiles slice by strategy. It replaces
+	// any caller-set span labels for the duration — the crypto hot path
+	// is deliberately attributed to itself, not its calling phase.
+	pprof.Do(context.Background(), pprof.Labels(
+		"phase", "multiexp", "strategy", strategy.String(),
+	), func(context.Context) {
+		switch strategy {
+		case StrategyNaive:
+			pt, err = c.multiExpNaive(points, scalars), nil
+		case StrategyWindowed:
+			pt, err = c.multiExpWindowed(points, scalars), nil
+		case StrategyPippenger:
+			pt, err = c.multiExpPippenger(points, scalars), nil
+		}
+	})
+	if err != nil {
+		return Point{}, err
 	}
+	return pt, nil
 }
 
 func (c *Curve) multiExpNaive(points []Point, scalars []*big.Int) Point {

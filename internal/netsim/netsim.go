@@ -88,14 +88,43 @@ type Node struct {
 	BytesSent     int64
 	BytesReceived int64
 
-	env     *Env
-	sentCtr *obs.Counter
-	recvCtr *obs.Counter
+	env      *Env
+	sentCtr  *obs.Counter
+	recvCtr  *obs.Counter
+	cpuCtr   *obs.Counter
+	allocCtr *obs.Counter
 }
 
 func (n *Node) resolveMetrics(reg *obs.Registry) {
 	n.sentCtr = reg.Counter("bytes_uploaded_total", "node", n.Name)
 	n.recvCtr = reg.Counter("bytes_downloaded_total", "node", n.Name)
+	n.cpuCtr = reg.Counter("sim_cpu_ns_total", "node", n.Name)
+	n.allocCtr = reg.Counter("sim_alloc_bytes_total", "node", n.Name)
+}
+
+// chargeModel charges the node the modeled resource cost of handling a
+// payload (see ModelCost).
+func (n *Node) chargeModel(bytes int64) {
+	cpu, alloc := ModelCost(bytes)
+	n.cpuCtr.Add(cpu)
+	n.allocCtr.Add(alloc)
+}
+
+// ModelCost is the deterministic resource model of handling a payload:
+// the CPU nanoseconds and heap bytes charged per transfer endpoint
+// (serialize on send, deserialize on receive). The model is deliberately
+// simple — half a nanosecond of CPU per byte (a memcpy-dominated path at
+// ~2 GB/s) and one allocated byte per payload byte — because its job is
+// not realism but determinism: simulated spans and the scoreboard's
+// sim_cpu_ns_total/sim_alloc_bytes_total counters must fold to
+// byte-identical budget baselines run after run, which process-wide
+// runtime meters cannot give. Real deployments meter actual usage via
+// obs.RuntimeMeter instead.
+func ModelCost(bytes int64) (cpuNanos, allocBytes int64) {
+	if bytes <= 0 {
+		return 0, 0
+	}
+	return bytes / 2, bytes
 }
 
 // AddNode registers a node with the given link capacities (bits/second).
@@ -254,6 +283,8 @@ func (e *Env) Transfer(from, to *Node, bytes int64) {
 	to.BytesReceived += bytes
 	from.sentCtr.Add(bytes)
 	to.recvCtr.Add(bytes)
+	from.chargeModel(bytes)
+	to.chargeModel(bytes)
 	e.transfers.Inc()
 	if from == to || bytes == 0 {
 		if e.latency > 0 {

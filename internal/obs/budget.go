@@ -32,6 +32,12 @@ type PhaseBudget struct {
 	P50   time.Duration `json:"p50_ns"`
 	Max   time.Duration `json:"max_ns"`
 	Bytes int64         `json:"bytes,omitempty"`
+	// CPU and Alloc are the largest CPU time and heap allocation charged
+	// to the phase across the scenario's traces (zero when the span
+	// stream carried no resource deltas — the fields are omitted so
+	// pre-resource baselines stay readable after upgrading).
+	CPU   time.Duration `json:"cpu_ns,omitempty"`
+	Alloc int64         `json:"alloc_bytes,omitempty"`
 }
 
 // ScenarioBudget is the per-phase budget of one benchmark scenario,
@@ -54,8 +60,9 @@ type Baseline struct {
 	Scenarios map[string]ScenarioBudget `json:"scenarios"`
 }
 
-// BaselineVersion is the current baseline schema version.
-const BaselineVersion = 1
+// BaselineVersion is the current baseline schema version. Version 2
+// added the per-phase cpu_ns/alloc_bytes resource dimensions.
+const BaselineVersion = 2
 
 // NewScenarioBudget folds per-trace breakdowns into a scenario budget.
 // A phase absent from some traces contributes zeros for them, so p50 is
@@ -67,26 +74,42 @@ func NewScenarioBudget(breakdowns []IterationBreakdown) ScenarioBudget {
 	}
 	latencies := make([]time.Duration, 0, len(breakdowns))
 	totalBytes := make([]int64, 0, len(breakdowns))
+	totalCPU := make([]int64, 0, len(breakdowns))
+	totalAlloc := make([]int64, 0, len(breakdowns))
 	durs := make(map[string][]time.Duration)
 	bytes := make(map[string][]int64)
+	cpus := make(map[string][]int64)
+	allocs := make(map[string][]int64)
 	for _, bd := range breakdowns {
 		latencies = append(latencies, bd.Latency)
-		var tb int64
+		var tb, tc, ta int64
 		for _, p := range bd.Phases {
 			durs[p.Phase] = append(durs[p.Phase], p.Duration)
 			bytes[p.Phase] = append(bytes[p.Phase], p.Bytes)
+			cpus[p.Phase] = append(cpus[p.Phase], p.CPUNanos)
+			allocs[p.Phase] = append(allocs[p.Phase], p.AllocBytes)
 			tb += p.Bytes
+			tc += p.CPUNanos
+			ta += p.AllocBytes
 		}
 		totalBytes = append(totalBytes, tb)
+		totalCPU = append(totalCPU, tc)
+		totalAlloc = append(totalAlloc, ta)
 	}
-	b.Latency = PhaseBudget{P50: p50Duration(latencies), Max: maxDuration(latencies), Bytes: maxInt64(totalBytes)}
+	b.Latency = PhaseBudget{
+		P50: p50Duration(latencies), Max: maxDuration(latencies),
+		Bytes: maxInt64(totalBytes), CPU: time.Duration(maxInt64(totalCPU)), Alloc: maxInt64(totalAlloc),
+	}
 	for phase, ds := range durs {
 		// Pad with zeros for traces the phase did not appear in, so the
 		// median reflects the whole scenario.
 		for len(ds) < len(breakdowns) {
 			ds = append(ds, 0)
 		}
-		b.Phases[phase] = PhaseBudget{P50: p50Duration(ds), Max: maxDuration(ds), Bytes: maxInt64(bytes[phase])}
+		b.Phases[phase] = PhaseBudget{
+			P50: p50Duration(ds), Max: maxDuration(ds),
+			Bytes: maxInt64(bytes[phase]), CPU: time.Duration(maxInt64(cpus[phase])), Alloc: maxInt64(allocs[phase]),
+		}
 	}
 	return b
 }
@@ -149,7 +172,7 @@ func ReadBaseline(r io.Reader) (Baseline, error) {
 // MetricDelta is one (phase, metric) comparison row. Base and Got are in
 // nanoseconds for duration metrics and bytes for the bytes metric.
 type MetricDelta struct {
-	Metric string `json:"metric"` // "p50" | "max" | "bytes"
+	Metric string `json:"metric"` // "p50" | "max" | "bytes" | "cpu" | "alloc"
 	Base   int64  `json:"base"`
 	Got    int64  `json:"got"`
 	// Violation is set when Got exceeds Base beyond the tolerance.
@@ -253,6 +276,8 @@ func comparePhase(phase string, base, got PhaseBudget, tol float64) PhaseDelta {
 			compareMetric("p50", int64(base.P50), int64(got.P50), tol),
 			compareMetric("max", int64(base.Max), int64(got.Max), tol),
 			compareMetric("bytes", base.Bytes, got.Bytes, tol),
+			compareMetric("cpu", int64(base.CPU), int64(got.CPU), tol),
+			compareMetric("alloc", base.Alloc, got.Alloc, tol),
 		},
 	}
 }
@@ -334,9 +359,9 @@ func CompareBaselines(base, got Baseline, tol float64) []BudgetReport {
 }
 
 // formatMetric renders a metric value: durations rounded to the
-// microsecond, bytes as plain integers.
+// microsecond, byte metrics as plain integers.
 func formatMetric(metric string, v int64) string {
-	if metric == "bytes" {
+	if metric == "bytes" || metric == "alloc" {
 		return fmt.Sprintf("%dB", v)
 	}
 	return time.Duration(v).Round(time.Microsecond).String()

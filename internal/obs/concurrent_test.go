@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSpanAndScoreboardReads exercises the introspection
+// surface the way a live deployment does: writer goroutines emit spans
+// and bump per-node labeled metrics while readers hit /spans and
+// /scoreboard through the HTTP handler. Run under -race (the Makefile's
+// `race` target covers this package) it proves the SpanCollector ring,
+// the sharded Registry, and the snapshot/merge pipeline behind the
+// scoreboard are safe to read mid-write.
+func TestConcurrentSpanAndScoreboardReads(t *testing.T) {
+	reg := NewRegistry()
+	col := NewSpanCollector(256)
+	h := NewHandler(HandlerConfig{
+		Registry:   reg,
+		Spans:      func() any { return col.Spans() },
+		Scoreboard: func() any { return MergeSnapshots(SplitByLabel(reg.Snapshot(), "node"), 3) },
+	})
+
+	const writers, readers, iters = 8, 4, 200
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			node := fmt.Sprintf("node-%d", w%4)
+			t0 := time.Unix(0, 0).UTC()
+			for i := 0; i < iters; i++ {
+				reg.Counter("bytes_uploaded_total", "node", node).Add(int64(i))
+				reg.Histogram("phase_seconds", DefBuckets, "node", node).Observe(float64(i) / 1000)
+				col.EmitSpan(Span{
+					Name:    "upload",
+					Actor:   node,
+					Context: SpanContext{Session: "race", Iter: i, SpanID: NewSpanID()},
+					Start:   t0, End: t0.Add(time.Millisecond),
+				})
+			}
+		}(w)
+	}
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			paths := []string{"/spans", "/scoreboard", "/metrics.json"}
+			for i := 0; i < iters/4; i++ {
+				req := httptest.NewRequest("GET", paths[(r+i)%len(paths)], nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					errs <- fmt.Errorf("%s = %d", req.URL.Path, rec.Code)
+					return
+				}
+				if !json.Valid(rec.Body.Bytes()) && req.URL.Path != "/metrics" {
+					errs <- fmt.Errorf("%s returned invalid JSON mid-write", req.URL.Path)
+					return
+				}
+			}
+		}(r)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the dust settles the scoreboard must see all four nodes.
+	req := httptest.NewRequest("GET", "/scoreboard", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var sb Scoreboard
+	if err := json.Unmarshal(rec.Body.Bytes(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Nodes != 4 {
+		t.Fatalf("scoreboard nodes = %d, want 4", sb.Nodes)
+	}
+}

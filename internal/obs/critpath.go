@@ -45,6 +45,10 @@ type PhaseDuration struct {
 	// Bytes sums the byte counts of the spans charged (a span's bytes are
 	// counted once even if it contributes several segments).
 	Bytes int64 `json:"bytes,omitempty"`
+	// CPUNanos and AllocBytes sum the resource deltas of the spans
+	// charged, counted once per span like Bytes.
+	CPUNanos   int64 `json:"cpu_ns,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 }
 
 // IterationBreakdown is one trace's critical path and phase breakdown.
@@ -225,9 +229,9 @@ func Breakdown(spans []Span) IterationBreakdown {
 	b.End = b.Path[len(b.Path)-1].End
 	b.Latency = b.End.Sub(b.Start)
 
-	bytesOf := make(map[string]int64, len(spans))
+	spanOf := make(map[string]Span, len(spans))
 	for _, s := range spans {
-		bytesOf[s.Context.SpanID] = s.Bytes
+		spanOf[s.Context.SpanID] = s
 	}
 	agg := make(map[string]*PhaseDuration)
 	var order []string
@@ -243,7 +247,10 @@ func Breakdown(spans []Span) IterationBreakdown {
 		p.Segments++
 		if seg.SpanID != "" && !counted[seg.SpanID] {
 			counted[seg.SpanID] = true
-			p.Bytes += bytesOf[seg.SpanID]
+			s := spanOf[seg.SpanID]
+			p.Bytes += s.Bytes
+			p.CPUNanos += s.CPUNanos
+			p.AllocBytes += s.AllocBytes
 		}
 	}
 	sort.Slice(order, func(i, j int) bool {

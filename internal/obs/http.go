@@ -30,6 +30,10 @@ type HandlerConfig struct {
 	// Spans, when non-nil, backs /spans with a JSON-marshalable value
 	// (typically a span collector's recent spans).
 	Spans func() any
+	// Scoreboard, when non-nil, backs /scoreboard with a JSON-marshalable
+	// value (typically MergeSnapshots over the per-node split of the
+	// registry).
+	Scoreboard func() any
 	// Health, when non-nil, backs /healthz; an error answers 503.
 	Health func() error
 	// Pprof mounts the net/http/pprof handlers under /debug/pprof/.
@@ -82,6 +86,7 @@ func ReadBuildInfo() BuildInfo {
 //	/metrics.json  JSON snapshot of the registry
 //	/events        recent trace events as JSON
 //	/spans         recent spans as JSON
+//	/scoreboard    cluster resource scoreboard as JSON
 //	/buildinfo     go version and VCS identity of the binary
 //	/healthz       liveness probe
 //	/debug/pprof/  runtime profiles (only with cfg.Pprof)
@@ -92,7 +97,7 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "ipls introspection\n\n/metrics\n/metrics.json\n/events\n/spans\n/buildinfo\n/healthz\n")
+		fmt.Fprint(w, "ipls introspection\n\n/metrics\n/metrics.json\n/events\n/spans\n/scoreboard\n/buildinfo\n/healthz\n")
 		if cfg.Pprof {
 			fmt.Fprint(w, "/debug/pprof/\n")
 		}
@@ -126,6 +131,18 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 		var payload any = []any{}
 		if cfg.Spans != nil {
 			payload = cfg.Spans()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/scoreboard", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var payload any = Scoreboard{}
+		if cfg.Scoreboard != nil {
+			payload = cfg.Scoreboard()
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -18,6 +18,7 @@ package obs
 
 import (
 	"fmt"
+	"hash/maphash"
 	"io"
 	"math"
 	"sort"
@@ -151,6 +152,41 @@ type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 }
 
+// Quantile estimates the p-quantile (0 <= p <= 1) of the observed
+// distribution by linear interpolation within the owning bucket, the
+// same estimator as Prometheus's histogram_quantile. Values in the
+// implicit +Inf bucket are reported as the highest finite bound (the
+// estimate saturates there — pick wider buckets if that happens). An
+// empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		prev := float64(cum)
+		cum += s.Counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			if s.Counts[i] == 0 {
+				return lower
+			}
+			return lower + (bound-lower)*(rank-prev)/float64(s.Counts[i])
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -162,24 +198,114 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 }
 
-// Registry holds named instruments. Instruments are identified by name
-// plus an optional set of label pairs; asking for the same identity twice
-// returns the same instrument. The nil *Registry hands out nil (no-op)
-// instruments, so components can be built uninstrumented at zero cost.
-type Registry struct {
+// registryShards is the number of lock stripes in a Registry. Instrument
+// keys hash onto shards, so concurrent lookups of unrelated metrics take
+// unrelated locks; a power of two keeps the index a mask. 64 shards keep
+// the contention of 10k concurrent writers off any single mutex while the
+// empty registry stays small (a few KB of maps).
+const registryShards = 64
+
+// DefaultMaxCardinality is the default bound on the number of distinct
+// instruments (name + label combination) a Registry will create. A
+// misbehaving label (e.g. a per-request ID) otherwise grows the registry
+// without bound; past the limit new identities are dropped and counted in
+// DroppedMetricName instead. SetMaxCardinality overrides it.
+const DefaultMaxCardinality = 1 << 16
+
+// DroppedMetricName is the counter reporting instruments refused because
+// the registry hit its cardinality limit. It is maintained outside the
+// limit and appears in snapshots and Prometheus output once non-zero.
+const DroppedMetricName = "obs_dropped_metrics_total"
+
+// registryShard is one lock stripe: a mutex and the instrument maps of
+// every key hashing onto it.
+type registryShard struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
-// NewRegistry creates an empty registry.
+// Registry holds named instruments. Instruments are identified by name
+// plus an optional set of label pairs; asking for the same identity twice
+// returns the same instrument. The nil *Registry hands out nil (no-op)
+// instruments, so components can be built uninstrumented at zero cost.
+//
+// Storage is lock-striped: keys hash onto registryShards independent
+// mutex-guarded maps, so lookups from thousands of concurrent writers do
+// not serialize on one lock. Total cardinality is bounded (see
+// SetMaxCardinality); identities past the limit yield nil (no-op)
+// instruments and are counted in DroppedMetricName.
+type Registry struct {
+	shards  [registryShards]registryShard
+	size    atomic.Int64 // live instruments across all shards
+	limit   atomic.Int64 // max instruments; <= 0 means unbounded
+	dropped atomic.Int64 // identities refused at the limit
+}
+
+// NewRegistry creates an empty registry bounded at DefaultMaxCardinality.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].counters = make(map[string]*Counter)
+		r.shards[i].gauges = make(map[string]*Gauge)
+		r.shards[i].histograms = make(map[string]*Histogram)
 	}
+	r.limit.Store(DefaultMaxCardinality)
+	return r
+}
+
+// SetMaxCardinality bounds the number of distinct instruments the registry
+// will create (n <= 0 removes the bound). Existing instruments are kept
+// even if they exceed a newly lowered limit; only new identities are
+// refused, each refusal counted in DroppedMetricName.
+func (r *Registry) SetMaxCardinality(n int) {
+	if r == nil {
+		return
+	}
+	r.limit.Store(int64(n))
+}
+
+// Cardinality reports how many distinct instruments the registry holds.
+func (r *Registry) Cardinality() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.size.Load())
+}
+
+// Dropped reports how many instrument identities were refused because the
+// registry was at its cardinality limit.
+func (r *Registry) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// shardSeed randomizes the shard hash per process; shard choice only has
+// to be stable within one process.
+var shardSeed = maphash.MakeSeed()
+
+// shardFor picks the lock stripe owning key.
+func (r *Registry) shardFor(key string) *registryShard {
+	return &r.shards[maphash.String(shardSeed, key)&(registryShards-1)]
+}
+
+// admit reserves one instrument slot, or counts a drop and reports false
+// when the registry is at its cardinality limit. The reserve-then-undo
+// scheme keeps the bound exact under concurrent creation across shards.
+func (r *Registry) admit() bool {
+	limit := r.limit.Load()
+	if limit > 0 && r.size.Add(1) > limit {
+		r.size.Add(-1)
+		r.dropped.Add(1)
+		return false
+	}
+	if limit <= 0 {
+		r.size.Add(1)
+	}
+	return true
 }
 
 // fmtLabels renders alternating key/value pairs as a canonical (sorted)
@@ -210,71 +336,84 @@ func fmtLabels(labelPairs []string) string {
 }
 
 // Counter returns (creating if needed) the counter with the given name and
-// label pairs.
+// label pairs. At the cardinality limit a new identity returns the nil
+// (no-op) counter and is counted in DroppedMetricName.
 func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
 	if r == nil {
 		return nil
 	}
 	labels := fmtLabels(labelPairs)
 	key := name + labels
-	r.mu.RLock()
-	c, ok := r.counters[key]
-	r.mu.RUnlock()
+	sh := r.shardFor(key)
+	sh.mu.RLock()
+	c, ok := sh.counters[key]
+	sh.mu.RUnlock()
 	if ok {
 		return c
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok = r.counters[key]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c, ok = sh.counters[key]; ok {
 		return c
 	}
+	if !r.admit() {
+		return nil
+	}
 	c = &Counter{name: name, labels: labels}
-	r.counters[key] = c
+	sh.counters[key] = c
 	return c
 }
 
 // Gauge returns (creating if needed) the gauge with the given name and
-// label pairs.
+// label pairs. At the cardinality limit a new identity returns the nil
+// (no-op) gauge and is counted in DroppedMetricName.
 func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
 	labels := fmtLabels(labelPairs)
 	key := name + labels
-	r.mu.RLock()
-	g, ok := r.gauges[key]
-	r.mu.RUnlock()
+	sh := r.shardFor(key)
+	sh.mu.RLock()
+	g, ok := sh.gauges[key]
+	sh.mu.RUnlock()
 	if ok {
 		return g
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g, ok = r.gauges[key]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if g, ok = sh.gauges[key]; ok {
 		return g
 	}
+	if !r.admit() {
+		return nil
+	}
 	g = &Gauge{name: name, labels: labels}
-	r.gauges[key] = g
+	sh.gauges[key] = g
 	return g
 }
 
 // Histogram returns (creating if needed) the histogram with the given name
 // and label pairs. buckets are ascending upper bounds; nil uses
-// DefBuckets. The buckets of the first registration win.
+// DefBuckets. The buckets of the first registration win. At the
+// cardinality limit a new identity returns the nil (no-op) histogram and
+// is counted in DroppedMetricName.
 func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...string) *Histogram {
 	if r == nil {
 		return nil
 	}
 	labels := fmtLabels(labelPairs)
 	key := name + labels
-	r.mu.RLock()
-	h, ok := r.histograms[key]
-	r.mu.RUnlock()
+	sh := r.shardFor(key)
+	sh.mu.RLock()
+	h, ok := sh.histograms[key]
+	sh.mu.RUnlock()
 	if ok {
 		return h
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok = r.histograms[key]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if h, ok = sh.histograms[key]; ok {
 		return h
 	}
 	if buckets == nil {
@@ -284,8 +423,11 @@ func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...strin
 	if !sort.Float64sAreSorted(bounds) {
 		panic(fmt.Sprintf("obs: histogram %q buckets must be ascending", name))
 	}
+	if !r.admit() {
+		return nil
+	}
 	h = &Histogram{name: name, labels: labels, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
-	r.histograms[key] = h
+	sh.histograms[key] = h
 	return h
 }
 
@@ -298,7 +440,9 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot copies the current value of every instrument.
+// Snapshot copies the current value of every instrument. Once any
+// identity has been dropped at the cardinality limit, the drop count
+// appears as the DroppedMetricName counter.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		Counters:   make(map[string]int64),
@@ -308,28 +452,34 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
-	r.mu.RLock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, c := range r.counters {
-		counters[k] = c
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		counters := make(map[string]*Counter, len(sh.counters))
+		for k, c := range sh.counters {
+			counters[k] = c
+		}
+		gauges := make(map[string]*Gauge, len(sh.gauges))
+		for k, g := range sh.gauges {
+			gauges[k] = g
+		}
+		hists := make(map[string]*Histogram, len(sh.histograms))
+		for k, h := range sh.histograms {
+			hists[k] = h
+		}
+		sh.mu.RUnlock()
+		for k, c := range counters {
+			snap.Counters[k] = c.Value()
+		}
+		for k, g := range gauges {
+			snap.Gauges[k] = g.Value()
+		}
+		for k, h := range hists {
+			snap.Histograms[k] = h.snapshot()
+		}
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, g := range r.gauges {
-		gauges[k] = g
-	}
-	hists := make(map[string]*Histogram, len(r.histograms))
-	for k, h := range r.histograms {
-		hists[k] = h
-	}
-	r.mu.RUnlock()
-	for k, c := range counters {
-		snap.Counters[k] = c.Value()
-	}
-	for k, g := range gauges {
-		snap.Gauges[k] = g.Value()
-	}
-	for k, h := range hists {
-		snap.Histograms[k] = h.snapshot()
+	if d := r.dropped.Load(); d > 0 {
+		snap.Counters[DroppedMetricName] = d
 	}
 	return snap
 }
@@ -341,20 +491,28 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	counters := make([]*Counter, 0, len(r.counters))
-	for _, c := range r.counters {
-		counters = append(counters, c)
+	var counters []*Counter
+	var gauges []*Gauge
+	var hists []*Histogram
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.counters {
+			counters = append(counters, c)
+		}
+		for _, g := range sh.gauges {
+			gauges = append(gauges, g)
+		}
+		for _, h := range sh.histograms {
+			hists = append(hists, h)
+		}
+		sh.mu.RUnlock()
 	}
-	gauges := make([]*Gauge, 0, len(r.gauges))
-	for _, g := range r.gauges {
-		gauges = append(gauges, g)
+	if d := r.dropped.Load(); d > 0 {
+		syn := &Counter{name: DroppedMetricName}
+		syn.v.Store(d)
+		counters = append(counters, syn)
 	}
-	hists := make([]*Histogram, 0, len(r.histograms))
-	for _, h := range r.histograms {
-		hists = append(hists, h)
-	}
-	r.mu.RUnlock()
 
 	sort.Slice(counters, func(i, j int) bool {
 		return counters[i].name+counters[i].labels < counters[j].name+counters[j].labels

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUNanos is unavailable without rusage; CPU attribution reads
+// as zero and only allocation deltas are reported.
+func processCPUNanos() int64 { return 0 }

@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cluster scoreboard: fold the registry snapshots of many nodes into
+// percentile summaries and top-K outlier tables. CFL-style P2P FL lives
+// on per-cluster aggregate health — at 100k+ nodes nobody reads 100k
+// metric lines, but "p90 iteration latency and the five slowest nodes"
+// still fits on a screen. The fold is pure snapshot arithmetic, so it
+// runs the same over live /metrics.json scrapes, simulator registries
+// and recorded benchmark output.
+
+// NodeValue is one node's value for a metric, used in top-K tables.
+type NodeValue struct {
+	Node  string  `json:"node"`
+	Value float64 `json:"value"`
+}
+
+// MetricSummary aggregates one counter or gauge family across nodes.
+type MetricSummary struct {
+	Name  string  `json:"name"`
+	Nodes int     `json:"nodes"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	// Top holds the topK largest per-node values, descending — for
+	// counters like sim_cpu_ns_total these are the cluster's hottest
+	// nodes.
+	Top []NodeValue `json:"top,omitempty"`
+}
+
+// HistogramSummary aggregates one histogram family across nodes: the
+// cluster-wide distribution (buckets merged, then interpolated) and the
+// nodes whose own p90 is worst.
+type HistogramSummary struct {
+	Name  string  `json:"name"`
+	Nodes int     `json:"nodes"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	// Top holds the topK worst per-node p90s, descending — the
+	// cluster's slowest nodes for latency histograms.
+	Top []NodeValue `json:"top,omitempty"`
+}
+
+// Scoreboard is the cluster roll-up of per-node snapshots.
+type Scoreboard struct {
+	Nodes      int                `json:"nodes"`
+	Counters   []MetricSummary    `json:"counters,omitempty"`
+	Gauges     []MetricSummary    `json:"gauges,omitempty"`
+	Histograms []HistogramSummary `json:"histograms,omitempty"`
+}
+
+// parseKey splits a snapshot key "name{k=\"v\",...}" into the bare name
+// and its label pairs. Keys without labels yield a nil map.
+func parseKey(key string) (name string, labels map[string]string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name = key[:i]
+	labels = make(map[string]string)
+	for _, part := range splitLabels(key[i+1 : len(key)-1]) {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			continue
+		}
+		v, err := strconv.Unquote(part[eq+1:])
+		if err != nil {
+			v = part[eq+1:]
+		}
+		labels[part[:eq]] = v
+	}
+	return name, labels
+}
+
+// splitLabels splits a label block body on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false // inside a quoted value
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+// rebuildKey renders name plus labels back into canonical snapshot-key
+// form (sorted labels, matching fmtLabels).
+func rebuildKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	pairs := make([]string, 0, 2*len(labels))
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pairs = append(pairs, k, labels[k])
+	}
+	return name + fmtLabels(pairs)
+}
+
+// SplitByLabel groups a snapshot's instruments by the value of one
+// label, stripping that label from the grouped keys. Instruments
+// without the label land under the empty string. Splitting a merged
+// all-nodes registry by "node" yields the per-node snapshots
+// MergeSnapshots wants.
+func SplitByLabel(snap Snapshot, label string) map[string]Snapshot {
+	out := make(map[string]Snapshot)
+	group := func(key string) (string, Snapshot) {
+		name, labels := parseKey(key)
+		val := labels[label]
+		delete(labels, label)
+		g, ok := out[val]
+		if !ok {
+			g = Snapshot{
+				Counters:   make(map[string]int64),
+				Gauges:     make(map[string]float64),
+				Histograms: make(map[string]HistogramSnapshot),
+			}
+			out[val] = g
+		}
+		return rebuildKey(name, labels), g
+	}
+	for key, v := range snap.Counters {
+		k, g := group(key)
+		g.Counters[k] = v
+	}
+	for key, v := range snap.Gauges {
+		k, g := group(key)
+		g.Gauges[k] = v
+	}
+	for key, v := range snap.Histograms {
+		k, g := group(key)
+		g.Histograms[k] = v
+	}
+	return out
+}
+
+// rankQuantile is the nearest-rank p-quantile of sorted vs.
+func rankQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// topK returns the k largest node values, descending (node name breaks
+// ties, so the table is deterministic).
+func topK(values map[string]float64, k int) []NodeValue {
+	out := make([]NodeValue, 0, len(values))
+	for n, v := range values {
+		out = append(out, NodeValue{Node: n, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func summarize(name string, values map[string]float64, k int) MetricSummary {
+	s := MetricSummary{Name: name, Nodes: len(values)}
+	sorted := make([]float64, 0, len(values))
+	for _, v := range values {
+		sorted = append(sorted, v)
+		s.Sum += v
+	}
+	sort.Float64s(sorted)
+	if len(sorted) > 0 {
+		s.Min = sorted[0]
+		s.Max = sorted[len(sorted)-1]
+		s.P50 = rankQuantile(sorted, 0.5)
+		s.P90 = rankQuantile(sorted, 0.9)
+	}
+	s.Top = topK(values, k)
+	return s
+}
+
+// MergeSnapshots folds per-node snapshots (as from SplitByLabel, or one
+// /metrics.json scrape per node) into a cluster scoreboard: per-family
+// cross-node percentiles, plus top-K tables naming the hottest nodes
+// (largest counter values) and slowest nodes (worst per-node histogram
+// p90). Histogram families merge bucket-wise when bounds agree; nodes
+// with mismatched bounds still count toward Count but not the merged
+// distribution.
+func MergeSnapshots(byNode map[string]Snapshot, k int) Scoreboard {
+	sb := Scoreboard{Nodes: len(byNode)}
+
+	counterVals := make(map[string]map[string]float64)
+	gaugeVals := make(map[string]map[string]float64)
+	histSnaps := make(map[string]map[string]HistogramSnapshot)
+	collect := func(m map[string]map[string]float64, key, node string, v float64) {
+		if m[key] == nil {
+			m[key] = make(map[string]float64)
+		}
+		m[key][node] = v
+	}
+	for node, snap := range byNode {
+		for key, v := range snap.Counters {
+			collect(counterVals, key, node, float64(v))
+		}
+		for key, v := range snap.Gauges {
+			collect(gaugeVals, key, node, v)
+		}
+		for key, h := range snap.Histograms {
+			if histSnaps[key] == nil {
+				histSnaps[key] = make(map[string]HistogramSnapshot)
+			}
+			histSnaps[key][node] = h
+		}
+	}
+
+	for _, key := range sortedKeys(counterVals) {
+		sb.Counters = append(sb.Counters, summarize(key, counterVals[key], k))
+	}
+	for _, key := range sortedKeys(gaugeVals) {
+		sb.Gauges = append(sb.Gauges, summarize(key, gaugeVals[key], k))
+	}
+	histKeys := make([]string, 0, len(histSnaps))
+	for key := range histSnaps {
+		histKeys = append(histKeys, key)
+	}
+	sort.Strings(histKeys)
+	for _, key := range histKeys {
+		perNode := histSnaps[key]
+		hs := HistogramSummary{Name: key, Nodes: len(perNode)}
+		var merged HistogramSnapshot
+		p90s := make(map[string]float64, len(perNode))
+		for node, h := range perNode {
+			hs.Count += h.Count
+			p90s[node] = h.Quantile(0.9)
+			if merged.Bounds == nil {
+				merged = HistogramSnapshot{
+					Bounds: append([]float64(nil), h.Bounds...),
+					Counts: append([]uint64(nil), h.Counts...),
+					Sum:    h.Sum,
+					Count:  h.Count,
+				}
+				continue
+			}
+			if !boundsEqual(merged.Bounds, h.Bounds) {
+				continue
+			}
+			for i, c := range h.Counts {
+				merged.Counts[i] += c
+			}
+			merged.Sum += h.Sum
+			merged.Count += h.Count
+		}
+		hs.P50 = merged.Quantile(0.5)
+		hs.P90 = merged.Quantile(0.9)
+		hs.P99 = merged.Quantile(0.99)
+		hs.Top = topK(p90s, k)
+		sb.Histograms = append(sb.Histograms, hs)
+	}
+	return sb
+}
+
+func sortedKeys(m map[string]map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteScoreboard renders the scoreboard as the human table behind
+// `iplssim -scoreboard` and `iplstrace -resources`.
+func WriteScoreboard(w io.Writer, sb Scoreboard) {
+	fmt.Fprintf(w, "cluster scoreboard: %d nodes\n", sb.Nodes)
+	if len(sb.Counters)+len(sb.Gauges) > 0 {
+		fmt.Fprintf(w, "  %-40s %5s %12s %12s %12s %14s\n", "metric", "nodes", "p50", "p90", "max", "sum")
+	}
+	row := func(s MetricSummary) {
+		fmt.Fprintf(w, "  %-40s %5d %12.6g %12.6g %12.6g %14.6g\n", s.Name, s.Nodes, s.P50, s.P90, s.Max, s.Sum)
+		for _, t := range s.Top {
+			fmt.Fprintf(w, "      top %-34s %12.6g\n", t.Node, t.Value)
+		}
+	}
+	for _, s := range sb.Counters {
+		row(s)
+	}
+	for _, s := range sb.Gauges {
+		row(s)
+	}
+	if len(sb.Histograms) > 0 {
+		fmt.Fprintf(w, "  %-40s %5s %12s %12s %12s %14s\n", "histogram", "nodes", "p50", "p90", "p99", "count")
+	}
+	for _, h := range sb.Histograms {
+		fmt.Fprintf(w, "  %-40s %5d %12.6g %12.6g %12.6g %14d\n", h.Name, h.Nodes, h.P50, h.P90, h.P99, h.Count)
+		for _, t := range h.Top {
+			fmt.Fprintf(w, "      slowest %-30s %12.6g\n", t.Node, t.Value)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	// Buckets [0,1], (1,2], (2,4], (4,+Inf] with 10 observations per
+	// finite bucket.
+	s := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{10, 10, 10, 0},
+		Count:  30,
+	}
+	if got := s.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %v, want 1.5", got)
+	}
+	// p=1/3 lands exactly on the first bucket's upper bound.
+	if got := s.Quantile(1.0 / 3.0); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Quantile(1/3) = %v, want 1", got)
+	}
+	// Interpolation inside the (2,4] bucket: rank 27 of 30 is 70% into it.
+	if got := s.Quantile(0.9); math.Abs(got-3.4) > 1e-9 {
+		t.Fatalf("Quantile(0.9) = %v, want 3.4", got)
+	}
+	// Out-of-range p clamps.
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v, want clamp to p=0", got)
+	}
+	// Mass in +Inf saturates at the highest finite bound.
+	inf := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 5}, Count: 5}
+	if got := inf.Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile into +Inf = %v, want 2", got)
+	}
+	// Empty histogram reports zero.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}
+
+func TestSplitByLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bytes_total", "node", "a").Add(10)
+	r.Counter("bytes_total", "node", "b").Add(20)
+	r.Counter("bytes_total", "node", "a", "dir", "up").Add(5)
+	r.Gauge("load", "node", "b").Set(0.5)
+	r.Counter("global_total").Add(7)
+	groups := SplitByLabel(r.Snapshot(), "node")
+
+	a, b, rest := groups["a"], groups["b"], groups[""]
+	if a.Counters["bytes_total"] != 10 {
+		t.Fatalf("node a bytes_total = %v", a.Counters)
+	}
+	if a.Counters[`bytes_total{dir="up"}`] != 5 {
+		t.Fatalf("node a labeled counter = %v", a.Counters)
+	}
+	if b.Counters["bytes_total"] != 20 || b.Gauges["load"] != 0.5 {
+		t.Fatalf("node b = %+v", b)
+	}
+	if rest.Counters["global_total"] != 7 {
+		t.Fatalf("unlabeled group = %v", rest.Counters)
+	}
+}
+
+func TestMergeSnapshotsScoreboard(t *testing.T) {
+	byNode := make(map[string]Snapshot)
+	for i, cpu := range []int64{100, 200, 300, 400, 1000} {
+		r := NewRegistry()
+		r.Counter("sim_cpu_ns_total").Add(cpu)
+		h := r.Histogram("iter_seconds", []float64{1, 2, 4})
+		h.Observe(float64(i) + 0.5)
+		byNode[string(rune('a'+i))] = r.Snapshot()
+	}
+	sb := MergeSnapshots(byNode, 2)
+	if sb.Nodes != 5 {
+		t.Fatalf("Nodes = %d, want 5", sb.Nodes)
+	}
+	if len(sb.Counters) != 1 || sb.Counters[0].Name != "sim_cpu_ns_total" {
+		t.Fatalf("counters = %+v", sb.Counters)
+	}
+	c := sb.Counters[0]
+	if c.Min != 100 || c.Max != 1000 || c.Sum != 2000 || c.P50 != 300 {
+		t.Fatalf("summary = %+v", c)
+	}
+	// Top-2 hottest nodes, descending.
+	if len(c.Top) != 2 || c.Top[0].Node != "e" || c.Top[0].Value != 1000 || c.Top[1].Node != "d" {
+		t.Fatalf("top = %+v", c.Top)
+	}
+	if len(sb.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", sb.Histograms)
+	}
+	hs := sb.Histograms[0]
+	if hs.Count != 5 || hs.Nodes != 5 {
+		t.Fatalf("histogram summary = %+v", hs)
+	}
+	if len(hs.Top) != 2 {
+		t.Fatalf("histogram top = %+v", hs.Top)
+	}
+
+	var buf bytes.Buffer
+	WriteScoreboard(&buf, sb)
+	out := buf.String()
+	for _, want := range []string{"5 nodes", "sim_cpu_ns_total", "iter_seconds", "top e"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scoreboard table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScoreboardRoundTrip exercises the intended composition: one merged
+// registry with node labels, split, merged into a scoreboard.
+func TestScoreboardRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"n0", "n1", "n2"} {
+		r.Counter("sim_alloc_bytes_total", "node", n).Add(int64(len(n)) * 1000)
+	}
+	sb := MergeSnapshots(SplitByLabel(r.Snapshot(), "node"), 1)
+	// The unlabeled group is absent here, so exactly 3 node groups.
+	if sb.Nodes != 3 {
+		t.Fatalf("Nodes = %d, want 3", sb.Nodes)
+	}
+	if len(sb.Counters) != 1 || sb.Counters[0].Sum != 3*2000 {
+		t.Fatalf("counters = %+v", sb.Counters)
+	}
+}

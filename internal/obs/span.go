@@ -80,8 +80,14 @@ type Span struct {
 	Start   time.Time         `json:"start"`
 	End     time.Time         `json:"end"`
 	Bytes   int64             `json:"bytes,omitempty"`
-	Attrs   map[string]string `json:"attrs,omitempty"`
-	Links   []SpanContext     `json:"links,omitempty"`
+	// CPUNanos and AllocBytes are the resource deltas metered over the
+	// span (see ResourceMeter): CPU time burned and heap bytes allocated
+	// while the span was open. Process-wide meters make them upper
+	// bounds under concurrency; modeled costs in simulation are exact.
+	CPUNanos   int64             `json:"cpu_ns,omitempty"`
+	AllocBytes int64             `json:"alloc_bytes,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Links      []SpanContext     `json:"links,omitempty"`
 }
 
 // Duration is the span's elapsed time (zero if End precedes Start).

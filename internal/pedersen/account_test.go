@@ -1,0 +1,106 @@
+package pedersen
+
+import (
+	"math/big"
+	"sync/atomic"
+	"testing"
+
+	"ipls/internal/group"
+)
+
+func testParams(t *testing.T, n int) *Params {
+	t.Helper()
+	p, err := Setup(group.Secp256k1(), n, "account-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func vec(n int) []*big.Int {
+	v := make([]*big.Int, n)
+	for i := range v {
+		v[i] = big.NewInt(int64(i + 1))
+	}
+	return v
+}
+
+func TestCommitAccountHook(t *testing.T) {
+	var starts, dones atomic.Int64
+	var gotOp string
+	var gotN int
+	SetAccount(func(op string, n int) func() {
+		starts.Add(1)
+		gotOp, gotN = op, n
+		return func() { dones.Add(1) }
+	})
+	defer SetAccount(nil)
+
+	p := testParams(t, 8)
+	if _, err := p.Commit(vec(8)); err != nil {
+		t.Fatal(err)
+	}
+	if starts.Load() != 1 || dones.Load() != 1 {
+		t.Fatalf("hook fired start=%d done=%d, want 1/1", starts.Load(), dones.Load())
+	}
+	if gotOp != "pedersen_commit" || gotN != 8 {
+		t.Fatalf("hook saw (%q, %d), want (pedersen_commit, 8)", gotOp, gotN)
+	}
+
+	SetAccount(nil)
+	if _, err := p.Commit(vec(8)); err != nil {
+		t.Fatal(err)
+	}
+	if starts.Load() != 1 {
+		t.Fatal("removed hook must not fire")
+	}
+}
+
+func TestGroupAccountHook(t *testing.T) {
+	var ops []string
+	group.SetAccount(func(op string, n int) func() {
+		ops = append(ops, op)
+		return nil // nil done funcs are tolerated
+	})
+	defer group.SetAccount(nil)
+
+	p := testParams(t, 4)
+	if _, err := p.CommitWith(vec(4), group.StrategyPippenger); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0] != "multiexp_pippenger" {
+		t.Fatalf("group hook saw %v, want [multiexp_pippenger]", ops)
+	}
+}
+
+// TestInjectCommitAlloc verifies the fault knob actually allocates: the
+// gate acceptance test in cmd/iplsbench relies on this moving the
+// alloc_bytes needle.
+func TestInjectCommitAlloc(t *testing.T) {
+	p := testParams(t, 4)
+	v := vec(4)
+	base := testing.AllocsPerRun(10, func() {
+		if _, err := p.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	InjectCommitAlloc(1 << 20)
+	defer InjectCommitAlloc(0)
+	injected := testing.AllocsPerRun(10, func() {
+		if _, err := p.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if injected <= base {
+		t.Fatalf("injection did not add allocations: base=%v injected=%v", base, injected)
+	}
+	// Commitments stay correct under injection.
+	c, err := p.Commit(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Verify(v, c)
+	if err != nil || !ok {
+		t.Fatalf("Verify under injection = %v, %v", ok, err)
+	}
+}

@@ -11,9 +11,11 @@ package pedersen
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
+	"runtime/pprof"
 	"sync"
 
 	"ipls/internal/group"
@@ -106,12 +108,24 @@ func (p *Params) CommitWith(v []*big.Int, strategy group.MultiExpStrategy) (Comm
 	if len(v) == 0 {
 		return nil, errors.New("pedersen: cannot commit to an empty vector")
 	}
-	gens := p.generators(len(v))
-	point, err := p.curve.MultiScalarMult(gens, v, strategy)
+	defer accountOp("pedersen_commit", len(v))()
+	var out Commitment
+	var err error
+	// Label the commit's CPU samples (phase=pedersen_commit); the inner
+	// MultiScalarMult narrows them further to its strategy.
+	pprof.Do(context.Background(), pprof.Labels("phase", "pedersen_commit"), func(context.Context) {
+		injectAlloc()
+		gens := p.generators(len(v))
+		var point group.Point
+		point, err = p.curve.MultiScalarMult(gens, v, strategy)
+		if err == nil {
+			out = Commitment(p.curve.Encode(point))
+		}
+	})
 	if err != nil {
 		return nil, fmt.Errorf("pedersen: %w", err)
 	}
-	return Commitment(p.curve.Encode(point)), nil
+	return out, nil
 }
 
 // Verify reports whether C is the commitment to v, by recomputing the
