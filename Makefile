@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-tests chaos-churn bench-gate profile check
+.PHONY: all build vet test race chaos chaos-tests chaos-churn bench-gate profile vuln check
 
 all: check
 
@@ -48,5 +48,11 @@ bench-gate:
 #   go tool pprof -tag_focus=phase=pedersen_commit cpu.pprof
 profile:
 	$(GO) run ./cmd/iplsbench -cpuprofile cpu.pprof -memprofile mem.pprof profile
+
+# Known-vulnerability scan of the module graph and reachable call paths.
+# Network-dependent (fetches the vuln DB), so it is a separate CI job
+# rather than part of `check`.
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 check: build vet test race chaos bench-gate

@@ -133,44 +133,135 @@ func (tf *taskFlags) attachKey(sess *core.Session, id string) {
 	sess.SetKeyring(ring)
 }
 
-// introspection is a process's observability bundle: a metrics registry,
-// a bounded event ring for /events, a bounded span ring for /spans (plus
-// an optional span JSONL file), and the HTTP server exposing them (with
-// /healthz, /buildinfo and optionally /debug/pprof/) when -metrics-addr
-// is set.
-type introspection struct {
-	reg     *obs.Registry
-	rec     *core.Recorder
-	spans   *obs.SpanCollector
-	sink    obs.SpanSink
-	spanW   *obs.SpanJSONLWriter
-	spanF   *os.File
-	sampler *obs.SpanSampler
-	srv     *obs.HTTPServer
+// obsFlags holds the observability flags shared by every subcommand:
+// the introspection endpoint, span JSONL output (with sampling and
+// size-capped rotation), and the live alerting knobs (watchdog deadline,
+// straggler factor, declarative rules from thresholds or a bench-gate
+// baseline file).
+type obsFlags struct {
+	metricsAddr     string
+	spanOut         string
+	spanSample      string
+	rotateMB        int
+	pprof           bool
+	stuckAfter      time.Duration
+	stragglerFactor float64
+	alertWindow     time.Duration
+	alertFor        time.Duration
+	alertPhaseMax   time.Duration
+	alertBudget     string
+	alertScenario   string
+	alertBurn       float64
 }
 
-// startIntrospection builds the bundle, serving it over HTTP when addr is
-// non-empty. spanOut streams spans to a JSONL file (empty disables);
-// spanSample filters the file through a head/tail sampler ("slowest=N,rate=F",
-// seeded for reproducibility) while the in-memory /spans ring keeps
-// everything; pprof mounts the profiling handlers; health (optional) backs
-// /healthz.
-func startIntrospection(addr, spanOut, spanSample string, seed int64, pprof bool, health func() error) (*introspection, error) {
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	of := &obsFlags{}
+	fs.StringVar(&of.metricsAddr, "metrics-addr", "", "serve /metrics, /events, /alerts, /readyz … on this address (empty disables)")
+	fs.StringVar(&of.spanOut, "span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
+	fs.StringVar(&of.spanSample, "span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
+	fs.IntVar(&of.rotateMB, "rotate-mb", 0, "rotate the -span-out file at this size in MiB, keeping one predecessor (0 = unbounded)")
+	fs.BoolVar(&of.pprof, "pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
+	fs.DurationVar(&of.stuckAfter, "stuck-after", 0, "raise the stuck_round alert when no phase heartbeat arrives for this long (0 disables)")
+	fs.Float64Var(&of.stragglerFactor, "straggler-factor", 3, "flag actors whose phase latency exceeds this multiple of the window p90")
+	fs.DurationVar(&of.alertWindow, "alert-window", 30*time.Second, "sliding-window width for alert rules and /alerts dashboards")
+	fs.DurationVar(&of.alertFor, "alert-for", 0, "hold an alert condition this long before firing")
+	fs.DurationVar(&of.alertPhaseMax, "alert-phase-max", 0, "fire phase_latency_max when any phase's windowed max latency exceeds this (0 disables)")
+	fs.StringVar(&of.alertBudget, "alert-budget", "", "derive per-phase alert rules from this bench-gate baseline file")
+	fs.StringVar(&of.alertScenario, "alert-scenario", "sim-merge", "scenario inside -alert-budget to take phase budgets from")
+	fs.Float64Var(&of.alertBurn, "alert-burn", 2, "burn-rate multiple of the -alert-budget phase budgets before firing")
+	return of
+}
+
+// introspection is a process's observability bundle: a metrics registry,
+// a bounded event ring for /events, a bounded span ring for /spans (plus
+// an optional span JSONL file), the alert monitor and round watchdog
+// behind /alerts, the readiness probe behind /readyz and /healthz, and
+// the HTTP server exposing them when -metrics-addr is set.
+type introspection struct {
+	reg      *obs.Registry
+	rec      *core.Recorder
+	spans    *obs.SpanCollector
+	sink     obs.SpanSink
+	spanW    *obs.SpanJSONLWriter
+	spanF    *obs.RotatingFile
+	sampler  *obs.SpanSampler
+	mon      *obs.Monitor
+	watch    *core.Watchdog
+	ready    *obs.Readiness
+	srv      *obs.HTTPServer
+	evalStop chan struct{}
+}
+
+// startIntrospection builds the bundle. Alert transitions are mirrored
+// into the event ring (alert-firing / alert-resolved), the watchdog
+// rides the span fan-out so every phase span is a heartbeat, and a
+// 1s ticker evaluates the rules against wall time.
+func startIntrospection(of *obsFlags, seed int64) (*introspection, error) {
 	in := &introspection{
 		reg:   obs.NewRegistry(),
 		rec:   core.NewRecorder(1024),
 		spans: obs.NewSpanCollector(4096),
+		ready: obs.NewReadiness(),
 	}
-	sinks := obs.MultiSpanSink{in.spans}
-	if spanOut != "" {
-		f, err := os.Create(spanOut)
+	in.mon = obs.NewMonitor(obs.MonitorConfig{
+		Window:  of.alertWindow,
+		Metrics: in.reg,
+		OnTransition: func(a obs.Alert) {
+			kind := core.EventAlertFiring
+			if a.State != obs.AlertFiring {
+				kind = core.EventAlertResolved
+			}
+			in.rec.Emit(core.Event{
+				Time: time.Now(), Kind: kind, Actor: "watchdog",
+				Detail: fmt.Sprintf("%s: value %.4f limit %.4f", a.Rule.Name, a.Value, a.Limit),
+			})
+		},
+	})
+	in.watch = core.NewWatchdog(in.mon, core.WatchdogConfig{
+		StuckAfter:      of.stuckAfter,
+		StragglerFactor: of.stragglerFactor,
+	})
+	if of.alertPhaseMax > 0 {
+		if err := in.mon.AddRule(obs.AlertRule{
+			Name:      "phase_latency_max",
+			Metric:    obs.MetricPhaseLatency,
+			Stat:      "max",
+			Threshold: of.alertPhaseMax.Seconds(),
+			For:       of.alertFor,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if of.alertBudget != "" {
+		f, err := os.Open(of.alertBudget)
+		if err != nil {
+			return nil, fmt.Errorf("alert-budget: %w", err)
+		}
+		base, err := obs.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("alert-budget: %w", err)
+		}
+		rules, err := obs.RulesFromBaseline(base, of.alertScenario, of.alertBurn, of.alertWindow, of.alertFor)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rules {
+			if err := in.mon.AddRule(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sinks := obs.MultiSpanSink{in.spans, in.watch}
+	if of.spanOut != "" {
+		f, err := obs.NewRotatingFile(of.spanOut, int64(of.rotateMB)<<20)
 		if err != nil {
 			return nil, fmt.Errorf("span-out: %w", err)
 		}
 		in.spanF = f
 		in.spanW = obs.NewSpanJSONLWriter(f)
 		var fileSink obs.SpanSink = in.spanW
-		slowest, rate, err := obs.ParseSpanSample(spanSample)
+		slowest, rate, err := obs.ParseSpanSample(of.spanSample)
 		if err != nil {
 			in.close()
 			return nil, err
@@ -180,14 +271,27 @@ func startIntrospection(addr, spanOut, spanSample string, seed int64, pprof bool
 			fileSink = in.sampler
 		}
 		sinks = append(sinks, fileSink)
-	} else if spanSample != "" {
+	} else if of.spanSample != "" {
 		return nil, fmt.Errorf("-span-sample needs -span-out")
 	}
 	in.sink = sinks
-	if addr == "" {
+	in.evalStop = make(chan struct{})
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-in.evalStop:
+				return
+			case <-tick.C:
+				in.watch.Evaluate(time.Now())
+			}
+		}
+	}()
+	if of.metricsAddr == "" {
 		return in, nil
 	}
-	srv, err := obs.StartHTTP(addr, obs.HandlerConfig{
+	srv, err := obs.StartHTTP(of.metricsAddr, obs.HandlerConfig{
 		Registry: in.reg,
 		Events:   func() any { return in.rec.Events() },
 		Spans:    func() any { return in.spans.Spans() },
@@ -196,19 +300,25 @@ func startIntrospection(addr, spanOut, spanSample string, seed int64, pprof bool
 		// roll up. A cluster-wide board comes from merging several
 		// processes' /metrics.json scrapes the same way.
 		Scoreboard: func() any { return obs.MergeSnapshots(obs.SplitByLabel(in.reg.Snapshot(), "node"), 5) },
-		Health:     health,
-		Pprof:      pprof,
+		Alerts:     func() any { return in.watch.Status(time.Now()) },
+		Health:     in.ready.Check,
+		Readiness:  in.ready,
+		Pprof:      of.pprof,
 	})
 	if err != nil {
 		in.close()
 		return nil, fmt.Errorf("metrics endpoint: %w", err)
 	}
 	in.srv = srv
-	fmt.Printf("iplsd: introspection on http://%s/metrics (/events, /spans, /scoreboard, /buildinfo, /healthz)\n", srv.Addr)
+	fmt.Printf("iplsd: introspection on http://%s/metrics (/events, /spans, /scoreboard, /alerts, /buildinfo, /healthz, /readyz)\n", srv.Addr)
 	return in, nil
 }
 
 func (in *introspection) close() {
+	if in.evalStop != nil {
+		close(in.evalStop)
+		in.evalStop = nil
+	}
 	if in.srv != nil {
 		in.srv.Close()
 	}
@@ -250,10 +360,7 @@ func run(args []string) error {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("iplsd serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7000", "TCP listen address")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
-	spanOut := fs.String("span-out", "", "write storage-side causal spans to this file as JSON Lines (analyze with iplstrace)")
-	spanSample := fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
-	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
+	of := registerObsFlags(fs)
 	snapshotFile := fs.String("snapshot-file", "", "restore the directory from this file if it exists; save on shutdown")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -297,11 +404,22 @@ func serve(args []string) error {
 	if err := srv.RegisterDirectory(dir); err != nil {
 		return err
 	}
-	in, err := startIntrospection(*metricsAddr, *spanOut, *spanSample, tf.seed, *pprofFlag, nil)
+	in, err := startIntrospection(of, tf.seed)
 	if err != nil {
 		return err
 	}
 	defer in.close()
+	// Readiness composition: the server is ready when storage can meet
+	// its replication target and the directory answers lookups.
+	in.ready.Register("storage", netw.Health)
+	in.ready.Register("directory", func() error {
+		// A directory rejecting more publishes than it accepts is
+		// screening everything out — stale assignments or key mismatch.
+		if st := dir.Stats(); st.Rejections > 0 && st.Rejections > st.Publishes {
+			return fmt.Errorf("directory: %d rejections against %d accepted publishes", st.Rejections, st.Publishes)
+		}
+		return nil
+	})
 	netw.SetMetrics(in.reg)
 	netw.SetSpans(in.sink)
 	srv.SetMetrics(in.reg)
@@ -334,10 +452,7 @@ func trainer(args []string) error {
 	fs := flag.NewFlagSet("iplsd trainer", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7000", "server address")
 	index := fs.Int("index", 0, "trainer index in [0, trainers)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
-	spanOut := fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
-	spanSample := fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
-	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
+	of := registerObsFlags(fs)
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -360,11 +475,12 @@ func trainer(args []string) error {
 		return err
 	}
 	tf.attachKey(sess, me)
-	in, err := startIntrospection(*metricsAddr, *spanOut, *spanSample, tf.seed, *pprofFlag, nil)
+	in, err := startIntrospection(of, tf.seed)
 	if err != nil {
 		return err
 	}
 	defer in.close()
+	in.ready.Register("round_progressing", func() error { return in.watch.Check(time.Now()) })
 	sess.SetMetrics(in.reg)
 	sess.SetTracer(in.rec)
 	sess.SetSpans(in.sink)
@@ -409,10 +525,7 @@ func aggregator(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7000", "server address")
 	partition := fs.Int("partition", 0, "partition this aggregator serves")
 	slot := fs.Int("slot", 0, "aggregator slot j within the partition")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /events and /healthz on this address (empty disables)")
-	spanOut := fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
-	spanSample := fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
-	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
+	of := registerObsFlags(fs)
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -438,11 +551,12 @@ func aggregator(args []string) error {
 		return err
 	}
 	tf.attachKey(sess, me)
-	in, err := startIntrospection(*metricsAddr, *spanOut, *spanSample, tf.seed, *pprofFlag, nil)
+	in, err := startIntrospection(of, tf.seed)
 	if err != nil {
 		return err
 	}
 	defer in.close()
+	in.ready.Register("round_progressing", func() error { return in.watch.Check(time.Now()) })
 	sess.SetMetrics(in.reg)
 	sess.SetTracer(in.rec)
 	sess.SetSpans(in.sink)
@@ -465,10 +579,7 @@ func aggregator(args []string) error {
 // TCP — a smoke test for the networked deployment.
 func demo(args []string) error {
 	fs := flag.NewFlagSet("iplsd demo", flag.ContinueOnError)
-	metricsAddr := fs.String("metrics-addr", "", "serve the demo server's /metrics, /events and /healthz on this address (empty disables)")
-	spanOut := fs.String("span-out", "", "write the demo server's storage-side spans to this file as JSON Lines")
-	spanSample := fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
-	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ on the -metrics-addr endpoint")
+	of := registerObsFlags(fs)
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -495,11 +606,12 @@ func demo(args []string) error {
 	if err := srv.RegisterDirectory(dir); err != nil {
 		return err
 	}
-	in, err := startIntrospection(*metricsAddr, *spanOut, *spanSample, tf.seed, *pprofFlag, nil)
+	in, err := startIntrospection(of, tf.seed)
 	if err != nil {
 		return err
 	}
 	defer in.close()
+	in.ready.Register("storage", netw.Health)
 	netw.SetMetrics(in.reg)
 	netw.SetSpans(in.sink)
 	srv.SetMetrics(in.reg)

@@ -126,8 +126,20 @@ func TestDemoEndToEnd(t *testing.T) {
 	}
 }
 
+// testObsFlags builds an obsFlags with defaults as if parsed from an
+// empty command line, overriding the given fields.
+func testObsFlags(addr, spanOut, spanSample string, pprof bool) *obsFlags {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	of := registerObsFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		panic(err)
+	}
+	of.metricsAddr, of.spanOut, of.spanSample, of.pprof = addr, spanOut, spanSample, pprof
+	return of
+}
+
 func TestStartIntrospectionServes(t *testing.T) {
-	in, err := startIntrospection("127.0.0.1:0", "", "", 0, false, nil)
+	in, err := startIntrospection(testObsFlags("127.0.0.1:0", "", "", false), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +176,7 @@ func TestStartIntrospectionServes(t *testing.T) {
 func TestStartIntrospectionSpansAndPprof(t *testing.T) {
 	dir := t.TempDir()
 	spanPath := filepath.Join(dir, "role.spans")
-	in, err := startIntrospection("127.0.0.1:0", spanPath, "", 0, true, nil)
+	in, err := startIntrospection(testObsFlags("127.0.0.1:0", spanPath, "", true), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +225,7 @@ func TestStartIntrospectionSpansAndPprof(t *testing.T) {
 }
 
 func TestStartIntrospectionPprofOffByDefault(t *testing.T) {
-	in, err := startIntrospection("127.0.0.1:0", "", "", 0, false, nil)
+	in, err := startIntrospection(testObsFlags("127.0.0.1:0", "", "", false), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +241,7 @@ func TestStartIntrospectionPprofOffByDefault(t *testing.T) {
 }
 
 func TestStartIntrospectionDisabled(t *testing.T) {
-	in, err := startIntrospection("", "", "", 0, false, nil)
+	in, err := startIntrospection(testObsFlags("", "", "", false), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

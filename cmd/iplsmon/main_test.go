@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ipls/internal/obs"
+)
+
+func startMonitoredEndpoint(t *testing.T) string {
+	t.Helper()
+	base := time.Unix(0, 0).UTC()
+	now := base.Add(time.Minute)
+
+	mon := obs.NewMonitor(obs.MonitorConfig{Window: 30 * time.Second})
+	if err := mon.AddRule(obs.AlertRule{
+		Name: "slow_upload", Metric: obs.MetricPhaseLatency, Phase: "upload",
+		Stat: "max", Threshold: 1.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mon.Observe(now, obs.MetricPhaseLatency, "upload", 4.2)
+	mon.Evaluate(now)
+
+	reg := obs.NewRegistry()
+	reg.Counter("iterations_total").Inc()
+
+	srv, err := obs.StartHTTP("127.0.0.1:0", obs.HandlerConfig{
+		Registry: reg,
+		Alerts:   func() any { return mon.Status(now) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr
+}
+
+func TestRunOnceJSON(t *testing.T) {
+	addr := startMonitoredEndpoint(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", addr, "-once", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap monSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("output is not a single JSON document: %v\n%s", err, buf.String())
+	}
+	if len(snap.Health.Firing) != 1 || snap.Health.Firing[0] != "slow_upload" {
+		t.Fatalf("firing = %v, want the injected alert", snap.Health.Firing)
+	}
+	var alert *obs.Alert
+	for i := range snap.Health.Alerts {
+		if snap.Health.Alerts[i].Rule.Name == "slow_upload" {
+			alert = &snap.Health.Alerts[i]
+		}
+	}
+	if alert == nil || alert.State != obs.AlertFiring || alert.Value != 4.2 {
+		t.Fatalf("alerts = %+v, want slow_upload firing at 4.2", snap.Health.Alerts)
+	}
+	if snap.Health.Windows["phase_latency/upload"].Count != 1 {
+		t.Fatalf("windows = %+v", snap.Health.Windows)
+	}
+	if len(snap.Metrics.Counters) == 0 {
+		t.Fatalf("metrics snapshot empty: %+v", snap.Metrics)
+	}
+}
+
+func TestRunOnceHumanReadable(t *testing.T) {
+	addr := startMonitoredEndpoint(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", addr, "-once"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"slow_upload", "firing", "phase_latency/upload"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Fatal("-once output contains screen-clear escapes")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-once"}, &buf); err == nil {
+		t.Fatal("missing -addr accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1", "-once", "-timeout", "100ms", "-json"}, &buf); err == nil {
+		t.Fatal("unreachable endpoint did not error")
+	}
+}

@@ -55,9 +55,12 @@ func run(args []string) error {
 		trace       = fs.Bool("trace", false, "print the protocol event timeline of the first round")
 		traceOut    = fs.String("trace-out", "", "write the full protocol event stream to this file as JSON Lines")
 		spanOut     = fs.String("span-out", "", "write causal spans to this file as JSON Lines (analyze with iplstrace)")
+		rotateMB    = fs.Int("rotate-mb", 0, "rotate the -trace-out/-span-out JSONL files at this size in MiB, keeping one predecessor (0 = unbounded)")
 		metricsOut  = fs.String("metrics-out", "", "write the final metrics registry snapshot to this file as JSON")
 		summary     = fs.Bool("summary", false, "print per-iteration latency/byte summaries folded from the trace")
 		scoreboard  = fs.Bool("scoreboard", false, "print the cluster scoreboard after the run: per-node metrics rolled up into percentiles and top-K outliers")
+		watch       = fs.Bool("watch", false, "run the round watchdog over the span stream and print a health summary after the run")
+		stuckAfter  = fs.Duration("stuck-after", 10*time.Second, "watchdog heartbeat deadline for the stuck_round alert (with -watch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -191,7 +194,7 @@ func run(args []string) error {
 		tracers = append(tracers, recorder)
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		f, err := obs.NewRotatingFile(*traceOut, int64(*rotateMB)<<20)
 		if err != nil {
 			return fmt.Errorf("trace-out: %w", err)
 		}
@@ -204,28 +207,38 @@ func run(args []string) error {
 	}
 	var spanSink *obs.SpanJSONLWriter
 	var sampler *obs.SpanSampler
+	var spanSinks obs.MultiSpanSink
+	var wd *core.Watchdog
+	if *watch {
+		wd = core.NewWatchdog(obs.NewMonitor(obs.MonitorConfig{Metrics: reg}),
+			core.WatchdogConfig{StuckAfter: *stuckAfter})
+		spanSinks = append(spanSinks, wd)
+	}
 	if *spanOut != "" {
-		f, err := os.Create(*spanOut)
+		f, err := obs.NewRotatingFile(*spanOut, int64(*rotateMB)<<20)
 		if err != nil {
 			return fmt.Errorf("span-out: %w", err)
 		}
 		defer f.Close()
 		spanSink = obs.NewSpanJSONLWriter(f)
-		var spans obs.SpanSink = spanSink
+		var fileSink obs.SpanSink = spanSink
 		slowest, rate, err := obs.ParseSpanSample(*spanSample)
 		if err != nil {
 			return err
 		}
 		if slowest > 0 || rate < 1 {
 			sampler = obs.NewSpanSampler(spanSink, slowest, rate, *seed)
-			spans = sampler
+			fileSink = sampler
 		}
-		sess.SetSpans(spans)
-		// The storage network emits the "merge" spans that hang under the
-		// aggregators' merge_download spans.
-		net.SetSpans(spans)
+		spanSinks = append(spanSinks, fileSink)
 	} else if *spanSample != "" {
 		return fmt.Errorf("-span-sample needs -span-out")
+	}
+	if len(spanSinks) > 0 {
+		sess.SetSpans(spanSinks)
+		// The storage network emits the "merge" spans that hang under the
+		// aggregators' merge_download spans.
+		net.SetSpans(spanSinks)
 	}
 
 	fmt.Printf("model=%s dim=%d trainers=%d partitions=%d |A_i|=%d verifiable=%v split=%s\n",
@@ -320,6 +333,18 @@ func run(args []string) error {
 				passed, seen, spanSink.Emitted(), *spanOut, spanSink.Dropped())
 		} else {
 			fmt.Printf("spans: %d spans written to %s (%d dropped)\n", spanSink.Emitted(), *spanOut, spanSink.Dropped())
+		}
+	}
+	if wd != nil {
+		wd.Evaluate(time.Now())
+		st := wd.Status(time.Now())
+		fmt.Printf("watchdog: %d heartbeat phases, max gap %v, %d firing alerts, %d stragglers\n",
+			len(st.Windows), wd.MaxGap().Round(time.Millisecond), len(st.Firing), len(st.Stragglers))
+		for _, name := range st.Firing {
+			fmt.Printf("  firing: %s\n", name)
+		}
+		for _, s := range st.Stragglers {
+			fmt.Printf("  straggler: %s %s %.1fx the window p90\n", s.Actor, s.Phase, s.Ratio)
 		}
 	}
 	if *scoreboard {

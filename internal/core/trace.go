@@ -27,6 +27,8 @@ const (
 	EventScreenedOut
 	EventStandbyTakeover
 	EventTrainerRejoin
+	EventAlertFiring
+	EventAlertResolved
 )
 
 var eventKindNames = map[EventKind]string{
@@ -43,6 +45,8 @@ var eventKindNames = map[EventKind]string{
 	EventScreenedOut:        "screened-out",
 	EventStandbyTakeover:    "standby-takeover",
 	EventTrainerRejoin:      "trainer-rejoin",
+	EventAlertFiring:        "alert-firing",
+	EventAlertResolved:      "alert-resolved",
 }
 
 // String names the event kind.

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ipls/internal/obs"
+)
+
+// Round watchdog: live detection of stuck rounds and straggling
+// trainers. Every phase span a session (or the simulator) emits doubles
+// as a heartbeat — the watchdog implements obs.SpanSink, so it slots
+// into the same MultiSpanSink fan-out as JSONL writers and collectors,
+// and works identically over wall-clock sessions and netsim virtual
+// time. Phase durations feed a Monitor's sliding windows (where
+// declarative alert rules evaluate them); heartbeat gaps beyond the
+// deadline feed the stuck-round rule; and per-actor latencies are
+// compared against the window p90 to flag stragglers.
+
+// StuckRoundAlert names the watchdog's built-in heartbeat-gap rule.
+const StuckRoundAlert = "stuck_round"
+
+// WatchdogConfig configures a Watchdog.
+type WatchdogConfig struct {
+	// StuckAfter is the heartbeat deadline: a gap longer than this
+	// between consecutive phase transitions raises the stuck-round
+	// alarm. <= 0 disables stuck detection. In real sessions this should
+	// track the failover deadline (a takeover also produces spans, so a
+	// successful failover resolves the alarm).
+	StuckAfter time.Duration
+	// StragglerFactor flags an actor whose latest phase latency exceeds
+	// this multiple of the phase's window p90. <= 0 means 3.
+	StragglerFactor float64
+	// MinSamples suppresses straggler detection until the phase window
+	// holds at least this many observations. <= 0 means 5.
+	MinSamples uint64
+}
+
+// lastObs is the most recent phase latency seen from one actor.
+type lastObs struct {
+	actor, phase string
+	seconds      float64
+	at           time.Time
+}
+
+// Watchdog turns the span stream into heartbeats, straggler flags and
+// stuck-round alarms, feeding an obs.Monitor for rule evaluation.
+type Watchdog struct {
+	mon *obs.Monitor
+	cfg WatchdogConfig
+
+	mu       sync.Mutex
+	beats    int64
+	lastBeat time.Time
+	maxGap   time.Duration
+	last     map[string]lastObs // key actor+"\x00"+phase
+}
+
+var _ obs.SpanSink = (*Watchdog)(nil)
+
+// NewWatchdog creates a watchdog feeding mon. When cfg.StuckAfter > 0
+// the stuck-round rule is registered on mon automatically.
+func NewWatchdog(mon *obs.Monitor, cfg WatchdogConfig) *Watchdog {
+	if cfg.StragglerFactor <= 0 {
+		cfg.StragglerFactor = 3
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = 5
+	}
+	w := &Watchdog{mon: mon, cfg: cfg, last: make(map[string]lastObs)}
+	if cfg.StuckAfter > 0 {
+		// Gap observations are only recorded when they exceed the
+		// deadline, so any observation at all means stuck.
+		_ = mon.AddRule(obs.AlertRule{
+			Name:      StuckRoundAlert,
+			Metric:    obs.MetricHeartbeatGap,
+			Stat:      "max",
+			Threshold: cfg.StuckAfter.Seconds(),
+		})
+	}
+	return w
+}
+
+// Monitor returns the monitor the watchdog feeds.
+func (w *Watchdog) Monitor() *obs.Monitor { return w.mon }
+
+// EmitSpan treats a completed phase span as a heartbeat: its duration is
+// observed as phase_latency (phase = span name), its end stamp advances
+// the heartbeat clock, and any gap since the previous heartbeat beyond
+// the deadline is observed as heartbeat_gap — all stamped in span time,
+// so simulated runs evaluate deterministically.
+func (w *Watchdog) EmitSpan(s obs.Span) {
+	if w == nil || s.End.IsZero() {
+		return
+	}
+	w.mon.Observe(s.End, obs.MetricPhaseLatency, s.Name, s.Duration().Seconds())
+	w.mu.Lock()
+	if w.beats > 0 && s.End.After(w.lastBeat) {
+		gap := s.End.Sub(w.lastBeat)
+		if gap > w.maxGap {
+			w.maxGap = gap
+		}
+		if w.cfg.StuckAfter > 0 && gap > w.cfg.StuckAfter {
+			defer w.mon.Observe(s.End, obs.MetricHeartbeatGap, "", gap.Seconds())
+		}
+	}
+	if s.End.After(w.lastBeat) {
+		w.lastBeat = s.End
+	}
+	w.beats++
+	if s.Actor != "" {
+		w.last[s.Actor+"\x00"+s.Name] = lastObs{
+			actor:   s.Actor,
+			phase:   s.Name,
+			seconds: s.Duration().Seconds(),
+			at:      s.End,
+		}
+	}
+	w.mu.Unlock()
+}
+
+// Heartbeat stamps a beat without a phase observation (e.g. at session
+// start, so the stuck clock has a baseline before the first phase ends).
+func (w *Watchdog) Heartbeat(now time.Time) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if now.After(w.lastBeat) {
+		w.lastBeat = now
+	}
+	w.beats++
+	w.mu.Unlock()
+}
+
+// Evaluate checks for an in-progress stall (no heartbeat within the
+// deadline as of now) and then evaluates every alert rule. Hook this to
+// a ticker in live runs or netsim's OnAdvance in simulations.
+func (w *Watchdog) Evaluate(now time.Time) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	stalled := w.cfg.StuckAfter > 0 && w.beats > 0 && now.Sub(w.lastBeat) > w.cfg.StuckAfter
+	var gap time.Duration
+	if stalled {
+		gap = now.Sub(w.lastBeat)
+		if gap > w.maxGap {
+			w.maxGap = gap
+		}
+	}
+	w.mu.Unlock()
+	if stalled {
+		w.mon.Observe(now, obs.MetricHeartbeatGap, "", gap.Seconds())
+	}
+	w.mon.Evaluate(now)
+}
+
+// Check reports whether rounds are progressing: nil before the first
+// heartbeat (nothing started yet) and while heartbeats are within the
+// deadline; an error when the session looks stuck as of now. It has the
+// signature of an obs.Readiness component check.
+func (w *Watchdog) Check(now time.Time) error {
+	if w == nil || w.cfg.StuckAfter <= 0 {
+		return nil
+	}
+	w.mu.Lock()
+	beats, last := w.beats, w.lastBeat
+	w.mu.Unlock()
+	if beats == 0 {
+		return nil
+	}
+	if gap := now.Sub(last); gap > w.cfg.StuckAfter {
+		return fmt.Errorf("core: no heartbeat for %v (deadline %v)", gap.Round(time.Millisecond), w.cfg.StuckAfter)
+	}
+	return nil
+}
+
+// MaxGap reports the largest heartbeat gap seen so far.
+func (w *Watchdog) MaxGap() time.Duration {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.maxGap
+}
+
+// Stragglers flags actors whose most recent latency in some phase
+// exceeds StragglerFactor times that phase's window p90 as of now,
+// sorted worst first. Phases with fewer than MinSamples observations in
+// the window are skipped — with two trainers there is no crowd to
+// stand out from.
+func (w *Watchdog) Stragglers(now time.Time) []obs.Straggler {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	recents := make([]lastObs, 0, len(w.last))
+	for _, lo := range w.last {
+		recents = append(recents, lo)
+	}
+	w.mu.Unlock()
+	var out []obs.Straggler
+	for _, lo := range recents {
+		snap := w.mon.Series(now, obs.MetricPhaseLatency, lo.phase)
+		if snap.Count < w.cfg.MinSamples || snap.P90 <= 0 {
+			continue
+		}
+		if lo.seconds > w.cfg.StragglerFactor*snap.P90 {
+			out = append(out, obs.Straggler{
+				Actor:       lo.actor,
+				Phase:       lo.phase,
+				LastSeconds: lo.seconds,
+				P90Seconds:  snap.P90,
+				Ratio:       lo.seconds / snap.P90,
+				At:          lo.at,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		if out[i].Actor != out[j].Actor {
+			return out[i].Actor < out[j].Actor
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// Status assembles the /alerts document as of now: the monitor's rule
+// states and windows plus the watchdog's straggler list.
+func (w *Watchdog) Status(now time.Time) obs.HealthStatus {
+	if w == nil {
+		return obs.HealthStatus{GeneratedAt: now}
+	}
+	st := w.mon.Status(now)
+	st.Stragglers = w.Stragglers(now)
+	return st
+}

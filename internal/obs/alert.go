@@ -1,0 +1,415 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Declarative alert rules evaluated against sliding windows. This is the
+// online counterpart of the offline bench-gate budgets: the same
+// per-phase numbers that fail a CI run post-hoc become rules an operator
+// can watch fire in real time. Rules follow the Prometheus alerting
+// model — a condition over a windowed statistic, held For a duration
+// before it fires — with state transitions exported as metrics, callback
+// events and the /alerts endpoint.
+
+// Well-known metric names fed into a Monitor by the core watchdog.
+const (
+	// MetricPhaseLatency carries per-phase span durations in seconds;
+	// the phase dimension is the span name (upload, merge_download, …).
+	MetricPhaseLatency = "phase_latency"
+	// MetricHeartbeatGap carries gaps between consecutive heartbeats in
+	// seconds, observed only when a gap exceeds the watchdog deadline.
+	MetricHeartbeatGap = "heartbeat_gap"
+)
+
+// AlertRule is one declarative alerting condition: a windowed statistic
+// of a metric (optionally restricted to one phase) compared against a
+// limit. The limit is either an absolute Threshold or Budget×BurnRate —
+// the latter expresses "this phase is running at N times the latency the
+// bench baseline budgeted for it".
+type AlertRule struct {
+	// Name identifies the alert in metrics, events and /alerts.
+	Name string `json:"name"`
+	// Metric selects the observation stream (e.g. MetricPhaseLatency).
+	Metric string `json:"metric"`
+	// Phase restricts the rule to one phase; empty matches every phase
+	// merged together.
+	Phase string `json:"phase,omitempty"`
+	// Stat picks the window statistic to compare: p50, p90, max, rate,
+	// count or sum. Empty means max.
+	Stat string `json:"stat,omitempty"`
+	// Window is the sliding-window width; <= 0 uses the monitor default.
+	Window time.Duration `json:"window,omitempty"`
+	// Threshold is the absolute limit in the metric's unit.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Budget and BurnRate express the limit as a multiple of a budget
+	// (typically a bench-baseline phase budget): limit = Budget×BurnRate.
+	// Used when Threshold is zero; BurnRate defaults to 1.
+	Budget   float64 `json:"budget,omitempty"`
+	BurnRate float64 `json:"burn_rate,omitempty"`
+	// For holds the condition in Pending for this long before it fires;
+	// zero fires immediately.
+	For time.Duration `json:"for,omitempty"`
+	// MinCount suppresses evaluation until the window holds at least
+	// this many observations (default 1).
+	MinCount uint64 `json:"min_count,omitempty"`
+}
+
+// Limit is the effective threshold the windowed statistic is compared
+// against.
+func (r AlertRule) Limit() float64 {
+	if r.Threshold != 0 {
+		return r.Threshold
+	}
+	burn := r.BurnRate
+	if burn <= 0 {
+		burn = 1
+	}
+	return r.Budget * burn
+}
+
+func (r AlertRule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("obs: alert rule needs a name")
+	}
+	if r.Metric == "" {
+		return fmt.Errorf("obs: alert rule %q needs a metric", r.Name)
+	}
+	if r.Threshold == 0 && r.Budget == 0 {
+		return fmt.Errorf("obs: alert rule %q needs a threshold or budget", r.Name)
+	}
+	if _, err := (WindowSnapshot{}).Stat(r.Stat); err != nil {
+		return fmt.Errorf("obs: alert rule %q: %v", r.Name, err)
+	}
+	return nil
+}
+
+// AlertState is the lifecycle state of one rule.
+type AlertState string
+
+const (
+	AlertOK      AlertState = "ok"
+	AlertPending AlertState = "pending" // condition true, waiting out For
+	AlertFiring  AlertState = "firing"
+)
+
+// Alert is the evaluated state of one rule at the last Evaluate call.
+type Alert struct {
+	Rule  AlertRule  `json:"rule"`
+	State AlertState `json:"state"`
+	// Value is the windowed statistic at the last evaluation; Limit the
+	// effective threshold it was compared against.
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+	// Since is when the alert entered its current state.
+	Since time.Time `json:"since,omitempty"`
+	// FiredCount is how many times the alert has transitioned to firing.
+	FiredCount int `json:"fired_count,omitempty"`
+}
+
+// ruleState is the mutable evaluation state behind one rule.
+type ruleState struct {
+	rule  AlertRule
+	win   *Window
+	state AlertState
+	since time.Time
+	value float64
+	fired int
+}
+
+// MonitorConfig configures a Monitor.
+type MonitorConfig struct {
+	// Window is the default sliding-window width for rules and dashboard
+	// series; <= 0 means 30s.
+	Window time.Duration
+	// Slices is the ring granularity per window; <= 0 means 6.
+	Slices int
+	// Buckets are the histogram bounds for windows; nil means DefBuckets.
+	Buckets []float64
+	// Metrics, when set, receives alert_firing gauges and
+	// alerts_fired_total / alerts_resolved_total counters.
+	Metrics *Registry
+	// OnTransition is called (under no monitor lock) whenever a rule
+	// transitions to firing or back to ok.
+	OnTransition func(Alert)
+}
+
+// Monitor feeds observations into sliding windows and evaluates alert
+// rules against them. Safe for concurrent use. The nil *Monitor is a
+// valid no-op, so instrumented code needs no nil checks.
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu     sync.Mutex
+	series map[string]*Window // dashboard windows, key metric or metric/phase
+	rules  []*ruleState
+}
+
+// NewMonitor creates a Monitor with the given configuration.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.Window <= 0 {
+		cfg.Window = 30 * time.Second
+	}
+	if cfg.Slices <= 0 {
+		cfg.Slices = 6
+	}
+	return &Monitor{cfg: cfg, series: make(map[string]*Window)}
+}
+
+// AddRule registers a rule. Duplicate names are rejected.
+func (m *Monitor) AddRule(r AlertRule) error {
+	if m == nil {
+		return fmt.Errorf("obs: AddRule on nil Monitor")
+	}
+	if err := r.validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rs := range m.rules {
+		if rs.rule.Name == r.Name {
+			return fmt.Errorf("obs: duplicate alert rule %q", r.Name)
+		}
+	}
+	width := r.Window
+	if width <= 0 {
+		width = m.cfg.Window
+	}
+	m.rules = append(m.rules, &ruleState{
+		rule:  r,
+		win:   NewWindow(width, m.cfg.Slices, m.cfg.Buckets),
+		state: AlertOK,
+	})
+	return nil
+}
+
+// seriesKey names the dashboard window for a metric/phase pair.
+func seriesKey(metric, phase string) string {
+	if phase == "" {
+		return metric
+	}
+	return metric + "/" + phase
+}
+
+// Observe records one observation at the given instant, feeding both the
+// dashboard window of (metric, phase) and the window of every rule
+// matching the pair.
+func (m *Monitor) Observe(now time.Time, metric, phase string, v float64) {
+	if m == nil {
+		return
+	}
+	key := seriesKey(metric, phase)
+	m.mu.Lock()
+	win, ok := m.series[key]
+	if !ok {
+		win = NewWindow(m.cfg.Window, m.cfg.Slices, m.cfg.Buckets)
+		m.series[key] = win
+	}
+	var matched []*Window
+	for _, rs := range m.rules {
+		if rs.rule.Metric == metric && (rs.rule.Phase == "" || rs.rule.Phase == phase) {
+			matched = append(matched, rs.win)
+		}
+	}
+	m.mu.Unlock()
+	win.Observe(now, v)
+	for _, rw := range matched {
+		rw.Observe(now, v)
+	}
+}
+
+// Series returns the dashboard window snapshot for a metric/phase pair
+// as of now (zero snapshot if the pair was never observed).
+func (m *Monitor) Series(now time.Time, metric, phase string) WindowSnapshot {
+	if m == nil {
+		return WindowSnapshot{}
+	}
+	m.mu.Lock()
+	win := m.series[seriesKey(metric, phase)]
+	m.mu.Unlock()
+	if win == nil {
+		return WindowSnapshot{}
+	}
+	return win.Snapshot(now)
+}
+
+// Evaluate runs every rule's state machine against its window as of now.
+// Deterministic given the observation and evaluation timestamps, so the
+// same alerts fire under netsim virtual time as in a live run.
+func (m *Monitor) Evaluate(now time.Time) {
+	if m == nil {
+		return
+	}
+	var transitions []Alert
+	m.mu.Lock()
+	for _, rs := range m.rules {
+		snap := rs.win.Snapshot(now)
+		value, _ := snap.Stat(rs.rule.Stat)
+		rs.value = value
+		minCount := rs.rule.MinCount
+		if minCount == 0 {
+			minCount = 1
+		}
+		exceeded := snap.Count >= minCount && value > rs.rule.Limit()
+		switch {
+		case exceeded && rs.state == AlertOK:
+			rs.state, rs.since = AlertPending, now
+			fallthrough
+		case exceeded && rs.state == AlertPending:
+			if now.Sub(rs.since) >= rs.rule.For {
+				rs.state, rs.since = AlertFiring, now
+				rs.fired++
+				transitions = append(transitions, rs.alert())
+			}
+		case !exceeded && rs.state == AlertPending:
+			rs.state, rs.since = AlertOK, now
+		case !exceeded && rs.state == AlertFiring:
+			rs.state, rs.since = AlertOK, now
+			transitions = append(transitions, rs.alert())
+		}
+	}
+	m.mu.Unlock()
+	for _, a := range transitions {
+		name := a.Rule.Name
+		if a.State == AlertFiring {
+			m.cfg.Metrics.Counter("alerts_fired_total", "alert", name).Inc()
+			m.cfg.Metrics.Gauge("alert_firing", "alert", name).Set(1)
+		} else {
+			m.cfg.Metrics.Counter("alerts_resolved_total", "alert", name).Inc()
+			m.cfg.Metrics.Gauge("alert_firing", "alert", name).Set(0)
+		}
+		if m.cfg.OnTransition != nil {
+			m.cfg.OnTransition(a)
+		}
+	}
+}
+
+// alert copies rs into its exported form. Caller holds m.mu.
+func (rs *ruleState) alert() Alert {
+	return Alert{
+		Rule:       rs.rule,
+		State:      rs.state,
+		Value:      rs.value,
+		Limit:      rs.rule.Limit(),
+		Since:      rs.since,
+		FiredCount: rs.fired,
+	}
+}
+
+// Alerts returns the state of every rule as of the last Evaluate,
+// sorted by name.
+func (m *Monitor) Alerts() []Alert {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	out := make([]Alert, 0, len(m.rules))
+	for _, rs := range m.rules {
+		out = append(out, rs.alert())
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.Name < out[j].Rule.Name })
+	return out
+}
+
+// Firing returns the names of currently firing alerts, sorted.
+func (m *Monitor) Firing() []string {
+	var names []string
+	for _, a := range m.Alerts() {
+		if a.State == AlertFiring {
+			names = append(names, a.Rule.Name)
+		}
+	}
+	return names
+}
+
+// Straggler is one actor whose recent phase latency stands out from the
+// window distribution of its phase.
+type Straggler struct {
+	Actor string `json:"actor"`
+	Phase string `json:"phase"`
+	// LastSeconds is the actor's most recent phase latency; P90Seconds
+	// the window p90 it is compared against; Ratio their quotient.
+	LastSeconds float64   `json:"last_seconds"`
+	P90Seconds  float64   `json:"p90_seconds"`
+	Ratio       float64   `json:"ratio"`
+	At          time.Time `json:"at"`
+}
+
+// HealthStatus is the document served at /alerts: every rule's state,
+// the dashboard windows, and any stragglers the watchdog flagged.
+type HealthStatus struct {
+	GeneratedAt time.Time                 `json:"generated_at"`
+	Firing      []string                  `json:"firing,omitempty"`
+	Alerts      []Alert                   `json:"alerts"`
+	Windows     map[string]WindowSnapshot `json:"windows,omitempty"`
+	Stragglers  []Straggler               `json:"stragglers,omitempty"`
+}
+
+// Status assembles the HealthStatus as of now (without stragglers —
+// the core watchdog layers those on).
+func (m *Monitor) Status(now time.Time) HealthStatus {
+	st := HealthStatus{GeneratedAt: now, Alerts: m.Alerts(), Firing: m.Firing()}
+	if m == nil {
+		return st
+	}
+	m.mu.Lock()
+	wins := make(map[string]*Window, len(m.series))
+	for k, w := range m.series {
+		wins[k] = w
+	}
+	m.mu.Unlock()
+	st.Windows = make(map[string]WindowSnapshot, len(wins))
+	for k, w := range wins {
+		st.Windows[k] = w.Snapshot(now)
+	}
+	return st
+}
+
+// RulesFromBaseline converts the per-phase Max budgets of one bench-gate
+// scenario into phase_latency alert rules: each phase fires when its
+// windowed max latency burns past burnRate times the budgeted max. This
+// is the bridge from the offline gates to live alerting — the committed
+// baseline file doubles as the alert policy. Synthetic phases (the
+// critical-path gap pseudo-phase) are skipped.
+func RulesFromBaseline(b Baseline, scenario string, burnRate float64, window, forDur time.Duration) ([]AlertRule, error) {
+	sc, ok := b.Scenarios[scenario]
+	if !ok {
+		known := make([]string, 0, len(b.Scenarios))
+		for k := range b.Scenarios {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("obs: baseline has no scenario %q (have %s)", scenario, strings.Join(known, ", "))
+	}
+	phases := make([]string, 0, len(sc.Phases))
+	for name := range sc.Phases {
+		if strings.HasPrefix(name, "(") { // synthetic, e.g. GapPhase
+			continue
+		}
+		phases = append(phases, name)
+	}
+	sort.Strings(phases)
+	rules := make([]AlertRule, 0, len(phases))
+	for _, name := range phases {
+		pb := sc.Phases[name]
+		if pb.Max <= 0 {
+			continue
+		}
+		rules = append(rules, AlertRule{
+			Name:     scenario + "/" + name + "_latency",
+			Metric:   MetricPhaseLatency,
+			Phase:    name,
+			Stat:     "max",
+			Window:   window,
+			Budget:   pb.Max.Seconds(),
+			BurnRate: burnRate,
+			For:      forDur,
+		})
+	}
+	return rules, nil
+}

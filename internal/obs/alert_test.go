@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAlertRuleLimit(t *testing.T) {
+	if got := (AlertRule{Threshold: 1.5}).Limit(); got != 1.5 {
+		t.Fatalf("threshold limit = %v", got)
+	}
+	if got := (AlertRule{Budget: 0.25, BurnRate: 4}).Limit(); got != 1.0 {
+		t.Fatalf("budget limit = %v", got)
+	}
+	if got := (AlertRule{Budget: 0.2}).Limit(); got != 0.2 {
+		t.Fatalf("default burn-rate limit = %v", got)
+	}
+}
+
+func TestMonitorFiresAndResolves(t *testing.T) {
+	reg := NewRegistry()
+	var transitions []Alert
+	m := NewMonitor(MonitorConfig{
+		Window:       10 * time.Second,
+		Metrics:      reg,
+		OnTransition: func(a Alert) { transitions = append(transitions, a) },
+	})
+	err := m.AddRule(AlertRule{
+		Name: "slow_upload", Metric: MetricPhaseLatency, Phase: "upload",
+		Stat: "max", Threshold: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := windowBase.Add(time.Minute)
+	m.Observe(t0, MetricPhaseLatency, "upload", 0.2)
+	m.Evaluate(t0)
+	if got := m.Alerts()[0].State; got != AlertOK {
+		t.Fatalf("state = %v, want ok", got)
+	}
+	m.Observe(t0.Add(time.Second), MetricPhaseLatency, "upload", 2.5)
+	m.Evaluate(t0.Add(time.Second))
+	a := m.Alerts()[0]
+	if a.State != AlertFiring || a.Value != 2.5 || a.Limit != 1.0 {
+		t.Fatalf("alert = %+v, want firing at 2.5 > 1.0", a)
+	}
+	if reg.Gauge("alert_firing", "alert", "slow_upload").Value() != 1 {
+		t.Fatal("alert_firing gauge not set")
+	}
+	if reg.Counter("alerts_fired_total", "alert", "slow_upload").Value() != 1 {
+		t.Fatal("alerts_fired_total not incremented")
+	}
+	// Once the window slides past the bad observation, the alert resolves.
+	tEnd := t0.Add(30 * time.Second)
+	m.Evaluate(tEnd)
+	if got := m.Alerts()[0].State; got != AlertOK {
+		t.Fatalf("state after window slide = %v, want ok", got)
+	}
+	if reg.Gauge("alert_firing", "alert", "slow_upload").Value() != 0 {
+		t.Fatal("alert_firing gauge not cleared")
+	}
+	if len(transitions) != 2 || transitions[0].State != AlertFiring || transitions[1].State != AlertOK {
+		t.Fatalf("transitions = %+v", transitions)
+	}
+	if len(m.Firing()) != 0 {
+		t.Fatalf("firing = %v", m.Firing())
+	}
+}
+
+func TestMonitorForHoldsPending(t *testing.T) {
+	m := NewMonitor(MonitorConfig{Window: 30 * time.Second})
+	if err := m.AddRule(AlertRule{
+		Name: "sustained", Metric: MetricPhaseLatency,
+		Stat: "max", Threshold: 1.0, For: 5 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t0 := windowBase.Add(time.Minute)
+	m.Observe(t0, MetricPhaseLatency, "upload", 3.0)
+	m.Evaluate(t0)
+	if got := m.Alerts()[0].State; got != AlertPending {
+		t.Fatalf("state = %v, want pending during For", got)
+	}
+	// Still exceeded after For elapses: fires.
+	m.Observe(t0.Add(4*time.Second), MetricPhaseLatency, "upload", 3.0)
+	m.Evaluate(t0.Add(5 * time.Second))
+	if got := m.Alerts()[0].State; got != AlertFiring {
+		t.Fatalf("state = %v, want firing after For", got)
+	}
+}
+
+func TestMonitorPhaseScoping(t *testing.T) {
+	m := NewMonitor(MonitorConfig{Window: 30 * time.Second})
+	if err := m.AddRule(AlertRule{
+		Name: "upload_only", Metric: MetricPhaseLatency, Phase: "upload",
+		Stat: "max", Threshold: 1.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t0 := windowBase.Add(time.Minute)
+	// A slow *aggregate* phase must not trip an upload-scoped rule.
+	m.Observe(t0, MetricPhaseLatency, "aggregate", 9.0)
+	m.Evaluate(t0)
+	if got := m.Alerts()[0].State; got != AlertOK {
+		t.Fatalf("state = %v after unrelated phase, want ok", got)
+	}
+	if m.Series(t0, MetricPhaseLatency, "aggregate").Count != 1 {
+		t.Fatal("dashboard window for aggregate missing")
+	}
+}
+
+func TestMonitorRejectsBadRules(t *testing.T) {
+	m := NewMonitor(MonitorConfig{})
+	for _, r := range []AlertRule{
+		{},
+		{Name: "x"},
+		{Name: "x", Metric: "m"},
+		{Name: "x", Metric: "m", Threshold: 1, Stat: "p42"},
+	} {
+		if err := m.AddRule(r); err == nil {
+			t.Fatalf("rule %+v accepted", r)
+		}
+	}
+	if err := m.AddRule(AlertRule{Name: "dup", Metric: "m", Threshold: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRule(AlertRule{Name: "dup", Metric: "m", Threshold: 2}); err == nil {
+		t.Fatal("duplicate rule name accepted")
+	}
+}
+
+func TestNilMonitorIsNoop(t *testing.T) {
+	var m *Monitor
+	m.Observe(windowBase, "m", "", 1)
+	m.Evaluate(windowBase)
+	if m.Alerts() != nil || m.Firing() != nil {
+		t.Fatal("nil monitor returned state")
+	}
+	st := m.Status(windowBase)
+	if len(st.Alerts) != 0 {
+		t.Fatal("nil monitor status has alerts")
+	}
+}
+
+func TestMonitorStatusWindows(t *testing.T) {
+	m := NewMonitor(MonitorConfig{Window: 30 * time.Second})
+	t0 := windowBase.Add(time.Minute)
+	m.Observe(t0, MetricPhaseLatency, "upload", 0.5)
+	m.Observe(t0, MetricPhaseLatency, "", 0.5)
+	st := m.Status(t0)
+	if st.Windows["phase_latency/upload"].Count != 1 {
+		t.Fatalf("windows = %+v", st.Windows)
+	}
+	if st.Windows["phase_latency"].Count != 1 {
+		t.Fatalf("unphased series key wrong: %+v", st.Windows)
+	}
+}
+
+func TestRulesFromBaseline(t *testing.T) {
+	b := Baseline{
+		Version: BaselineVersion,
+		Scenarios: map[string]ScenarioBudget{
+			"sim-merge": {Phases: map[string]PhaseBudget{
+				"upload":     {Max: 200 * time.Millisecond},
+				"aggregate":  {Max: 50 * time.Millisecond},
+				"(untraced)": {Max: time.Second},
+			}},
+		},
+	}
+	rules, err := RulesFromBaseline(b, "sim-merge", 2, 30*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %+v, want 2 (synthetic phase skipped)", rules)
+	}
+	byPhase := map[string]AlertRule{}
+	for _, r := range rules {
+		byPhase[r.Phase] = r
+		if r.Metric != MetricPhaseLatency || r.Stat != "max" {
+			t.Fatalf("rule = %+v", r)
+		}
+	}
+	up := byPhase["upload"]
+	if up.Limit() != 0.2*2 {
+		t.Fatalf("upload limit = %v, want budget 0.2 × burn 2", up.Limit())
+	}
+	if _, err := RulesFromBaseline(b, "nope", 2, 0, 0); err == nil || !strings.Contains(err.Error(), "sim-merge") {
+		t.Fatalf("unknown scenario error = %v", err)
+	}
+}

@@ -34,8 +34,15 @@ type HandlerConfig struct {
 	// value (typically MergeSnapshots over the per-node split of the
 	// registry).
 	Scoreboard func() any
+	// Alerts, when non-nil, backs /alerts with a JSON-marshalable value
+	// (typically a Monitor's or watchdog's HealthStatus).
+	Alerts func() any
 	// Health, when non-nil, backs /healthz; an error answers 503.
+	// Typically Readiness.Check when Readiness is also set.
 	Health func() error
+	// Readiness, when non-nil, backs /readyz with the per-component
+	// check results; any failing check answers 503.
+	Readiness *Readiness
 	// Pprof mounts the net/http/pprof handlers under /debug/pprof/.
 	// Off by default: profiling endpoints expose heap contents and should
 	// be opted into per process.
@@ -87,8 +94,10 @@ func ReadBuildInfo() BuildInfo {
 //	/events        recent trace events as JSON
 //	/spans         recent spans as JSON
 //	/scoreboard    cluster resource scoreboard as JSON
+//	/alerts        alert-rule states, sliding windows and stragglers as JSON
 //	/buildinfo     go version and VCS identity of the binary
-//	/healthz       liveness probe
+//	/healthz       liveness probe (composed readiness when wired)
+//	/readyz        per-component readiness checks as JSON; 503 on failure
 //	/debug/pprof/  runtime profiles (only with cfg.Pprof)
 func NewHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
@@ -97,7 +106,7 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "ipls introspection\n\n/metrics\n/metrics.json\n/events\n/spans\n/scoreboard\n/buildinfo\n/healthz\n")
+		fmt.Fprint(w, "ipls introspection\n\n/metrics\n/metrics.json\n/events\n/spans\n/scoreboard\n/alerts\n/buildinfo\n/healthz\n/readyz\n")
 		if cfg.Pprof {
 			fmt.Fprint(w, "/debug/pprof/\n")
 		}
@@ -147,6 +156,39 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var payload any = HealthStatus{}
+		if cfg.Alerts != nil {
+			payload = cfg.Alerts()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		report := cfg.Readiness.Report()
+		ready := true
+		for _, res := range report {
+			if !res.OK {
+				ready = false
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Ready  bool          `json:"ready"`
+			Checks []CheckResult `json:"checks"`
+		}{ready, report}); err != nil && ready {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

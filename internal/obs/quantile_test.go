@@ -1,0 +1,58 @@
+package obs
+
+import "testing"
+
+func TestQuantileEmptySnapshot(t *testing.T) {
+	var s HistogramSnapshot
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(p); got != 0 {
+			t.Fatalf("Quantile(%v) on empty = %v, want 0", p, got)
+		}
+	}
+	// Bounds but no observations.
+	s = HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile on zero-count = %v, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All 10 observations in the first bucket (0, 1]: interpolation runs
+	// from the implicit lower bound 0 up to 1.
+	s := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{10, 0, 0}, Count: 10}
+	if got := s.Quantile(0.5); got != 0.5 {
+		t.Fatalf("Quantile(0.5) = %v, want 0.5 by interpolation", got)
+	}
+	if got := s.Quantile(1); got != 1 {
+		t.Fatalf("Quantile(1) = %v, want bucket bound", got)
+	}
+}
+
+func TestQuantileAllMassInInfBucket(t *testing.T) {
+	// Every observation beyond the highest finite bound: the estimate
+	// saturates at that bound instead of inventing +Inf.
+	s := HistogramSnapshot{Bounds: []float64{1, 5}, Counts: []uint64{0, 0, 7}, Count: 7}
+	for _, p := range []float64{0.1, 0.9, 1} {
+		if got := s.Quantile(p); got != 5 {
+			t.Fatalf("Quantile(%v) = %v, want saturation at 5", p, got)
+		}
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	s := HistogramSnapshot{Bounds: []float64{1, 2, 4}, Counts: []uint64{2, 2, 2, 0}, Count: 6}
+	// Out-of-range p clamps to [0, 1] instead of extrapolating.
+	if got, want := s.Quantile(-3), s.Quantile(0); got != want {
+		t.Fatalf("Quantile(-3) = %v, Quantile(0) = %v", got, want)
+	}
+	if got, want := s.Quantile(7), s.Quantile(1); got != want {
+		t.Fatalf("Quantile(7) = %v, Quantile(1) = %v", got, want)
+	}
+	// q=0 sits at the distribution's floor, q=1 at its ceiling.
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", got)
+	}
+	if got := s.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) = %v, want 4", got)
+	}
+}

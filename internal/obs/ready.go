@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Readiness composes named component health checks (storage reachable,
+// directory syncing, round progressing, …) into one probe. Check plugs
+// into HandlerConfig.Health so /healthz reflects the composite, while
+// /readyz reports each component separately.
+
+// CheckResult is the outcome of one component check.
+type CheckResult struct {
+	Name      string    `json:"name"`
+	OK        bool      `json:"ok"`
+	Err       string    `json:"error,omitempty"`
+	CheckedAt time.Time `json:"checked_at"`
+}
+
+// Readiness runs registered component checks on demand. Safe for
+// concurrent use. The nil *Readiness reports ready.
+type Readiness struct {
+	mu     sync.Mutex
+	order  []string
+	checks map[string]func() error
+}
+
+// NewReadiness creates an empty probe (ready until checks are added).
+func NewReadiness() *Readiness {
+	return &Readiness{checks: make(map[string]func() error)}
+}
+
+// Register adds (or replaces) a named component check. fn should return
+// quickly; it runs on every probe.
+func (r *Readiness) Register(name string, fn func() error) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.checks[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.checks[name] = fn
+}
+
+// snapshot copies the registered checks in registration order.
+func (r *Readiness) snapshot() ([]string, []func() error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	fns := make([]func() error, len(names))
+	for i, n := range names {
+		fns[i] = r.checks[n]
+	}
+	return names, fns
+}
+
+// Report runs every check and returns per-component results in
+// registration order.
+func (r *Readiness) Report() []CheckResult {
+	if r == nil {
+		return nil
+	}
+	names, fns := r.snapshot()
+	now := time.Now()
+	out := make([]CheckResult, len(names))
+	for i, fn := range fns {
+		res := CheckResult{Name: names[i], OK: true, CheckedAt: now}
+		if err := fn(); err != nil {
+			res.OK = false
+			res.Err = err.Error()
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// Check runs every check and returns nil when all pass, or one error
+// naming every failing component. It has the signature of
+// HandlerConfig.Health.
+func (r *Readiness) Check() error {
+	if r == nil {
+		return nil
+	}
+	var failed []string
+	for _, res := range r.Report() {
+		if !res.OK {
+			failed = append(failed, fmt.Sprintf("%s: %s", res.Name, res.Err))
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("not ready: %s", strings.Join(failed, "; "))
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestReadinessComposition(t *testing.T) {
+	r := NewReadiness()
+	if err := r.Check(); err != nil {
+		t.Fatalf("empty probe not ready: %v", err)
+	}
+	healthy := true
+	r.Register("storage", func() error {
+		if !healthy {
+			return errors.New("2/5 nodes live")
+		}
+		return nil
+	})
+	r.Register("directory", func() error { return nil })
+	if err := r.Check(); err != nil {
+		t.Fatalf("all-healthy probe failed: %v", err)
+	}
+	healthy = false
+	err := r.Check()
+	if err == nil || !strings.Contains(err.Error(), "storage: 2/5 nodes live") {
+		t.Fatalf("failing check not named: %v", err)
+	}
+	rep := r.Report()
+	if len(rep) != 2 || rep[0].Name != "storage" || rep[0].OK || rep[1].Name != "directory" || !rep[1].OK {
+		t.Fatalf("report = %+v", rep)
+	}
+	var nilProbe *Readiness
+	if nilProbe.Check() != nil || nilProbe.Report() != nil {
+		t.Fatal("nil probe not a no-op")
+	}
+}
+
+func TestAlertsAndReadyzEndpoints(t *testing.T) {
+	mon := NewMonitor(MonitorConfig{Window: 30e9})
+	if err := mon.AddRule(AlertRule{Name: "hot", Metric: MetricPhaseLatency, Stat: "max", Threshold: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	now := windowBase.Add(60e9)
+	mon.Observe(now, MetricPhaseLatency, "upload", 2.0)
+	mon.Evaluate(now)
+
+	ready := NewReadiness()
+	broken := errors.New("no heartbeat for 7s")
+	ready.Register("round_progressing", func() error { return broken })
+
+	srv, err := StartHTTP("127.0.0.1:0", HandlerConfig{
+		Registry:  NewRegistry(),
+		Alerts:    func() any { return mon.Status(now) },
+		Health:    ready.Check,
+		Readiness: ready,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/alerts"); code != 200 || !strings.Contains(body, `"hot"`) || !strings.Contains(body, `"firing"`) {
+		t.Fatalf("/alerts = %d %s", code, body)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "round_progressing") || !strings.Contains(body, "no heartbeat") {
+		t.Fatalf("/readyz = %d %s", code, body)
+	}
+	if code, _ := get("/healthz"); code != 503 {
+		t.Fatalf("/healthz = %d, want 503 behind failing readiness", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/alerts") || !strings.Contains(body, "/readyz") {
+		t.Fatalf("index missing new endpoints: %d %s", code, body)
+	}
+	broken = nil
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("/readyz after recovery = %d %s", code, body)
+	}
+}

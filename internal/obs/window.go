@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sliding-time-window aggregation. The cumulative registry answers "how
+// many since start"; a Window answers "what happened in the last N
+// seconds" — the shape live alerting needs. Observations land in a ring
+// of time slices (each a fixed-bucket histogram delta plus an exact
+// max); a snapshot merges the slices still inside the window into one
+// HistogramSnapshot and interpolates p50/p90 from it.
+//
+// Windows take the clock as an argument instead of reading time.Now, so
+// the same code runs against wall time in daemons and against the
+// netsim virtual clock in deterministic simulations.
+
+// windowSlice is one time slice of a Window: a histogram delta covering
+// [epoch*sliceDur, (epoch+1)*sliceDur).
+type windowSlice struct {
+	epoch  int64 // slice index since the zero time; -1 means unused
+	counts []uint64
+	sum    float64
+	count  uint64
+	max    float64
+}
+
+// Window aggregates observations over a sliding time window. Safe for
+// concurrent use. The zero Window is not usable; use NewWindow.
+type Window struct {
+	mu       sync.Mutex
+	bounds   []float64 // ascending finite bucket bounds; +Inf implicit
+	slices   []windowSlice
+	sliceDur time.Duration
+}
+
+// NewWindow creates a sliding window of the given total width split into
+// n slices (the granularity at which old observations expire). width <= 0
+// defaults to 30s, n <= 0 to 6 slices, nil buckets to DefBuckets.
+func NewWindow(width time.Duration, n int, buckets []float64) *Window {
+	if width <= 0 {
+		width = 30 * time.Second
+	}
+	if n <= 0 {
+		n = 6
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: window buckets must be ascending")
+	}
+	w := &Window{
+		bounds:   bounds,
+		slices:   make([]windowSlice, n),
+		sliceDur: width / time.Duration(n),
+	}
+	for i := range w.slices {
+		w.slices[i] = windowSlice{epoch: -1, counts: make([]uint64, len(bounds)+1)}
+	}
+	return w
+}
+
+// Width reports the total window span.
+func (w *Window) Width() time.Duration {
+	return w.sliceDur * time.Duration(len(w.slices))
+}
+
+// slice returns the windowSlice for the given epoch, recycling a stale
+// ring position if needed. Caller holds w.mu.
+func (w *Window) slice(epoch int64) *windowSlice {
+	s := &w.slices[int(epoch%int64(len(w.slices)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.sum, s.count, s.max = 0, 0, 0
+	}
+	return s
+}
+
+// Observe records one value at the given instant. Observations older
+// than the slice the ring has already recycled for a newer epoch are
+// dropped (the window has slid past them).
+func (w *Window) Observe(now time.Time, v float64) {
+	epoch := now.UnixNano() / int64(w.sliceDur)
+	if epoch < 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.slices[int(epoch%int64(len(w.slices)))].epoch > epoch {
+		return
+	}
+	s := w.slice(epoch)
+	i := sort.SearchFloat64s(w.bounds, v)
+	s.counts[i]++
+	s.sum += v
+	s.count++
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// WindowSnapshot summarises the observations inside one sliding window.
+type WindowSnapshot struct {
+	Width time.Duration `json:"width_ns"`
+	Count uint64        `json:"count"`
+	Sum   float64       `json:"sum"`
+	// Rate is observations per second over the window width.
+	Rate float64 `json:"rate"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	// Max is exact (tracked per slice), unlike the interpolated quantiles.
+	Max float64 `json:"max"`
+}
+
+// Stat selects one summary statistic by name: p50, p90, max, rate,
+// count or sum.
+func (s WindowSnapshot) Stat(name string) (float64, error) {
+	switch name {
+	case "p50":
+		return s.P50, nil
+	case "p90":
+		return s.P90, nil
+	case "", "max":
+		return s.Max, nil
+	case "rate":
+		return s.Rate, nil
+	case "count":
+		return float64(s.Count), nil
+	case "sum":
+		return s.Sum, nil
+	}
+	return 0, fmt.Errorf("obs: unknown window stat %q", name)
+}
+
+// Snapshot merges the slices still inside the window ending at now into
+// one summary.
+func (w *Window) Snapshot(now time.Time) WindowSnapshot {
+	epoch := now.UnixNano() / int64(w.sliceDur)
+	oldest := epoch - int64(len(w.slices)) + 1
+	merged := HistogramSnapshot{
+		Bounds: w.bounds,
+		Counts: make([]uint64, len(w.bounds)+1),
+	}
+	snap := WindowSnapshot{Width: w.Width()}
+	w.mu.Lock()
+	for i := range w.slices {
+		s := &w.slices[i]
+		if s.epoch < oldest || s.epoch > epoch || s.count == 0 {
+			continue
+		}
+		for j, c := range s.counts {
+			merged.Counts[j] += c
+		}
+		merged.Sum += s.sum
+		merged.Count += s.count
+		if s.max > snap.Max {
+			snap.Max = s.max
+		}
+	}
+	w.mu.Unlock()
+	snap.Count = merged.Count
+	snap.Sum = merged.Sum
+	if sec := w.Width().Seconds(); sec > 0 {
+		snap.Rate = float64(merged.Count) / sec
+	}
+	snap.P50 = merged.Quantile(0.50)
+	snap.P90 = merged.Quantile(0.90)
+	// The interpolated quantile can't exceed the exact max; clamp so
+	// coarse buckets never report p90 > max.
+	if snap.P50 > snap.Max {
+		snap.P50 = snap.Max
+	}
+	if snap.P90 > snap.Max {
+		snap.P90 = snap.Max
+	}
+	return snap
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+var windowBase = time.Unix(0, 0).UTC()
+
+func TestWindowSnapshotBasics(t *testing.T) {
+	w := NewWindow(30*time.Second, 6, nil)
+	now := windowBase.Add(10 * time.Second)
+	for _, v := range []float64{0.1, 0.2, 0.3, 0.4, 5.0} {
+		w.Observe(now, v)
+	}
+	snap := w.Snapshot(now)
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if snap.Max != 5.0 {
+		t.Fatalf("max = %v, want exact 5.0", snap.Max)
+	}
+	if snap.P50 <= 0 || snap.P50 > 1 {
+		t.Fatalf("p50 = %v, want in (0, 1]", snap.P50)
+	}
+	if snap.P90 < snap.P50 {
+		t.Fatalf("p90 %v < p50 %v", snap.P90, snap.P50)
+	}
+	wantRate := 5.0 / 30.0
+	if snap.Rate != wantRate {
+		t.Fatalf("rate = %v, want %v", snap.Rate, wantRate)
+	}
+	if snap.Width != 30*time.Second {
+		t.Fatalf("width = %v", snap.Width)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(10*time.Second, 5, nil)
+	w.Observe(windowBase.Add(time.Second), 9.0)
+	if got := w.Snapshot(windowBase.Add(2 * time.Second)); got.Count != 1 || got.Max != 9.0 {
+		t.Fatalf("fresh observation missing: %+v", got)
+	}
+	// After the window slides past, the observation expires.
+	if got := w.Snapshot(windowBase.Add(15 * time.Second)); got.Count != 0 || got.Max != 0 {
+		t.Fatalf("stale observation survived the slide: %+v", got)
+	}
+	// New observations in recycled slices do not resurrect old counts.
+	w.Observe(windowBase.Add(16*time.Second), 1.0)
+	if got := w.Snapshot(windowBase.Add(16 * time.Second)); got.Count != 1 || got.Max != 1.0 {
+		t.Fatalf("recycled slice polluted: %+v", got)
+	}
+	// Observations older than the ring are dropped, not misfiled.
+	w.Observe(windowBase.Add(time.Second), 99.0)
+	if got := w.Snapshot(windowBase.Add(16 * time.Second)); got.Count != 1 || got.Max != 1.0 {
+		t.Fatalf("ancient observation resurrected: %+v", got)
+	}
+}
+
+func TestWindowQuantileClampedToMax(t *testing.T) {
+	// All mass in one coarse bucket: interpolation would report the
+	// bucket bound (2.5), above the true max.
+	w := NewWindow(30*time.Second, 3, []float64{1, 2.5})
+	now := windowBase.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		w.Observe(now, 1.2)
+	}
+	snap := w.Snapshot(now)
+	if snap.Max != 1.2 {
+		t.Fatalf("max = %v", snap.Max)
+	}
+	if snap.P90 > snap.Max {
+		t.Fatalf("p90 %v exceeds exact max %v", snap.P90, snap.Max)
+	}
+}
+
+func TestWindowStatSelector(t *testing.T) {
+	s := WindowSnapshot{Count: 4, Sum: 8, Rate: 2, P50: 1, P90: 3, Max: 5}
+	for name, want := range map[string]float64{
+		"p50": 1, "p90": 3, "max": 5, "": 5, "rate": 2, "count": 4, "sum": 8,
+	} {
+		got, err := s.Stat(name)
+		if err != nil || got != want {
+			t.Fatalf("Stat(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := s.Stat("p99999"); err == nil {
+		t.Fatal("unknown stat accepted")
+	}
+}

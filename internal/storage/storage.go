@@ -275,6 +275,30 @@ func (n *Network) LiveNodes() []string {
 	return out
 }
 
+// Health reports whether the network can currently meet its replication
+// target: nil when at least `replicas` nodes are live, an error naming
+// the live/total counts otherwise. It is the "storage reachable"
+// component check behind the introspection readiness probe.
+func (n *Network) Health() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	live := 0
+	for _, id := range n.order {
+		nd := n.nodes[id]
+		if !nd.down && !nd.departed {
+			live++
+		}
+	}
+	need := n.replicas
+	if need < 1 {
+		need = 1
+	}
+	if live < need {
+		return fmt.Errorf("storage: %d/%d nodes live, need %d for replication", live, len(n.order), need)
+	}
+	return nil
+}
+
 // NodeIDs returns all node identifiers in deterministic order.
 func (n *Network) NodeIDs() []string {
 	n.mu.Lock()
