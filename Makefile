@@ -10,8 +10,12 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Storage tests run twice: once per BlockStore backend. IPLS_STORE=fs
+# points the storage suite at the content-addressed disk backend (blocks
+# land in t.TempDir(), so the tree is cleaned up with the test).
 test:
 	$(GO) test ./...
+	IPLS_STORE=fs $(GO) test ./internal/storage/...
 
 # The observability and protocol layers are the concurrency-heavy ones;
 # keep them race-clean without paying for a full-tree race run.
@@ -25,6 +29,7 @@ chaos: chaos-tests chaos-churn
 
 chaos-tests:
 	$(GO) test -race -timeout 10m ./internal/resilience/... ./internal/netsim/... ./internal/storage/...
+	IPLS_STORE=fs $(GO) test -race -timeout 10m ./internal/storage/...
 
 # Membership-churn scenario under the race detector: the ChurnRunner
 # tests (standby takeover, checkpoint bootstrap, repair) plus one full

@@ -60,7 +60,7 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (phase-labeled; inspect with `go tool pprof -tags`)")
 	memProfile := fs.String("memprofile", "", "write a heap profile of the run to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|churn|dirload|hash|profile|gate|all>")
+		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|churn|dirload|hash|store|profile|gate|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +109,7 @@ func run(args []string) error {
 		"gossip":    func() error { return gossipVsFL(*rounds) },
 		"quant":     quantAblation,
 		"profile":   func() error { return profileExperiment(*maxParams) },
+		"store":     storeExperiment,
 	}
 	// Each run exports exactly one snapshot, so start from a fresh registry.
 	benchReg = obs.NewRegistry()
@@ -122,7 +123,7 @@ func run(args []string) error {
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "churn", "dirload", "hash", "placement", "straggler", "gossip", "quant", "profile"} {
+		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "churn", "dirload", "hash", "placement", "straggler", "gossip", "quant", "store", "profile"} {
 			if err := timed(key, experiments[key]); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -361,7 +362,9 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("iplsd serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7000", "TCP listen address")
 	of := registerObsFlags(fs)
-	snapshotFile := fs.String("snapshot-file", "", "restore the directory from this file if it exists; save on shutdown")
+	snapshotFile := fs.String("snapshot-file", "", "restore the directory from this file if it exists; save on shutdown (defaults to <store-dir>/directory.json when -store-dir is set)")
+	storeDir := fs.String("store-dir", "", "durable state root: content-addressed blocks under <dir>/blocks survive restarts and are re-served without re-replication (empty = in-memory)")
+	cacheBlocks := fs.Int("cache-blocks", 256, "per-node LRU block-cache capacity over the -store-dir disk backend (0 disables)")
 	tf := registerTaskFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -371,7 +374,19 @@ func serve(args []string) error {
 		return err
 	}
 	field := scalar.NewField(cfg.Curve.N)
-	netw := storage.NewNetwork(field, 2)
+	storeCfg := storage.StoreConfig{}
+	if *storeDir != "" {
+		storeCfg = storage.StoreConfig{
+			Backend:     storage.BackendFS,
+			Dir:         filepath.Join(*storeDir, "blocks"),
+			CacheBlocks: *cacheBlocks,
+		}
+		if *snapshotFile == "" {
+			*snapshotFile = filepath.Join(*storeDir, "directory.json")
+		}
+	}
+	netw := storage.NewNetworkWithStore(field, 2, storeCfg)
+	defer netw.Close()
 	for _, id := range cfg.StorageNodes {
 		netw.AddNode(id)
 	}
@@ -381,18 +396,20 @@ func serve(args []string) error {
 	}
 	var dir *directory.Service
 	if *snapshotFile != "" {
-		if data, err := os.ReadFile(*snapshotFile); err == nil {
-			dir, err = directory.Restore(data, params, netw)
-			if err != nil {
-				return fmt.Errorf("restore snapshot %s: %w", *snapshotFile, err)
-			}
+		dir, err = directory.RestoreFile(*snapshotFile, params, netw)
+		if err != nil {
+			return fmt.Errorf("restore snapshot %s: %w", *snapshotFile, err)
+		}
+		if dir != nil {
 			fmt.Printf("iplsd: directory restored from %s\n", *snapshotFile)
 		}
 	}
 	if dir == nil {
 		dir = directory.New(params, netw)
-		cfg.ApplyAssignments(dir)
 	}
+	// Assignments are config, not state: (re)apply so a config change
+	// between runs takes effect and a fresh boot starts assigned.
+	cfg.ApplyAssignments(dir)
 	if tf.signed {
 		_, reg := identity.DeterministicSetup(tf.task, cfg.ParticipantIDs())
 		dir.SetRegistry(reg)
@@ -434,11 +451,7 @@ func serve(args []string) error {
 	<-sig
 	fmt.Println("iplsd: shutting down")
 	if *snapshotFile != "" {
-		data, err := dir.Snapshot()
-		if err == nil {
-			err = os.WriteFile(*snapshotFile, data, 0o644)
-		}
-		if err != nil {
+		if err := dir.SaveSnapshotFile(*snapshotFile); err != nil {
 			fmt.Fprintf(os.Stderr, "iplsd: snapshot failed: %v\n", err)
 		} else {
 			fmt.Printf("iplsd: directory snapshot saved to %s\n", *snapshotFile)

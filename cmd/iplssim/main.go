@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"ipls/internal/core"
+	"ipls/internal/dag"
+	"ipls/internal/directory"
 	"ipls/internal/ml"
 	"ipls/internal/obs"
 	"ipls/internal/resilience"
@@ -48,6 +50,9 @@ func run(args []string) error {
 		malicious   = fs.String("malicious", "", "inject behavior on agg-p0-0: drop-gradient | alter-gradient | forge-update | dropout")
 		seed        = fs.Int64("seed", 42, "dataset seed")
 		cleanup     = fs.Bool("cleanup", false, "garbage-collect each iteration's blocks after the round")
+		storeDir    = fs.String("store-dir", "", "durable state root: content-addressed blocks under <dir>/blocks and a directory snapshot, restored on the next run (empty = in-memory)")
+		cacheBlocks = fs.Int("cache-blocks", 256, "per-node LRU block-cache capacity over the -store-dir disk backend (0 disables)")
+		gc          = fs.Bool("gc", false, "after each round, sweep blocks from superseded iterations by keep-set (retains the current round and the churn checkpoint DAG)")
 		screen      = fs.Float64("screen", 0, "drop trainer gradients with L2 norm above this bound (0 = off; incompatible with -verifiable)")
 		faults      = fs.String("faults", "", "fault plan: comma-separated KIND:NODE@iterN events, e.g. crash:ipfs-01@iter2,recover:ipfs-01@iter4,slow:ipfs-00@iter1:50ms,flaky:ipfs-02@iter0:0.3")
 		churn       = fs.String("churn", "", "churn plan: comma-separated KIND:NAME@iterN events (depart|crash|rejoin), e.g. depart:ipfs-03@iter2,crash:agg-p0-0@iter1,crash:trainer-05@iter1,rejoin:trainer-05@iter3")
@@ -117,9 +122,30 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	_, net, dir, err := core.NewLocalStack(cfg, 2)
-	if err != nil {
-		return err
+	// The plain session over the raw network backs keep-set GC; the FL task
+	// itself runs over the resilience layer built below.
+	var (
+		gcSess *core.Session
+		net    *storage.Network
+		dir    *directory.Service
+	)
+	if *storeDir != "" {
+		stack, err := core.OpenDurableStack(cfg, core.DurableOptions{
+			StoreDir: *storeDir, CacheBlocks: *cacheBlocks, Replicas: 2,
+		})
+		if err != nil {
+			return err
+		}
+		defer stack.Close()
+		gcSess, net, dir = stack.Session, stack.Network, stack.Dir
+		if stack.Restored() {
+			fmt.Printf("restored durable state from %s\n", *storeDir)
+		}
+	} else {
+		gcSess, net, dir, err = core.NewLocalStack(cfg, 2)
+		if err != nil {
+			return err
+		}
 	}
 	plan, err := storage.ParseFaultPlan(*faults)
 	if err != nil {
@@ -243,8 +269,21 @@ func run(args []string) error {
 
 	fmt.Printf("model=%s dim=%d trainers=%d partitions=%d |A_i|=%d verifiable=%v split=%s\n",
 		*modelKind, m.Dim(), *trainers, *partitions, *aggregators, *verifiable, *split)
+	start := 0
+	if *storeDir != "" {
+		// Catch up on rounds a previous process life completed: replay their
+		// published updates into the model and continue numbering after them.
+		replayed, err := task.Resume(context.Background())
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		if replayed > 0 {
+			fmt.Printf("resumed: replayed %d completed rounds, continuing at round %d\n", replayed, task.Round())
+		}
+		start = task.Round()
+	}
 	fmt.Printf("%-8s %10s %10s %10s %10s\n", "round", "loss", "accuracy", "applied", "detected")
-	for r := 0; r < *rounds; r++ {
+	for r := start; r < start+*rounds; r++ {
 		applied, err := plan.Apply(net, r)
 		if err != nil {
 			return fmt.Errorf("faults round %d: %w", r, err)
@@ -280,6 +319,20 @@ func run(args []string) error {
 			if _, err := sess.CleanupIteration(context.Background(), r); err != nil {
 				return fmt.Errorf("cleanup round %d: %w", r, err)
 			}
+		}
+		if *gc {
+			opts := core.GCOptions{KeepIters: []int{r}}
+			if runner != nil {
+				if ref, ok := runner.Checkpoint(); ok {
+					opts.KeepRoots = []dag.Ref{ref}
+				}
+			}
+			rep, err := gcSess.GCSuperseded(context.Background(), opts)
+			if err != nil {
+				return fmt.Errorf("gc round %d: %w", r, err)
+			}
+			fmt.Printf("gc round %d: %d scanned, %d kept, %d collected, %.1f KB freed\n",
+				r, rep.Scanned, rep.Kept, rep.Collected, float64(rep.BytesFreed)/1e3)
 		}
 	}
 	stats := dir.Stats()

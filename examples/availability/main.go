@@ -24,7 +24,7 @@ func main() {
 }
 
 func run() error {
-	net, err := ipls.NewStorageNetwork("secp256k1", 2)
+	net, err := ipls.NewStorageNetworkOpts(ipls.StorageNetworkOptions{CurveName: "secp256k1", Replicas: 2})
 	if err != nil {
 		return err
 	}

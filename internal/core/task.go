@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"ipls/internal/directory"
 	"ipls/internal/ml"
 	"ipls/internal/obs"
 )
@@ -53,6 +55,41 @@ func NewTask(s *Session, m ml.Model, locals map[string]*ml.Dataset, sgd ml.SGDCo
 		sgd:     sgd,
 		global:  append([]float64(nil), initial...),
 	}, nil
+}
+
+// Resume fast-forwards a freshly constructed task past rounds that already
+// completed in a previous process life — the trainer-side catch-up of a
+// restart on durable state. For each consecutive round whose final updates
+// are all published (a non-blocking directory probe, so an in-flight round
+// never stalls the caller), the published global updates are collected and
+// applied; the task's round counter continues after the replayed rounds.
+// Returns the number of rounds replayed.
+func (t *Task) Resume(ctx context.Context) (int, error) {
+	replayed := 0
+	for {
+		complete := true
+		for p := 0; p < t.session.cfg.Spec.Partitions; p++ {
+			if _, err := t.session.dir.Update(ctx, t.round, p); err != nil {
+				if errors.Is(err, directory.ErrNotFound) {
+					complete = false
+					break
+				}
+				return replayed, fmt.Errorf("core: resume probe round %d: %w", t.round, err)
+			}
+		}
+		if !complete {
+			return replayed, nil
+		}
+		avg, err := t.session.TrainerCollect(ctx, t.round)
+		if err != nil {
+			return replayed, fmt.Errorf("core: resume round %d: %w", t.round, err)
+		}
+		for i := range t.global {
+			t.global[i] += avg[i]
+		}
+		t.round++
+		replayed++
+	}
 }
 
 // Global returns a copy of the current global parameter vector.

@@ -1,0 +1,67 @@
+package directory
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ipls/internal/pedersen"
+)
+
+// File persistence for directory snapshots. Snapshot/Restore give the
+// service crash recovery in memory; these helpers pin the snapshot to disk
+// with the same atomicity discipline the CAS block store uses — write to a
+// sibling temp file, rename into place — so a crash mid-save leaves the
+// previous good snapshot, never a torn one.
+
+// SaveSnapshotFile writes the service's snapshot to path atomically,
+// creating parent directories as needed.
+func (s *Service) SaveSnapshotFile(path string) error {
+	data, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, data)
+}
+
+// RestoreFile loads a snapshot saved by SaveSnapshotFile. A missing file is
+// not an error: it returns (nil, nil) so first-boot and restart share one
+// call site.
+func RestoreFile(path string, params *pedersen.Params, fetcher BlockFetcher) (*Service, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("directory: read snapshot %s: %w", path, err)
+	}
+	return Restore(data, params, fetcher)
+}
+
+// writeFileAtomic writes data to path via a temp file + rename in the same
+// directory (rename is atomic only within a filesystem).
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("directory: snapshot dir %s: %w", dir, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("directory: stage snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("directory: write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("directory: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("directory: commit snapshot: %w", err)
+	}
+	return nil
+}

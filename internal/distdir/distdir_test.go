@@ -250,3 +250,44 @@ func TestShardedMisc(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardedSnapshotFile round-trips a snapshot through the atomic file
+// helpers: save, restore from disk, missing-file first boot.
+func TestShardedSnapshotFile(t *testing.T) {
+	sess, sharded := stack(t, 3, false)
+	runIteration(t, sess, 7)
+	path := t.TempDir() + "/nested/dir.json"
+	if err := sharded.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sess.Config()
+	params, err := cfg.PedersenParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreFile(path, cfg.TaskID, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == nil || restored.Shards() != 3 {
+		t.Fatalf("restored = %v", restored)
+	}
+	for p := 0; p < cfg.Spec.Partitions; p++ {
+		orig, err := sharded.Update(context.Background(), 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Update(context.Background(), 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CID != orig.CID {
+			t.Fatalf("partition %d final update changed across the file round-trip", p)
+		}
+	}
+	// A missing file is a first boot, not an error.
+	none, err := RestoreFile(path+".absent", cfg.TaskID, params, nil)
+	if err != nil || none != nil {
+		t.Fatalf("missing snapshot: (%v, %v), want (nil, nil)", none, err)
+	}
+}

@@ -1,0 +1,58 @@
+package distdir
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ipls/internal/directory"
+	"ipls/internal/pedersen"
+)
+
+// File persistence for sharded-directory snapshots, with the same atomic
+// temp-file + rename discipline as directory.SaveSnapshotFile.
+
+// SaveSnapshotFile writes the sharded directory's snapshot to path
+// atomically, creating parent directories as needed.
+func (s *Sharded) SaveSnapshotFile(path string) error {
+	data, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("distdir: snapshot dir %s: %w", dir, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("distdir: stage snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, werr := tmp.Write(data); werr != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("distdir: write snapshot: %w", werr)
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("distdir: close snapshot: %w", cerr)
+	}
+	if rerr := os.Rename(tmpName, path); rerr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("distdir: commit snapshot: %w", rerr)
+	}
+	return nil
+}
+
+// RestoreFile loads a snapshot saved by SaveSnapshotFile. A missing file
+// returns (nil, nil) so first-boot and restart share one call site.
+func RestoreFile(path, taskID string, params *pedersen.Params, fetcher directory.BlockFetcher) (*Sharded, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distdir: read snapshot %s: %w", path, err)
+	}
+	return Restore(taskID, data, params, fetcher)
+}

@@ -24,6 +24,17 @@ type mergeSpanner interface {
 	MergeGetSpan(ctx context.Context, nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error)
 }
 
+// putSpanner and getSpanner are the matching capabilities for uploads and
+// downloads, so all three request structs carry the causal envelope across
+// the storage boundary uniformly.
+type putSpanner interface {
+	PutSpan(ctx context.Context, nodeID string, data []byte, parent obs.SpanContext) (cid.CID, error)
+}
+
+type getSpanner interface {
+	GetSpan(ctx context.Context, nodeID string, c cid.CID, parent obs.SpanContext) ([]byte, error)
+}
+
 // announcer mirrors core.Announcer: the optional pub/sub capability the
 // session discovers structurally. The resilient adapter re-exposes it only
 // when the wrapped client has it, so capability detection stays truthful.
@@ -72,6 +83,12 @@ func (c *Client) Put(ctx context.Context, req storage.PutRequest) (cid.CID, erro
 	var id cid.CID
 	err := c.policy.run(ctx, "put", func(actx context.Context) error {
 		var e error
+		if req.Span.Valid() {
+			if ps, ok := c.inner.(putSpanner); ok {
+				id, e = ps.PutSpan(actx, req.Node, req.Data, req.Span)
+				return e
+			}
+		}
 		id, e = c.inner.Put(actx, req.Node, req.Data)
 		return e
 	})
@@ -86,6 +103,12 @@ func (c *Client) Get(ctx context.Context, req storage.GetRequest) ([]byte, error
 	var data []byte
 	err := c.policy.run(ctx, "get", func(actx context.Context) error {
 		var e error
+		if req.Span.Valid() {
+			if gs, ok := c.inner.(getSpanner); ok {
+				data, e = gs.GetSpan(actx, req.Node, req.CID, req.Span)
+				return e
+			}
+		}
 		data, e = c.inner.Get(actx, req.Node, req.CID)
 		return e
 	})
@@ -236,6 +259,8 @@ type store struct {
 var _ storage.Client = store{}
 var _ fetcher = store{}
 var _ mergeSpanner = store{}
+var _ putSpanner = store{}
+var _ getSpanner = store{}
 
 func (s store) Put(ctx context.Context, nodeID string, data []byte) (cid.CID, error) {
 	return s.c.Put(ctx, storage.PutRequest{Node: nodeID, Data: data})
@@ -251,6 +276,14 @@ func (s store) MergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]byt
 
 func (s store) MergeGetSpan(ctx context.Context, nodeID string, cs []cid.CID, parent obs.SpanContext) ([]byte, error) {
 	return s.c.MergeGet(ctx, storage.MergeRequest{Node: nodeID, CIDs: cs, Span: parent})
+}
+
+func (s store) PutSpan(ctx context.Context, nodeID string, data []byte, parent obs.SpanContext) (cid.CID, error) {
+	return s.c.Put(ctx, storage.PutRequest{Node: nodeID, Data: data, Span: parent})
+}
+
+func (s store) GetSpan(ctx context.Context, nodeID string, c cid.CID, parent obs.SpanContext) ([]byte, error) {
+	return s.c.Get(ctx, storage.GetRequest{Node: nodeID, CID: c, Span: parent})
 }
 
 func (s store) Fetch(ctx context.Context, id cid.CID) ([]byte, error) {

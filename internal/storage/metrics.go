@@ -50,8 +50,16 @@ func (n *Network) setMetricsLocked(reg *obs.Registry) {
 	// below target (0 means the replication factor is fully restored).
 	n.repairCtr = reg.Counter("repair_blocks_total")
 	n.underRepl = reg.Gauge("under_replicated_blocks")
+	// Block-cache hit ratio over the disk backend, and GC reclamation.
+	n.cacheHits = reg.Counter("storage_cache_hits_total")
+	n.cacheMisses = reg.Counter("storage_cache_misses_total")
+	n.gcBlocks = reg.Counter("storage_gc_blocks_total")
+	n.gcBytes = reg.Counter("storage_gc_bytes_total")
 	for _, nd := range n.nodes {
 		nd.metrics = resolveNodeMetrics(reg, nd.id)
+		if cs, ok := nd.store.(*CachedStore); ok {
+			cs.SetMetrics(n.cacheHits, n.cacheMisses)
+		}
 	}
 }
 

@@ -114,7 +114,7 @@ func (n *Network) repairLocked(ctx context.Context) (RepairReport, error) {
 				n.withdrawLocked(id, c)
 				continue
 			}
-			if _, holds := nd.blocks[c]; !holds {
+			if holds, _ := nd.store.Has(context.Background(), c); !holds {
 				n.withdrawLocked(id, c)
 			}
 		}
@@ -132,7 +132,24 @@ func (n *Network) repairLocked(ctx context.Context) (RepairReport, error) {
 			report.Remaining++
 			continue
 		}
-		data := n.nodes[holders[0]].blocks[c]
+		// Copy from the first holder whose backend can actually serve the
+		// block; one with a rotted or unreadable copy is skipped.
+		var data []byte
+		for _, id := range holders {
+			src := n.nodes[id]
+			d, rerr := src.store.Get(context.Background(), c)
+			if rerr != nil {
+				src.noteStoreErr(rerr)
+				continue
+			}
+			data = d
+			break
+		}
+		if data == nil {
+			report.Lost++
+			report.Remaining++
+			continue
+		}
 		isHolder := make(map[string]bool, len(holders))
 		for _, id := range holders {
 			isHolder[id] = true
@@ -162,7 +179,10 @@ func (n *Network) repairLocked(ctx context.Context) (RepairReport, error) {
 				break
 			}
 			dst := n.nodes[cand.id]
-			dst.blocks[c] = data
+			if _, perr := dst.store.Put(context.Background(), data); perr != nil {
+				dst.noteStoreErr(perr)
+				continue
+			}
 			n.announceLocked(cand.id, c)
 			dst.metrics.blocksReplicated.Inc()
 			n.repairCtr.Inc()

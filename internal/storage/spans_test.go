@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"context"
+	"testing"
+
+	"ipls/internal/obs"
+)
+
+// TestPutGetSpansParentedUnderCaller: all three request kinds — put, get,
+// merge — carry the caller's span context across the storage boundary and
+// the serving node records a child span under it.
+func TestPutGetSpansParentedUnderCaller(t *testing.T) {
+	n, _ := newTestNetwork(t, 2, 1)
+	col := obs.NewSpanCollector(0)
+	n.SetSpans(col)
+	parent := obs.SpanContext{Session: "span-test", Iter: 3, SpanID: obs.NewSpanID()}
+
+	c, err := n.PutSpan(context.Background(), "node-00", []byte("traced block"), parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.GetSpan(context.Background(), "node-00", c, parent); err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string]obs.Span{}
+	for _, sp := range col.Spans() {
+		byName[sp.Name] = sp
+	}
+	for _, name := range []string{"put", "get"} {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("no %q span recorded", name)
+		}
+		if sp.Context.Parent != parent.SpanID {
+			t.Fatalf("%q span not parented under caller: parent=%q want %q", name, sp.Context.Parent, parent.SpanID)
+		}
+		if sp.Context.Session != "span-test" || sp.Context.Iter != 3 {
+			t.Fatalf("%q span lost the caller's trace identity: %+v", name, sp.Context)
+		}
+		if sp.Actor != "node-00" {
+			t.Fatalf("%q span actor = %q", name, sp.Actor)
+		}
+	}
+
+	// Without a valid parent no span is emitted: the default positional
+	// paths stay span-free (and the bench-gate breakdowns unchanged).
+	before := len(col.Spans())
+	if _, err := n.Put(context.Background(), "node-00", []byte("untraced")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get(context.Background(), "node-00", c); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(col.Spans()); got != before {
+		t.Fatalf("positional Put/Get emitted spans: %d -> %d", before, got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -71,6 +72,10 @@ type PutRequest struct {
 	Node string
 	// Data is the block payload.
 	Data []byte
+	// Span, when valid, parents the node-side "put" span — the same
+	// causal envelope MergeRequest carries, so all three request structs
+	// cross the storage boundary uniformly.
+	Span obs.SpanContext
 }
 
 // GetRequest addresses one block download.
@@ -80,6 +85,8 @@ type GetRequest struct {
 	Node string
 	// CID is the content ID the returned bytes must hash to.
 	CID cid.CID
+	// Span, when valid, parents the node-side "get" span.
+	Span obs.SpanContext
 }
 
 // MergeRequest addresses one merge-and-download (provider-side
@@ -111,12 +118,34 @@ const (
 	PlacementRendezvous
 )
 
-// Network is an in-memory storage network.
+// StoreConfig selects the BlockStore backend the network's nodes use.
+// The zero value is the in-memory backend.
+type StoreConfig struct {
+	// Backend is "mem" (default) or "fs".
+	Backend string
+	// Dir is the fs backend's root; each node stores under Dir/<node id>,
+	// so one directory hosts a whole local network and a restarted node
+	// reopens its own blocks.
+	Dir string
+	// CacheBlocks is the LRU block-cache capacity (in blocks) layered over
+	// the fs backend. 0 disables the cache. Ignored for mem (the map IS
+	// memory; caching it again buys nothing).
+	CacheBlocks int
+}
+
+// Backend names accepted by StoreConfig.Backend and the IPLS_STORE env var.
+const (
+	BackendMem = "mem"
+	BackendFS  = "fs"
+)
+
+// Network is a storage network of nodes, each backed by a BlockStore.
 type Network struct {
 	mu        sync.Mutex
 	field     *scalar.Field
 	replicas  int
 	placement Placement
+	storeCfg  StoreConfig
 	nodes     map[string]*Node
 	order     []string
 	pubsub    *PubSub
@@ -133,6 +162,10 @@ type Network struct {
 	mergeBytesSaved *obs.Counter
 	repairCtr       *obs.Counter
 	underRepl       *obs.Gauge
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	gcBlocks        *obs.Counter
+	gcBytes         *obs.Counter
 
 	spans obs.SpanSink
 	// repairSeq numbers RepairScan passes so each scan's "repair" span
@@ -146,10 +179,16 @@ type Network struct {
 
 var _ Client = (*Network)(nil)
 
-// NewNetwork creates a storage network. The field is needed so nodes can
-// merge gradient blocks; replicas is the number of nodes each block is
-// stored on (minimum 1).
+// NewNetwork creates a storage network on the in-memory backend. The field
+// is needed so nodes can merge gradient blocks; replicas is the number of
+// nodes each block is stored on (minimum 1).
 func NewNetwork(field *scalar.Field, replicas int) *Network {
+	return NewNetworkWithStore(field, replicas, StoreConfig{})
+}
+
+// NewNetworkWithStore creates a storage network whose nodes use the
+// configured BlockStore backend.
+func NewNetworkWithStore(field *scalar.Field, replicas int, cfg StoreConfig) *Network {
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -157,6 +196,7 @@ func NewNetwork(field *scalar.Field, replicas int) *Network {
 		field:     field,
 		replicas:  replicas,
 		placement: PlacementRing,
+		storeCfg:  cfg,
 		nodes:     make(map[string]*Node),
 		providers: make(map[cid.CID]map[string]bool),
 		pubsub:    NewPubSub(),
@@ -192,16 +232,25 @@ func (n *Network) ForgetTopic(topic string) {
 	n.pubsub.Forget(topic)
 }
 
-// Node is a single storage host.
+// Node is a single storage host. Its datastore is a BlockStore backend —
+// the in-memory map it grew up with, or the durable on-disk CAS store.
 type Node struct {
 	id          string
-	blocks      map[cid.CID][]byte
+	store       BlockStore
 	down        bool
 	departed    bool
 	cheatMerges bool
 	slow        time.Duration // fault injection: per-operation service delay
 	flaky       float64       // fault injection: transient-failure probability
 	metrics     nodeMetrics
+
+	// openErr is a sticky failure from opening the configured backend
+	// (the node is running on a memory fallback); backendErr is the last
+	// unresolved per-operation infrastructure failure (I/O error, corrupt
+	// block on disk) and a successful Put/Get clears it. Health surfaces
+	// both as a distinct readiness failure.
+	openErr    error
+	backendErr error
 
 	// MergeOps counts merge-and-download requests served, and
 	// MergedBlocks the total number of gradient blocks folded into them.
@@ -211,6 +260,9 @@ type Node struct {
 
 // ID returns the node's identifier.
 func (nd *Node) ID() string { return nd.id }
+
+// Store returns the node's BlockStore backend.
+func (nd *Node) Store() BlockStore { return nd.store }
 
 // availErr reports why the node cannot serve requests (nil when it can).
 func (nd *Node) availErr() error {
@@ -223,40 +275,103 @@ func (nd *Node) availErr() error {
 	return nil
 }
 
+// noteStoreErr records (or, on success, clears) the node's backend failure
+// state. Only infrastructure failures count: ErrNotFound is a normal miss.
+func (nd *Node) noteStoreErr(err error) {
+	switch {
+	case err == nil:
+		nd.backendErr = nil
+	case errors.Is(err, ErrBackend) || errors.Is(err, ErrIntegrity):
+		nd.backendErr = err
+	}
+}
+
 // StoredBlocks returns how many distinct blocks the node holds.
-func (nd *Node) StoredBlocks() int { return len(nd.blocks) }
+func (nd *Node) StoredBlocks() int {
+	if l, ok := nd.store.(interface{ Len() int }); ok {
+		return l.Len()
+	}
+	keys, err := nd.store.Keys(context.Background())
+	if err != nil {
+		return 0
+	}
+	return len(keys)
+}
 
 // BlockCIDs returns the CIDs of all blocks the node holds, in sorted order.
 func (nd *Node) BlockCIDs() []cid.CID {
-	out := make([]cid.CID, 0, len(nd.blocks))
-	for c := range nd.blocks {
-		out = append(out, c)
+	keys, err := nd.store.Keys(context.Background())
+	if err != nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return keys
 }
 
 // StoredBytes returns the total bytes the node holds.
-func (nd *Node) StoredBytes() int64 {
-	var total int64
-	for _, b := range nd.blocks {
-		total += int64(len(b))
+func (nd *Node) StoredBytes() int64 { return storeBytes(nd.store) }
+
+// newStoreLocked builds a node's BlockStore per the network's StoreConfig.
+func (n *Network) newStoreLocked(id string) (BlockStore, error) {
+	switch n.storeCfg.Backend {
+	case "", BackendMem:
+		return NewMemStore(), nil
+	case BackendFS:
+		fs, err := OpenFSStore(filepath.Join(n.storeCfg.Dir, id))
+		if err != nil {
+			return nil, err
+		}
+		if n.storeCfg.CacheBlocks > 0 {
+			cs := NewCachedStore(fs, n.storeCfg.CacheBlocks)
+			cs.SetMetrics(n.cacheHits, n.cacheMisses)
+			return cs, nil
+		}
+		return fs, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown backend %q", ErrBackend, n.storeCfg.Backend)
 	}
-	return total
 }
 
-// AddNode registers a storage node.
+// AddNode registers a storage node on the network's configured backend.
+// When the backend cannot be opened (e.g. unwritable -store-dir) the node
+// falls back to a memory store and carries the failure as a backend error,
+// so the network stays usable while Health and /readyz report the broken
+// disk distinctly. A disk-backed node that reopens a non-empty directory
+// re-announces every block it holds — the restart path that lets a rejoined
+// node serve its pre-crash blocks without re-replication.
 func (n *Network) AddNode(id string) *Node {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.nodes[id]; dup {
 		panic(fmt.Sprintf("storage: duplicate node %q", id))
 	}
-	nd := &Node{id: id, blocks: make(map[cid.CID][]byte), metrics: resolveNodeMetrics(n.reg, id)}
+	st, err := n.newStoreLocked(id)
+	if err != nil {
+		st = NewMemStore()
+	}
+	nd := &Node{id: id, store: st, openErr: err, metrics: resolveNodeMetrics(n.reg, id)}
 	n.nodes[id] = nd
 	n.order = append(n.order, id)
 	sort.Strings(n.order)
+	if keys, kerr := st.Keys(context.Background()); kerr == nil {
+		for _, c := range keys {
+			n.announceLocked(id, c)
+		}
+	}
 	return nd
+}
+
+// Close closes every node's BlockStore. Disk-backed blocks survive for the
+// next Open; the network must not serve requests afterwards.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var first error
+	for _, id := range n.order {
+		if err := n.nodes[id].store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // LiveNodes returns the IDs of nodes currently able to serve requests
@@ -275,13 +390,36 @@ func (n *Network) LiveNodes() []string {
 	return out
 }
 
-// Health reports whether the network can currently meet its replication
-// target: nil when at least `replicas` nodes are live, an error naming
-// the live/total counts otherwise. It is the "storage reachable"
-// component check behind the introspection readiness probe.
+// Health reports whether the network can currently serve: nil when every
+// node's backend is sound and at least `replicas` nodes are live. Backend
+// failures (unwritable store directory, corrupt block on disk) are checked
+// first and reported wrapped in ErrBackend — a distinct readiness failure
+// from "not enough replicas live", so /readyz can tell a broken disk from
+// a thin quorum. It is the "storage" component check behind the
+// introspection readiness probe.
+// healthBackendErr presents a node's stored backend trouble as ErrBackend
+// for readiness classification, without stacking the sentinel twice when
+// the error (an open failure) already carries it; integrity rot is stored
+// bare and picks the sentinel up here.
+func healthBackendErr(id string, err error) error {
+	if errors.Is(err, ErrBackend) {
+		return fmt.Errorf("node %q: %w", id, err)
+	}
+	return fmt.Errorf("%w: node %q: %v", ErrBackend, id, err)
+}
+
 func (n *Network) Health() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	for _, id := range n.order {
+		nd := n.nodes[id]
+		if nd.openErr != nil {
+			return healthBackendErr(id, nd.openErr)
+		}
+		if nd.backendErr != nil {
+			return healthBackendErr(id, nd.backendErr)
+		}
+	}
 	live := 0
 	for _, id := range n.order {
 		nd := n.nodes[id]
@@ -352,7 +490,12 @@ func (n *Network) Recover(id string) error {
 		return fmt.Errorf("%w: %q", ErrNodeDeparted, id)
 	}
 	nd.down = false
-	for c := range nd.blocks {
+	keys, err := nd.store.Keys(context.Background())
+	if err != nil {
+		nd.noteStoreErr(err)
+		return fmt.Errorf("storage: recover %q: %w", id, err)
+	}
+	for _, c := range keys {
 		n.announceLocked(id, c)
 	}
 	return nil
@@ -375,10 +518,11 @@ func (n *Network) Depart(id string) error {
 	}
 	nd.departed = true
 	nd.down = true
-	for c := range nd.blocks {
+	keys, _ := nd.store.Keys(context.Background())
+	for _, c := range keys {
 		n.withdrawLocked(id, c)
+		nd.store.Delete(context.Background(), c)
 	}
-	nd.blocks = make(map[cid.CID][]byte)
 	return nil
 }
 
@@ -449,7 +593,7 @@ func (n *Network) liveReplicasLocked(c cid.CID) int {
 		if nd.down || nd.departed {
 			continue
 		}
-		if _, ok := nd.blocks[c]; ok {
+		if ok, _ := nd.store.Has(context.Background(), c); ok {
 			count++
 		}
 	}
@@ -458,6 +602,9 @@ func (n *Network) liveReplicasLocked(c cid.CID) int {
 
 // Corrupt flips a byte of the stored block on one node — a test hook for
 // the "we do not assume correctness of retrieved data" adversary (§III-A).
+// On the memory backend the corrupt bytes are served as-is (callers verify
+// CIDs); the disk backend detects the rot on read and Get reports
+// ErrIntegrity instead.
 func (n *Network) Corrupt(id string, c cid.CID) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -465,14 +612,11 @@ func (n *Network) Corrupt(id string, c cid.CID) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
 	}
-	data, ok := nd.blocks[c]
+	corrupter, ok := nd.store.(Corrupter)
 	if !ok {
-		return ErrNotFound
+		return fmt.Errorf("%w: store on %q has no corruption hook", ErrBackend, id)
 	}
-	mutated := append([]byte(nil), data...)
-	mutated[len(mutated)/2] ^= 0xff
-	nd.blocks[c] = mutated
-	return nil
+	return corrupter.Corrupt(context.Background(), c)
 }
 
 // CheatMerges makes a node return subtly corrupted merge-and-download
@@ -498,7 +642,10 @@ func (n *Network) Delete(nodeID string, c cid.CID) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, nodeID)
 	}
-	delete(nd.blocks, c)
+	if err := nd.store.Delete(context.Background(), c); err != nil {
+		nd.noteStoreErr(err)
+		return err
+	}
 	n.withdrawLocked(nodeID, c)
 	return nil
 }
@@ -511,7 +658,7 @@ func (n *Network) DeleteAll(c cid.CID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for _, nd := range n.nodes {
-		delete(nd.blocks, c)
+		nd.store.Delete(context.Background(), c)
 	}
 	delete(n.providers, c)
 }
@@ -520,6 +667,40 @@ func (n *Network) DeleteAll(c cid.CID) {
 // in ring order, returning the block's CID. Successors that are down are
 // skipped; the primary must be up.
 func (n *Network) Put(ctx context.Context, nodeID string, data []byte) (cid.CID, error) {
+	return n.PutSpan(ctx, nodeID, data, obs.SpanContext{})
+}
+
+// PutSpan is Put carrying the caller's span context across the storage
+// boundary: with a sink installed and a valid parent, the upload is
+// recorded as a node-side "put" span, like MergeGetSpan's "merge".
+func (n *Network) PutSpan(ctx context.Context, nodeID string, data []byte, parent obs.SpanContext) (cid.CID, error) {
+	n.mu.Lock()
+	sink := n.spans
+	n.mu.Unlock()
+	if sink == nil || !parent.Valid() {
+		return n.put(ctx, nodeID, data)
+	}
+	start := time.Now()
+	c, err := n.put(ctx, nodeID, data)
+	sp := obs.Span{
+		Name:    "put",
+		Actor:   nodeID,
+		Context: parent.Child(),
+		Start:   start,
+		End:     time.Now(),
+		Bytes:   int64(len(data)),
+		Attrs:   map[string]string{},
+	}
+	if err != nil {
+		sp.Attrs["error"] = err.Error()
+	} else {
+		sp.Attrs["cid"] = c.Short()
+	}
+	sink.EmitSpan(sp)
+	return c, err
+}
+
+func (n *Network) put(ctx context.Context, nodeID string, data []byte) (cid.CID, error) {
 	if err := n.gate(ctx, nodeID); err != nil {
 		return "", err
 	}
@@ -532,16 +713,25 @@ func (n *Network) Put(ctx context.Context, nodeID string, data []byte) (cid.CID,
 	if err := nd.availErr(); err != nil {
 		return "", err
 	}
-	c := cid.Sum(data)
+	// One defensive copy shared by every replica's store: the memory
+	// backend retains the slice (replicas share payload, as before the
+	// backend split), the disk backend writes its own file from it.
 	stored := append([]byte(nil), data...)
-	nd.blocks[c] = stored
+	c, err := nd.store.Put(ctx, stored)
+	nd.noteStoreErr(err)
+	if err != nil {
+		return "", err
+	}
 	n.announceLocked(nodeID, c)
 	nd.metrics.blocksStored.Inc()
 	nd.metrics.bytesUploaded.Add(int64(len(stored)))
 	if n.replicas > 1 {
 		for _, id := range n.replicaTargets(nodeID, c) {
 			replica := n.nodes[id]
-			replica.blocks[c] = stored
+			if _, rerr := replica.store.Put(ctx, stored); rerr != nil {
+				replica.noteStoreErr(rerr)
+				continue
+			}
 			n.announceLocked(id, c)
 			replica.metrics.blocksReplicated.Inc()
 		}
@@ -601,9 +791,43 @@ func rendezvousScore(c cid.CID, nodeID string) uint64 {
 	return binary.BigEndian.Uint64(sum)
 }
 
-// Get retrieves a block from the addressed node. The caller is responsible
-// for verifying the returned bytes against the CID.
+// Get retrieves a block from the addressed node. On the memory backend the
+// caller is responsible for verifying the returned bytes against the CID;
+// the disk backend re-hashes on read and reports rot as ErrIntegrity.
 func (n *Network) Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error) {
+	return n.GetSpan(ctx, nodeID, c, obs.SpanContext{})
+}
+
+// GetSpan is Get carrying the caller's span context across the storage
+// boundary: with a sink installed and a valid parent, the download is
+// recorded as a node-side "get" span.
+func (n *Network) GetSpan(ctx context.Context, nodeID string, c cid.CID, parent obs.SpanContext) ([]byte, error) {
+	n.mu.Lock()
+	sink := n.spans
+	n.mu.Unlock()
+	if sink == nil || !parent.Valid() {
+		return n.get(ctx, nodeID, c)
+	}
+	start := time.Now()
+	data, err := n.get(ctx, nodeID, c)
+	sp := obs.Span{
+		Name:    "get",
+		Actor:   nodeID,
+		Context: parent.Child(),
+		Start:   start,
+		End:     time.Now(),
+		Attrs:   map[string]string{"cid": c.Short()},
+	}
+	if err != nil {
+		sp.Attrs["error"] = err.Error()
+	} else {
+		sp.Bytes = int64(len(data))
+	}
+	sink.EmitSpan(sp)
+	return data, err
+}
+
+func (n *Network) get(ctx context.Context, nodeID string, c cid.CID) ([]byte, error) {
 	if err := n.gate(ctx, nodeID); err != nil {
 		return nil, err
 	}
@@ -616,12 +840,17 @@ func (n *Network) Get(ctx context.Context, nodeID string, c cid.CID) ([]byte, er
 	if err := nd.availErr(); err != nil {
 		return nil, err
 	}
-	data, ok := nd.blocks[c]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s on %q", ErrNotFound, c.Short(), nodeID)
+	data, err := nd.store.Get(ctx, c)
+	if err != nil {
+		nd.noteStoreErr(err)
+		if errors.Is(err, ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s on %q", ErrNotFound, c.Short(), nodeID)
+		}
+		return nil, err
 	}
+	nd.noteStoreErr(nil)
 	nd.metrics.bytesDownloaded.Add(int64(len(data)))
-	return append([]byte(nil), data...), nil
+	return data, nil
 }
 
 // Fetch retrieves a block from any live node (content routing).
@@ -640,16 +869,24 @@ func (n *Network) Fetch(ctx context.Context, c cid.CID) ([]byte, error) {
 }
 
 // fetchLocked finds the first live node holding c, returning the bytes and
-// the node that served them (nil when no live node holds the block).
+// the node that served them (nil when no live node holds the block). A
+// holder whose backend fails the read (integrity or I/O) is skipped —
+// content routing falls through to the next replica.
 func (n *Network) fetchLocked(c cid.CID) ([]byte, *Node) {
 	for _, id := range n.order {
 		nd := n.nodes[id]
 		if nd.down {
 			continue
 		}
-		if data, ok := nd.blocks[c]; ok {
-			return data, nd
+		if ok, _ := nd.store.Has(context.Background(), c); !ok {
+			continue
 		}
+		data, err := nd.store.Get(context.Background(), c)
+		if err != nil {
+			nd.noteStoreErr(err)
+			continue
+		}
+		return data, nd
 	}
 	return nil, nil
 }
@@ -726,15 +963,17 @@ func (n *Network) mergeGet(ctx context.Context, nodeID string, cs []cid.CID) ([]
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		data, ok := nd.blocks[c]
-		if !ok {
+		data, gerr := nd.store.Get(ctx, c)
+		if gerr != nil {
+			nd.noteStoreErr(gerr)
 			remote, holder := n.fetchLocked(c)
 			if holder == nil {
 				return nil, fmt.Errorf("%w: %s for merge on %q", ErrNotFound, c.Short(), nodeID)
 			}
 			n.remoteFetchCtr.Inc()
-			nd.blocks[c] = remote
-			n.announceLocked(nodeID, c)
+			if _, perr := nd.store.Put(ctx, remote); perr == nil {
+				n.announceLocked(nodeID, c)
+			}
 			data = remote
 		}
 		inputBytes += int64(len(data))
@@ -810,9 +1049,13 @@ func (n *Network) GetDAG(ctx context.Context, nodeID string, root dag.Ref) ([]by
 // used by the blockchain-baseline comparison.
 func (n *Network) TotalStoredBytes() int64 {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	nodes := make([]*Node, 0, len(n.order))
+	for _, id := range n.order {
+		nodes = append(nodes, n.nodes[id])
+	}
+	n.mu.Unlock()
 	var total int64
-	for _, nd := range n.nodes {
+	for _, nd := range nodes {
 		total += nd.StoredBytes()
 	}
 	return total

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"ipls/internal/cid"
@@ -13,6 +14,29 @@ import (
 	"ipls/internal/scalar"
 )
 
+// testBackend returns the BlockStore backend under test, selected by the
+// IPLS_STORE env var ("mem", the default, or "fs") so the whole suite runs
+// against both implementations in CI.
+func testBackend() string {
+	if b := os.Getenv("IPLS_STORE"); b != "" {
+		return b
+	}
+	return BackendMem
+}
+
+// testStoreConfig builds a StoreConfig for the selected backend, rooting
+// the fs backend in a per-test temp dir (cleaned up by the test runner,
+// race mode included).
+func testStoreConfig(t *testing.T) StoreConfig {
+	t.Helper()
+	cfg := StoreConfig{Backend: testBackend()}
+	if cfg.Backend == BackendFS {
+		cfg.Dir = t.TempDir()
+		cfg.CacheBlocks = 8
+	}
+	return cfg
+}
+
 func newTestNetwork(t *testing.T, nodes, replicas int) (*Network, *scalar.Quantizer) {
 	t.Helper()
 	f := scalar.NewField(group.Secp256k1().N)
@@ -20,7 +44,8 @@ func newTestNetwork(t *testing.T, nodes, replicas int) (*Network, *scalar.Quanti
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := NewNetwork(f, replicas)
+	n := NewNetworkWithStore(f, replicas, testStoreConfig(t))
+	t.Cleanup(func() { n.Close() })
 	for i := 0; i < nodes; i++ {
 		n.AddNode(fmt.Sprintf("node-%02d", i))
 	}
@@ -233,6 +258,16 @@ func TestCorruptDetectableByCID(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, err := n.Get(context.Background(), "node-00", c)
+	if testBackend() == BackendFS {
+		// The disk backend re-hashes on read: local rot is an
+		// infrastructure failure it reports itself.
+		if !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("fs backend should surface ErrIntegrity, got %v", err)
+		}
+		return
+	}
+	// The memory backend serves corrupt bytes as-is — the paper's §III-A
+	// adversary model, where readers verify CIDs themselves.
 	if err != nil {
 		t.Fatal(err)
 	}

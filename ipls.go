@@ -135,18 +135,108 @@ func Accuracy(m Model, d *Dataset) float64 { return ml.Accuracy(m, d) }
 // StorageNetwork is the in-memory content-addressed storage network.
 type StorageNetwork = storage.Network
 
-// NewStorageNetwork creates a standalone storage network (NewLocalStack
-// builds one automatically) using the named commitment curve's scalar
-// field for merge-and-download arithmetic.
+// NewStorageNetwork creates a standalone in-memory storage network.
+//
+// Deprecated: use NewStorageNetworkOpts, which also selects the block-store
+// backend (memory or content-addressed disk) and its cache. This wrapper is
+// kept for source compatibility and is equivalent to
+// NewStorageNetworkOpts(StorageNetworkOptions{CurveName: curveName, Replicas: replicas}).
 func NewStorageNetwork(curveName string, replicas int) (*StorageNetwork, error) {
-	if curveName == "" {
-		curveName = "secp256r1-fast"
+	return NewStorageNetworkOpts(StorageNetworkOptions{CurveName: curveName, Replicas: replicas})
+}
+
+// StorageNetworkOptions configures NewStorageNetworkOpts. The zero value is
+// valid: default commitment curve, replication factor 1, in-memory blocks.
+type StorageNetworkOptions struct {
+	// CurveName selects the commitment curve whose scalar field backs
+	// merge-and-download arithmetic ("" = secp256r1-fast).
+	CurveName string
+	// Replicas is the replication factor (minimum 1).
+	Replicas int
+	// Store selects the per-node block-store backend: the zero value keeps
+	// blocks in memory; {Backend: BackendFS, Dir: ...} makes every node a
+	// content-addressed on-disk store (with an optional LRU cache) that
+	// survives restarts.
+	Store StoreConfig
+}
+
+// NewStorageNetworkOpts creates a standalone storage network from an options
+// struct (NewLocalStack builds an in-memory one automatically).
+func NewStorageNetworkOpts(opts StorageNetworkOptions) (*StorageNetwork, error) {
+	name := opts.CurveName
+	if name == "" {
+		name = "secp256r1-fast"
 	}
-	curve, err := group.ByName(curveName)
+	curve, err := group.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return storage.NewNetwork(scalar.NewField(curve.N), replicas), nil
+	return storage.NewNetworkWithStore(scalar.NewField(curve.N), opts.Replicas, opts.Store), nil
+}
+
+// BlockStore is the pluggable per-node block backend: content-addressed
+// Put/Get/Has/Delete/Keys over CIDs. NewMemStore and OpenFSStore are the
+// built-in implementations; NewCachedStore layers an LRU block cache over
+// either.
+type BlockStore = storage.BlockStore
+
+// StoreConfig selects a network's per-node block-store backend.
+type StoreConfig = storage.StoreConfig
+
+// Block-store backends.
+const (
+	BackendMem = storage.BackendMem
+	BackendFS  = storage.BackendFS
+)
+
+// Block-store error identities: ErrIntegrity marks a block whose on-disk
+// bytes no longer hash to its CID (local rot — distinct from a byzantine
+// replica, which serves wrong bytes that fail the caller's verification);
+// ErrBackend marks an infrastructure failure of the backend itself and is
+// what StorageNetwork.Health wraps backend trouble in.
+var (
+	ErrIntegrity = storage.ErrIntegrity
+	ErrBackend   = storage.ErrBackend
+)
+
+// NewMemStore creates the in-memory block store (process-lifetime, fastest).
+func NewMemStore() BlockStore { return storage.NewMemStore() }
+
+// OpenFSStore opens (or creates) a content-addressed on-disk block store
+// rooted at dir. Blocks are keyed by CID in a fanout layout, written with
+// atomic temp-file + rename, and re-hashed on read — a mismatch surfaces
+// ErrIntegrity. Reopening the same dir serves every previously stored block.
+func OpenFSStore(dir string) (BlockStore, error) { return storage.OpenFSStore(dir) }
+
+// NewCachedStore wraps backing with an LRU block cache of capBlocks entries
+// (hits/misses surface as storage_cache_{hits,misses}_total).
+func NewCachedStore(backing BlockStore, capBlocks int) BlockStore {
+	return storage.NewCachedStore(backing, capBlocks)
+}
+
+// GCReport summarizes one keep-set garbage-collection sweep.
+type GCReport = storage.GCReport
+
+// ---- Durable deployment ----------------------------------------------------
+
+// DurableStack is a local deployment whose storage blocks and directory
+// records survive process restarts: blocks on the disk backend under
+// StoreDir/blocks/<node>, the directory snapshot at StoreDir/directory.json.
+// A reopened stack serves every pre-crash CID without re-replication.
+type DurableStack = core.DurableStack
+
+// DurableOptions configures OpenDurableStack.
+type DurableOptions = core.DurableOptions
+
+// GCOptions pins the working set (live iterations, checkpoint DAG roots)
+// that Session.GCSuperseded must not collect.
+type GCOptions = core.GCOptions
+
+// OpenDurableStack wires a disk-backed session/network/directory stack
+// rooted at opts.StoreDir, restoring persisted state when present. Close
+// persists the directory snapshot back and closes the stores.
+func OpenDurableStack(cfg *Config, opts DurableOptions) (*DurableStack, error) {
+	return core.OpenDurableStack(cfg, opts)
 }
 
 // DirectoryService is the in-process directory service.

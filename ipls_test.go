@@ -276,3 +276,82 @@ func TestFacadeResilience(t *testing.T) {
 		t.Error("caller cancellation must not be retried")
 	}
 }
+
+// TestFacadeDurableStorage exercises the storage-backend surface purely
+// through the public API: options-struct network construction, the on-disk
+// BlockStore, and a durable stack that survives a close/reopen cycle.
+func TestFacadeDurableStorage(t *testing.T) {
+	dir := t.TempDir()
+
+	// Standalone disk store round-trips and survives reopen.
+	bs, err := ipls.OpenFSStore(dir + "/standalone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := bs.Put(context.Background(), []byte("facade block"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bs, err = ipls.OpenFSStore(dir + "/standalone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	if got, err := bs.Get(context.Background(), c); err != nil || string(got) != "facade block" {
+		t.Fatalf("reopened store Get = %q, %v", got, err)
+	}
+
+	// Options-struct constructor with a disk backend.
+	net, err := ipls.NewStorageNetworkOpts(ipls.StorageNetworkOptions{
+		Replicas: 2,
+		Store:    ipls.StoreConfig{Backend: ipls.BackendFS, Dir: dir + "/net", CacheBlocks: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AddNode("s0")
+	net.AddNode("s1")
+	if _, err := net.Put(context.Background(), "s0", []byte("replicated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable stack: close, reopen, state restored.
+	cfg, err := ipls.NewConfig(ipls.TaskSpec{
+		TaskID:                  "facade-durable",
+		ModelDim:                8,
+		Partitions:              1,
+		Trainers:                []string{"t0", "t1"},
+		AggregatorsPerPartition: 1,
+		StorageNodes:            []string{"s0", "s1"},
+		TTrain:                  time.Second,
+		TSync:                   time.Second,
+		PollInterval:            time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := ipls.OpenDurableStack(cfg, ipls.DurableOptions{StoreDir: dir + "/stack", Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Restored() {
+		t.Fatal("fresh stack claims to be restored")
+	}
+	if err := stack.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stack, err = ipls.OpenDurableStack(cfg, ipls.DurableOptions{StoreDir: dir + "/stack", Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if !stack.Restored() {
+		t.Fatal("reopened stack did not restore the snapshot")
+	}
+}
