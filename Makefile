@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-tests chaos-churn bench-gate profile vuln check
+.PHONY: all build vet test race fuzz-smoke chaos chaos-tests chaos-churn bench-gate profile vuln check
 
 all: check
 
@@ -18,9 +18,19 @@ test:
 	IPLS_STORE=fs $(GO) test ./internal/storage/...
 
 # The observability and protocol layers are the concurrency-heavy ones;
-# keep them race-clean without paying for a full-tree race run.
+# keep them race-clean without paying for a full-tree race run. The crypto
+# packages joined the list when the multiexp went parallel: the
+# differential suite must hold with concurrent Commit/Extend callers.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/transport/...
+	$(GO) test -race ./internal/group/... ./internal/pedersen/...
+
+# Short fuzz pass cross-checking the parallel multiexp against the
+# sequential one (the differential harness's randomized arm). CI runs
+# this as a smoke test; let it run longer locally with FUZZTIME.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzMultiExpParallel -fuzztime $(FUZZTIME) ./internal/group
 
 # Fault-injection suite under the race detector: the resilience layer's
 # retry/failover paths, the netsim link-loss scheduling, and the

@@ -8,6 +8,7 @@
 //	iplsbench fig3       Fig. 3: SHA-256 vs Pedersen commitment time
 //	iplsbench model      §III-E analytic τ model vs simulation
 //	iplsbench multiexp   multi-exponentiation strategies (future work [27,28])
+//	iplsbench crypto     parallel + precomputed hot path: speedups, batch verify
 //	iplsbench baseline   blockchain-FL vs this work, storage & traffic
 //	iplsbench converge   decentralized vs centralized FedAvg convergence
 //	iplsbench verify     malicious-aggregator detection matrix
@@ -60,7 +61,7 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (phase-labeled; inspect with `go tool pprof -tags`)")
 	memProfile := fs.String("memprofile", "", "write a heap profile of the run to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|baseline|converge|verify|faults|churn|dirload|hash|store|profile|gate|all>")
+		fmt.Fprintln(fs.Output(), "usage: iplsbench [flags] <fig1|fig2|fig3|model|multiexp|crypto|baseline|converge|verify|faults|churn|dirload|hash|store|profile|gate|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +98,7 @@ func run(args []string) error {
 		"fig3":      func() error { return fig3(*maxParams) },
 		"model":     analyticModel,
 		"multiexp":  multiExp,
+		"crypto":    cryptoExperiment,
 		"baseline":  func() error { return baselines(*rounds) },
 		"converge":  func() error { return converge(*rounds) },
 		"verify":    verifyMatrix,
@@ -123,7 +125,7 @@ func run(args []string) error {
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "baseline", "converge", "verify", "faults", "churn", "dirload", "hash", "placement", "straggler", "gossip", "quant", "store", "profile"} {
+		for _, key := range []string{"fig1", "fig2", "fig3", "model", "multiexp", "crypto", "baseline", "converge", "verify", "faults", "churn", "dirload", "hash", "placement", "straggler", "gossip", "quant", "store", "profile"} {
 			if err := timed(key, experiments[key]); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}

@@ -27,6 +27,8 @@ type sessionMetrics struct {
 	gradientsUploaded *obs.Counter
 	updatesCollected  *obs.Counter
 	mergeDownloads    *obs.Counter
+	batchVerifies     *obs.Counter // one RLC check covering a whole partition's merges
+	batchVerifyFail   *obs.Counter // batches that failed and fell back to per-group Verify
 	verifyPass        *obs.Counter
 	verifyFail        *obs.Counter
 	takeovers         *obs.Counter
@@ -58,6 +60,8 @@ func (s *Session) SetMetrics(reg *obs.Registry) {
 		gradientsUploaded:  reg.Counter("gradients_uploaded_total"),
 		updatesCollected:   reg.Counter("updates_collected_total"),
 		mergeDownloads:     reg.Counter("merge_downloads_total"),
+		batchVerifies:      reg.Counter("batch_verify_total"),
+		batchVerifyFail:    reg.Counter("batch_verify_fail_total"),
 		verifyPass:         reg.Counter("verification_pass_total"),
 		verifyFail:         reg.Counter("verification_fail_total"),
 		takeovers:          reg.Counter("takeover_total"),

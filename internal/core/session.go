@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/big"
 	"sort"
 	"sync"
 	"time"
@@ -766,10 +767,25 @@ func (s *Session) blockNorm(b model.Block) float64 {
 	return math.Sqrt(sum)
 }
 
+// pendingMerge is a fetched merge-and-download block awaiting commitment
+// verification: the decoded block, the homomorphic product of the group's
+// published commitments it must open, and the records to re-fetch
+// individually if it does not.
+type pendingMerge struct {
+	node  string
+	grp   []directory.Record
+	block model.Block
+	want  pedersen.Commitment
+	size  int64
+}
+
 // downloadGradients retrieves gradient blocks, using merge-and-download for
 // groups of records stored on the same provider when enabled. Merged blocks
 // are verified against the product of the published per-gradient
-// commitments; on failure the gradients are fetched individually.
+// commitments — all groups at once through a single random-linear-
+// combination BatchVerify; only if the batch fails does each group get an
+// individual Verify, and groups that still fail are fetched gradient by
+// gradient.
 func (s *Session) downloadGradients(ctx context.Context, sc *spanScope, recs []directory.Record) ([]model.Block, int, error) {
 	merges := 0
 	var blocks []model.Block
@@ -783,14 +799,20 @@ func (s *Session) downloadGradients(ctx context.Context, sc *spanScope, recs []d
 			byNode[rec.Node] = append(byNode[rec.Node], rec)
 		}
 		sort.Strings(nodeOrder)
-		for _, node := range nodeOrder {
+		// Per-provider block groups in nodeOrder position: singles resolve
+		// immediately, merged groups fill their slot after verification.
+		// The flattened order matches the pre-batching sequential walk.
+		out := make([][]model.Block, len(nodeOrder))
+		var pending []pendingMerge
+		pendingSlot := make(map[int]int) // nodeOrder index → pending index
+		for ni, node := range nodeOrder {
 			grp := byNode[node]
 			if len(grp) == 1 {
 				b, err := s.fetchGradient(ctx, grp[0])
 				if err != nil {
 					return nil, merges, err
 				}
-				blocks = append(blocks, b)
+				out[ni] = []model.Block{b}
 				continue
 			}
 			cids := make([]cid.CID, len(grp))
@@ -821,39 +843,81 @@ func (s *Session) downloadGradients(ctx context.Context, sc *spanScope, recs []d
 			if err != nil {
 				return nil, merges, fmt.Errorf("core: decode merged block: %w", err)
 			}
-			if s.params != nil {
-				// §IV-B: check the merged block against the product of
-				// the commitments that supposedly form it.
-				coms := make([]pedersen.Commitment, len(grp))
-				for i, rec := range grp {
-					coms[i] = rec.Commitment
-				}
-				want, err := s.params.Combine(coms...)
-				if err != nil {
-					return nil, merges, err
-				}
-				ok, err := s.params.Verify(block.Values, want)
-				if err != nil {
-					return nil, merges, err
-				}
+			if s.params == nil {
+				merges++
+				out[ni] = []model.Block{block}
+				s.metrics.mergeDownloads.Inc()
+				s.emitBytes(EventMergeDownload, "aggregator", grp[0].Addr.Iter, grp[0].Addr.Partition,
+					int64(len(data)), "%s pre-aggregated %d gradients", node, len(grp))
+				continue
+			}
+			// §IV-B: the merged block must open the product of the
+			// commitments that supposedly form it. Park it for the batch.
+			coms := make([]pedersen.Commitment, len(grp))
+			for i, rec := range grp {
+				coms[i] = rec.Commitment
+			}
+			want, err := s.params.Combine(coms...)
+			if err != nil {
+				return nil, merges, err
+			}
+			pendingSlot[ni] = len(pending)
+			pending = append(pending, pendingMerge{
+				node: node, grp: grp, block: block, want: want, size: int64(len(data)),
+			})
+		}
+		if len(pending) > 0 {
+			// One random-linear-combination multiexp covers every merged
+			// group of the partition; the per-group recommit loop only
+			// runs when some provider cheated (or the batch errored).
+			vecs := make([][]*big.Int, len(pending))
+			coms := make([]pedersen.Commitment, len(pending))
+			for i, pm := range pending {
+				vecs[i] = pm.block.Values
+				coms[i] = pm.want
+			}
+			s.metrics.batchVerifies.Inc()
+			batchOK, err := s.params.BatchVerify(vecs, coms)
+			if err != nil {
+				batchOK = false // attribute below via per-group Verify
+			}
+			if !batchOK {
+				s.metrics.batchVerifyFail.Inc()
+			}
+			for ni := range nodeOrder {
+				pi, ok := pendingSlot[ni]
 				if !ok {
+					continue
+				}
+				pm := pending[pi]
+				groupOK := batchOK
+				if !groupOK {
+					groupOK, err = s.params.Verify(pm.block.Values, pm.want)
+					if err != nil {
+						return nil, merges, err
+					}
+				}
+				if !groupOK {
 					// Provider cheated: fall back to individual
 					// CID-verified downloads.
-					for _, rec := range grp {
+					for _, rec := range pm.grp {
 						b, err := s.fetchGradient(ctx, rec)
 						if err != nil {
 							return nil, merges, err
 						}
-						blocks = append(blocks, b)
+						out[ni] = append(out[ni], b)
 					}
 					continue
 				}
+				merges++
+				out[ni] = []model.Block{pm.block}
+				s.metrics.mergeDownloads.Inc()
+				s.emitBytes(EventMergeDownload, "aggregator", pm.grp[0].Addr.Iter, pm.grp[0].Addr.Partition,
+					pm.size, "%s pre-aggregated %d gradients", pm.node, len(pm.grp))
 			}
-			merges++
-			blocks = append(blocks, block)
-			s.metrics.mergeDownloads.Inc()
-			s.emitBytes(EventMergeDownload, "aggregator", grp[0].Addr.Iter, grp[0].Addr.Partition,
-				int64(len(data)), "%s pre-aggregated %d gradients", node, len(grp))
+		}
+		for _, grpBlocks := range out {
+			blocks = append(blocks, grpBlocks...)
 		}
 		return blocks, merges, nil
 	}

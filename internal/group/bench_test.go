@@ -1,6 +1,7 @@
 package group
 
 import (
+	"fmt"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -45,6 +46,47 @@ func BenchmarkHashToPoint(b *testing.B) {
 		b.Run(c.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c.HashToPoint("bench", i)
+			}
+		})
+	}
+}
+
+// BenchmarkMultiExp compares every multiexp strategy at sizes spanning the
+// auto-selection bands; the n=4096 parallel-vs-pippenger pair is the
+// ISSUE's reported speedup number.
+func BenchmarkMultiExp(b *testing.B) {
+	c := Secp256k1()
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{32, 256, 4096} {
+		points, scalars := randomInputs(rng, c, n)
+		for _, s := range []MultiExpStrategy{StrategyPippenger, StrategyParallel} {
+			b.Run(fmt.Sprintf("%s/n=%d", s, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.MultiScalarMult(points, scalars, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMultiExpFixed measures the fixed-base path with tables built
+// outside the loop, the shape Pedersen commitments use per iteration.
+func BenchmarkMultiExpFixed(b *testing.B) {
+	c := Secp256k1()
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{32, 256} {
+		points, scalars := randomInputs(rng, c, n)
+		bases := make([]*FixedBase, n)
+		for i := range points {
+			bases[i] = c.NewFixedBase(points[i])
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.MultiScalarMultFixed(bases, scalars); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

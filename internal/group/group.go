@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 )
 
 // Point is an affine curve point. The zero value (nil coordinates)
@@ -58,6 +59,11 @@ type Curve struct {
 	Gy   *big.Int // base point y
 
 	fast elliptic.Curve // optional stdlib-backed arithmetic
+
+	// par bounds StrategyParallel worker goroutines (0 = GOMAXPROCS).
+	// Atomic because the constructors return shared singletons and the
+	// knob may be flipped while multiexps are in flight.
+	par atomic.Int32
 }
 
 // EncodedSize is the size of an uncompressed encoded point: a one-byte tag

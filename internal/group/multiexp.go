@@ -12,6 +12,10 @@ import (
 // evaluate ∏ pᵢ^{kᵢ}. The paper's commitment implementation is the Naive
 // one; Windowed and Pippenger implement the multi-exponentiation
 // optimizations it cites as future work (Möller '01; Borges et al. '17).
+// Parallel splits Pippenger's per-window bucket accumulation across
+// cores, and Precomputed uses fixed-base window tables (see FixedBase) —
+// the two optimizations that matter when the bases are long-lived Pedersen
+// generators committed to every iteration.
 type MultiExpStrategy int
 
 const (
@@ -23,6 +27,14 @@ const (
 	StrategyWindowed
 	// StrategyPippenger uses the bucket method with signed-scalar recoding.
 	StrategyPippenger
+	// StrategyParallel is Pippenger with the window bucket sums computed
+	// concurrently by up to Curve.SetParallelism workers.
+	StrategyParallel
+	// StrategyPrecomputed uses fixed-base window tables. Through
+	// MultiScalarMult the tables are built ad hoc (useful for differential
+	// testing); callers with long-lived bases should build FixedBase
+	// tables once and use MultiScalarMultFixed instead.
+	StrategyPrecomputed
 )
 
 // String returns the strategy name.
@@ -36,6 +48,10 @@ func (s MultiExpStrategy) String() string {
 		return "windowed"
 	case StrategyPippenger:
 		return "pippenger"
+	case StrategyParallel:
+		return "parallel"
+	case StrategyPrecomputed:
+		return "precomputed"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -43,6 +59,24 @@ func (s MultiExpStrategy) String() string {
 
 // Accelerated reports whether the curve uses an optimized stdlib backend.
 func (c *Curve) Accelerated() bool { return c.fast != nil }
+
+// autoStrategy resolves StrategyAuto for an input of n points: stdlib
+// backends stay naive (their constant-time scalar mult beats the generic
+// big.Int paths), tiny inputs skip shared-table setup, mid-size inputs use
+// windowed sharing, and large inputs use Pippenger — parallelized across
+// windows when the curve's parallelism allows it.
+func (c *Curve) autoStrategy(n int) MultiExpStrategy {
+	switch {
+	case c.fast != nil || n < 4:
+		return StrategyNaive
+	case n < 32:
+		return StrategyWindowed
+	case n >= parallelMinPoints && c.workers() > 1:
+		return StrategyParallel
+	default:
+		return StrategyPippenger
+	}
+}
 
 // MultiScalarMult computes ∑ kᵢ·pᵢ (written multiplicatively in the paper:
 // ∏ pᵢ^{kᵢ}). Scalars are reduced modulo the group order.
@@ -54,14 +88,7 @@ func (c *Curve) MultiScalarMult(points []Point, scalars []*big.Int, strategy Mul
 		return Point{}, errors.New("group: empty multi-scalar multiplication")
 	}
 	if strategy == StrategyAuto {
-		switch {
-		case c.fast != nil || len(points) < 4:
-			strategy = StrategyNaive
-		case len(points) < 32:
-			strategy = StrategyWindowed
-		default:
-			strategy = StrategyPippenger
-		}
+		strategy = c.autoStrategy(len(points))
 	}
 	defer accountOp("multiexp_"+strategy.String(), len(points))()
 	var pt Point
@@ -80,6 +107,14 @@ func (c *Curve) MultiScalarMult(points []Point, scalars []*big.Int, strategy Mul
 			pt, err = c.multiExpWindowed(points, scalars), nil
 		case StrategyPippenger:
 			pt, err = c.multiExpPippenger(points, scalars), nil
+		case StrategyParallel:
+			pt, err = c.multiExpPippengerParallel(points, scalars), nil
+		case StrategyPrecomputed:
+			bases := make([]*FixedBase, len(points))
+			for i := range points {
+				bases[i] = c.NewFixedBase(points[i])
+			}
+			pt, err = c.multiExpFixed(bases, scalars), nil
 		}
 	})
 	if err != nil {
@@ -155,7 +190,15 @@ func (c *Curve) multiExpWindowed(points []Point, scalars []*big.Int) Point {
 	return c.fromJacobian(acc)
 }
 
-func (c *Curve) multiExpPippenger(points []Point, scalars []*big.Int) Point {
+// pippengerMinPoints is the crossover below which Pippenger's 2^w bucket
+// setup costs more than it saves: with n ≤ 2 every bucket holds at most
+// one point, so the bucket pass degenerates into the windowed walk plus
+// pure overhead. Such inputs fall through to the windowed strategy.
+const pippengerMinPoints = 3
+
+// recodeAll signed-recodes every (point, scalar) pair into Jacobian form,
+// returning the recoded scalars and the maximum scalar bit length.
+func (c *Curve) recodeAll(points []Point, scalars []*big.Int) ([]jacobianPoint, []*big.Int, int) {
 	n := len(points)
 	jpoints := make([]jacobianPoint, n)
 	recoded := make([]*big.Int, n)
@@ -168,10 +211,18 @@ func (c *Curve) multiExpPippenger(points []Point, scalars []*big.Int) Point {
 			maxBits = bl
 		}
 	}
+	return jpoints, recoded, maxBits
+}
+
+func (c *Curve) multiExpPippenger(points []Point, scalars []*big.Int) Point {
+	if len(points) < pippengerMinPoints {
+		return c.multiExpWindowed(points, scalars)
+	}
+	jpoints, recoded, maxBits := c.recodeAll(points, scalars)
 	if maxBits == 0 {
 		return Infinity()
 	}
-	w := pippengerWindow(n)
+	w := pippengerWindow(len(points))
 	windows := (maxBits + w - 1) / w
 	buckets := make([]jacobianPoint, 1<<w)
 	acc := jacobianInfinity()
@@ -181,34 +232,46 @@ func (c *Curve) multiExpPippenger(points []Point, scalars []*big.Int) Point {
 				acc = c.jacDouble(acc)
 			}
 		}
-		used := false
-		for b := range buckets {
-			buckets[b] = jacobianInfinity()
+		sum := c.windowBucketSum(jpoints, recoded, win, w, buckets)
+		if !sum.isInfinity() {
+			acc = c.jacAdd(acc, sum)
 		}
-		for i := range recoded {
-			digit := windowDigit(recoded[i], win, w)
-			if digit != 0 {
-				buckets[digit] = c.jacAdd(buckets[digit], jpoints[i])
-				used = true
-			}
-		}
-		if !used {
-			continue
-		}
-		// Bucket aggregation: ∑ b·bucket[b] via the running-sum trick.
-		running := jacobianInfinity()
-		sum := jacobianInfinity()
-		for b := len(buckets) - 1; b >= 1; b-- {
-			if !buckets[b].isInfinity() {
-				running = c.jacAdd(running, buckets[b])
-			}
-			if !running.isInfinity() {
-				sum = c.jacAdd(sum, running)
-			}
-		}
-		acc = c.jacAdd(acc, sum)
 	}
 	return c.fromJacobian(acc)
+}
+
+// windowBucketSum computes one window's contribution ∑ digit·bucket[digit]
+// over all points: bucket accumulation followed by the running-sum trick.
+// The caller provides the bucket scratch (reused across windows); jpoints
+// and recoded are only read, so concurrent calls on disjoint windows with
+// per-worker scratch are safe.
+func (c *Curve) windowBucketSum(jpoints []jacobianPoint, recoded []*big.Int, win, w int, buckets []jacobianPoint) jacobianPoint {
+	for b := range buckets {
+		buckets[b] = jacobianInfinity()
+	}
+	used := false
+	for i := range recoded {
+		digit := windowDigit(recoded[i], win, w)
+		if digit != 0 {
+			buckets[digit] = c.jacAdd(buckets[digit], jpoints[i])
+			used = true
+		}
+	}
+	if !used {
+		return jacobianInfinity()
+	}
+	// Bucket aggregation: ∑ b·bucket[b] via the running-sum trick.
+	running := jacobianInfinity()
+	sum := jacobianInfinity()
+	for b := len(buckets) - 1; b >= 1; b-- {
+		if !buckets[b].isInfinity() {
+			running = c.jacAdd(running, buckets[b])
+		}
+		if !running.isInfinity() {
+			sum = c.jacAdd(sum, running)
+		}
+	}
+	return sum
 }
 
 // pippengerWindow picks a bucket window size that balances the per-window

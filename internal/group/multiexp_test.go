@@ -122,6 +122,8 @@ func TestStrategyString(t *testing.T) {
 		StrategyNaive:        "naive",
 		StrategyWindowed:     "windowed",
 		StrategyPippenger:    "pippenger",
+		StrategyParallel:     "parallel",
+		StrategyPrecomputed:  "precomputed",
 		MultiExpStrategy(42): "strategy(42)",
 	}
 	for s, want := range cases {

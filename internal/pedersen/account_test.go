@@ -77,6 +77,9 @@ func TestGroupAccountHook(t *testing.T) {
 // gate acceptance test in cmd/iplsbench relies on this moving the
 // alloc_bytes needle.
 func TestInjectCommitAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is too noisy under the race detector")
+	}
 	p := testParams(t, 4)
 	v := vec(4)
 	base := testing.AllocsPerRun(10, func() {

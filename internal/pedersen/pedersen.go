@@ -29,6 +29,15 @@ type Commitment []byte
 // canonical, so this coincides with group-element equality.
 func (c Commitment) Equal(other Commitment) bool { return bytes.Equal(c, other) }
 
+// DefaultPrecomputeLimit bounds how many generators get fixed-base window
+// tables. Each table stores 15 Jacobian multiples (~2–3.6 KB with math/big
+// coordinates), so the default caps table memory at roughly 25 MB while
+// covering every realistic per-partition commitment width; the Fig. 3
+// sweep extends Params to millions of generators and must not drag table
+// memory along with it. Vectors longer than the covered prefix fall back
+// to the regular multiexp strategies.
+const DefaultPrecomputeLimit = 8192
+
 // Params holds the public parameters for committing to vectors of up to
 // Len() elements.
 type Params struct {
@@ -39,6 +48,14 @@ type Params struct {
 	mu       sync.Mutex
 	gens     []group.Point
 	blinding group.Point // lazily derived hiding generator
+
+	// fixed holds fixed-base window tables for the generator prefix
+	// gens[:len(fixed)] (built in Setup/Extend — generators never change
+	// within a session, so the tables amortize across every Commit).
+	// Guarded by mu; entries are immutable once appended, so a Commit
+	// that snapshots the slice under mu may use it lock-free afterwards.
+	fixed        []*group.FixedBase
+	precompLimit int
 }
 
 // Setup deterministically derives public parameters for vectors of length n
@@ -51,9 +68,10 @@ func Setup(curve *group.Curve, n int, label string) (*Params, error) {
 		return nil, fmt.Errorf("pedersen: negative vector length %d", n)
 	}
 	p := &Params{
-		curve: curve,
-		label: label,
-		field: scalar.NewField(curve.N),
+		curve:        curve,
+		label:        label,
+		field:        scalar.NewField(curve.N),
+		precompLimit: DefaultPrecomputeLimit,
 	}
 	if err := p.Extend(n); err != nil {
 		return nil, err
@@ -77,24 +95,92 @@ func (p *Params) Len() int {
 	return len(p.gens)
 }
 
-// Extend makes sure at least n generators are available.
+// SetPrecomputeLimit bounds how many generators carry fixed-base window
+// tables (default DefaultPrecomputeLimit). Raising the limit builds the
+// missing tables immediately for already-derived generators; n ≤ 0
+// disables precomputation for generators derived from then on. Safe to
+// call concurrently with Commit.
+func (p *Params) SetPrecomputeLimit(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	p.precompLimit = n
+	p.buildTablesLocked(len(p.gens))
+}
+
+// PrecomputedLen returns how many generators currently have fixed-base
+// tables.
+func (p *Params) PrecomputedLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fixed)
+}
+
+// Extend makes sure at least n generators are available, building their
+// fixed-base tables (up to the precompute limit) at the same time so a
+// commitment never observes a generator without its table.
 func (p *Params) Extend(n int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.extendLocked(n)
+	return nil
+}
+
+func (p *Params) extendLocked(n int) {
 	for i := len(p.gens); i < n; i++ {
 		p.gens = append(p.gens, p.curve.HashToPoint(p.label, i))
 	}
-	return nil
+	p.buildTablesLocked(n)
+}
+
+// buildTablesLocked grows the fixed-base table prefix to cover min(n,
+// limit) generators. Accelerated curves skip tables entirely: their commit
+// path goes through the stdlib backend, which the generic Jacobian tables
+// cannot feed.
+func (p *Params) buildTablesLocked(n int) {
+	if p.curve.Accelerated() {
+		return
+	}
+	limit := p.precompLimit
+	if n > limit {
+		n = limit
+	}
+	if n > len(p.gens) {
+		n = len(p.gens)
+	}
+	for i := len(p.fixed); i < n; i++ {
+		p.fixed = append(p.fixed, p.curve.NewFixedBase(p.gens[i]))
+	}
 }
 
 // generators returns the first n generators, deriving more as needed.
 func (p *Params) generators(n int) []group.Point {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for i := len(p.gens); i < n; i++ {
-		p.gens = append(p.gens, p.curve.HashToPoint(p.label, i))
-	}
+	p.extendLocked(n)
 	return p.gens[:n]
+}
+
+// fixedPrefix returns fixed-base tables covering the first n generators.
+// When force is set, missing tables are built past the precompute limit
+// (explicit StrategyPrecomputed requests); otherwise it reports false if
+// the prefix is not already covered. The returned slice is safe to read
+// without the lock: entries are immutable and appends never reuse indices.
+func (p *Params) fixedPrefix(n int, force bool) ([]*group.FixedBase, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.extendLocked(n)
+	if len(p.fixed) < n {
+		if !force {
+			return nil, false
+		}
+		for i := len(p.fixed); i < n; i++ {
+			p.fixed = append(p.fixed, p.curve.NewFixedBase(p.gens[i]))
+		}
+	}
+	return p.fixed[:n], true
 }
 
 // Commit commits to the vector v using the automatically selected
@@ -103,7 +189,19 @@ func (p *Params) Commit(v []*big.Int) (Commitment, error) {
 	return p.CommitWith(v, group.StrategyAuto)
 }
 
+// commitFixedMax is the vector length above which StrategyAuto prefers
+// Pippenger (sequential or parallel) over the fixed-base tables: the
+// shared-doubling walk over 4-bit tables costs ~(scalar bits/4)·n point
+// additions, while Pippenger's bucket windows grow with n, so past ~100
+// elements the tables stop paying for their lookups (measured with
+// fixed-point gradient scalars on secp256k1).
+const commitFixedMax = 96
+
 // CommitWith commits to v using an explicit multi-exponentiation strategy.
+// StrategyAuto routes through the precomputed generator tables when they
+// cover the vector (see Setup/Extend and SetPrecomputeLimit) and the
+// vector is short enough for the fixed-base walk to win; longer vectors
+// use the regular multiexp auto-selection, including parallel Pippenger.
 func (p *Params) CommitWith(v []*big.Int, strategy group.MultiExpStrategy) (Commitment, error) {
 	if len(v) == 0 {
 		return nil, errors.New("pedersen: cannot commit to an empty vector")
@@ -115,9 +213,21 @@ func (p *Params) CommitWith(v []*big.Int, strategy group.MultiExpStrategy) (Comm
 	// MultiScalarMult narrows them further to its strategy.
 	pprof.Do(context.Background(), pprof.Labels("phase", "pedersen_commit"), func(context.Context) {
 		injectAlloc()
-		gens := p.generators(len(v))
 		var point group.Point
-		point, err = p.curve.MultiScalarMult(gens, v, strategy)
+		switch {
+		case strategy == group.StrategyPrecomputed:
+			bases, _ := p.fixedPrefix(len(v), true)
+			point, err = p.curve.MultiScalarMultFixed(bases, v)
+		case strategy == group.StrategyAuto && !p.curve.Accelerated() && len(v) <= commitFixedMax:
+			if bases, ok := p.fixedPrefix(len(v), false); ok {
+				point, err = p.curve.MultiScalarMultFixed(bases, v)
+				break
+			}
+			fallthrough
+		default:
+			gens := p.generators(len(v))
+			point, err = p.curve.MultiScalarMult(gens, v, strategy)
+		}
 		if err == nil {
 			out = Commitment(p.curve.Encode(point))
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pedersen
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package pedersen
+
+// raceEnabled reports whether the race detector is compiled in; tests that
+// count allocations skip under it (the race runtime allocates shadow state
+// unpredictably, making testing.AllocsPerRun too noisy to assert on).
+const raceEnabled = true
