@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke chaos chaos-tests chaos-churn bench-gate profile vuln check
+.PHONY: all build vet test race fuzz-smoke chaos chaos-tests chaos-churn chaos-soak bench-gate profile vuln check
 
 all: check
 
@@ -25,12 +25,14 @@ race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/transport/...
 	$(GO) test -race ./internal/group/... ./internal/pedersen/...
 
-# Short fuzz pass cross-checking the parallel multiexp against the
-# sequential one (the differential harness's randomized arm). CI runs
-# this as a smoke test; let it run longer locally with FUZZTIME.
+# Short fuzz passes: the parallel multiexp against the sequential one
+# (the differential harness's randomized arm) and the scenario-plan
+# parser (never panics; String∘Parse is a fixpoint). CI runs these as
+# smoke tests; let them run longer locally with FUZZTIME.
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMultiExpParallel -fuzztime $(FUZZTIME) ./internal/group
+	$(GO) test -fuzz=FuzzParseScenario -fuzztime $(FUZZTIME) ./internal/scenario
 
 # Fault-injection suite under the race detector: the resilience layer's
 # retry/failover paths, the netsim link-loss scheduling, and the
@@ -49,6 +51,17 @@ chaos-churn:
 	$(GO) test -race -timeout 10m -run 'Churn|Absent|Standby' ./internal/core
 	$(GO) run -race ./cmd/iplssim -rounds 4 -trainers 8 -partitions 2 -aggregators 1 -storage-nodes 6 \
 		-churn "depart:ipfs-03@iter1,crash:agg-p0-0@iter1,crash:trainer-05@iter1,rejoin:trainer-05@iter2,rejoin:agg-p0-0@iter3"
+
+# Composed-scenario soak under the race detector: one plan string drives
+# membership churn, a storage slow window, a partition that opens and
+# heals, and a Byzantine trainer whose tampered uploads the BatchVerify
+# fallback must catch and quarantine — all in verifiable mode. The run
+# fails on any panic, on an unhealed partition, and (via -min-accuracy)
+# on a final model that did not converge despite the faults.
+chaos-soak:
+	$(GO) run -race ./cmd/iplssim -rounds 5 -trainers 8 -partitions 2 -aggregators 1 \
+		-storage-nodes 6 -providers 2 -verifiable -min-accuracy 0.9 \
+		-scenario "crash:trainer-05@iter0,rejoin:trainer-05@iter2,slow:ipfs-00@iter0..1:5ms,partition:mainline|ipfs-01@iter1..2,corrupt:trainer-01@iter1..2"
 
 # Per-phase benchmark regression gate: deterministic virtual-clock
 # scenarios checked against the committed baselines at zero tolerance.

@@ -8,9 +8,22 @@ import (
 	"time"
 
 	"ipls/internal/core"
+	"ipls/internal/netsim"
 	"ipls/internal/obs"
+	"ipls/internal/scenario"
 	"ipls/internal/storage"
 )
+
+// mustLossWindows compiles a scenario-plan string into the netsim loss
+// windows it schedules — the gate's partition scenario is driven by the
+// same grammar `iplssim -scenario` takes.
+func mustLossWindows(plan string) []netsim.LossWindow {
+	p, err := scenario.Parse(plan)
+	if err != nil {
+		panic(err)
+	}
+	return p.LossWindows()
+}
 
 // The per-phase benchmark gate: each scenario below runs one protocol
 // iteration over the netsim virtual clock with span emission on, folds
@@ -94,6 +107,45 @@ var gateScenarios = []struct {
 				{Kind: storage.ChurnCrash, Node: "trainer-06"},
 				{Kind: storage.ChurnRejoin, Node: "trainer-07"},
 			},
+		},
+	},
+	{
+		// Quorum rounds (§III-D graceful degradation): two stragglers run
+		// at a twentieth of everyone's bandwidth, and the aggregator stops
+		// waiting at 3/4 of each provider group once the quorum wait
+		// passes. Exercises the WaitQuorum cut on the upload_wait and
+		// merge_download phases.
+		name: "quorum",
+		cfg: core.SimConfig{
+			Trainers:                16,
+			Partitions:              1,
+			AggregatorsPerPartition: 1,
+			PartitionBytes:          1_300_000,
+			StorageNodes:            16,
+			ProvidersPerAggregator:  4,
+			BandwidthMbps:           10,
+			SlowTrainers:            2,
+			SlowFactor:              20,
+			QuorumFraction:          0.75,
+			QuorumWait:              3 * time.Second,
+		},
+	},
+	{
+		// A timed partition window compiled from the scenario grammar
+		// severs two storage nodes mid-iteration; uploads and merge
+		// downloads touching them stall and resume when the window closes.
+		// Exercises the LossWindow path end-to-end from a plan string.
+		name: "partition",
+		cfg: core.SimConfig{
+			Trainers:                16,
+			Partitions:              2,
+			AggregatorsPerPartition: 2,
+			PartitionBytes:          1_100_000,
+			StorageNodes:            8,
+			BandwidthMbps:           20,
+			StorageBandwidthMbps:    200,
+			LinkLoss: mustLossWindows(
+				"partition:mainline|ipfs-02+ipfs-03@400ms..1200ms,slow:trainer-01@0s..800ms:0.25"),
 		},
 	},
 }

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ipls/internal/core"
@@ -24,6 +25,7 @@ import (
 	"ipls/internal/obs"
 	"ipls/internal/resilience"
 	"ipls/internal/scalar"
+	"ipls/internal/scenario"
 	"ipls/internal/storage"
 )
 
@@ -54,8 +56,12 @@ func run(args []string) error {
 		cacheBlocks = fs.Int("cache-blocks", 256, "per-node LRU block-cache capacity over the -store-dir disk backend (0 disables)")
 		gc          = fs.Bool("gc", false, "after each round, sweep blocks from superseded iterations by keep-set (retains the current round and the churn checkpoint DAG)")
 		screen      = fs.Float64("screen", 0, "drop trainer gradients with L2 norm above this bound (0 = off; incompatible with -verifiable)")
-		faults      = fs.String("faults", "", "fault plan: comma-separated KIND:NODE@iterN events, e.g. crash:ipfs-01@iter2,recover:ipfs-01@iter4,slow:ipfs-00@iter1:50ms,flaky:ipfs-02@iter0:0.3")
-		churn       = fs.String("churn", "", "churn plan: comma-separated KIND:NAME@iterN events (depart|crash|rejoin), e.g. depart:ipfs-03@iter2,crash:agg-p0-0@iter1,crash:trainer-05@iter1,rejoin:trainer-05@iter3")
+		scenarioStr = fs.String("scenario", "", "composed fault scenario: comma-separated events over one grammar, e.g. depart:ipfs-03@iter2,crash:trainer-05@iter1,rejoin:trainer-05@iter3,slow:ipfs-00@iter1..2:50ms,flaky:ipfs-02@iter0:0.3,partition:mainline|ipfs-01+trainer-02@iter3..4,corrupt:trainer-01@iter2,late:trainer-03@iter1")
+		faults      = fs.String("faults", "", "alias for -scenario (legacy fault grammar is a subset); comma-appended to it")
+		churn       = fs.String("churn", "", "alias for -scenario (legacy churn grammar is a subset); comma-appended to it")
+		quorum      = fs.Float64("quorum", 0, "quorum fraction in (0,1): aggregators proceed with ceil(q*n) of n gradients after -quorum-wait (incompatible with -verifiable)")
+		quorumWait  = fs.Duration("quorum-wait", 200*time.Millisecond, "how long aggregators wait for stragglers before closing a quorum round")
+		minAccuracy = fs.Float64("min-accuracy", 0, "fail the run if the final model accuracy is below this bound (0 = off; the chaos-soak convergence gate)")
 		spanSample  = fs.String("span-sample", "", "sample spans before -span-out: slowest=N,rate=F (off = keep everything)")
 		trace       = fs.Bool("trace", false, "print the protocol event timeline of the first round")
 		traceOut    = fs.String("trace-out", "", "write the full protocol event stream to this file as JSON Lines")
@@ -70,12 +76,21 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	churnPlan, err := storage.ParseChurnPlan(*churn)
+	// -churn and -faults stay as aliases: their legacy grammars are
+	// subsets of the scenario grammar, so the three flags concatenate
+	// into one composed plan.
+	var parts []string
+	for _, s := range []string{*scenarioStr, *churn, *faults} {
+		if s != "" {
+			parts = append(parts, s)
+		}
+	}
+	splan, err := scenario.Parse(strings.Join(parts, ","))
 	if err != nil {
 		return err
 	}
-	if !churnPlan.Empty() && *malicious != "" {
-		return fmt.Errorf("-churn drives aggregator behaviors itself; drop -malicious")
+	if !splan.Empty() && *malicious != "" {
+		return fmt.Errorf("-scenario drives participant behaviors itself; drop -malicious")
 	}
 
 	data := ml.Blobs(60**trainers, 8, 4, 1.2, *seed)
@@ -97,11 +112,12 @@ func run(args []string) error {
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("ipfs-%02d", i)
 	}
-	// Under churn the schedule deadlines do real work: crashed trainers
-	// cost a full t_train wait, and standby failover adds another, so the
-	// generous no-churn t_train would stall crash rounds for minutes.
+	// Under a scenario the schedule deadlines do real work: crashed or
+	// partitioned trainers cost a full t_train wait, and standby failover
+	// adds another, so the generous fault-free t_train would stall those
+	// rounds for minutes.
 	tTrain, tSync := time.Minute, 2*time.Second
-	if !churnPlan.Empty() {
+	if !splan.Empty() || *quorum > 0 {
 		tTrain, tSync = 2*time.Second, 10*time.Second
 	}
 	cfg, err := core.NewConfig(core.TaskSpec{
@@ -147,10 +163,6 @@ func run(args []string) error {
 			return err
 		}
 	}
-	plan, err := storage.ParseFaultPlan(*faults)
-	if err != nil {
-		return err
-	}
 	net.SetFaultSeed(*seed) // flaky-node coin flips reproduce under -seed
 
 	// The session runs over the resilience layer: injected faults are
@@ -188,10 +200,11 @@ func run(args []string) error {
 		return err
 	}
 
-	var runner *core.ChurnRunner
-	if !churnPlan.Empty() {
-		runner = core.NewChurnRunner(task, net, churnPlan)
-		runner.SetMetrics(reg)
+	var runner *core.ScenarioRunner
+	if !splan.Empty() || *quorum > 0 {
+		runner = core.NewScenarioRunner(task, net, splan)
+		runner.SetQuorum(*quorum, *quorumWait)
+		runner.Churn().SetMetrics(reg)
 	}
 
 	var behaviors map[string]core.Behavior
@@ -283,20 +296,14 @@ func run(args []string) error {
 		start = task.Round()
 	}
 	fmt.Printf("%-8s %10s %10s %10s %10s\n", "round", "loss", "accuracy", "applied", "detected")
+	var finalAcc float64
 	for r := start; r < start+*rounds; r++ {
-		applied, err := plan.Apply(net, r)
-		if err != nil {
-			return fmt.Errorf("faults round %d: %w", r, err)
-		}
-		for _, ev := range applied {
-			fmt.Printf("fault before round %d: %s\n", r, ev)
-		}
 		var metrics core.RoundMetrics
 		if runner != nil {
-			var churned []string
-			metrics, _, churned, err = runner.RunRound(context.Background())
-			for _, ev := range churned {
-				fmt.Printf("churn round %d: %s\n", r, ev)
+			var injected []string
+			metrics, _, injected, err = runner.RunRound(context.Background())
+			for _, ev := range injected {
+				fmt.Printf("scenario round %d: %s\n", r, ev)
 			}
 		} else {
 			metrics, _, err = task.RunRound(context.Background(), behaviors)
@@ -314,7 +321,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8d %10.4f %10.3f %10v %10v\n", r, metrics.Loss, acc, metrics.Applied, metrics.Detected)
+		finalAcc = acc
+		extra := ""
+		if metrics.LateFolded > 0 {
+			extra = fmt.Sprintf("   (+%d late delta(s) folded)", metrics.LateFolded)
+		}
+		fmt.Printf("%-8d %10.4f %10.3f %10v %10v%s\n", r, metrics.Loss, acc, metrics.Applied, metrics.Detected, extra)
 		if *cleanup {
 			if _, err := sess.CleanupIteration(context.Background(), r); err != nil {
 				return fmt.Errorf("cleanup round %d: %w", r, err)
@@ -323,7 +335,7 @@ func run(args []string) error {
 		if *gc {
 			opts := core.GCOptions{KeepIters: []int{r}}
 			if runner != nil {
-				if ref, ok := runner.Checkpoint(); ok {
+				if ref, ok := runner.Churn().Checkpoint(); ok {
 					opts.KeepRoots = []dag.Ref{ref}
 				}
 			}
@@ -335,10 +347,27 @@ func run(args []string) error {
 				r, rep.Scanned, rep.Kept, rep.Collected, float64(rep.BytesFreed)/1e3)
 		}
 	}
+	if runner != nil {
+		healed, err := runner.Finish(context.Background())
+		if err != nil {
+			return err
+		}
+		for _, ev := range healed {
+			fmt.Printf("scenario end: %s\n", ev)
+		}
+	}
 	stats := dir.Stats()
 	fmt.Printf("directory traffic: %d publishes (%d requests), %d lookups, %d verifications, %d rejections\n",
 		stats.Publishes, stats.Requests, stats.Lookups, stats.Verifications, stats.Rejections)
-	if !plan.Empty() {
+	if stats.Expunged > 0 || len(dir.Quarantined()) > 0 {
+		var banned []string
+		for tr, from := range dir.Quarantined() {
+			banned = append(banned, fmt.Sprintf("%s (from iter %d)", tr, from))
+		}
+		fmt.Printf("byzantine: %d gradient(s) expunged, quarantined: %s\n",
+			stats.Expunged, strings.Join(banned, ", "))
+	}
+	if !splan.FaultPlan().Empty() {
 		var retries, failovers int64
 		for _, op := range []string{"put", "get", "merge_get", "fetch", "publish", "publish_batch", "lookup", "update"} {
 			retries += reg.Counter("rpc_retries_total", "op", op).Value()
@@ -417,6 +446,12 @@ func run(args []string) error {
 			return fmt.Errorf("metrics-out: %w", err)
 		}
 		fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
+	}
+	if q := reg.Counter("quorum_proceed_total").Value(); q > 0 {
+		fmt.Printf("quorum: %d round-phase(s) closed early at %g of the gradient set\n", q, *quorum)
+	}
+	if *minAccuracy > 0 && finalAcc < *minAccuracy {
+		return fmt.Errorf("final accuracy %.3f below the -min-accuracy bound %.3f", finalAcc, *minAccuracy)
 	}
 	return nil
 }

@@ -71,6 +71,14 @@ func (r *ChurnRunner) Checkpoint() (dag.Ref, bool) { return r.checkpoint, r.hasC
 // returns the round's metrics and result plus human-readable
 // descriptions of the churn applied.
 func (r *ChurnRunner) RunRound(ctx context.Context) (RoundMetrics, *IterationResult, []string, error) {
+	return r.RunRoundOpts(ctx, RoundOptions{})
+}
+
+// RunRoundOpts is RunRound with extra round options merged on top of the
+// churn-induced ones — the scenario engine layers fault injections
+// (partitions, Byzantine uploads, stragglers, quorum) over a churn plan
+// this way. Churn-induced dropouts and absences win over the extras.
+func (r *ChurnRunner) RunRoundOpts(ctx context.Context, extra RoundOptions) (RoundMetrics, *IterationResult, []string, error) {
 	round := r.task.Round()
 	applied, rest, err := r.plan.ApplyStorage(r.net, round)
 	if err != nil {
@@ -86,20 +94,47 @@ func (r *ChurnRunner) RunRound(ctx context.Context) (RoundMetrics, *IterationRes
 	r.churnEvents.Add(int64(len(applied)))
 
 	var behaviors map[string]Behavior
-	if len(r.crashedAggs) > 0 {
-		behaviors = make(map[string]Behavior, len(r.crashedAggs))
+	if len(r.crashedAggs) > 0 || len(extra.Behaviors) > 0 {
+		behaviors = make(map[string]Behavior, len(r.crashedAggs)+len(extra.Behaviors))
+		for agg, b := range extra.Behaviors {
+			behaviors[agg] = b
+		}
 		for agg := range r.crashedAggs {
 			behaviors[agg] = BehaviorDropout
+		}
+	}
+	absent := r.crashedTrainers
+	if len(extra.Absent) > 0 {
+		absent = make(map[string]bool, len(r.crashedTrainers)+len(extra.Absent))
+		for tr, v := range extra.Absent {
+			if v {
+				absent[tr] = true
+			}
+		}
+		for tr := range r.crashedTrainers {
+			absent[tr] = true
 		}
 	}
 	standbys, err := r.standbys()
 	if err != nil {
 		return RoundMetrics{}, nil, applied, err
 	}
+	for p, standby := range extra.Standbys {
+		if _, taken := standbys[p]; !taken {
+			if standbys == nil {
+				standbys = make(map[int]string)
+			}
+			standbys[p] = standby
+		}
+	}
 	metrics, res, err := r.task.RunRoundOpts(ctx, RoundOptions{
-		Behaviors: behaviors,
-		Absent:    r.crashedTrainers,
-		Standbys:  standbys,
+		Behaviors:  behaviors,
+		Absent:     absent,
+		Standbys:   standbys,
+		Late:       extra.Late,
+		Corrupt:    extra.Corrupt,
+		Quorum:     extra.Quorum,
+		QuorumWait: extra.QuorumWait,
 	})
 	if err != nil {
 		return metrics, res, applied, err

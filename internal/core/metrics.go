@@ -36,6 +36,11 @@ type sessionMetrics struct {
 	screenedOut       *obs.Counter
 	globalsPublished  *obs.Counter
 	globalsRejected   *obs.Counter
+
+	// Graceful-degradation paths (scenario engine).
+	quorumProceeds       *obs.Counter // rounds closed at m-of-n after the quorum wait
+	byzantineRejects     *obs.Counter // gradients rejected for commitment mismatch
+	byzantineQuarantines *obs.Counter // trainers quarantined after repeated offenses
 }
 
 // SetMetrics points the session's instrumentation at a registry (nil
@@ -69,6 +74,10 @@ func (s *Session) SetMetrics(reg *obs.Registry) {
 		screenedOut:        reg.Counter("screened_out_total"),
 		globalsPublished:   reg.Counter("globals_published_total"),
 		globalsRejected:    reg.Counter("globals_rejected_total"),
+
+		quorumProceeds:       reg.Counter("quorum_proceed_total"),
+		byzantineRejects:     reg.Counter("byzantine_rejects_total"),
+		byzantineQuarantines: reg.Counter("byzantine_quarantines_total"),
 	}
 }
 

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ipls/internal/scenario"
+	"ipls/internal/storage"
+)
+
+// ScenarioRunner drives a Task across rounds under a composed
+// scenario.Plan, fanning one plan out into per-subsystem injections:
+//
+//   - churn events (depart/crash/rejoin) flow through the wrapped
+//     ChurnRunner, which applies storage events to the network and
+//     turns role events into dropouts, absences and standbys;
+//   - slow/flaky events with iteration windows become storage fault
+//     injections, applied before each round and cleared after their
+//     window (timed windows target the virtual-clock simulator and are
+//     ignored here);
+//   - partition windows isolate their non-mainline groups: storage
+//     members are cut off via Network.Partition, trainers sit the
+//     window out, aggregators behave as dropouts. When the window
+//     closes, the network Heals (provider re-announce) and a
+//     RepairScan restores replication both ways;
+//   - corrupt events inject Byzantine uploads, late events inject
+//     stragglers whose deltas fold into the next round;
+//   - a quorum setting (SetQuorum) lets every round close at m-of-n.
+type ScenarioRunner struct {
+	churn   *ChurnRunner
+	net     *storage.Network
+	plan    *scenario.Plan
+	faults  *storage.FaultPlan
+	windows []scenario.PartitionWindow
+
+	// openIdx is the index of the partition window currently in force
+	// (-1 when the network is whole); openStorage remembers whether it
+	// isolated storage nodes, i.e. whether closing it must Heal.
+	openIdx     int
+	openStorage bool
+
+	quorum     float64
+	quorumWait time.Duration
+}
+
+// NewScenarioRunner compiles the plan's per-subsystem injectors over a
+// task. net may be nil (direct backends); storage-node events then fail
+// as unknown participants, and partitions can only name roles.
+func NewScenarioRunner(task *Task, net *storage.Network, plan *scenario.Plan) *ScenarioRunner {
+	return &ScenarioRunner{
+		churn:   NewChurnRunner(task, net, plan.ChurnPlan()),
+		net:     net,
+		plan:    plan,
+		faults:  plan.FaultPlan(),
+		windows: plan.PartitionWindows(),
+		openIdx: -1,
+	}
+}
+
+// SetQuorum lets every aggregator close its gradient wait at
+// ceil(q·n)-of-n once wait has passed (0 disables; invalid in
+// verifiable mode — RunRound will report the iteration's error).
+func (sr *ScenarioRunner) SetQuorum(q float64, wait time.Duration) {
+	sr.quorum, sr.quorumWait = q, wait
+}
+
+// Churn exposes the wrapped churn runner (checkpoints, metrics).
+func (sr *ScenarioRunner) Churn() *ChurnRunner { return sr.churn }
+
+// RunRound applies every injection scheduled for the task's current
+// round — closing an expired partition window first, then storage
+// faults, then opening a partition window that starts now — and runs
+// the round with the induced role degradations. The returned strings
+// describe the injections applied, in order.
+func (sr *ScenarioRunner) RunRound(ctx context.Context) (RoundMetrics, *IterationResult, []string, error) {
+	round := sr.churn.task.Round()
+	var applied []string
+
+	// Close a partition window that ended before this round: the
+	// isolated side rejoins, re-announces its blocks, and a RepairScan
+	// reconciles replication in both directions.
+	if sr.openIdx >= 0 && round > sr.windows[sr.openIdx].ToIter {
+		desc, err := sr.heal(ctx)
+		if err != nil {
+			return RoundMetrics{}, nil, applied, err
+		}
+		applied = append(applied, desc...)
+	}
+
+	// Storage fault injections (slow/flaky edges) for this round.
+	if sr.net != nil && !sr.faults.Empty() {
+		msgs, err := sr.faults.Apply(sr.net, round)
+		if err != nil {
+			return RoundMetrics{}, nil, applied, err
+		}
+		applied = append(applied, msgs...)
+	}
+
+	// Open a partition window that starts at (or spans) this round.
+	if sr.openIdx < 0 {
+		for i, w := range sr.windows {
+			if w.FromIter <= round && round <= w.ToIter {
+				desc, err := sr.open(ctx, i)
+				if err != nil {
+					return RoundMetrics{}, nil, applied, err
+				}
+				applied = append(applied, desc...)
+				break
+			}
+		}
+	}
+
+	extra := RoundOptions{
+		Quorum:     sr.quorum,
+		QuorumWait: sr.quorumWait,
+		Corrupt:    sr.plan.CorruptAt(round),
+		Late:       sr.plan.LateAt(round),
+	}
+	if sr.openIdx >= 0 {
+		cfg := sr.churn.task.session.cfg
+		for _, id := range sr.windows[sr.openIdx].Isolated() {
+			switch {
+			case isTrainer(cfg, id):
+				if extra.Absent == nil {
+					extra.Absent = make(map[string]bool)
+				}
+				extra.Absent[id] = true
+			default:
+				if _, ok := aggregatorPartition(cfg, id); ok {
+					if extra.Behaviors == nil {
+						extra.Behaviors = make(map[string]Behavior)
+					}
+					extra.Behaviors[id] = BehaviorDropout
+				}
+			}
+		}
+	}
+
+	metrics, res, churned, err := sr.churn.RunRoundOpts(ctx, extra)
+	return metrics, res, append(applied, churned...), err
+}
+
+// Finish closes any partition window still open after the last round,
+// so a scenario that ends mid-window leaves the network whole.
+func (sr *ScenarioRunner) Finish(ctx context.Context) ([]string, error) {
+	if sr.openIdx < 0 {
+		return nil, nil
+	}
+	return sr.heal(ctx)
+}
+
+// open puts window i's partition in force: storage members are isolated
+// on the network; role members degrade via RunRound's RoundOptions.
+func (sr *ScenarioRunner) open(ctx context.Context, i int) ([]string, error) {
+	_ = ctx
+	w := sr.windows[i]
+	cfg := sr.churn.task.session.cfg
+	var stores, roles []string
+	for _, id := range w.Isolated() {
+		if sr.net != nil && isStorageNode(cfg, id) {
+			stores = append(stores, id)
+		} else {
+			roles = append(roles, id)
+		}
+	}
+	if len(stores) > 0 {
+		if err := sr.net.Partition(stores); err != nil {
+			return nil, fmt.Errorf("core: scenario partition at iter %d: %w", w.FromIter, err)
+		}
+	}
+	sr.openIdx = i
+	sr.openStorage = len(stores) > 0
+	return []string{fmt.Sprintf("partition open (iter %d..%d): %d storage node(s), %d role(s) isolated",
+		w.FromIter, w.ToIter, len(stores), len(roles))}, nil
+}
+
+// heal closes the open partition window: Network.Heal re-announces the
+// isolated side's blocks and a RepairScan re-replicates what either
+// side lost during the split.
+func (sr *ScenarioRunner) heal(ctx context.Context) ([]string, error) {
+	w := sr.windows[sr.openIdx]
+	sr.openIdx = -1
+	if !sr.openStorage || sr.net == nil {
+		return []string{fmt.Sprintf("partition closed (iter %d..%d): roles back in rotation", w.FromIter, w.ToIter)}, nil
+	}
+	sr.openStorage = false
+	if err := sr.net.Heal(); err != nil {
+		return nil, fmt.Errorf("core: scenario heal after iter %d: %w", w.ToIter, err)
+	}
+	report, err := sr.net.RepairScan(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: scenario repair after iter %d: %w", w.ToIter, err)
+	}
+	return []string{fmt.Sprintf("partition healed (iter %d..%d): providers re-announced, %d block(s) re-replicated",
+		w.FromIter, w.ToIter, report.Repaired)}, nil
+}
+
+// isStorageNode reports whether id is one of the task's storage nodes.
+func isStorageNode(cfg *Config, id string) bool {
+	for _, n := range cfg.StorageNodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ipls/internal/directory"
+	"ipls/internal/ml"
+	"ipls/internal/obs"
+	"ipls/internal/scenario"
+	"ipls/internal/storage"
+)
+
+// newScenarioTask is newChurnTask with knobs: verifiable mode and
+// merge-and-download providers, the combination the Byzantine path
+// needs (detection lives in the BatchVerify fallback of the merged
+// download).
+func newScenarioTask(t *testing.T, verifiable bool, providers int) (*Task, *storage.Network, *directory.Service, *ml.Dataset) {
+	t.Helper()
+	const trainers = 8
+	m := ml.NewLogistic(4, 4)
+	data := ml.Blobs(480, 4, 4, 0.8, 77)
+	names := make([]string, trainers)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	stores := make([]string, 6)
+	for i := range stores {
+		stores[i] = fmt.Sprintf("ipfs-%02d", i)
+	}
+	ts := TaskSpec{
+		TaskID:                  "scenario-task",
+		ModelDim:                m.Dim(),
+		Partitions:              2,
+		Trainers:                names,
+		AggregatorsPerPartition: 1,
+		StorageNodes:            stores,
+		ProvidersPerAggregator:  providers,
+		Verifiable:              verifiable,
+		TTrain:                  400 * time.Millisecond,
+		TSync:                   5 * time.Second,
+		PollInterval:            time.Millisecond,
+	}
+	cfg, err := NewConfig(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, net, dir, err := NewLocalStack(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetPlacement(storage.PlacementRendezvous)
+	splits, err := data.SplitIID(trainers, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals := make(map[string]*ml.Dataset, trainers)
+	for i, name := range names {
+		locals[name] = splits[i]
+	}
+	sgd := ml.SGDConfig{LearningRate: 0.3, Epochs: 2, BatchSize: 16}
+	task, err := NewTask(sess, m, locals, sgd, m.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, net, dir, data
+}
+
+// TestScenarioRunnerPartitionOpensAndHeals drives a plan whose partition
+// window isolates a storage node for two rounds: rounds inside the
+// window still complete (replication covers the isolated node's blocks),
+// and when the window closes the network heals and re-replicates.
+func TestScenarioRunnerPartitionOpensAndHeals(t *testing.T) {
+	task, net, _, _ := newScenarioTask(t, false, 0)
+	reg := obs.NewRegistry()
+	task.session.SetMetrics(reg)
+	net.SetMetrics(reg)
+	plan, err := scenario.Parse("partition:mainline|ipfs-01@iter1..2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewScenarioRunner(task, net, plan)
+	runner.Churn().SetMetrics(reg)
+
+	ctx := context.Background()
+	for round := 0; round < 4; round++ {
+		metrics, res, applied, err := runner.RunRound(ctx)
+		if err != nil {
+			t.Fatalf("round %d (%v): %v", round, applied, err)
+		}
+		if !metrics.Applied {
+			t.Fatalf("round %d not applied (incomplete %v)", round, res.Incomplete)
+		}
+		switch round {
+		case 0:
+			if len(net.Partitioned()) != 0 {
+				t.Fatal("partition in force before its window")
+			}
+		case 1, 2:
+			if got := net.Partitioned(); len(got) != 1 || got[0] != "ipfs-01" {
+				t.Fatalf("round %d: partitioned = %v, want [ipfs-01]", round, got)
+			}
+			if err := net.Health(); err == nil {
+				t.Fatalf("round %d: network healthy while partitioned", round)
+			}
+		case 3:
+			if got := net.Partitioned(); len(got) != 0 {
+				t.Fatalf("round 3: partition not healed: %v", got)
+			}
+			if err := net.Health(); err != nil {
+				t.Fatalf("round 3: network unhealthy after heal: %v", err)
+			}
+		}
+	}
+	if got := reg.Counter("partition_heals_total").Value(); got != 1 {
+		t.Fatalf("partition_heals_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("partition_active_nodes").Value(); got != 0 {
+		t.Fatalf("partition_active_nodes = %v, want 0", got)
+	}
+	if got := len(net.UnderReplicated()); got != 0 {
+		t.Fatalf("%d blocks under-replicated after heal", got)
+	}
+}
+
+// TestScenarioRunnerFinishHealsOpenWindow covers a plan whose partition
+// window outlives the run: Finish must close it.
+func TestScenarioRunnerFinishHealsOpenWindow(t *testing.T) {
+	task, net, _, _ := newScenarioTask(t, false, 0)
+	plan, err := scenario.Parse("partition:mainline|ipfs-02@iter1..9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewScenarioRunner(task, net, plan)
+	ctx := context.Background()
+	for round := 0; round < 2; round++ {
+		if _, _, applied, err := runner.RunRound(ctx); err != nil {
+			t.Fatalf("round %d (%v): %v", round, applied, err)
+		}
+	}
+	if len(net.Partitioned()) != 1 {
+		t.Fatal("window not open at end of run")
+	}
+	if _, err := runner.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Partitioned(); len(got) != 0 {
+		t.Fatalf("Finish left partition %v", got)
+	}
+}
+
+// TestQuorumRoundProceedsAndFoldsLateDelta is the examples/quorum story
+// as a test: with quorum 0.8 over 8 trainers (need 7) and one late
+// trainer, the round closes at 7-of-8 shortly after the quorum wait
+// instead of blocking until t_train, and the straggler's delta folds
+// into the next round age-discounted.
+func TestQuorumRoundProceedsAndFoldsLateDelta(t *testing.T) {
+	task, net, _, _ := newScenarioTask(t, false, 0)
+	reg := obs.NewRegistry()
+	task.session.SetMetrics(reg)
+	plan, err := scenario.Parse("late:t2@iter0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewScenarioRunner(task, net, plan)
+	runner.SetQuorum(0.8, 50*time.Millisecond)
+
+	ctx := context.Background()
+	start := time.Now()
+	metrics, res, _, err := runner.RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !metrics.Applied || len(res.Incomplete) != 0 {
+		t.Fatalf("quorum round did not complete: %+v incomplete %v", metrics, res.Incomplete)
+	}
+	if metrics.LateFolded != 0 {
+		t.Fatalf("round 0 folded %d deltas, want 0 (stash is for the next round)", metrics.LateFolded)
+	}
+	// The round must have closed well before the 400ms t_train deadline
+	// would have released the wait (two partitions would stack two waits).
+	if elapsed > 350*time.Millisecond {
+		t.Fatalf("quorum round took %v; the wait did not cut at quorum", elapsed)
+	}
+	if got := reg.Counter("quorum_proceed_total").Value(); got == 0 {
+		t.Fatal("quorum_proceed_total = 0, want > 0")
+	}
+
+	metrics, _, _, err = runner.RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.LateFolded != 1 {
+		t.Fatalf("round 1 folded %d late deltas, want 1", metrics.LateFolded)
+	}
+}
+
+// TestQuorumRejectedInVerifiableMode pins the incompatibility: the
+// directory's closure gate counts every expected trainer, so m-of-n
+// rounds cannot coexist with commitment verification.
+func TestQuorumRejectedInVerifiableMode(t *testing.T) {
+	task, net, _, _ := newScenarioTask(t, true, 2)
+	runner := NewScenarioRunner(task, net, &scenario.Plan{})
+	runner.SetQuorum(0.5, 10*time.Millisecond)
+	if _, _, _, err := runner.RunRound(context.Background()); err == nil {
+		t.Fatal("quorum in verifiable mode must be rejected")
+	}
+}
+
+// TestCorruptUploadQuarantinedEndToEnd is the issue's Byzantine
+// acceptance scenario: a trainer whose stored gradient bytes are
+// tampered (commitment honest, data corrupt) is caught by the
+// BatchVerify per-group fallback, its records are expunged from the
+// directory (accumulators uncombined), and after the strike limit it is
+// quarantined — while the honest trainers' rounds keep completing and
+// the model converges.
+func TestCorruptUploadQuarantinedEndToEnd(t *testing.T) {
+	task, net, dir, data := newScenarioTask(t, true, 2)
+	reg := obs.NewRegistry()
+	task.session.SetMetrics(reg)
+	plan, err := scenario.Parse("corrupt:t1@iter1..2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewScenarioRunner(task, net, plan)
+
+	ctx := context.Background()
+	for round := 0; round < 4; round++ {
+		metrics, res, applied, err := runner.RunRound(ctx)
+		if err != nil {
+			t.Fatalf("round %d (%v): %v", round, applied, err)
+		}
+		if !metrics.Applied {
+			t.Fatalf("round %d not applied (incomplete %v)", round, res.Incomplete)
+		}
+	}
+
+	// Both partitions detected the tampered upload in round 1: two
+	// strikes, so the quarantine starts at round 2 and the round-2
+	// corruption never lands.
+	if got := reg.Counter("byzantine_rejects_total").Value(); got != 2 {
+		t.Fatalf("byzantine_rejects_total = %d, want 2", got)
+	}
+	if got := reg.Counter("byzantine_quarantines_total").Value(); got != 1 {
+		t.Fatalf("byzantine_quarantines_total = %d, want 1", got)
+	}
+	q := dir.Quarantined()
+	if from, bad := q["t1"]; !bad || from != 2 {
+		t.Fatalf("quarantined = %v, want t1 from iter 2", q)
+	}
+	if got := dir.Stats().Expunged; got != 2 {
+		t.Fatalf("expunged = %d, want 2", got)
+	}
+
+	acc, _, err := task.Evaluate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("model did not converge despite quarantine: accuracy %v", acc)
+	}
+}

@@ -77,7 +77,19 @@ type Session struct {
 	meter   obs.ResourceMeter
 	metrics sessionMetrics
 	keyring *identity.Keyring
+
+	// Byzantine strike ledger shared by every aggregator role this
+	// session drives: one strike per distinct offending upload, and a
+	// quarantine report to the directory at the strike limit.
+	byzMu      sync.Mutex
+	byzSeen    map[directory.Addr]bool
+	byzStrikes map[string]int
+	byzOut     map[string]bool
 }
+
+// byzantineStrikeLimit is how many distinct proven-Byzantine uploads a
+// trainer gets before the session asks the directory to quarantine it.
+const byzantineStrikeLimit = 2
 
 // SetKeyring attaches the private keys this process controls; records
 // published for those IDs are signed, which authenticated directories
@@ -135,12 +147,15 @@ func NewSession(cfg *Config, store storage.Client, dir Directory) (*Session, err
 		return nil, err
 	}
 	return &Session{
-		cfg:    cfg,
-		store:  store,
-		dir:    dir,
-		params: params,
-		quant:  quant,
-		field:  field,
+		cfg:        cfg,
+		store:      store,
+		dir:        dir,
+		params:     params,
+		quant:      quant,
+		field:      field,
+		byzSeen:    make(map[directory.Addr]bool),
+		byzStrikes: make(map[string]int),
+		byzOut:     make(map[string]bool),
 	}, nil
 }
 
@@ -201,10 +216,10 @@ func (s *Session) poll(ctx context.Context, deadline time.Time, fn func() (bool,
 // its record — including the Pedersen commitment in verifiable mode — is
 // published to the directory.
 func (s *Session) TrainerUpload(ctx context.Context, trainer string, iter int, delta []float64) error {
-	return s.trainerUpload(ctx, obs.SpanContext{}, trainer, iter, delta)
+	return s.trainerUpload(ctx, obs.SpanContext{}, trainer, iter, delta, false)
 }
 
-func (s *Session) trainerUpload(ctx context.Context, parent obs.SpanContext, trainer string, iter int, delta []float64) (err error) {
+func (s *Session) trainerUpload(ctx context.Context, parent obs.SpanContext, trainer string, iter int, delta []float64, corrupt bool) (err error) {
 	defer observeSince(s.metrics.phaseUpload, time.Now())
 	sc := s.startSpan("upload", trainer, iter, parent)
 	defer func() { sc.endErr(err) }()
@@ -219,7 +234,17 @@ func (s *Session) trainerUpload(ctx context.Context, parent obs.SpanContext, tra
 		if err != nil {
 			return fmt.Errorf("core: trainer %s partition %d: %w", trainer, i, err)
 		}
-		data, err := block.Encode()
+		stored := block
+		if corrupt {
+			// Byzantine injection: commit to the honest gradient but
+			// store a tampered block, so the CID matches the stored bytes
+			// and only commitment verification can catch the lie.
+			tampered := make([]*big.Int, len(block.Values))
+			copy(tampered, block.Values)
+			tampered[0] = s.field.Add(tampered[0], big.NewInt(1))
+			stored = model.Block{Values: tampered}
+		}
+		data, err := stored.Encode()
 		if err != nil {
 			return fmt.Errorf("core: trainer %s partition %d: %w", trainer, i, err)
 		}
@@ -264,6 +289,12 @@ func (s *Session) trainerUpload(ctx context.Context, parent obs.SpanContext, tra
 	}); ok {
 		err := batcher.PublishBatch(ctx, recs)
 		pub.endErr(err)
+		if errors.Is(err, directory.ErrQuarantined) {
+			// The directory banned this trainer after proven-Byzantine
+			// uploads; it sits the task out rather than failing the round.
+			s.noteQuarantined(trainer)
+			return nil
+		}
 		if err != nil {
 			return fmt.Errorf("core: trainer %s publish: %w", trainer, err)
 		}
@@ -271,6 +302,10 @@ func (s *Session) trainerUpload(ctx context.Context, parent obs.SpanContext, tra
 		for _, rec := range recs {
 			if err := s.dir.Publish(ctx, rec); err != nil {
 				pub.endErr(err)
+				if errors.Is(err, directory.ErrQuarantined) {
+					s.noteQuarantined(trainer)
+					return nil
+				}
 				return fmt.Errorf("core: trainer %s publish partition %d: %w", trainer, rec.Addr.Partition, err)
 			}
 		}
@@ -393,10 +428,10 @@ type AggregatorReport struct {
 // taking over for missing or cheating peers), and publish the global
 // update. The behavior parameter injects the malicious deviations of §III-A.
 func (s *Session) AggregatorRun(ctx context.Context, agg string, partition, iter int, behavior Behavior) (*AggregatorReport, error) {
-	return s.aggregatorRun(ctx, obs.SpanContext{}, agg, partition, iter, behavior)
+	return s.aggregatorRun(ctx, obs.SpanContext{}, agg, partition, iter, behavior, IterationOptions{})
 }
 
-func (s *Session) aggregatorRun(ctx context.Context, parent obs.SpanContext, agg string, partition, iter int, behavior Behavior) (_ *AggregatorReport, err error) {
+func (s *Session) aggregatorRun(ctx context.Context, parent obs.SpanContext, agg string, partition, iter int, behavior Behavior, opts IterationOptions) (_ *AggregatorReport, err error) {
 	if behavior == 0 {
 		behavior = BehaviorHonest
 	}
@@ -418,10 +453,17 @@ func (s *Session) aggregatorRun(ctx context.Context, parent obs.SpanContext, agg
 	if len(expected) == 0 {
 		return report, fmt.Errorf("core: aggregator %s has no trainers for partition %d", agg, partition)
 	}
+	want := len(expected)
+	// Quarantined trainers will never publish again: don't idle out
+	// t_train waiting for them (the directory's closure gate excludes
+	// them too).
+	if q := s.quarantinedOf(expected); q > 0 && q < len(expected) {
+		want -= q
+	}
 
 	// Phase 1: collect gradients from my trainers (Algorithm 1, 28-34).
 	wait := sc.child("gradient_wait")
-	recs, err := s.awaitGradients(ctx, iter, partition, agg, len(expected), time.Now().Add(s.cfg.TTrain))
+	recs, err := s.awaitGradients(ctx, iter, partition, agg, want, time.Now().Add(s.cfg.TTrain), opts)
 	wait.attr("gradients", fmt.Sprint(len(recs)))
 	wait.endErr(err)
 	if err != nil {
@@ -613,7 +655,7 @@ func (s *Session) aggregatorRun(ctx context.Context, parent obs.SpanContext, agg
 		to := sc.child("takeover")
 		to.attr("peer", peer)
 		peerExpected := s.cfg.TrainersOf(partition, peer)
-		peerRecs, err := s.awaitGradients(ctx, iter, partition, peer, len(peerExpected), time.Now().Add(s.cfg.TTrain))
+		peerRecs, err := s.awaitGradients(ctx, iter, partition, peer, len(peerExpected), time.Now().Add(s.cfg.TTrain), opts)
 		if err != nil || len(peerRecs) == 0 {
 			to.endErr(err)
 			continue
@@ -662,7 +704,7 @@ func (s *Session) aggregatorRun(ctx context.Context, parent obs.SpanContext, agg
 // the partition's lead aggregator role itself, using the directory
 // records the crashed role would have used. The returned report, when
 // non-nil, is the takeover's; a healthy partition returns (nil, nil).
-func (s *Session) standbyWatch(ctx context.Context, parent obs.SpanContext, standby string, partition, iter int) (*AggregatorReport, error) {
+func (s *Session) standbyWatch(ctx context.Context, parent obs.SpanContext, standby string, partition, iter int, opts IterationOptions) (*AggregatorReport, error) {
 	deadline := time.Now().Add(s.cfg.TTrain)
 	topic := storage.Topic(s.cfg.TaskID, iter, partition)
 	announcer, hasPubSub := s.store.(Announcer)
@@ -693,7 +735,7 @@ func (s *Session) standbyWatch(ctx context.Context, parent obs.SpanContext, stan
 	s.metrics.standbyTakeovers.Inc()
 	s.emit(EventStandbyTakeover, standby, iter, partition,
 		"no life signs from partition %d aggregators by failover deadline; %s executing %s", partition, standby, lead)
-	rep, err := s.aggregatorRun(ctx, parent, lead, partition, iter, BehaviorHonest)
+	rep, err := s.aggregatorRun(ctx, parent, lead, partition, iter, BehaviorHonest, opts)
 	if rep != nil {
 		rep.ExecutedBy = standby
 	}
@@ -709,12 +751,33 @@ func (s *Session) standbyWatch(ctx context.Context, parent obs.SpanContext, stan
 }
 
 // awaitGradients polls the directory until all expected gradient records
-// for (iter, partition, aggregator) are visible.
-func (s *Session) awaitGradients(ctx context.Context, iter, partition int, agg string, want int, deadline time.Time) ([]directory.Record, error) {
+// for (iter, partition, aggregator) are visible. With a quorum option, a
+// round that has m = ceil(Quorum·want) gradients after QuorumWait
+// proceeds without the stragglers — graceful degradation instead of
+// idling out the whole t_train window on one slow trainer.
+func (s *Session) awaitGradients(ctx context.Context, iter, partition int, agg string, want int, deadline time.Time, opts IterationOptions) ([]directory.Record, error) {
+	need := want
+	var quorumAt time.Time
+	if opts.Quorum > 0 && opts.Quorum < 1 {
+		need = int(math.Ceil(opts.Quorum * float64(want)))
+		if need < 1 {
+			need = 1
+		}
+		quorumAt = time.Now().Add(opts.QuorumWait)
+	}
 	var recs []directory.Record
 	err := s.poll(ctx, deadline, func() (bool, error) {
 		recs = s.dir.GradientsFor(ctx, iter, partition, agg)
-		return len(recs) >= want, nil
+		if len(recs) >= want {
+			return true, nil
+		}
+		if need < want && len(recs) >= need && !time.Now().Before(quorumAt) {
+			s.metrics.quorumProceeds.Inc()
+			s.emit(EventQuorumProceed, agg, iter, partition,
+				"quorum reached: proceeding with %d of %d gradients", len(recs), want)
+			return true, nil
+		}
+		return false, nil
 	})
 	if errors.Is(err, ErrTimeout) && len(recs) > 0 {
 		// Late trainers miss the round (Algorithm 1, 10-12); aggregate
@@ -898,12 +961,24 @@ func (s *Session) downloadGradients(ctx context.Context, sc *spanScope, recs []d
 					}
 				}
 				if !groupOK {
-					// Provider cheated: fall back to individual
-					// CID-verified downloads.
+					// The provider cheated — or one of the gradients it
+					// merged was never a pre-image of its published
+					// commitment. Fall back to individual CID-verified
+					// downloads and screen each block against its own
+					// commitment to attribute the offense: a Byzantine
+					// upload is dropped and reported, honest blocks stay.
 					for _, rec := range pm.grp {
 						b, err := s.fetchGradient(ctx, rec)
 						if err != nil {
 							return nil, merges, err
+						}
+						recOK, err := s.params.Verify(b.Values, rec.Commitment)
+						if err != nil {
+							return nil, merges, err
+						}
+						if !recOK {
+							s.reportByzantine(ctx, rec)
+							continue
 						}
 						out[ni] = append(out[ni], b)
 					}
@@ -929,6 +1004,83 @@ func (s *Session) downloadGradients(ctx context.Context, sc *spanScope, recs []d
 		blocks = append(blocks, b)
 	}
 	return blocks, merges, nil
+}
+
+// reportByzantine handles a gradient block that is not a pre-image of
+// its published commitment: the upload — not the storage provider — is
+// at fault, since the block already passed CID verification. The record
+// is expunged from the directory (which independently re-verifies before
+// removing anything), so the honest remainder of the round still
+// verifies against the partition accumulator, and a repeat offender is
+// quarantined at the strike limit.
+func (s *Session) reportByzantine(ctx context.Context, rec directory.Record) {
+	s.byzMu.Lock()
+	if s.byzSeen[rec.Addr] {
+		s.byzMu.Unlock()
+		return // another role of this session already reported it
+	}
+	s.byzSeen[rec.Addr] = true
+	s.byzStrikes[rec.Addr.Uploader]++
+	strikes := s.byzStrikes[rec.Addr.Uploader]
+	quarantine := strikes >= byzantineStrikeLimit && !s.byzOut[rec.Addr.Uploader]
+	if quarantine {
+		s.byzOut[rec.Addr.Uploader] = true
+	}
+	s.byzMu.Unlock()
+
+	s.metrics.byzantineRejects.Inc()
+	s.emit(EventByzantineReject, "aggregator", rec.Addr.Iter, rec.Addr.Partition,
+		"gradient %s from %s does not open its commitment (strike %d)", rec.CID.Short(), rec.Addr.Uploader, strikes)
+	if expunger, ok := s.dir.(interface {
+		ExpungeGradient(ctx context.Context, addr directory.Addr) error
+	}); ok {
+		if err := expunger.ExpungeGradient(ctx, rec.Addr); err != nil && !errors.Is(err, directory.ErrNotFound) {
+			s.emit(EventByzantineReject, "aggregator", rec.Addr.Iter, rec.Addr.Partition,
+				"expunge of %s failed: %v", rec.CID.Short(), err)
+		}
+	}
+	if !quarantine {
+		return
+	}
+	s.metrics.byzantineQuarantines.Inc()
+	s.emit(EventByzantineQuarantine, "aggregator", rec.Addr.Iter, rec.Addr.Partition,
+		"%s quarantined after %d byzantine uploads", rec.Addr.Uploader, strikes)
+	if q, ok := s.dir.(interface {
+		Quarantine(trainer string, fromIter int)
+	}); ok {
+		q.Quarantine(rec.Addr.Uploader, rec.Addr.Iter+1)
+	}
+}
+
+// quarantinedOf counts how many of the given trainers this session has
+// seen quarantined.
+func (s *Session) quarantinedOf(trainers []string) int {
+	s.byzMu.Lock()
+	defer s.byzMu.Unlock()
+	n := 0
+	for _, tr := range trainers {
+		if s.byzOut[tr] {
+			n++
+		}
+	}
+	return n
+}
+
+// isQuarantined reports whether this session has seen the trainer
+// quarantined.
+func (s *Session) isQuarantined(trainer string) bool {
+	s.byzMu.Lock()
+	defer s.byzMu.Unlock()
+	return s.byzOut[trainer]
+}
+
+// noteQuarantined records a quarantine learned from the directory (an
+// ErrQuarantined publish rejection, e.g. after a process restart wiped
+// the local ledger).
+func (s *Session) noteQuarantined(trainer string) {
+	s.byzMu.Lock()
+	defer s.byzMu.Unlock()
+	s.byzOut[trainer] = true
 }
 
 // putWithFallback stores data on the preferred node, falling back to the
@@ -1108,6 +1260,23 @@ type IterationOptions struct {
 	// failover deadline, executes the partition's aggregation itself —
 	// the §III-D takeover generalized across partitions.
 	Standbys map[int]string
+
+	// Quorum, in (0,1), lets aggregators close their gradient wait with
+	// ceil(Quorum·n) of the n expected gradients once QuorumWait has
+	// passed — a round degrades to m-of-n instead of idling out t_train
+	// on stragglers. Stragglers miss the round here; ChurnRunner folds
+	// their deltas into the next round with an age-discounted weight.
+	// Quorum is invalid in verifiable mode: the directory's gradient-set
+	// closure gate holds global updates until every expected gradient
+	// arrived or t_train passed, which contradicts proceeding early.
+	Quorum     float64
+	QuorumWait time.Duration
+
+	// Corrupt marks trainers that upload Byzantine gradients this
+	// iteration: the stored block is tampered while the published
+	// commitment stays honest, so only commitment verification (the
+	// BatchVerify fallback path) can catch it.
+	Corrupt map[string]bool
 }
 
 // RunIteration executes one complete FL iteration: all trainers upload
@@ -1126,6 +1295,14 @@ func (s *Session) RunIterationOpts(ctx context.Context, iter int, deltas map[str
 func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter int, deltas map[string][]float64, behaviors map[string]Behavior, opts IterationOptions) (_ *IterationResult, err error) {
 	if !opts.AllowAbsent && len(deltas) != len(s.cfg.Trainers) {
 		return nil, fmt.Errorf("core: got %d deltas for %d trainers", len(deltas), len(s.cfg.Trainers))
+	}
+	if opts.Quorum != 0 {
+		if opts.Quorum < 0 || opts.Quorum >= 1 {
+			return nil, fmt.Errorf("core: quorum fraction %v outside (0,1)", opts.Quorum)
+		}
+		if s.params != nil {
+			return nil, errors.New("core: quorum rounds are incompatible with verifiable mode (the directory holds updates until the gradient set closes)")
+		}
 	}
 	// The iteration span roots the trace: every role span below runs as a
 	// child, so the critical path tiles the whole iteration.
@@ -1148,6 +1325,9 @@ func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter
 	}
 
 	for _, tr := range s.cfg.Trainers {
+		if s.isQuarantined(tr) {
+			continue // banned by the directory: sits the task out
+		}
 		delta, ok := deltas[tr]
 		if !ok {
 			if opts.AllowAbsent {
@@ -1158,7 +1338,7 @@ func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter
 		wg.Add(1)
 		go func(tr string, delta []float64) {
 			defer wg.Done()
-			if err := s.trainerUpload(ctx, it.ctx(), tr, iter, delta); err != nil {
+			if err := s.trainerUpload(ctx, it.ctx(), tr, iter, delta, opts.Corrupt[tr]); err != nil {
 				fail(err)
 			}
 		}(tr, delta)
@@ -1168,7 +1348,7 @@ func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter
 		wg.Add(1)
 		go func(ref AggregatorRef, b Behavior) {
 			defer wg.Done()
-			rep, err := s.aggregatorRun(ctx, it.ctx(), ref.ID, ref.Partition, iter, b)
+			rep, err := s.aggregatorRun(ctx, it.ctx(), ref.ID, ref.Partition, iter, b, opts)
 			mu.Lock()
 			result.Reports[ref.ID] = rep
 			mu.Unlock()
@@ -1181,7 +1361,7 @@ func (s *Session) runIteration(ctx context.Context, parent obs.SpanContext, iter
 		wg.Add(1)
 		go func(partition int, standby string) {
 			defer wg.Done()
-			rep, err := s.standbyWatch(ctx, it.ctx(), standby, partition, iter)
+			rep, err := s.standbyWatch(ctx, it.ctx(), standby, partition, iter, opts)
 			if rep != nil {
 				mu.Lock()
 				if result.Takeovers == nil {

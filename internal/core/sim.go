@@ -54,6 +54,15 @@ type SimConfig struct {
 	// §III-D. Gradients that miss the cutoff are excluded from the
 	// aggregate (and counted in SimResult.MissedGradients).
 	TTrainCutoff time.Duration
+	// QuorumFraction, when in (0,1), lets every gradient wait close at
+	// ceil(q·n)-of-n arrivals once the virtual clock passes QuorumWait —
+	// the quorum-round analogue of TTrainCutoff. Arrivals beyond the
+	// quorum that never land count as missed. Takes precedence over
+	// TTrainCutoff when both are set.
+	QuorumFraction float64
+	// QuorumWait is the virtual instant after which a quorum suffices;
+	// zero defaults to 1s.
+	QuorumWait time.Duration
 	// LinkLoss schedules capacity-degradation windows on simulated links
 	// (netsim.ParseLossWindow describes the textual form). Node names
 	// follow the simulation's own scheme: trainer-00, agg-p0-0, ipfs-00.
@@ -111,6 +120,11 @@ func (c SimConfig) validate() error {
 	}
 	if c.SlowTrainers > 0 && c.SlowFactor <= 1 {
 		return fmt.Errorf("core: slow factor must exceed 1, got %v", c.SlowFactor)
+	}
+	if c.QuorumFraction < 0 || c.QuorumFraction >= 1 {
+		if c.QuorumFraction != 0 {
+			return fmt.Errorf("core: quorum fraction must be in (0,1), got %v", c.QuorumFraction)
+		}
 	}
 	return nil
 }
@@ -340,11 +354,22 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	}
 
 	cutoff := cfg.TTrainCutoff
+	quorumWait := cfg.QuorumWait
+	if quorumWait <= 0 {
+		quorumWait = time.Second
+	}
 	// Crashed trainers' gradients are missed by definition.
 	missed := cfg.Partitions * len(churn.crashedTrainers)
-	// waitArrival waits for a counter, honoring the t_train cutoff, and
-	// reports whether the target was reached.
+	// waitArrival waits for a counter, honoring the quorum setting or the
+	// t_train cutoff, and reports whether the full target was reached.
 	waitArrival := func(c *netsim.Counter) bool {
+		if cfg.QuorumFraction > 0 {
+			need := int(math.Ceil(cfg.QuorumFraction * float64(c.Target())))
+			if need < 1 {
+				need = 1
+			}
+			return c.WaitQuorum(need, quorumWait)
+		}
 		if cutoff > 0 {
 			return c.WaitDeadline(cutoff)
 		}

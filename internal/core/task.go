@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"ipls/internal/directory"
 	"ipls/internal/ml"
@@ -21,7 +23,25 @@ type Task struct {
 	sgd     ml.SGDConfig
 	global  []float64
 	round   int
+
+	// late stashes deltas from trainers that trained but missed their
+	// round's upload window (RoundOptions.Late); they are folded into
+	// the next applied round with an age-discounted weight.
+	late []lateDelta
 }
+
+// lateDelta is one straggler's stashed contribution.
+type lateDelta struct {
+	trainer string
+	round   int
+	delta   []float64
+}
+
+// lateDecay is the per-round staleness discount for folded late deltas:
+// a delta that is a rounds old is applied with weight lateDecay^a / n
+// (n trainers), approximating the average contribution it would have
+// made in its own round, discounted for drift since.
+const lateDecay = 0.5
 
 // RoundMetrics reports one completed FL round.
 type RoundMetrics struct {
@@ -29,6 +49,9 @@ type RoundMetrics struct {
 	Loss     float64 // mean local training loss across trainers
 	Detected bool    // any malicious aggregation caught this round
 	Applied  bool    // the global model advanced (false when blocked)
+	// LateFolded counts stashed straggler deltas from earlier rounds
+	// folded into this round's global model (age-discounted).
+	LateFolded int
 }
 
 // NewTask validates shapes and creates a task. The model instance is used
@@ -134,7 +157,7 @@ func (t *Task) localDeltas(round int, absent map[string]bool) (map[string][]floa
 	return deltas, totalLoss / float64(trained), nil
 }
 
-// RoundOptions extends RunRound for churn scenarios.
+// RoundOptions extends RunRound for churn and fault scenarios.
 type RoundOptions struct {
 	// Behaviors injects per-aggregator deviations (nil for all-honest).
 	Behaviors map[string]Behavior
@@ -143,6 +166,17 @@ type RoundOptions struct {
 	Absent map[string]bool
 	// Standbys maps partition -> standby aggregator (IterationOptions).
 	Standbys map[int]string
+	// Late lists trainers that train this round but miss the upload
+	// window: their deltas are stashed and folded into the next applied
+	// round with an age-discounted weight (see lateDecay).
+	Late map[string]bool
+	// Corrupt lists trainers uploading Byzantine gradients this round
+	// (IterationOptions.Corrupt).
+	Corrupt map[string]bool
+	// Quorum and QuorumWait enable m-of-n rounds
+	// (IterationOptions.Quorum); invalid in verifiable mode.
+	Quorum     float64
+	QuorumWait time.Duration
 }
 
 // RunRound executes one FL round with the given per-aggregator behaviors
@@ -152,8 +186,10 @@ func (t *Task) RunRound(ctx context.Context, behaviors map[string]Behavior) (Rou
 	return t.RunRoundOpts(ctx, RoundOptions{Behaviors: behaviors})
 }
 
-// RunRoundOpts is RunRound under churn: absent trainers skip the round
-// entirely and standby aggregators watch their assigned partitions.
+// RunRoundOpts is RunRound under churn and faults: absent trainers skip
+// the round entirely, late trainers train but miss the upload window
+// (their deltas fold into the next applied round), and standby
+// aggregators watch their assigned partitions.
 func (t *Task) RunRoundOpts(ctx context.Context, opts RoundOptions) (RoundMetrics, *IterationResult, error) {
 	round := t.round
 	train := t.session.startSpan("train", "trainers", round, obs.SpanContext{})
@@ -162,8 +198,32 @@ func (t *Task) RunRoundOpts(ctx context.Context, opts RoundOptions) (RoundMetric
 	if err != nil {
 		return RoundMetrics{}, nil, err
 	}
+	// Stragglers trained, but their uploads miss the round (Algorithm 1,
+	// 10-12): pull their deltas out of the iteration and stash them.
+	stashed := 0
+	for tr, isLate := range opts.Late {
+		if !isLate {
+			continue
+		}
+		d, ok := deltas[tr]
+		if !ok {
+			continue // also absent: nothing was trained
+		}
+		delete(deltas, tr)
+		t.late = append(t.late, lateDelta{trainer: tr, round: round, delta: d})
+		stashed++
+	}
+	if stashed > 0 && len(deltas) == 0 {
+		return RoundMetrics{}, nil, fmt.Errorf("core: every trainer is late in round %d", round)
+	}
 	res, err := t.session.runIteration(ctx, obs.SpanContext{}, round, deltas, opts.Behaviors,
-		IterationOptions{AllowAbsent: len(opts.Absent) > 0, Standbys: opts.Standbys})
+		IterationOptions{
+			AllowAbsent: len(opts.Absent) > 0 || stashed > 0,
+			Standbys:    opts.Standbys,
+			Quorum:      opts.Quorum,
+			QuorumWait:  opts.QuorumWait,
+			Corrupt:     opts.Corrupt,
+		})
 	if err != nil {
 		return RoundMetrics{}, res, err
 	}
@@ -173,9 +233,39 @@ func (t *Task) RunRoundOpts(ctx context.Context, opts RoundOptions) (RoundMetric
 			t.global[i] += res.AvgDelta[i]
 		}
 		metrics.Applied = true
+		metrics.LateFolded = t.foldLate(round)
 	}
 	t.round++
 	return metrics, res, nil
+}
+
+// foldLate folds stashed deltas from rounds before the current one into
+// the global model, each weighted lateDecay^age/n — the straggler's
+// averaged contribution, discounted per round of staleness. Entries
+// stashed this round stay for the next applied round.
+func (t *Task) foldLate(round int) int {
+	if len(t.late) == 0 {
+		return 0
+	}
+	folded := 0
+	n := float64(len(t.session.cfg.Trainers))
+	kept := t.late[:0]
+	for _, ld := range t.late {
+		if ld.round >= round {
+			kept = append(kept, ld)
+			continue
+		}
+		age := round - ld.round
+		w := math.Pow(lateDecay, float64(age)) / n
+		for i := range t.global {
+			t.global[i] += w * ld.delta[i]
+		}
+		folded++
+		t.session.emit(EventLateFolded, ld.trainer, round, -1,
+			"folded round-%d delta at weight %.3g (%d rounds late)", ld.round, w, age)
+	}
+	t.late = kept
+	return folded
 }
 
 // Evaluate sets the model to the current global parameters and scores it.

@@ -29,24 +29,32 @@ const (
 	EventTrainerRejoin
 	EventAlertFiring
 	EventAlertResolved
+	EventQuorumProceed
+	EventByzantineReject
+	EventByzantineQuarantine
+	EventLateFolded
 )
 
 var eventKindNames = map[EventKind]string{
-	EventGradientUploaded:   "gradient-uploaded",
-	EventGradientsCollected: "gradients-collected",
-	EventMergeDownload:      "merge-download",
-	EventPartialPublished:   "partial-published",
-	EventPartialVerified:    "partial-verified",
-	EventPartialInvalid:     "partial-invalid",
-	EventTakeover:           "takeover",
-	EventGlobalPublished:    "global-published",
-	EventGlobalRejected:     "global-rejected",
-	EventUpdateCollected:    "update-collected",
-	EventScreenedOut:        "screened-out",
-	EventStandbyTakeover:    "standby-takeover",
-	EventTrainerRejoin:      "trainer-rejoin",
-	EventAlertFiring:        "alert-firing",
-	EventAlertResolved:      "alert-resolved",
+	EventGradientUploaded:    "gradient-uploaded",
+	EventGradientsCollected:  "gradients-collected",
+	EventMergeDownload:       "merge-download",
+	EventPartialPublished:    "partial-published",
+	EventPartialVerified:     "partial-verified",
+	EventPartialInvalid:      "partial-invalid",
+	EventTakeover:            "takeover",
+	EventGlobalPublished:     "global-published",
+	EventGlobalRejected:      "global-rejected",
+	EventUpdateCollected:     "update-collected",
+	EventScreenedOut:         "screened-out",
+	EventStandbyTakeover:     "standby-takeover",
+	EventTrainerRejoin:       "trainer-rejoin",
+	EventAlertFiring:         "alert-firing",
+	EventAlertResolved:       "alert-resolved",
+	EventQuorumProceed:       "quorum-proceed",
+	EventByzantineReject:     "byzantine-reject",
+	EventByzantineQuarantine: "byzantine-quarantine",
+	EventLateFolded:          "late-folded",
 }
 
 // String names the event kind.

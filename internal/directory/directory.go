@@ -139,6 +139,12 @@ var (
 	// ErrBadSignature indicates a publish whose signature is missing or
 	// does not verify against the registered public key.
 	ErrBadSignature = errors.New("directory: bad record signature")
+	// ErrQuarantined indicates a publish from a trainer the directory has
+	// quarantined after proven-Byzantine uploads.
+	ErrQuarantined = errors.New("directory: uploader is quarantined")
+	// ErrNotByzantine indicates an expunge request for a gradient that
+	// re-verified clean: the accusation, not the upload, was wrong.
+	ErrNotByzantine = errors.New("directory: gradient verifies against its commitment")
 )
 
 // BlockFetcher is the directory's minimal view of the storage network, used
@@ -171,6 +177,9 @@ type Stats struct {
 	Lookups       int
 	Verifications int
 	Rejections    int
+	// Expunged counts gradient records removed after re-verifying as
+	// Byzantine (ExpungeGradient).
+	Expunged int
 }
 
 // Service is an in-process directory service.
@@ -192,6 +201,14 @@ type Service struct {
 	trainers   map[int]map[string][]string
 
 	finalUpdate map[iterPart]Record
+
+	// expunged counts gradients removed per (iter, partition) by
+	// ExpungeGradient, so the gradient-set closure gate still accounts
+	// for every assigned trainer. quarantined maps a trainer to the
+	// first iteration from which its publishes are rejected and it no
+	// longer counts toward a partition's expected gradient set.
+	expunged    map[iterPart]int
+	quarantined map[string]int
 
 	// schedules holds each iteration's t_train deadline; gradients
 	// published later are rejected so the partition accumulator can
@@ -221,6 +238,8 @@ func New(params *pedersen.Params, fetcher BlockFetcher) *Service {
 		assignment:    make(map[partTrainer]string),
 		trainers:      make(map[int]map[string][]string),
 		finalUpdate:   make(map[iterPart]Record),
+		expunged:      make(map[iterPart]int),
+		quarantined:   make(map[string]int),
 		schedules:     make(map[int]time.Time),
 		now:           time.Now,
 	}
@@ -349,6 +368,10 @@ func (s *Service) publishLocked(ctx context.Context, rec Record) error {
 
 func (s *Service) publishGradientLocked(rec Record) error {
 	key := iterPart{rec.Addr.Iter, rec.Addr.Partition}
+	if from, bad := s.quarantined[rec.Addr.Uploader]; bad && rec.Addr.Iter >= from {
+		s.stats.Rejections++
+		return fmt.Errorf("%w: %q since iter %d", ErrQuarantined, rec.Addr.Uploader, from)
+	}
 	if deadline, ok := s.schedules[rec.Addr.Iter]; ok && s.now().After(deadline) {
 		s.stats.Rejections++
 		return fmt.Errorf("%w: iter %d from %q", ErrTooLate, rec.Addr.Iter, rec.Addr.Uploader)
@@ -403,8 +426,11 @@ func (s *Service) publishUpdateLocked(ctx context.Context, rec Record) error {
 		// Otherwise a gradient arriving between aggregation and
 		// verification would silently be dropped from an accepted
 		// update.
-		expected := s.expectedTrainersLocked(rec.Addr.Partition)
-		got := len(s.gradients[key])
+		expected := s.expectedTrainersLocked(rec.Addr.Partition, rec.Addr.Iter)
+		// Expunged gradients still count toward closure: their trainers
+		// did publish, the directory just removed the proven-Byzantine
+		// records afterwards.
+		got := len(s.gradients[key]) + s.expunged[key]
 		if expected > 0 && got < expected {
 			deadline, scheduled := s.schedules[rec.Addr.Iter]
 			if !scheduled || !s.now().After(deadline) {
@@ -430,12 +456,18 @@ func (s *Service) publishUpdateLocked(ctx context.Context, rec Record) error {
 }
 
 // expectedTrainersLocked returns how many trainers are assigned to a
-// partition (0 when no assignments were registered, which disables the
-// completeness gate).
-func (s *Service) expectedTrainersLocked(partition int) int {
+// partition at the given iteration (0 when no assignments were
+// registered, which disables the completeness gate). Trainers
+// quarantined before the iteration are not expected to publish.
+func (s *Service) expectedTrainersLocked(partition, iter int) int {
 	total := 0
 	for _, trainers := range s.trainers[partition] {
-		total += len(trainers)
+		for _, t := range trainers {
+			if from, bad := s.quarantined[t]; bad && iter >= from {
+				continue
+			}
+			total++
+		}
 	}
 	return total
 }
@@ -466,6 +498,114 @@ func (s *Service) verifyAgainstLocked(ctx context.Context, rec Record, want pede
 		return false, fmt.Errorf("directory: recommit update: %w", err)
 	}
 	return got.Equal(want), nil
+}
+
+// ExpungeGradient removes a gradient record whose stored block is not a
+// pre-image of its published commitment — a Byzantine upload reported by
+// an aggregator. The directory does not take the accusation on faith: it
+// refetches the block and re-verifies it itself, and refuses with
+// ErrNotByzantine when the gradient checks out. On success the
+// commitment is homomorphically removed from the partition and
+// per-aggregator accumulators, so the remaining honest gradients still
+// verify, and the slot is tombstoned so the gradient-set closure gate
+// keeps accounting for the trainer.
+func (s *Service) ExpungeGradient(ctx context.Context, addr Addr) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Requests++
+	if s.params == nil {
+		return errors.New("directory: expunge requires verifiable mode")
+	}
+	if addr.Type != TypeGradient {
+		return fmt.Errorf("directory: expunge of non-gradient %+v", addr)
+	}
+	rec, ok := s.records[addr]
+	if !ok {
+		return fmt.Errorf("%w: %+v", ErrNotFound, addr)
+	}
+
+	// Independent re-verification against the record's own commitment. A
+	// fetch error is inconclusive (storage fault, not proof of tampering)
+	// and aborts the expunge; a clean verification refutes the accusation.
+	if s.fetcher == nil {
+		return errors.New("directory: verifiable mode requires a block fetcher")
+	}
+	s.stats.Verifications++
+	data, err := s.fetcher.Get(ctx, rec.Node, rec.CID)
+	if err != nil {
+		return fmt.Errorf("directory: fetch gradient for expunge: %w", err)
+	}
+	if cid.Verify(data, rec.CID) {
+		if block, err := model.DecodeBlock(data); err == nil {
+			got, err := s.params.Commit(block.Values)
+			if err != nil {
+				return fmt.Errorf("directory: recommit gradient: %w", err)
+			}
+			if got.Equal(rec.Commitment) {
+				return fmt.Errorf("%w: %+v", ErrNotByzantine, addr)
+			}
+		}
+	}
+
+	key := iterPart{addr.Iter, addr.Partition}
+	if acc, ok := s.accPartition[key]; ok {
+		rem, err := s.params.Uncombine(acc, rec.Commitment)
+		if err != nil {
+			return fmt.Errorf("directory: remove from partition accumulator: %w", err)
+		}
+		s.accPartition[key] = rem
+	}
+	if agg, ok := s.assignment[partTrainer{addr.Partition, addr.Uploader}]; ok {
+		akey := iterPartAgg{addr.Iter, addr.Partition, agg}
+		if aacc, ok := s.accAggregator[akey]; ok {
+			rem, err := s.params.Uncombine(aacc, rec.Commitment)
+			if err != nil {
+				return fmt.Errorf("directory: remove from aggregator accumulator: %w", err)
+			}
+			s.accAggregator[akey] = rem
+			s.gradCount[akey]--
+		}
+	}
+	delete(s.records, addr)
+	kept := s.gradients[key][:0]
+	for _, g := range s.gradients[key] {
+		if g.Addr != addr {
+			kept = append(kept, g)
+		}
+	}
+	s.gradients[key] = kept
+	s.expunged[key]++
+	s.stats.Expunged++
+	s.stats.Rejections++
+	return nil
+}
+
+// Quarantine rejects gradient publishes from the trainer starting at
+// iteration fromIter and stops counting it toward its partitions'
+// expected gradient sets from that iteration on. Quarantining a trainer
+// again keeps the earliest effective iteration.
+func (s *Service) Quarantine(trainer string, fromIter int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.quarantined[trainer]; ok && cur <= fromIter {
+		return
+	}
+	s.quarantined[trainer] = fromIter
+}
+
+// Quarantined returns the quarantined trainers and the first iteration
+// each is excluded from.
+func (s *Service) Quarantined() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.quarantined))
+	for t, from := range s.quarantined {
+		out[t] = from
+	}
+	return out
 }
 
 // Lookup returns the record for an exact address.

@@ -527,6 +527,9 @@ type Counter struct {
 	target          int
 	waiters         []*proc
 	deadlineWaiters []deadlineWaiter
+	// quorumWaiters wake on every Add (not only at target) so partial
+	// thresholds can be rechecked — see WaitQuorum.
+	quorumWaiters []*proc
 }
 
 type deadlineWaiter struct {
@@ -543,6 +546,11 @@ func (e *Env) NewCounter(target int) *Counter {
 // Add increments the counter, waking waiters when the target is reached.
 func (c *Counter) Add() {
 	c.count++
+	for _, p := range c.quorumWaiters {
+		c.env.blocked--
+		c.env.makeReady(p)
+	}
+	c.quorumWaiters = nil
 	if c.count >= c.target {
 		for _, p := range c.waiters {
 			c.env.blocked--
@@ -559,6 +567,41 @@ func (c *Counter) Add() {
 
 // Count returns the number of Add calls so far.
 func (c *Counter) Count() int { return c.count }
+
+// Target returns the count that releases plain waiters.
+func (c *Counter) Target() int { return c.target }
+
+// WaitQuorum blocks until the full target is reached, or until the
+// virtual clock has passed at AND at least need arrivals have landed —
+// the m-of-n quorum primitive behind §III-D quorum rounds. It reports
+// whether the full target was reached.
+func (c *Counter) WaitQuorum(need int, at time.Duration) bool {
+	if need >= c.target {
+		c.Wait()
+		return true
+	}
+	for {
+		if c.count >= c.target {
+			return true
+		}
+		if c.env.Now() < at {
+			// Before the deadline: sleep until it; an early full
+			// target wakes us sooner via the deadline-waiter path.
+			if c.WaitDeadline(at) {
+				return true
+			}
+			continue
+		}
+		if c.count >= need {
+			return false
+		}
+		// Past the deadline but below quorum: wait for the next arrival
+		// before rechecking.
+		c.quorumWaiters = append(c.quorumWaiters, c.env.current)
+		c.env.blocked++
+		c.env.block()
+	}
+}
 
 // Wait blocks the current process until the target is reached.
 func (c *Counter) Wait() {

@@ -266,6 +266,23 @@ func (p *Params) Combine(cs ...Commitment) (Commitment, error) {
 	return Commitment(p.curve.Encode(acc)), nil
 }
 
+// Uncombine homomorphically removes a commitment from an accumulator:
+// the result commits to the element-wise field difference of the
+// committed vectors. It is Combine's inverse — the directory uses it to
+// expunge a proven-Byzantine gradient from a partition accumulator
+// without recombining every honest commitment from scratch.
+func (p *Params) Uncombine(acc, c Commitment) (Commitment, error) {
+	accPt, err := p.curve.Decode(acc)
+	if err != nil {
+		return nil, fmt.Errorf("pedersen: accumulator: %w", err)
+	}
+	pt, err := p.curve.Decode(c)
+	if err != nil {
+		return nil, fmt.Errorf("pedersen: removed commitment: %w", err)
+	}
+	return Commitment(p.curve.Encode(p.curve.Add(accPt, p.curve.Neg(pt)))), nil
+}
+
 // Identity returns the commitment to the all-zero vector, the neutral
 // element for Combine.
 func (p *Params) Identity() Commitment {

@@ -100,6 +100,44 @@ func TestHomomorphism(t *testing.T) {
 	}
 }
 
+func TestUncombine(t *testing.T) {
+	// Uncombine must invert Combine: removing one commitment from an
+	// accumulator leaves the commitment to the sum of the others — the
+	// directory's Byzantine-expunge path depends on this.
+	p := setup(t, 8)
+	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)
+	rng := rand.New(rand.NewSource(11))
+	v1 := randomVector(rng, q, 8)
+	v2 := randomVector(rng, q, 8)
+	v3 := randomVector(rng, q, 8)
+	c1, _ := p.Commit(v1)
+	c2, _ := p.Commit(v2)
+	c3, _ := p.Commit(v3)
+	acc, err := p.Combine(c1, c2, c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Uncombine(acc, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Combine(c1, c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("Uncombine(Combine(c1,c2,c3), c2) != Combine(c1,c3)")
+	}
+	// Removing the last commitment lands on the identity.
+	only, err := p.Uncombine(c1, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !only.Equal(p.Identity()) {
+		t.Fatal("Uncombine(c, c) != Identity")
+	}
+}
+
 func TestCombineIdentity(t *testing.T) {
 	p := setup(t, 4)
 	q, _ := scalar.NewQuantizer(p.Field(), scalar.DefaultShift)

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"ipls/internal/directory"
@@ -124,3 +125,34 @@ func (d *Directory) PartialUpdates(ctx context.Context, iter, partition int) []d
 func (d *Directory) SetSchedule(iter int, tTrain time.Time) { d.inner.SetSchedule(iter, tTrain) }
 
 func (d *Directory) RecordsForIter(iter int) []directory.Record { return d.inner.RecordsForIter(iter) }
+
+// byzantineDirectory is the optional Byzantine-tolerance surface. Only
+// *directory.Service implements it today, so the wrapper forwards by
+// assertion rather than growing DirectoryService and forcing stubs onto
+// every directory implementation.
+type byzantineDirectory interface {
+	ExpungeGradient(ctx context.Context, addr directory.Addr) error
+	Quarantine(trainer string, fromIter int)
+}
+
+// ExpungeGradient forwards to the inner directory when it supports
+// Byzantine expunge, and reports directory.ErrNotFound-independent
+// unsupported errors otherwise so callers can degrade gracefully.
+func (d *Directory) ExpungeGradient(ctx context.Context, addr directory.Addr) error {
+	bd, ok := d.inner.(byzantineDirectory)
+	if !ok {
+		return fmt.Errorf("resilience: directory %T does not support expunge", d.inner)
+	}
+	return d.policy.run(ctx, "expunge_gradient", func(actx context.Context) error {
+		return bd.ExpungeGradient(actx, addr)
+	})
+}
+
+// Quarantine forwards to the inner directory when supported; otherwise it
+// is a no-op (quarantine is an optimization, not a correctness
+// requirement — unverifiable uploads are still rejected per round).
+func (d *Directory) Quarantine(trainer string, fromIter int) {
+	if bd, ok := d.inner.(byzantineDirectory); ok {
+		bd.Quarantine(trainer, fromIter)
+	}
+}

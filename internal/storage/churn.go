@@ -56,48 +56,88 @@ type ChurnPlan struct {
 	events []ChurnEvent
 }
 
+// ParseError is a positional plan parse error: the byte offset of the
+// offending token within the plan string, the token itself, and what
+// was wrong with it.
+type ParseError struct {
+	Offset int
+	Token  string
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("storage: plan offset %d: %q: %s", e.Offset, e.Token, e.Msg)
+}
+
 // ParseChurnPlan parses a comma-separated churn scenario, e.g.
 //
 //	depart:ipfs-03@iter2,crash:agg-p0-0@iter1,rejoin:trainer-05@iter3
 //
 // Grammar per event: KIND:NAME@iterN where KIND is depart, crash or
-// rejoin. An empty string parses to an empty plan.
+// rejoin. Two events for the same NAME@iterN are contradictory and
+// rejected. An empty string parses to an empty plan. Errors are
+// *ParseError values carrying the offending token and its byte offset.
 func ParseChurnPlan(s string) (*ChurnPlan, error) {
 	plan := &ChurnPlan{}
 	if strings.TrimSpace(s) == "" {
 		return plan, nil
 	}
+	seen := make(map[ChurnEvent]ChurnKind) // (node, iter) key; Kind zeroed
+	off := 0
 	for _, raw := range strings.Split(s, ",") {
-		ev, err := parseChurnEvent(strings.TrimSpace(raw))
+		tok := strings.TrimSpace(raw)
+		tokOff := off
+		if tok != "" {
+			tokOff += strings.Index(raw, tok)
+		}
+		ev, err := parseChurnEvent(tok, tokOff)
 		if err != nil {
 			return nil, err
 		}
+		key := ChurnEvent{Node: ev.Node, Iter: ev.Iter}
+		if prev, dup := seen[key]; dup {
+			return nil, &ParseError{Offset: tokOff, Token: tok,
+				Msg: fmt.Sprintf("duplicate event for %s@iter%d (already %s)", ev.Node, ev.Iter, prev)}
+		}
+		seen[key] = ev.Kind
 		plan.events = append(plan.events, ev)
+		off += len(raw) + 1
 	}
 	sort.SliceStable(plan.events, func(i, j int) bool { return plan.events[i].Iter < plan.events[j].Iter })
 	return plan, nil
 }
 
-func parseChurnEvent(s string) (ChurnEvent, error) {
+func parseChurnEvent(s string, off int) (ChurnEvent, error) {
+	errAt := func(format string, args ...any) (ChurnEvent, error) {
+		return ChurnEvent{}, &ParseError{Offset: off, Token: s, Msg: fmt.Sprintf(format, args...)}
+	}
 	parts := strings.Split(s, ":")
 	if len(parts) != 2 {
-		return ChurnEvent{}, fmt.Errorf("storage: churn %q: want KIND:NAME@iterN", s)
+		return errAt("want KIND:NAME@iterN")
 	}
 	kind := ChurnKind(parts[0])
 	switch kind {
 	case ChurnDepart, ChurnCrash, ChurnRejoin:
 	default:
-		return ChurnEvent{}, fmt.Errorf("storage: churn %q: unknown kind %q", s, kind)
+		return errAt("unknown kind %q", kind)
 	}
 	at := strings.Split(parts[1], "@")
 	if len(at) != 2 || at[0] == "" || !strings.HasPrefix(at[1], "iter") {
-		return ChurnEvent{}, fmt.Errorf("storage: churn %q: want NAME@iterN after kind", s)
+		return errAt("want NAME@iterN after kind")
 	}
 	iter, err := strconv.Atoi(strings.TrimPrefix(at[1], "iter"))
 	if err != nil || iter < 0 {
-		return ChurnEvent{}, fmt.Errorf("storage: churn %q: bad iteration %q", s, at[1])
+		return errAt("bad iteration %q", at[1])
 	}
 	return ChurnEvent{Kind: kind, Node: at[0], Iter: iter}, nil
+}
+
+// NewChurnPlan builds a plan directly from events (the scenario
+// compiler's entry point), ordered by iteration like ParseChurnPlan.
+func NewChurnPlan(events []ChurnEvent) *ChurnPlan {
+	plan := &ChurnPlan{events: append([]ChurnEvent(nil), events...)}
+	sort.SliceStable(plan.events, func(i, j int) bool { return plan.events[i].Iter < plan.events[j].Iter })
+	return plan
 }
 
 // Empty reports whether the plan schedules nothing.

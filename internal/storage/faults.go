@@ -193,6 +193,16 @@ func parseFaultEvent(s string) (FaultEvent, error) {
 	return ev, nil
 }
 
+// NewFaultPlan builds a plan directly from events (the scenario
+// compiler's entry point), ordered by iteration like ParseFaultPlan.
+// Unlike the textual grammar, zero Delay/Prob values are allowed: they
+// are the clearing edges of a scheduled fault window.
+func NewFaultPlan(events []FaultEvent) *FaultPlan {
+	plan := &FaultPlan{events: append([]FaultEvent(nil), events...)}
+	sort.SliceStable(plan.events, func(i, j int) bool { return plan.events[i].Iter < plan.events[j].Iter })
+	return plan
+}
+
 // Empty reports whether the plan schedules nothing.
 func (p *FaultPlan) Empty() bool { return p == nil || len(p.events) == 0 }
 

@@ -50,6 +50,11 @@ func (n *Network) setMetricsLocked(reg *obs.Registry) {
 	// below target (0 means the replication factor is fully restored).
 	n.repairCtr = reg.Counter("repair_blocks_total")
 	n.underRepl = reg.Gauge("under_replicated_blocks")
+	// partition_active_nodes gauges how many nodes the current network
+	// split isolates (0 = no partition); partition_heals_total counts
+	// closed partition windows (each followed by re-announce + repair).
+	n.partitionActive = reg.Gauge("partition_active_nodes")
+	n.partitionHeals = reg.Counter("partition_heals_total")
 	// Block-cache hit ratio over the disk backend, and GC reclamation.
 	n.cacheHits = reg.Counter("storage_cache_hits_total")
 	n.cacheMisses = reg.Counter("storage_cache_misses_total")

@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Network partitions. A partition isolates a set of nodes from the
+// mainline side of the network for a scenario window: isolated nodes
+// keep their datastores but cannot serve requests, join placement, or
+// answer content routing until Heal closes the split. Unlike Fail, a
+// partition is a single network-wide condition — Health reports it as a
+// distinct readiness failure, and Heal performs the directory re-sync
+// (provider re-announce) that a real IPFS node does when connectivity
+// returns, after which a RepairScan restores any replication the
+// mainline side rebuilt elsewhere in the meantime.
+
+// Partition isolates the named nodes from the rest of the network.
+// Departed nodes cannot be partitioned (they are gone, not isolated),
+// and only one partition can be in force at a time.
+func (n *Network) Partition(isolated []string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if active := n.partitionedLocked(); len(active) > 0 {
+		return fmt.Errorf("storage: partition already active (%d nodes isolated)", len(active))
+	}
+	for _, id := range isolated {
+		nd, ok := n.nodes[id]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+		}
+		if nd.departed {
+			return fmt.Errorf("%w: %q cannot be partitioned", ErrNodeDeparted, id)
+		}
+	}
+	for _, id := range isolated {
+		n.nodes[id].partitioned = true
+	}
+	n.partitionActive.Set(float64(len(isolated)))
+	return nil
+}
+
+// Heal closes the active partition: every isolated node rejoins the
+// mainline and re-announces the blocks it holds (the IPFS re-provide
+// step), so provider records a RepairScan withdrew during the split are
+// restored. Healing with no active partition is a no-op. Callers should
+// follow up with a RepairScan to reconcile replication both ways.
+func (n *Network) Heal() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	healed := n.partitionedLocked()
+	if len(healed) == 0 {
+		return nil
+	}
+	for _, id := range healed {
+		nd := n.nodes[id]
+		nd.partitioned = false
+		keys, err := nd.store.Keys(context.Background())
+		if err != nil {
+			nd.noteStoreErr(err)
+			continue
+		}
+		for _, c := range keys {
+			n.announceLocked(id, c)
+		}
+	}
+	n.partitionActive.Set(0)
+	n.partitionHeals.Inc()
+	return nil
+}
+
+// Partitioned returns the IDs of nodes isolated by the active partition,
+// in sorted order (empty when the network is whole).
+func (n *Network) Partitioned() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitionedLocked()
+}
+
+func (n *Network) partitionedLocked() []string {
+	var out []string
+	for _, id := range n.order {
+		if n.nodes[id].partitioned {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -84,8 +84,7 @@ func (n *Network) repairLocked(ctx context.Context) (RepairReport, error) {
 	var report RepairReport
 	live := make([]string, 0, len(n.order))
 	for _, id := range n.order {
-		nd := n.nodes[id]
-		if nd.down || nd.departed {
+		if n.nodes[id].unavailable() {
 			continue
 		}
 		live = append(live, id)
@@ -106,11 +105,11 @@ func (n *Network) repairLocked(ctx context.Context) (RepairReport, error) {
 		}
 		report.Scanned++
 		// Prune stale records: a provider that departed (or lost the
-		// block) will never serve it again; a down provider cannot serve
-		// it now — Recover re-announces when it returns.
+		// block) will never serve it again; a down or partitioned provider
+		// cannot serve it now — Recover and Heal re-announce on return.
 		for id := range n.providers[c] {
 			nd, ok := n.nodes[id]
-			if !ok || nd.departed || nd.down {
+			if !ok || nd.unavailable() {
 				n.withdrawLocked(id, c)
 				continue
 			}
@@ -205,7 +204,7 @@ func (n *Network) UnderReplicated() []cid.CID {
 	defer n.mu.Unlock()
 	liveNodes := 0
 	for _, nd := range n.nodes {
-		if !nd.down && !nd.departed {
+		if !nd.unavailable() {
 			liveNodes++
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +47,11 @@ var (
 	ErrNodeDeparted = errors.New("storage: node has departed")
 	// ErrUnknownNode indicates the node ID is not part of the network.
 	ErrUnknownNode = errors.New("storage: unknown node")
+	// ErrPartitioned indicates the addressed node is isolated by an active
+	// network partition (Partition): it is up, holds its blocks, and will
+	// serve again once the split Heals — transient, like ErrNodeDown, but
+	// no amount of retrying helps until the partition window closes.
+	ErrPartitioned = errors.New("storage: node is partitioned away")
 )
 
 // Client is the view protocol participants have of the storage network:
@@ -162,6 +168,8 @@ type Network struct {
 	mergeBytesSaved *obs.Counter
 	repairCtr       *obs.Counter
 	underRepl       *obs.Gauge
+	partitionActive *obs.Gauge
+	partitionHeals  *obs.Counter
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
 	gcBlocks        *obs.Counter
@@ -239,6 +247,7 @@ type Node struct {
 	store       BlockStore
 	down        bool
 	departed    bool
+	partitioned bool
 	cheatMerges bool
 	slow        time.Duration // fault injection: per-operation service delay
 	flaky       float64       // fault injection: transient-failure probability
@@ -272,7 +281,16 @@ func (nd *Node) availErr() error {
 	if nd.down {
 		return fmt.Errorf("%w: %q", ErrNodeDown, nd.id)
 	}
+	if nd.partitioned {
+		return fmt.Errorf("%w: %q", ErrPartitioned, nd.id)
+	}
 	return nil
+}
+
+// unavailable reports whether the node is out of service for placement
+// and content routing: down, departed, or isolated by a partition.
+func (nd *Node) unavailable() bool {
+	return nd.down || nd.departed || nd.partitioned
 }
 
 // noteStoreErr records (or, on success, clears) the node's backend failure
@@ -375,14 +393,13 @@ func (n *Network) Close() error {
 }
 
 // LiveNodes returns the IDs of nodes currently able to serve requests
-// (neither down nor departed), in deterministic order.
+// (not down, departed, or partitioned away), in deterministic order.
 func (n *Network) LiveNodes() []string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make([]string, 0, len(n.order))
 	for _, id := range n.order {
-		nd := n.nodes[id]
-		if nd.down || nd.departed {
+		if n.nodes[id].unavailable() {
 			continue
 		}
 		out = append(out, id)
@@ -420,10 +437,16 @@ func (n *Network) Health() error {
 			return healthBackendErr(id, nd.backendErr)
 		}
 	}
+	// An active partition is a readiness failure in its own right: the
+	// isolated side holds blocks the mainline cannot reach, so replica
+	// guarantees do not hold until the split heals.
+	if isolated := n.partitionedLocked(); len(isolated) > 0 {
+		return fmt.Errorf("storage: network partitioned: %d node(s) isolated (%s)",
+			len(isolated), strings.Join(isolated, ", "))
+	}
 	live := 0
 	for _, id := range n.order {
-		nd := n.nodes[id]
-		if !nd.down && !nd.departed {
+		if !n.nodes[id].unavailable() {
 			live++
 		}
 	}
@@ -590,7 +613,7 @@ func (n *Network) ReplicaCount(c cid.CID) int {
 func (n *Network) liveReplicasLocked(c cid.CID) int {
 	count := 0
 	for _, nd := range n.nodes {
-		if nd.down || nd.departed {
+		if nd.unavailable() {
 			continue
 		}
 		if ok, _ := nd.store.Has(context.Background(), c); ok {
@@ -754,7 +777,7 @@ func (n *Network) replicaTargets(primary string, c cid.CID) []string {
 		}
 		cands := make([]scored, 0, len(n.order))
 		for _, id := range n.order {
-			if id == primary || n.nodes[id].down || n.nodes[id].departed {
+			if id == primary || n.nodes[id].unavailable() {
 				continue
 			}
 			cands = append(cands, scored{id: id, score: rendezvousScore(c, id)})
@@ -772,7 +795,7 @@ func (n *Network) replicaTargets(primary string, c cid.CID) []string {
 		idx := sort.SearchStrings(n.order, primary)
 		for step := 1; step < len(n.order) && len(out) < want; step++ {
 			id := n.order[(idx+step)%len(n.order)]
-			if n.nodes[id].down || n.nodes[id].departed {
+			if n.nodes[id].unavailable() {
 				continue
 			}
 			out = append(out, id)
@@ -875,7 +898,7 @@ func (n *Network) Fetch(ctx context.Context, c cid.CID) ([]byte, error) {
 func (n *Network) fetchLocked(c cid.CID) ([]byte, *Node) {
 	for _, id := range n.order {
 		nd := n.nodes[id]
-		if nd.down {
+		if nd.down || nd.partitioned {
 			continue
 		}
 		if ok, _ := nd.store.Has(context.Background(), c); !ok {

@@ -12,6 +12,7 @@ import (
 	"ipls/internal/ml"
 	"ipls/internal/resilience"
 	"ipls/internal/scalar"
+	"ipls/internal/scenario"
 	"ipls/internal/storage"
 	"ipls/internal/transport"
 )
@@ -368,6 +369,34 @@ type ChurnRunner = core.ChurnRunner
 // and a parsed plan.
 func NewChurnRunner(task *Task, net *StorageNetwork, plan *ChurnPlan) *ChurnRunner {
 	return core.NewChurnRunner(task, net, plan)
+}
+
+// ScenarioPlan is a parsed composable fault scenario: one grammar
+// covering membership churn, storage faults, link degradation, network
+// partitions, Byzantine uploads and late trainers (see ParseScenario).
+type ScenarioPlan = scenario.Plan
+
+// ParseScenario parses the comma-separated scenario grammar used by the
+// iplssim -scenario flag, e.g.
+// "depart:ipfs-03@iter1,partition:mainline|ipfs-01@iter2..3,
+// corrupt:trainer-01@iter2,late:trainer-02@iter4".
+func ParseScenario(s string) (*ScenarioPlan, error) { return scenario.Parse(s) }
+
+// RoundOptions extends Task rounds with fault injections: absent, late
+// or Byzantine trainers, aggregator behaviors, standbys and quorum.
+type RoundOptions = core.RoundOptions
+
+// ScenarioRunner drives a Task across rounds under a ScenarioPlan,
+// fanning one plan into per-subsystem injections: churn, storage
+// faults, partition windows that open and heal (with re-replication),
+// Byzantine uploads and late-delta folding, plus optional m-of-n quorum
+// rounds.
+type ScenarioRunner = core.ScenarioRunner
+
+// NewScenarioRunner wires a scenario runner over a task, its storage
+// network and a parsed plan.
+func NewScenarioRunner(task *Task, net *StorageNetwork, plan *ScenarioPlan) *ScenarioRunner {
+	return core.NewScenarioRunner(task, net, plan)
 }
 
 // Placement selects the replica placement policy.
